@@ -1,0 +1,77 @@
+"""Ablation — the tile-size advisor (Section VI's open problem, implemented).
+
+"Defining a way to discover the best tile size for a given matrix size and
+number of threads without having the necessity of testing several
+combinations is ... an interesting open research area ... Solutions based
+on compression estimations could be studied to give hints to the user."
+
+This bench runs the compression-estimation advisor against ground truth:
+for each candidate NB the real build + factorisation + simulated 35-worker
+time is measured, and the advisor's pick (computed from O(1) sampled tiles)
+is compared with the measured optimum.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import advise_tile_size
+from repro.analysis.experiments import PAPER_EQUIVALENT_OVERHEADS
+from repro.core import TileHConfig, TileHMatrix
+from repro.geometry import cylinder_cloud, make_kernel
+
+PAPER_N = 20_000
+EPS = 1e-4
+WORKERS = 35
+
+# Substrate calibration (see tests/analysis/test_autotune.py): Python task
+# dispatch and NumPy BLAS throughput on this machine.
+ADVISOR_KWARGS = dict(per_task_overhead=2e-4, flops_per_second=2.7e9)
+
+
+def test_abl_autotune(benchmark, scale, emit):
+    n = scale.n(PAPER_N)
+    pts = cylinder_cloud(n)
+    kern = make_kernel("laplace", pts)
+    candidates = sorted({max(40, n // 32), max(64, n // 16), n // 8, n // 4})
+
+    best, advices = advise_tile_size(
+        kern, pts, nworkers=WORKERS, candidates=candidates, eps=EPS, **ADVISOR_KWARGS
+    )
+
+    def measure_all():
+        measured = {}
+        for nb in candidates:
+            a = TileHMatrix.build(
+                kern, pts, TileHConfig(nb=nb, eps=EPS, leaf_size=min(64, nb))
+            )
+            info = a.factorize()
+            r = info.simulate(WORKERS, "prio", overheads=PAPER_EQUIVALENT_OVERHEADS)
+            measured[nb] = r.makespan
+        return measured
+
+    measured = benchmark.pedantic(measure_all, rounds=1, iterations=1)
+
+    est = {a.nb: a for a in advices}
+    rows = [
+        [
+            nb,
+            est[nb].nt,
+            round(est[nb].est_compression, 3),
+            est[nb].est_seconds,
+            measured[nb],
+            "<- advised" if nb == best.nb else "",
+        ]
+        for nb in candidates
+    ]
+    emit(
+        "abl_autotune",
+        ["NB", "nt", "est compression", "est seconds", "measured seconds", ""],
+        rows,
+        title=f"Ablation: tile-size advisor vs ground truth (N={n}, {WORKERS} workers)",
+    )
+
+    # The advisor's pick lands within 1.5x of the measured optimum (the bar
+    # for a "hint to the user" heuristic).
+    opt = min(measured.values())
+    assert measured[best.nb] <= 1.5 * opt, (
+        f"advised NB={best.nb} measured {measured[best.nb]:.4f}s vs optimum {opt:.4f}s"
+    )

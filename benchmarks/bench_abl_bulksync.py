@@ -1,0 +1,56 @@
+"""Ablation — sequential task flow vs bulk-synchronous parallelism.
+
+Section III: pre-StarPU OpenMP implementations of the H-LU "realized a
+bulk-synchronous parallelism that was limited by synchronizations at each
+level of the H-Structure"; the STF runtime removes those barriers.  This
+ablation replays the *same* Tile-H LU DAG under both models (and with an
+OpenMP-like fork/join cost per barrier) across worker counts.
+"""
+
+from __future__ import annotations
+
+from repro.core import TileHConfig, TileHMatrix
+from repro.geometry import cylinder_cloud, make_kernel
+from repro.runtime import RuntimeOverheadModel, simulate, simulate_bulk_synchronous
+
+PAPER_N = 40_000
+EPS = 1e-4
+BARRIER_COST = 5e-5  # an OpenMP fork/join per stage
+
+
+def test_abl_bulksync(benchmark, scale, emit):
+    n = scale.n(PAPER_N)
+    nb = max(64, n // 16)
+    pts = cylinder_cloud(n)
+    kern = make_kernel("laplace", pts)
+
+    def factorize():
+        a = TileHMatrix.build(
+            kern, pts, TileHConfig(nb=nb, eps=EPS, leaf_size=min(64, nb))
+        )
+        return a.factorize()
+
+    info = benchmark.pedantic(factorize, rounds=1, iterations=1)
+    zero = RuntimeOverheadModel.zero()
+
+    rows = []
+    ratios = {}
+    for p in (1, 9, 18, 35):
+        stf = simulate(info.graph, p, "prio", overheads=zero).makespan
+        bs = simulate_bulk_synchronous(info.graph, p, overheads=zero).makespan
+        bs_cost = simulate_bulk_synchronous(
+            info.graph, p, overheads=zero, barrier_cost=BARRIER_COST
+        ).makespan
+        rows.append([p, stf, bs, bs_cost, round(bs_cost / stf, 2)])
+        ratios[p] = bs_cost / stf
+    emit(
+        "abl_bulksync",
+        ["workers", "STF s", "bulk-sync s", "bulk-sync + barriers s", "slowdown"],
+        rows,
+        title=f"Ablation: STF vs bulk-synchronous execution (N={n}, NB={nb})",
+    )
+
+    # Serial execution is model-independent.
+    assert abs(ratios[1] - 1.0) < 0.1
+    # At scale, barriers cost real time: STF wins.
+    assert ratios[35] > 1.1, f"bulk-sync only {ratios[35]:.2f}x slower at 35 workers"

@@ -1,0 +1,73 @@
+"""Ablation — asymptotic complexity (the paper's introduction claim).
+
+"The LU Factorization of an n x n H-Matrix (H-LU) requires
+Theta(n k^2 log^2 n) flops in H-Arithmetic ... In contrast, the same
+factorization costs Theta((2/3) n^3) flops in the dense case."
+
+This bench measures storage and factorisation flops of the H-LU across a
+geometric N sweep and fits log-log growth exponents: H storage must grow
+clearly subquadratically and H-LU flops clearly subcubically, against the
+exact dense exponents (2 and 3).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines import HMatSolver
+from repro.dense import flops_getrf
+from repro.geometry import cylinder_cloud, make_kernel
+
+EPS = 1e-4
+PAPER_N = (5000, 10_000, 20_000, 40_000)
+
+
+def _fit_exponent(ns, ys):
+    """Least-squares slope of log y vs log n."""
+    ln, ly = np.log(ns), np.log(ys)
+    return float(np.polyfit(ln, ly, 1)[0])
+
+
+def test_abl_complexity(benchmark, scale, emit):
+    n_values = [scale.n(pn) for pn in PAPER_N]
+
+    def sweep():
+        rows = []
+        for n in n_values:
+            pts = cylinder_cloud(n)
+            kern = make_kernel("laplace", pts)
+            hm = HMatSolver(kern, pts, eps=EPS, leaf_size=min(64, n // 4))
+            storage = hm.matrix.storage()
+            info = hm.factorize()
+            h_flops = info.graph.total_work("flops")
+            rows.append([n, storage, h_flops, flops_getrf(n)])
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    ns = [r[0] for r in rows]
+    storage_exp = _fit_exponent(ns, [r[1] for r in rows])
+    h_exp = _fit_exponent(ns, [r[2] for r in rows])
+    dense_exp = _fit_exponent(ns, [r[3] for r in rows])
+    emit(
+        "abl_complexity",
+        ["N", "H storage (scalars)", "H-LU flops", "dense LU flops"],
+        rows,
+        title=(
+            "Ablation: asymptotic complexity — fitted exponents: "
+            f"H storage n^{storage_exp:.2f}, H-LU n^{h_exp:.2f}, "
+            f"dense LU n^{dense_exp:.2f}"
+        ),
+    )
+
+    # Dense is the n^3 reference (sanity on the fit itself).
+    assert 2.9 < dense_exp < 3.1
+    # H storage ~ n log n: clearly subquadratic.
+    assert storage_exp < 1.7, f"H storage grows as n^{storage_exp:.2f}"
+    # H-LU flops ~ n k^2 log^2 n: clearly subcubic.  At reproduction scale
+    # the log^2 factors still read as polynomial weight (the asymptotic
+    # regime needs the paper's N), so the bound is generous but must stay
+    # far below the dense exponent.
+    assert h_exp < 2.6, f"H-LU flops grow as n^{h_exp:.2f}"
+    assert h_exp < dense_exp - 0.5
+    # And the absolute saving at the largest size is substantial (>10x).
+    assert rows[-1][2] < 0.1 * rows[-1][3]

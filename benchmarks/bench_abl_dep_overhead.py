@@ -1,0 +1,68 @@
+"""Ablation — sensitivity to the per-dependency runtime overhead.
+
+The paper's explanation for HMAT losing the real-double comparison is that
+"the cost of handling all fine grain dependencies becomes too important
+with respect to the computational tasks".  This ablation sweeps the
+per-dependency overhead from zero upward and shows the crossover: with no
+overhead the fine-grain HMAT DAG (more parallelism) can match or beat
+Tile-H, and as the overhead grows the Tile-H coarse DAG wins by an
+increasing margin.
+"""
+
+from __future__ import annotations
+
+from repro.baselines import HMatSolver
+from repro.core import TileHConfig, TileHMatrix
+from repro.geometry import cylinder_cloud, make_kernel
+from repro.runtime import RuntimeOverheadModel
+
+PAPER_N = 20_000
+PAPER_NB = 500
+EPS = 1e-4
+WORKERS = 18
+DEP_COSTS = (0.0, 1e-7, 5e-7, 2e-6, 1e-5, 5e-5)
+
+
+def test_abl_dep_overhead(benchmark, scale, emit):
+    n = scale.n(PAPER_N)
+    # Same floor as Figs. 6-7: keep tiles coarse so the Tile-H DAG stays
+    # structurally coarser than the fine-grain HMAT DAG.
+    nb = scale.nb(PAPER_NB, floor=max(64, n // 16))
+    leaf = min(scale.nb(500), nb)
+    pts = cylinder_cloud(n)
+    kern = make_kernel("laplace", pts)
+
+    def factorize_both():
+        th = TileHMatrix.build(kern, pts, TileHConfig(nb=nb, eps=EPS, leaf_size=leaf))
+        ti = th.factorize()
+        hm = HMatSolver(kern, pts, eps=EPS, leaf_size=leaf)
+        hi = hm.factorize()
+        return ti, hi
+
+    ti, hi = benchmark.pedantic(factorize_both, rounds=1, iterations=1)
+
+    rows = []
+    ratios = []
+    for dep in DEP_COSTS:
+        ovh = RuntimeOverheadModel(per_task=1e-6, per_dependency=dep)
+        t_tile = ti.simulate(WORKERS, "prio", overheads=ovh).makespan
+        t_hmat = hi.simulate(WORKERS, "lws", overheads=ovh).makespan
+        rows.append([dep, t_tile, t_hmat, round(t_hmat / t_tile, 3)])
+        ratios.append(t_hmat / t_tile)
+    emit(
+        "abl_dep_overhead",
+        ["per-dep overhead (s)", "tile-h seconds", "hmat seconds", "hmat/tile-h"],
+        rows,
+        title=(
+            f"Ablation: dependency-handling cost (N={n}, NB={nb}, "
+            f"{WORKERS} workers; tile-h DAG {ti.n_dependencies} deps, "
+            f"hmat DAG {hi.n_dependencies} deps)"
+        ),
+    )
+
+    # The fine-grain DAG has far more dependencies...
+    assert hi.n_dependencies > 3 * ti.n_dependencies
+    # ...so its relative cost grows monotonically with the per-dep overhead
+    # (allowing tiny simulator noise), and the largest overhead hurts HMAT
+    # strictly more than the smallest.
+    assert ratios[-1] > ratios[0] * 1.5

@@ -1,0 +1,110 @@
+"""Ablation — storage-format comparison: Tile-H vs BLR vs pure H vs dense.
+
+Positions the Tile-H format against the alternatives the related-work
+section discusses: flat BLR (simpler, more storage), the classical H-matrix
+(best storage, hardest to parallelise) and the dense tiled baseline
+(no compression at all).  One problem, one table: storage, sequential LU
+kernel time, 35-worker simulated time, and forward error.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines import BLRMatrix, DenseTiledLU, HMatSolver
+from repro.core import TileHConfig, TileHMatrix
+from repro.geometry import assemble_dense, cylinder_cloud, make_kernel
+from repro.analysis import forward_error
+from repro.runtime import RuntimeOverheadModel
+
+PAPER_N = 20_000
+PAPER_NB = 2500
+EPS = 1e-4
+WORKERS = 35
+
+
+def test_abl_formats(benchmark, scale, emit):
+    n = min(scale.n(PAPER_N), 3000)  # the dense baseline is O(n^3)/O(n^2)
+    nb = scale.nb(PAPER_NB)
+    leaf = min(scale.nb(500), nb)
+    pts = cylinder_cloud(n)
+    kern = make_kernel("laplace", pts)
+    dense = assemble_dense(kern, pts)
+    rng = np.random.default_rng(0)
+    x0 = rng.standard_normal(n)
+    b = dense @ x0
+    ovh = RuntimeOverheadModel()
+
+    def sweep():
+        rows = []
+
+        th = TileHMatrix.build(kern, pts, TileHConfig(nb=nb, eps=EPS, leaf_size=leaf))
+        ratio = th.compression_ratio()
+        info = th.factorize()
+        rows.append(
+            [
+                "tile-h",
+                round(ratio, 4),
+                info.sequential_seconds(),
+                info.simulate(WORKERS, "prio", overheads=ovh).makespan,
+                forward_error(th.solve(b), x0),
+            ]
+        )
+
+        blr = BLRMatrix.build(kern, pts, TileHConfig(nb=nb, eps=EPS))
+        ratio = blr.compression_ratio()
+        info = blr.factorize()
+        rows.append(
+            [
+                "blr",
+                round(ratio, 4),
+                info.sequential_seconds(),
+                info.simulate(WORKERS, "prio", overheads=ovh).makespan,
+                forward_error(blr.solve(b), x0),
+            ]
+        )
+
+        hm = HMatSolver(kern, pts, eps=EPS, leaf_size=leaf)
+        ratio = hm.compression_ratio()
+        hinfo = hm.factorize()
+        rows.append(
+            [
+                "hmat",
+                round(ratio, 4),
+                hinfo.sequential_seconds(),
+                hinfo.simulate(WORKERS, "lws", overheads=ovh).makespan,
+                forward_error(hm.solve(b), x0),
+            ]
+        )
+
+        dt = DenseTiledLU(dense, nb=nb)
+        dinfo = dt.factorize()
+        rows.append(
+            [
+                "dense-tiled",
+                1.0,
+                dinfo.sequential_seconds(),
+                dinfo.simulate(WORKERS, "prio", overheads=ovh).makespan,
+                forward_error(dt.solve(b), x0),
+            ]
+        )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit(
+        "abl_formats",
+        ["format", "compression", "seq LU s", f"{WORKERS}-worker LU s", "fwd error"],
+        rows,
+        title=f"Ablation: format comparison (N={n}, NB={nb}, eps={EPS}, real double)",
+    )
+
+    by = {r[0]: r for r in rows}
+    # Compression ordering: hmat <= tile-h <= ~blr < dense (small sizes can
+    # tie, so allow slack on the first two).
+    assert by["hmat"][1] <= by["tile-h"][1] * 1.2 + 0.02
+    assert by["tile-h"][1] <= by["blr"][1] * 1.1 + 0.02
+    assert by["blr"][1] < 1.0
+    # The dense baseline is exact; compressed formats sit at the eps level.
+    assert by["dense-tiled"][4] < 1e-9
+    for fmt in ("tile-h", "blr", "hmat"):
+        assert by[fmt][4] < 50 * EPS

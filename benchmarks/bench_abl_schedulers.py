@@ -1,0 +1,60 @@
+"""Ablation — scheduler policies, including the `eager` baseline.
+
+Section V-C: "the strategies based on priorities provide higher
+performance, and the simple priority strategy turns to be the best in most
+of the cases, except the smaller dimensions" (central-queue contention on
+cheap tasks).  This ablation sweeps all four policies on one mid-size
+problem, with and without runtime overheads, to expose both effects.
+"""
+
+from __future__ import annotations
+
+from repro.core import TileHConfig, TileHMatrix
+from repro.geometry import cylinder_cloud, make_kernel
+from repro.runtime import SCHEDULER_NAMES, RuntimeOverheadModel
+
+PAPER_N = 40_000
+PAPER_NB = 1000
+EPS = 1e-4
+THREADS = (1, 9, 18, 35)
+
+
+def test_abl_schedulers(benchmark, scale, emit):
+    n = scale.n(PAPER_N)
+    nb = scale.nb(PAPER_NB)
+    pts = cylinder_cloud(n)
+    kern = make_kernel("laplace", pts)
+
+    def factorize():
+        a = TileHMatrix.build(
+            kern, pts, TileHConfig(nb=nb, eps=EPS, leaf_size=min(scale.nb(500), nb))
+        )
+        return a.factorize()
+
+    info = benchmark.pedantic(factorize, rounds=1, iterations=1)
+
+    overhead_models = {
+        "no-overhead": RuntimeOverheadModel.zero(),
+        "starpu-like": RuntimeOverheadModel(),
+    }
+    rows = []
+    results = {}
+    for label, ovh in overhead_models.items():
+        for sched in SCHEDULER_NAMES:
+            for p in THREADS:
+                r = info.simulate(p, sched, overheads=ovh)
+                rows.append([label, sched, p, r.makespan, round(r.efficiency, 3)])
+                results[(label, sched, p)] = r.makespan
+    emit(
+        "abl_schedulers",
+        ["overheads", "scheduler", "threads", "LU seconds", "efficiency"],
+        rows,
+        title=f"Ablation: scheduler policies (N={n}, NB={nb}, real double)",
+    )
+
+    # Priority-aware schedulers do not lose to eager at scale.
+    for label in overhead_models:
+        assert results[(label, "prio", 35)] <= results[(label, "eager", 35)] * 1.25
+    # All schedulers produce valid speedups.
+    for (label, sched, p), mk in results.items():
+        assert mk <= results[(label, sched, 1)] + 1e-12

@@ -1,0 +1,55 @@
+"""Ablation — tile-size (NB) trade-off at fixed N.
+
+Section VI lists "defining a way to discover the best tile size for a given
+matrix size and number of threads" as an open problem: small NB exposes
+concurrency but pays per-task overheads and weaker compression, large NB
+the reverse ("the tile size being optimized for the 35 threads case induces
+an overhead ... with a low number of threads").  This ablation regenerates
+that trade-off: sequential time vs 35-worker simulated time across NB.
+"""
+
+from __future__ import annotations
+
+from repro.core import TileHConfig, TileHMatrix
+from repro.geometry import cylinder_cloud, make_kernel
+from repro.runtime import RuntimeOverheadModel
+
+PAPER_N = 20_000
+PAPER_NBS = (500, 1000, 2500, 5000, 10_000)
+EPS = 1e-4
+
+
+def test_abl_tile_size(benchmark, scale, emit):
+    n = scale.n(PAPER_N)
+    nbs = sorted({scale.nb(p) for p in PAPER_NBS if scale.nb(p) < n})
+    pts = cylinder_cloud(n)
+    kern = make_kernel("laplace", pts)
+    ovh = RuntimeOverheadModel()
+
+    def sweep():
+        out = []
+        for nb in nbs:
+            a = TileHMatrix.build(
+                kern, pts, TileHConfig(nb=nb, eps=EPS, leaf_size=min(scale.nb(500), nb))
+            )
+            ratio = a.compression_ratio()
+            info = a.factorize()
+            t1 = info.simulate(1, "prio", overheads=ovh).makespan
+            t35 = info.simulate(35, "prio", overheads=ovh).makespan
+            out.append([nb, a.nt, round(ratio, 4), info.n_tasks, t1, t35, round(t1 / t35, 2)])
+        return out
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit(
+        "abl_tile_size",
+        ["NB", "nt", "compression", "tasks", "1-thread s", "35-thread s", "speedup"],
+        rows,
+        title=f"Ablation: tile-size trade-off (N={n}, real double)",
+    )
+
+    # Smaller tiles -> more tasks.
+    tasks = [r[3] for r in rows]
+    assert tasks == sorted(tasks, reverse=True)
+    # Parallelism: the smallest NB must beat the biggest NB in 35-thread
+    # speedup (the paper's "optimized for the 35 threads case" observation).
+    assert rows[0][6] > rows[-1][6]

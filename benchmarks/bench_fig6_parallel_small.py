@@ -1,0 +1,89 @@
+"""Figure 6 — multicore LU times, small dimensions (N = 10K, 20K, 40K).
+
+The paper plots LU execution time against thread count {1, 2, 3, 9, 18,
+36 (35)} for three StarPU strategies (ws, lws, prio) of H-Chameleon against
+the fine-grained HMAT implementation, in real (d) and complex (z) double
+precision, with NB per its captions (d: 250/500/1000, z: 500/500/1000).
+
+Reproduction: factorisations execute for real (sequential numerics with
+per-task measured costs); every (scheduler, p) point replays the recorded
+DAG on p virtual workers with StarPU-like per-task/per-dependency runtime
+overheads.  Expected shapes: all three schedulers close, prio generally
+best; H-Chameleon scales better in the real case (cheap kernels, fine-grain
+dependency handling dominates HMAT), while HMAT is more competitive in the
+complex case (expensive kernels hide the dependency overhead).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import paper_nb, run_parallel_experiment, series_by
+from repro.analysis.experiments import PAPER_THREADS
+
+PAPER_N = (10_000, 20_000, 40_000)
+EPS = 1e-4
+
+
+@pytest.mark.parametrize("precision", ["d", "z"])
+def test_fig6_parallel_small(benchmark, scale, emit, precision):
+    def sweep():
+        rows = []
+        for pn in PAPER_N:
+            n = scale.n(pn)
+            # nt <= 24: enough parallel slack that the largest-N crossover
+            # margin is robust to measurement noise, while tiles stay large
+            # enough that Python dispatch does not dominate task cost.
+            nb = scale.nb(paper_nb(pn, precision), floor=max(64, n // 24))
+            rows.extend(
+                run_parallel_experiment(
+                    precision,
+                    n,
+                    nb,
+                    eps=EPS,
+                    leaf_size=scale.nb(500),
+                    threads=PAPER_THREADS,
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit(
+        f"fig6_parallel_small_{precision}",
+        ["version", "precision", "N", "NB", "threads", "LU seconds"],
+        [[r.version, r.precision, r.n, r.nb, r.threads, r.seconds] for r in rows],
+        title=f"Figure 6 reproduction ({precision}): LU time vs threads, small N",
+    )
+
+    by_n = {}
+    for r in rows:
+        by_n.setdefault(r.n, []).append(r)
+    n_max = max(by_n)
+    for n, sub in by_n.items():
+        series = series_by(sub, "version", "threads", "seconds")
+        # Every variant gets faster with threads (scalability).
+        for version, pts in series.items():
+            times = dict(pts)
+            assert times[36] < times[1], f"{version} did not scale at N={n}"
+        # The three H-Chameleon schedulers stay close to each other
+        # ("in general, the three variants deliver similar execution times").
+        at36 = {v: dict(p)[36] for v, p in series.items() if v != "hmat"}
+        assert max(at36.values()) <= 3.0 * min(at36.values())
+        if precision == "d":
+            hmat36 = dict(series["hmat"])[36]
+            best36 = min(at36.values())
+            if n == n_max:
+                # Real case at full thread count: H-Chameleon beats HMAT
+                # (fine-grain dependency handling dominates HMAT's cheap
+                # tasks).  At reproduction scale the smallest problems use
+                # tiles so small that Python dispatch inflates the Tile-H
+                # kernel costs (the paper's own "overhead of memory and
+                # required flops" effect, amplified), so the crossover is
+                # asserted where tiles carry real work: the largest N.
+                assert best36 < hmat36, (
+                    f"expected H-Chameleon to win the real case at N={n}: "
+                    f"{best36:.4f}s vs HMAT {hmat36:.4f}s"
+                )
+            else:
+                # Smaller sizes: competitive within the work-inflation factor.
+                assert best36 < 4.0 * hmat36

@@ -1,0 +1,39 @@
+"""Shared fixtures for the benchmark harness.
+
+Every bench regenerates one of the paper's figures at reproduction scale:
+it prints the same rows/series the paper plots (run with ``pytest -s`` to
+see them live) and writes them to ``benchmarks/out/*.csv`` regardless.
+
+Scale is controlled by the ``REPRO_SCALE`` environment variable (default
+0.1: the paper's N=10K becomes 1000 unknowns).  Raise it on a faster
+machine to approach the paper's sizes.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import ExperimentScale, format_table, write_csv
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def scale() -> ExperimentScale:
+    return ExperimentScale.from_env()
+
+
+@pytest.fixture(scope="session")
+def emit():
+    """Print a figure's table and persist it as CSV."""
+
+    def _emit(name: str, headers, rows, title: str = ""):
+        table = format_table(headers, rows, title=title)
+        print("\n" + table + "\n")
+        path = write_csv(OUT_DIR / f"{name}.csv", headers, rows)
+        (OUT_DIR / f"{name}.txt").write_text(table + "\n")
+        return path
+
+    return _emit

@@ -1,0 +1,76 @@
+"""BEM acoustics: the paper's complex-double ("z") industrial scenario.
+
+A boundary-element discretisation of wave scattering off a cylinder (the
+aeronautics use case motivating HMAT at Airbus): the oscillatory kernel
+K(d) = exp(ikd)/d with the wave number chosen by the 10-points-per-
+wavelength rule.  The script solves one scattering-like problem per
+frequency and reports how the oscillatory kernel inflates ranks, storage
+and factorisation work relative to the static (Laplace) case — the paper's
+"the amount of storage and work is a lot more important in the complex
+case" observation, plus the resulting solver accuracy.
+
+Run:  python examples/bem_acoustics.py [n]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.analysis import forward_error, format_table
+from repro.core import TileHConfig, TileHMatrix
+from repro.geometry import cylinder_cloud, make_kernel, rule_of_thumb_wavenumber, streamed_matvec
+
+
+def plane_wave_trace(points: np.ndarray, wavenumber: float, direction=(1.0, 0.0, 0.0)) -> np.ndarray:
+    """Incident plane wave exp(i k d.x) sampled on the surface (the RHS of a
+    scattering integral equation)."""
+    d = np.asarray(direction, dtype=np.float64)
+    d = d / np.linalg.norm(d)
+    return np.exp(1j * wavenumber * (points @ d))
+
+
+def main(n: int = 2500) -> None:
+    points = cylinder_cloud(n)
+    k_ref = rule_of_thumb_wavenumber(points)  # 10 points per wavelength
+    config = TileHConfig(nb=max(64, n // 8), eps=1e-4)
+
+    rows = []
+    for label, factor in (("static (k=0)", 0.0), ("half rule", 0.5), ("rule of thumb", 1.0)):
+        kernel = make_kernel("helmholtz", points, wavenumber=factor * k_ref)
+        a = TileHMatrix.build(kernel, points, config)
+        ratio = a.compression_ratio()
+        max_rank = a.desc.max_rank()
+
+        # Scattering problem: incident plane wave as right-hand side.
+        b = plane_wave_trace(points, factor * k_ref)
+        info = a.factorize()
+        x = a.solve(b)
+
+        # Verify against the exact operator: residual of A x = b.
+        r = streamed_matvec(kernel, points, x) - b
+        rel_res = float(np.linalg.norm(r) / np.linalg.norm(b))
+        rows.append(
+            [label, f"{factor * k_ref:.2f}", max_rank, f"{ratio:.3f}",
+             f"{info.sequential_seconds():.2f}", f"{rel_res:.2e}"]
+        )
+    print(format_table(
+        ["case", "wavenumber", "max rank", "compression", "LU seconds", "rel residual"],
+        rows,
+        title=f"Helmholtz BEM on a cylinder, n={n}, eps={config.eps:.0e}",
+    ))
+    print("\nAs the paper notes for its z case: the oscillatory kernel raises the")
+    print("block ranks, spreads storage away from the diagonal, and multiplies")
+    print("the factorisation work, while the solver accuracy stays at eps.")
+
+    # Manufactured-solution check at the full wave number.
+    kernel = make_kernel("helmholtz", points, wavenumber=k_ref)
+    a = TileHMatrix.build(kernel, points, config)
+    rng = np.random.default_rng(1)
+    x0 = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+    b = streamed_matvec(kernel, points, x0)
+    x = a.gesv(b)
+    print(f"\nmanufactured-solution forward error: {forward_error(x, x0):.2e}")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 2500)

@@ -1,0 +1,66 @@
+"""Kriging / Gaussian-process regression with an H-matrix covariance solve.
+
+A different downstream domain for the same machinery: spatial interpolation
+of a field sampled at n scattered sites.  The exponential covariance matrix
+K(d) = exp(-d/l) is dense but numerically low-rank off the diagonal —
+exactly the structure H-matrices exploit — and the kriging weights require
+solving (K + sigma^2 I) w = y.  The nugget sigma^2 is folded into the
+kernel's clamped diagonal, so the whole pipeline (clustering, ACA, tiled
+H-LU) is reused unchanged.
+
+Run:  python examples/kriging_gp.py [n]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.core import TileHConfig, TileHMatrix
+from repro.geometry import make_kernel, plate_cloud, streamed_matvec
+
+
+def truth(points: np.ndarray) -> np.ndarray:
+    """Synthetic smooth field to interpolate."""
+    x, y = points[:, 0], points[:, 1]
+    return np.sin(3.0 * x) * np.cos(2.0 * y) + 0.5 * x * y
+
+
+def main(n: int = 3000) -> None:
+    rng = np.random.default_rng(7)
+    sites = plate_cloud(n, width=2.0, height=2.0)
+    sites[:, :2] += rng.uniform(-0.01, 0.01, size=(n, 2))  # de-grid the samples
+    noise = 0.01
+    y = truth(sites) + noise * rng.standard_normal(n)
+
+    kernel = make_kernel("exponential", sites, length=0.5)
+    a = TileHMatrix.build(sites_kernel := kernel, sites, TileHConfig(nb=max(64, n // 10), eps=1e-6))
+    print(f"covariance matrix: n={n}, storage {a.compression_ratio():.1%} of dense, "
+          f"max rank {a.desc.max_rank()}")
+
+    # Kriging weights K w = y via the *Cholesky* path: the covariance matrix
+    # is symmetric positive definite, so the tiled H-POTRF does half the
+    # work of the LU and touches only the lower tiles.
+    info = a.factorize(method="cholesky")
+    print(f"H-Cholesky: {info.n_tasks} tasks "
+          f"({dict(info.graph.kind_counts())})")
+    w = a.solve(y)
+    res = streamed_matvec(sites_kernel, sites, w) - y
+    print(f"solve residual: {np.linalg.norm(res) / np.linalg.norm(y):.2e}")
+
+    # Predict at held-out probe locations: yhat(x*) = k(x*, X) w.
+    probes = plate_cloud(400, width=2.0, height=2.0)
+    probes[:, :2] += rng.uniform(-0.02, 0.02, size=(400, 2))
+    k_star = sites_kernel(probes, sites)
+    yhat = k_star @ w
+    ref = truth(probes)
+    rmse = float(np.sqrt(np.mean((yhat - ref) ** 2)))
+    spread = float(ref.std())
+    print(f"held-out RMSE: {rmse:.4f} (field std {spread:.4f}, "
+          f"noise level {noise})")
+    if rmse > 5 * noise + 0.05 * spread:
+        raise SystemExit("kriging prediction error unexpectedly large")
+    print("kriging interpolation succeeded with the H-matrix solver.")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 3000)

@@ -1,0 +1,71 @@
+"""Direct solve vs loose-factorisation + Krylov: the accuracy/cost dial.
+
+An eps = 1e-4 H-LU answers at 1e-4 directly; the same machinery at
+eps = 1e-2 is much cheaper to assemble and factorise and, used as a GMRES
+preconditioner against the exact (streamed) operator, still reaches 1e-12.
+This example measures the trade-off end to end, plus iterative refinement
+as the middle ground.
+
+Run:  python examples/preconditioned_krylov.py [n]
+"""
+
+import sys
+import time
+
+import numpy as np
+
+from repro.analysis import format_table, forward_error
+from repro.core import TileHConfig, TileHMatrix, gmres
+from repro.geometry import DenseOperator, cylinder_cloud, make_kernel
+
+
+def main(n: int = 3000) -> None:
+    points = cylinder_cloud(n)
+    kernel = make_kernel("laplace", points)
+    op = DenseOperator(kernel, points)
+    x0 = np.random.default_rng(0).standard_normal(n)
+    b = op.matvec(x0)
+    nb = max(64, n // 12)
+
+    rows = []
+
+    def run(label, eps, mode):
+        t0 = time.perf_counter()
+        a = TileHMatrix.build(kernel, points, TileHConfig(nb=nb, eps=eps))
+        t_build = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        a.factorize()
+        t_fact = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        if mode == "direct":
+            x = a.solve(b)
+            extra = "-"
+        elif mode == "refined":
+            x, hist = a.solve_refined(b, op.matvec)
+            extra = f"{len(hist)} sweeps"
+        else:
+            res = gmres(op.matvec, b, precond=a.solve, rtol=1e-12)
+            x = res.x
+            extra = f"{res.iterations} iters"
+        t_solve = time.perf_counter() - t0
+        rows.append(
+            [label, f"{eps:.0e}", f"{t_build:.2f}", f"{t_fact:.2f}",
+             f"{t_solve:.2f}", extra, f"{forward_error(x, x0):.1e}"]
+        )
+
+    run("direct", 1e-4, "direct")
+    run("direct + refinement", 1e-4, "refined")
+    run("loose + GMRES", 1e-2, "gmres")
+
+    print(format_table(
+        ["strategy", "eps", "build s", "factor s", "solve s", "inner", "fwd error"],
+        rows,
+        title=f"Direct vs preconditioned solves (n={n}, NB={nb})",
+    ))
+    print("\nThe loose factorisation costs a fraction of the tight one; a handful")
+    print("of preconditioned GMRES iterations against the exact operator then")
+    print("beats the direct solve's accuracy by eight orders of magnitude.")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 3000)

@@ -1,0 +1,36 @@
+"""repro — Tiled Task-Parallel H-Matrix Solvers (H-Chameleon reproduction).
+
+A from-scratch Python implementation of Carratalá-Sáez et al., *Tiled
+Algorithms for Efficient Task-Parallel H-Matrix Solvers* (PDSEC 2020):
+
+* :mod:`repro.geometry` — TEST_FEMBEM-style test cases (cylinder cloud,
+  1/d and exp(ikd)/d kernels);
+* :mod:`repro.dense` — dense tile kernels (unpivoted LU, TRSM, GEMM);
+* :mod:`repro.hmatrix` — the HMAT-OSS substrate (cluster trees, ACA,
+  Rk arithmetic, recursive H-GETRF/H-TRSM/H-GEMM/H-POTRF);
+* :mod:`repro.runtime` — the StarPU substrate (STF dependency inference,
+  ws/lws/prio schedulers, discrete-event multicore and distributed
+  simulators, threaded executor);
+* :mod:`repro.core` — H-Chameleon itself (Tile-H descriptors, tiled
+  algorithms, the :class:`~repro.core.solver.TileHMatrix` API);
+* :mod:`repro.baselines` — pure-HMAT fine-grain, BLR and dense baselines;
+* :mod:`repro.analysis` — metrics, experiment drivers, reporting, and the
+  tile-size advisor.
+
+Quick start::
+
+    from repro.core import TileHMatrix, TileHConfig
+    from repro.geometry import cylinder_cloud, make_kernel
+
+    pts = cylinder_cloud(10_000)
+    a = TileHMatrix.build(make_kernel("laplace", pts), pts,
+                          TileHConfig(nb=512, eps=1e-4))
+    info = a.factorize()
+    x = a.solve(b)
+
+Run ``python -m repro --help`` for the command-line driver.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

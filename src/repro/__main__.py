@@ -1,0 +1,142 @@
+"""Command-line driver — the analogue of the TEST_FEMBEM binary.
+
+Builds the cylinder test case, assembles the chosen format, factorises,
+solves against a manufactured solution and reports compression, accuracy
+and (simulated) parallel performance::
+
+    python -m repro --n 5000 --precision d --nb 500 --threads 1 9 35
+    python -m repro --n 2000 --precision z --format hmat
+    python -m repro --n 3000 --format blr --scheduler ws
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+from .analysis import forward_error, format_table
+from .analysis.experiments import PAPER_EQUIVALENT_OVERHEADS
+from .baselines import BLRMatrix, HMatSolver
+from .core import TileHConfig, TileHMatrix
+from .geometry import cylinder_cloud, make_kernel, streamed_matvec
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Tile-H / H-matrix LU solver on the TEST_FEMBEM cylinder test case",
+    )
+    parser.add_argument("--n", type=int, default=2000, help="number of unknowns")
+    parser.add_argument(
+        "--precision",
+        choices=["d", "z"],
+        default="d",
+        help="d: real double (K=1/d), z: complex double (K=exp(ikd)/d)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=["tile-h", "hmat", "blr"],
+        default="tile-h",
+        help="storage format / solver variant",
+    )
+    parser.add_argument("--nb", type=int, default=None, help="tile size NB (default n/16)")
+    parser.add_argument("--eps", type=float, default=1e-4, help="compression accuracy")
+    parser.add_argument("--leaf-size", type=int, default=64, help="dense leaf size")
+    parser.add_argument(
+        "--method",
+        choices=["lu", "cholesky"],
+        default="lu",
+        help="factorisation (cholesky needs an SPD kernel; tile-h only)",
+    )
+    parser.add_argument(
+        "--scheduler",
+        choices=["ws", "lws", "prio", "eager", "dm"],
+        default="prio",
+        help="scheduling policy for the virtual-machine replay",
+    )
+    parser.add_argument(
+        "--threads",
+        type=int,
+        nargs="+",
+        default=[1, 2, 9, 18, 35],
+        help="worker counts to simulate",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="RNG seed for x0")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.n < 2:
+        print("error: --n must be at least 2", file=sys.stderr)
+        return 2
+
+    points = cylinder_cloud(args.n)
+    kernel = make_kernel("laplace" if args.precision == "d" else "helmholtz", points)
+    nb = args.nb if args.nb is not None else max(64, args.n // 16)
+
+    print(f"test case : cylinder, n={args.n}, precision={args.precision}")
+    print(f"format    : {args.format} (nb={nb}, eps={args.eps:g}, leaf={args.leaf_size})")
+
+    t0 = time.perf_counter()
+    if args.format == "tile-h":
+        solver = TileHMatrix.build(
+            kernel, points, TileHConfig(nb=nb, eps=args.eps, leaf_size=args.leaf_size)
+        )
+        ratio = solver.compression_ratio()
+    elif args.format == "blr":
+        solver = BLRMatrix.build(
+            kernel, points, TileHConfig(nb=nb, eps=args.eps, leaf_size=args.leaf_size)
+        )
+        ratio = solver.compression_ratio()
+    else:
+        solver = HMatSolver(kernel, points, eps=args.eps, leaf_size=args.leaf_size)
+        ratio = solver.compression_ratio()
+    t_build = time.perf_counter() - t0
+    print(f"assembly  : {t_build:.2f} s, compression {ratio:.1%} of dense")
+
+    rng = np.random.default_rng(args.seed)
+    x0 = rng.standard_normal(args.n)
+    if args.precision == "z":
+        x0 = x0 + 1j * rng.standard_normal(args.n)
+    b = streamed_matvec(kernel, points, x0)
+
+    t0 = time.perf_counter()
+    if args.format == "tile-h":
+        info = solver.factorize(method=args.method)
+    else:
+        if args.method != "lu":
+            print("error: --method cholesky is only supported with --format tile-h",
+                  file=sys.stderr)
+            return 2
+        info = solver.factorize()
+    t_fact = time.perf_counter() - t0
+    print(
+        f"factorise : {t_fact:.2f} s wall, {info.sequential_seconds():.2f} s kernel time, "
+        f"{info.n_tasks} tasks, {info.n_dependencies} dependencies"
+    )
+
+    x = solver.solve(b)
+    print(f"solve     : forward error {forward_error(x, x0):.2e} (eps={args.eps:g})")
+
+    rows = []
+    for p in args.threads:
+        r = info.simulate(p, args.scheduler, overheads=PAPER_EQUIVALENT_OVERHEADS)
+        rows.append([p, f"{r.makespan:.4f}", f"{r.speedup_vs_serial:.1f}",
+                     f"{r.efficiency:.0%}"])
+    print()
+    print(format_table(
+        ["workers", "LU seconds", "speedup", "efficiency"],
+        rows,
+        title=f"virtual-machine replay [{args.scheduler}]",
+    ))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,46 @@
+"""Analysis layer: metrics, experiment drivers, and report rendering.
+
+Everything the benchmark harness needs to regenerate the paper's figures:
+forward-error and compression metrics (:mod:`.metrics`), parameterised
+experiment drivers shared by the benches (:mod:`.experiments`), and
+fixed-width table / CSV rendering (:mod:`.reporting`).
+"""
+
+from .metrics import (
+    forward_error,
+    relative_residual,
+    speedup_curve,
+    parallel_efficiency,
+)
+from .experiments import (
+    ExperimentScale,
+    CompressionRow,
+    AccuracyRow,
+    ParallelRow,
+    run_compression_experiment,
+    run_accuracy_experiment,
+    run_parallel_experiment,
+    paper_nb,
+)
+from .reporting import format_table, write_csv, series_by
+from .autotune import TileSizeAdvice, advise_tile_size
+
+__all__ = [
+    "forward_error",
+    "relative_residual",
+    "speedup_curve",
+    "parallel_efficiency",
+    "ExperimentScale",
+    "CompressionRow",
+    "AccuracyRow",
+    "ParallelRow",
+    "run_compression_experiment",
+    "run_accuracy_experiment",
+    "run_parallel_experiment",
+    "paper_nb",
+    "format_table",
+    "write_csv",
+    "series_by",
+    "TileSizeAdvice",
+    "advise_tile_size",
+]

@@ -1,0 +1,149 @@
+"""Tile-size advisor (the paper's Section VI open problem).
+
+"Defining a way to discover the best tile size for a given matrix size and
+number of threads without having the necessity of testing several
+combinations is also an interesting open research area ... Solutions based
+on compression estimations could be studied to give hints to the user based
+on the matrix structure."
+
+The advisor implements exactly that suggestion:
+
+1. for each candidate NB it *estimates* (never builds the full matrix):
+   * compression — by assembling a small sample of tiles and extrapolating
+     the storage ratio;
+   * parallel time — from an analytic cost model of the tiled-LU DAG
+     (per-kernel flop costs from the sampled ranks, Graham-style bound
+     ``max(total_work / p, critical_path)`` plus per-task runtime overhead);
+2. it returns the candidate minimising the estimated ``p``-worker time.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.clustering import build_tile_h_clustering
+from ..dense import flops_gemm, flops_getrf, flops_trsm
+from ..hmatrix import AssemblyConfig, assemble_hmatrix
+
+__all__ = ["TileSizeAdvice", "advise_tile_size"]
+
+
+@dataclass(frozen=True)
+class TileSizeAdvice:
+    """One candidate's estimates (all per the cheap probe, not a real run)."""
+
+    nb: int
+    nt: int
+    est_compression: float
+    est_total_flops: float
+    est_critical_flops: float
+    est_seconds: float
+
+
+def _sample_tiles(clustering, kernel, points, eps, rng) -> tuple[float, float]:
+    """Assemble a few representative tiles; return (storage_ratio, mean_rank).
+
+    Samples one diagonal tile, one near-diagonal and up to two far
+    off-diagonal tiles — the three regimes of the Tile-H layout.
+    """
+    nt = clustering.nt
+    picks = {(0, 0)}
+    if nt > 1:
+        picks.add((1, 0))
+        picks.add((0, nt - 1))
+    if nt > 3:
+        picks.add((nt // 2, 0))
+    storage = 0.0
+    dense = 0.0
+    ranks: list[int] = []
+    for i, j in picks:
+        bt = clustering.block_tree(i, j)
+        h = assemble_hmatrix(kernel, points, bt, AssemblyConfig(eps=eps))
+        storage += h.storage()
+        m, n = h.shape
+        dense += m * n
+        ranks.append(max(h.max_rank(), 1))
+    return storage / dense, float(np.mean(ranks))
+
+
+def advise_tile_size(
+    kernel,
+    points: np.ndarray,
+    *,
+    nworkers: int = 35,
+    candidates: list[int] | None = None,
+    eps: float = 1e-4,
+    leaf_size: int = 64,
+    flops_per_second: float = 2e9,
+    per_task_overhead: float = 2e-6,
+) -> tuple[TileSizeAdvice, list[TileSizeAdvice]]:
+    """Recommend a tile size NB for ``nworkers`` workers.
+
+    Returns ``(best, all_candidates)``.  The probe assembles O(1) tiles per
+    candidate, so the total cost is a small fraction of one real assembly.
+
+    Parameters
+    ----------
+    flops_per_second:
+        Sustained kernel throughput used to convert modelled flops into
+        seconds (calibrate once per machine).
+    per_task_overhead:
+        Runtime cost per task (StarPU-like), which penalises very small NB.
+    """
+    pts = np.ascontiguousarray(points, dtype=np.float64)
+    n = pts.shape[0]
+    if n < 2:
+        raise ValueError("need at least 2 points")
+    if nworkers < 1:
+        raise ValueError("nworkers must be >= 1")
+    if candidates is None:
+        base = max(32, n // 64)
+        candidates = sorted(
+            {max(32, min(n, c)) for c in (base, 2 * base, 4 * base, 8 * base, 16 * base)}
+        )
+    if not candidates:
+        raise ValueError("no tile-size candidates")
+    rng = np.random.default_rng(0)
+    is_c = kernel.is_complex
+
+    advices: list[TileSizeAdvice] = []
+    for nb in candidates:
+        nt = math.ceil(n / nb)
+        clustering = build_tile_h_clustering(pts, nb, leaf_size=min(leaf_size, nb))
+        ratio, mean_rank = _sample_tiles(clustering, kernel, pts, eps, rng)
+
+        # Per-kernel cost model: H-kernels on NB tiles cost roughly the dense
+        # cost scaled by the storage ratio (the fraction of entries actually
+        # touched), floored at the low-rank work ~ nb^2 * rank.
+        scale_f = max(ratio, mean_rank * 2.0 / nb)
+        c_getrf = flops_getrf(nb, is_complex=is_c) * scale_f
+        c_trsm = flops_trsm(nb, nb, is_complex=is_c) * scale_f
+        c_gemm = flops_gemm(nb, nb, nb, is_complex=is_c) * scale_f
+
+        n_getrf = nt
+        n_trsm = nt * (nt - 1)
+        n_gemm = sum((nt - 1 - k) ** 2 for k in range(nt))
+        total = n_getrf * c_getrf + n_trsm * c_trsm + n_gemm * c_gemm
+        # Critical path of the tiled RL-LU: getrf -> trsm -> gemm per panel.
+        critical = nt * c_getrf + (nt - 1) * (c_trsm + c_gemm)
+        n_tasks = n_getrf + n_trsm + n_gemm
+
+        seconds = (
+            max(total / nworkers, critical) / flops_per_second
+            + n_tasks * per_task_overhead / min(nworkers, nt)
+        )
+        advices.append(
+            TileSizeAdvice(
+                nb=nb,
+                nt=nt,
+                est_compression=ratio,
+                est_total_flops=total,
+                est_critical_flops=critical,
+                est_seconds=seconds,
+            )
+        )
+    best = min(advices, key=lambda a: a.est_seconds)
+    return best, advices

@@ -1,0 +1,277 @@
+"""Parameterised experiment drivers shared by the benchmark harness.
+
+Each driver regenerates the data behind one of the paper's figures at a
+configurable scale.  The paper runs N in [10K, 200K] on a 36-core node; a
+pure-Python reproduction runs the same *sweeps* at N scaled down by
+``ExperimentScale`` (default 1/10, override with the ``REPRO_SCALE``
+environment variable) while keeping every structural parameter — tile-size
+ratios, thread counts, schedulers, accuracy — faithful to the paper.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..baselines import HMatSolver
+from ..core import TileHConfig, TileHMatrix
+from ..geometry import cylinder_cloud, make_kernel, streamed_matvec
+from ..runtime import RuntimeOverheadModel
+from .metrics import forward_error
+
+__all__ = [
+    "ExperimentScale",
+    "CompressionRow",
+    "AccuracyRow",
+    "ParallelRow",
+    "paper_nb",
+    "run_compression_experiment",
+    "run_accuracy_experiment",
+    "run_parallel_experiment",
+]
+
+#: Thread counts on the x-axis of Figs. 6-7.
+PAPER_THREADS = (1, 2, 3, 9, 18, 36)
+
+#: Our NumPy leaf kernels run roughly an order of magnitude slower than the
+#: MKL kernels StarPU drives on the paper's testbed (~300 us per HMAT leaf
+#: task here vs tens of us there).  What governs the scheduling behaviour is
+#: the *ratio* of runtime overhead to kernel cost, so the paper-equivalent
+#: overhead model scales StarPU's measured ~2 us/task and ~0.5 us/edge by
+#: this factor.
+PYTHON_KERNEL_SLOWDOWN = 12.0
+
+#: Default overhead model of the Figs. 6-7 reproduction.  ``serialized=True``
+#: charges task/dependency handling to a shared runtime core — dependency
+#: tracking contends on shared runtime state, which is the mechanism the
+#: paper blames for the fine-grain HMAT DAG losing the cheap-kernel (real
+#: double) cases while staying competitive when kernels are expensive
+#: (complex double).  EXPERIMENTS.md documents the calibration.
+PAPER_EQUIVALENT_OVERHEADS = RuntimeOverheadModel(
+    per_task=2e-6 * PYTHON_KERNEL_SLOWDOWN,
+    per_dependency=5e-7 * PYTHON_KERNEL_SLOWDOWN,
+    serialized=True,
+)
+
+#: The paper dedicates one of the 36 cores to task submission, so
+#: H-Chameleon never uses more than 35 workers.
+MAX_TILE_H_WORKERS = 35
+
+#: Tile sizes (NB) the paper's figure captions give per (N, precision).
+_PAPER_NB = {
+    (10_000, "d"): 250,
+    (10_000, "z"): 500,
+    (20_000, "d"): 500,
+    (20_000, "z"): 500,
+    (40_000, "d"): 1000,
+    (40_000, "z"): 1000,
+    (80_000, "d"): 1000,
+    (80_000, "z"): 2000,
+    (100_000, "d"): 1000,
+    (100_000, "z"): 2000,
+    (200_000, "d"): 2000,
+    (200_000, "z"): 4000,
+}
+
+_PRECISION_KERNEL = {"d": "laplace", "z": "helmholtz"}
+
+
+def paper_nb(paper_n: int, precision: str) -> int:
+    """NB the paper used for a given (N, precision), from Figs. 6-7 captions."""
+    try:
+        return _PAPER_NB[(paper_n, precision)]
+    except KeyError:
+        raise ValueError(
+            f"the paper reports no NB for N={paper_n}, precision={precision!r}"
+        ) from None
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Scales the paper's problem sizes down to reproduction scale.
+
+    ``factor = 0.1`` maps N=10K to 1000 unknowns.  NB scales with the same
+    factor so the tile count nt = N/NB — which fixes the DAG shape and hence
+    the scaling behaviour — matches the paper exactly.
+    """
+
+    factor: float = 0.1
+
+    @classmethod
+    def from_env(cls) -> "ExperimentScale":
+        """Read ``REPRO_SCALE`` (a float, default 0.1)."""
+        raw = os.environ.get("REPRO_SCALE", "0.1")
+        try:
+            factor = float(raw)
+        except ValueError:
+            raise ValueError(f"REPRO_SCALE must be a float, got {raw!r}") from None
+        if factor <= 0:
+            raise ValueError(f"REPRO_SCALE must be positive, got {factor}")
+        return cls(factor=factor)
+
+    def n(self, paper_n: int) -> int:
+        return max(64, int(round(paper_n * self.factor)))
+
+    def nb(self, paper_nb_value: int, floor: int = 16) -> int:
+        """Scaled tile size.
+
+        Parallel experiments pass ``floor=64``: tiles much smaller than that
+        carry so little numerical work that Python call dispatch (absent on
+        the paper's testbed) would dominate the measured task costs.
+        """
+        return max(floor, int(round(paper_nb_value * self.factor)))
+
+
+@dataclass(frozen=True)
+class CompressionRow:
+    """One point of Fig. 4."""
+
+    version: str  # "h-chameleon" or "hmat-oss"
+    precision: str  # "d" or "z"
+    n: int
+    nb: int
+    ratio: float
+
+
+@dataclass(frozen=True)
+class AccuracyRow:
+    """One point of Fig. 5."""
+
+    version: str
+    precision: str
+    n: int
+    nb: int
+    fwd_error: float
+
+
+@dataclass(frozen=True)
+class ParallelRow:
+    """One point of Figs. 6-7."""
+
+    version: str  # "hmat", "ws", "lws", "prio"
+    precision: str
+    n: int
+    nb: int
+    threads: int
+    seconds: float
+
+
+def _build_kernel(precision: str, points: np.ndarray):
+    try:
+        name = _PRECISION_KERNEL[precision]
+    except KeyError:
+        raise ValueError(f"precision must be 'd' or 'z', got {precision!r}") from None
+    return make_kernel(name, points)
+
+
+def run_compression_experiment(
+    precision: str,
+    n_values: list[int],
+    nb_values: list[int],
+    *,
+    eps: float = 1e-4,
+    leaf_size: int = 48,
+) -> list[CompressionRow]:
+    """Fig. 4 data: compression ratio vs NB, H-Chameleon vs HMAT-OSS.
+
+    The HMAT-OSS ratio is computed once per N (its H-structure does not
+    depend on NB) and repeated across the NB axis, reproducing the flat
+    dashed reference line.
+    """
+    rows: list[CompressionRow] = []
+    for n in n_values:
+        pts = cylinder_cloud(n)
+        kern = _build_kernel(precision, pts)
+        hm = HMatSolver(kern, pts, eps=eps, leaf_size=leaf_size)
+        hm_ratio = hm.compression_ratio()
+        for nb in nb_values:
+            if nb >= n:
+                continue
+            a = TileHMatrix.build(
+                kern, pts, TileHConfig(nb=nb, eps=eps, leaf_size=min(leaf_size, nb))
+            )
+            rows.append(CompressionRow("h-chameleon", precision, n, nb, a.compression_ratio()))
+            rows.append(CompressionRow("hmat-oss", precision, n, nb, hm_ratio))
+    return rows
+
+
+def run_accuracy_experiment(
+    precision: str,
+    n_values: list[int],
+    nb_values: list[int],
+    *,
+    eps: float = 1e-4,
+    leaf_size: int = 48,
+    seed: int = 0,
+) -> list[AccuracyRow]:
+    """Fig. 5 data: H-LU forward error vs NB for both versions.
+
+    ``b = A x0`` is built with the *exact* (streamed dense) operator so the
+    measured error includes both compression and factorisation effects.
+    """
+    rows: list[AccuracyRow] = []
+    rng = np.random.default_rng(seed)
+    for n in n_values:
+        pts = cylinder_cloud(n)
+        kern = _build_kernel(precision, pts)
+        x0 = rng.standard_normal(n)
+        if precision == "z":
+            x0 = x0 + 1j * rng.standard_normal(n)
+        b = streamed_matvec(kern, pts, x0)
+
+        hm = HMatSolver(kern, pts, eps=eps, leaf_size=leaf_size)
+        hm_err = forward_error(hm.gesv(b), x0)
+        for nb in nb_values:
+            if nb >= n:
+                continue
+            a = TileHMatrix.build(
+                kern, pts, TileHConfig(nb=nb, eps=eps, leaf_size=min(leaf_size, nb))
+            )
+            x = a.gesv(b)
+            rows.append(AccuracyRow("h-chameleon", precision, n, nb, forward_error(x, x0)))
+            rows.append(AccuracyRow("hmat-oss", precision, n, nb, hm_err))
+    return rows
+
+
+def run_parallel_experiment(
+    precision: str,
+    n: int,
+    nb: int,
+    *,
+    eps: float = 1e-4,
+    leaf_size: int = 48,
+    threads: tuple[int, ...] = PAPER_THREADS,
+    schedulers: tuple[str, ...] = ("ws", "lws", "prio"),
+    overheads: RuntimeOverheadModel | None = None,
+    hmat_scheduler: str = "lws",
+) -> list[ParallelRow]:
+    """Figs. 6-7 data: LU time vs thread count, schedulers vs pure HMAT.
+
+    The factorisations run once (real numerics, measured per-task costs);
+    each (scheduler, p) point is a discrete-event replay of the recorded
+    DAG.  H-Chameleon caps workers at 35 (dedicated submission core); the
+    HMAT baseline uses all 36, as in the paper.  Overheads default to
+    :data:`PAPER_EQUIVALENT_OVERHEADS` (StarPU costs scaled to this
+    substrate's kernel speed).
+    """
+    ovh = overheads if overheads is not None else PAPER_EQUIVALENT_OVERHEADS
+    pts = cylinder_cloud(n)
+    kern = _build_kernel(precision, pts)
+    rows: list[ParallelRow] = []
+
+    a = TileHMatrix.build(kern, pts, TileHConfig(nb=nb, eps=eps, leaf_size=min(leaf_size, nb)))
+    info = a.factorize()
+    for sched in schedulers:
+        for p in threads:
+            workers = min(p, MAX_TILE_H_WORKERS)
+            r = info.simulate(workers, sched, overheads=ovh)
+            rows.append(ParallelRow(sched, precision, n, nb, p, r.makespan))
+
+    hm = HMatSolver(kern, pts, eps=eps, leaf_size=leaf_size)
+    hinfo = hm.factorize()
+    for p in threads:
+        r = hinfo.simulate(p, hmat_scheduler, overheads=ovh)
+        rows.append(ParallelRow("hmat", precision, n, nb, p, r.makespan))
+    return rows

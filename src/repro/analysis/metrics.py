@@ -1,0 +1,46 @@
+"""Numerical and parallel-performance metrics used by the experiments."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["forward_error", "relative_residual", "speedup_curve", "parallel_efficiency"]
+
+
+def forward_error(x: np.ndarray, x_ref: np.ndarray) -> float:
+    """``||x - x_ref|| / ||x_ref||`` — the paper's Fig. 5 metric.
+
+    (The paper writes ``||x - x0||_f / ||x||_f``; for the tiny errors involved
+    the two normalisations are indistinguishable.)
+    """
+    x = np.asarray(x)
+    x_ref = np.asarray(x_ref)
+    if x.shape != x_ref.shape:
+        raise ValueError(f"shape mismatch: {x.shape} vs {x_ref.shape}")
+    denom = float(np.linalg.norm(x_ref))
+    if denom == 0.0:
+        return float(np.linalg.norm(x))
+    return float(np.linalg.norm(x - x_ref)) / denom
+
+
+def relative_residual(matvec, x: np.ndarray, b: np.ndarray) -> float:
+    """``||A x - b|| / ||b||`` with a matrix-free operator."""
+    b = np.asarray(b)
+    r = matvec(x) - b
+    denom = float(np.linalg.norm(b))
+    if denom == 0.0:
+        return float(np.linalg.norm(r))
+    return float(np.linalg.norm(r)) / denom
+
+
+def speedup_curve(times: dict[int, float]) -> dict[int, float]:
+    """Speedups relative to the 1-worker entry of a {threads: seconds} map."""
+    if 1 not in times:
+        raise ValueError("speedup_curve needs the 1-thread time as reference")
+    t1 = times[1]
+    return {p: t1 / t for p, t in sorted(times.items())}
+
+
+def parallel_efficiency(times: dict[int, float]) -> dict[int, float]:
+    """Efficiency (speedup / p) per thread count."""
+    return {p: s / p for p, s in speedup_curve(times).items()}

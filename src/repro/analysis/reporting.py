@@ -1,0 +1,67 @@
+"""Fixed-width tables and CSV output for the benchmark harness."""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Iterable, Sequence
+
+__all__ = ["format_table", "write_csv", "series_by"]
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value == 0.0:
+            return "0"
+        if abs(value) >= 1e4 or abs(value) < 1e-3:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence], title: str = "") -> str:
+    """Render rows as an aligned text table (what the benches print)."""
+    str_rows = [[_fmt(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(f"row width {len(row)} != header width {len(headers)}")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def write_csv(path: str | Path, headers: Sequence[str], rows: Iterable[Sequence]) -> Path:
+    """Write rows to a CSV file, creating parent directories."""
+    p = Path(path)
+    p.parent.mkdir(parents=True, exist_ok=True)
+    with p.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(headers)
+        writer.writerows(rows)
+    return p
+
+
+def series_by(rows: Iterable, key, x, y) -> dict:
+    """Group rows into {key: [(x, y), ...]} plot series.
+
+    ``key``, ``x``, ``y`` are attribute names (for dataclass rows) or
+    callables.
+    """
+    def get(row, spec):
+        return spec(row) if callable(spec) else getattr(row, spec)
+
+    out: dict = {}
+    for row in rows:
+        out.setdefault(get(row, key), []).append((get(row, x), get(row, y)))
+    for pts in out.values():
+        pts.sort()
+    return out

@@ -1,0 +1,78 @@
+"""Block Low-Rank (BLR) baseline (Section III related work).
+
+BLR flattens the hierarchy entirely: the matrix is an ``nt x nt`` grid of
+tiles, each stored either dense or as a single low-rank block — no nesting.
+It trades "slightly higher time and memory costs in exchange for superior
+simplicity" (the paper, citing Amestoy et al.).  Here it falls out of the
+Tile-H machinery by forcing every tile's block tree to stop at the top
+level: the tiled LU, solver and simulation paths are shared, which makes the
+format comparison in the ablation benches apples-to-apples.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.build import build_tile_h
+from ..core.clustering import TileHClustering
+from ..core.descriptor import TileHDesc
+from ..core.solver import TileHConfig, TileHMatrix
+from ..hmatrix import (
+    Admissibility,
+    BlockClusterTree,
+    StrongAdmissibility,
+    ntiles_recursive,
+)
+
+__all__ = ["build_blr", "BLRMatrix"]
+
+
+def _flat_clustering(
+    points: np.ndarray,
+    nb: int,
+    admissibility: Admissibility,
+) -> TileHClustering:
+    """Tile clustering whose block trees are single leaves (dense or Rk)."""
+    root, tiles = ntiles_recursive(points, nb, leaf_size=max(nb, 1))
+    nt = len(tiles)
+    block_trees = []
+    for i in range(nt):
+        for j in range(nt):
+            adm = admissibility.is_admissible(tiles[i], tiles[j])
+            block_trees.append(
+                BlockClusterTree(rows=tiles[i], cols=tiles[j], admissible=adm)
+            )
+    return TileHClustering(
+        root=root, tiles=tiles, block_trees=block_trees, admissibility=admissibility, nb=nb
+    )
+
+
+def build_blr(
+    kernel,
+    points: np.ndarray,
+    nb: int,
+    *,
+    eps: float = 1e-4,
+    eta: float = 2.0,
+    method: str = "aca",
+) -> TileHDesc:
+    """Assemble the kernel matrix in flat BLR format.
+
+    Admissible tile pairs (eta-strong condition on the tile clusters) become
+    single Rk blocks, everything else a dense tile.
+    """
+    pts = np.ascontiguousarray(points, dtype=np.float64)
+    cl = _flat_clustering(pts, nb, StrongAdmissibility(eta=eta))
+    return build_tile_h(kernel, pts, nb, eps=eps, method=method, clustering=cl)
+
+
+class BLRMatrix(TileHMatrix):
+    """BLR matrix with the shared tiled-LU solver interface."""
+
+    @classmethod
+    def build(cls, kernel, points: np.ndarray, config: TileHConfig | None = None) -> "BLRMatrix":
+        cfg = config or TileHConfig()
+        desc = build_blr(
+            kernel, points, cfg.nb, eps=cfg.eps, eta=cfg.eta, method=cfg.method
+        )
+        return cls(desc, cfg)

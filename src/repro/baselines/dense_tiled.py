@@ -1,0 +1,227 @@
+"""Full-rank tiled LU (CHAMELEON-classic) — the dense reference baseline.
+
+The paper's introduction contrasts the H-LU's Theta(n k^2 log^2 n) flops
+against the dense Theta((2/3) n^3).  This baseline is that dense side: plain
+ndarray tiles, the same Algorithm 1 loop nest, the same STF submission — so
+format comparisons isolate the storage format, not the algorithm.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..dense import flops_gemm, flops_getrf, flops_potrf, flops_trsm, gemm_update, getrf_nopiv, trsm
+from ..runtime import AccessMode, StfEngine, TaskGraph
+from ..core.algorithms import lu_priorities
+from ..core.solver import FactorizationInfo
+from scipy.linalg import solve_triangular
+
+__all__ = ["DenseTiledLU", "DenseTiledCholesky"]
+
+R, RW = AccessMode.R, AccessMode.RW
+
+
+class DenseTiledLU:
+    """Dense matrix stored as an ``nt x nt`` grid of ndarray tiles."""
+
+    def __init__(self, a: np.ndarray, nb: int) -> None:
+        a = np.array(a, copy=True)
+        if a.ndim != 2 or a.shape[0] != a.shape[1]:
+            raise ValueError(f"need a square matrix, got shape {a.shape}")
+        if nb < 1:
+            raise ValueError(f"nb must be positive, got {nb}")
+        self.n = a.shape[0]
+        self.nb = nb
+        self.nt = -(-self.n // nb)
+        self.tiles: dict[tuple[int, int], np.ndarray] = {}
+        for i in range(self.nt):
+            for j in range(self.nt):
+                self.tiles[i, j] = np.ascontiguousarray(
+                    a[self._sl(i), self._sl(j)]
+                )
+        self._factorized = False
+
+    def _sl(self, i: int) -> slice:
+        return slice(i * self.nb, min((i + 1) * self.nb, self.n))
+
+    def to_dense(self) -> np.ndarray:
+        out = np.zeros((self.n, self.n), dtype=self.tiles[0, 0].dtype)
+        for (i, j), t in self.tiles.items():
+            out[self._sl(i), self._sl(j)] = t
+        return out
+
+    def factorize(self, engine: StfEngine | None = None) -> FactorizationInfo:
+        """Tiled right-looking LU (Algorithm 1) on dense tiles, via STF."""
+        if self._factorized:
+            raise RuntimeError("factorize() called twice")
+        eng = engine or StfEngine(mode="eager")
+        nt = self.nt
+        is_c = np.issubdtype(self.tiles[0, 0].dtype, np.complexfloating)
+        handles = {
+            (i, j): eng.handle(self.tiles[i, j], f"A[{i},{j}]")
+            for i in range(nt)
+            for j in range(nt)
+        }
+        t = self.tiles
+        for k in range(nt):
+            mk = t[k, k].shape[0]
+            eng.insert_task(
+                "getrf",
+                (lambda k=k: getrf_nopiv(t[k, k], overwrite=True)),
+                [(handles[k, k], RW)],
+                priority=lu_priorities(nt, k, "getrf"),
+                flops=flops_getrf(mk, is_complex=is_c),
+                label=f"getrf({k})",
+            )
+            for j in range(k + 1, nt):
+                eng.insert_task(
+                    "trsm",
+                    (lambda k=k, j=j: trsm(
+                        "left", "lower", t[k, k], t[k, j], unit_diagonal=True, overwrite=True
+                    )),
+                    [(handles[k, k], R), (handles[k, j], RW)],
+                    priority=lu_priorities(nt, k, "trsm"),
+                    flops=flops_trsm(mk, t[k, j].shape[1], is_complex=is_c),
+                    label=f"trsm_u({k},{j})",
+                )
+            for i in range(k + 1, nt):
+                eng.insert_task(
+                    "trsm",
+                    (lambda k=k, i=i: trsm(
+                        "right", "upper", t[k, k], t[i, k], overwrite=True
+                    )),
+                    [(handles[k, k], R), (handles[i, k], RW)],
+                    priority=lu_priorities(nt, k, "trsm"),
+                    flops=flops_trsm(mk, t[i, k].shape[0], is_complex=is_c),
+                    label=f"trsm_l({i},{k})",
+                )
+            for i in range(k + 1, nt):
+                for j in range(k + 1, nt):
+                    eng.insert_task(
+                        "gemm",
+                        (lambda i=i, k=k, j=j: gemm_update(t[i, j], t[i, k], t[k, j])),
+                        [(handles[i, k], R), (handles[k, j], R), (handles[i, j], RW)],
+                        priority=lu_priorities(nt, k, "gemm", i, j),
+                        flops=flops_gemm(
+                            t[i, j].shape[0], t[i, j].shape[1], mk, is_complex=is_c
+                        ),
+                        label=f"gemm({i},{j},{k})",
+                    )
+        graph = eng.wait_all()
+        self._factorized = True
+        return FactorizationInfo(graph=graph, nb=self.nb, nt=self.nt)
+
+    def solve(self, b: np.ndarray) -> np.ndarray:
+        """Forward/backward substitution over the packed LU tiles."""
+        if not self._factorized:
+            raise RuntimeError("call factorize() before solve()")
+        b = np.asarray(b)
+        squeeze = b.ndim == 1
+        x = np.array(b[:, None] if squeeze else b, copy=True)
+        if x.shape[0] != self.n:
+            raise ValueError(f"rhs leading dim {x.shape[0]} != {self.n}")
+        nt = self.nt
+        for k in range(nt):
+            for j in range(k):
+                x[self._sl(k)] -= self.tiles[k, j] @ x[self._sl(j)]
+            x[self._sl(k)] = solve_triangular(
+                self.tiles[k, k], x[self._sl(k)], lower=True, unit_diagonal=True
+            )
+        for k in reversed(range(nt)):
+            for j in range(k + 1, nt):
+                x[self._sl(k)] -= self.tiles[k, j] @ x[self._sl(j)]
+            x[self._sl(k)] = solve_triangular(self.tiles[k, k], x[self._sl(k)], lower=False)
+        return x[:, 0] if squeeze else x
+
+
+class DenseTiledCholesky(DenseTiledLU):
+    """Dense tiled Cholesky (POTRF/TRSM/SYRK loop nest on ndarray tiles).
+
+    The SPD counterpart of :class:`DenseTiledLU`; shares the tile grid and
+    solve scaffolding and overrides the factorisation with the classic tiled
+    right-looking Cholesky (lower tiles only).
+    """
+
+    def factorize(self, engine: StfEngine | None = None) -> FactorizationInfo:
+        if self._factorized:
+            raise RuntimeError("factorize() called twice")
+        eng = engine or StfEngine(mode="eager")
+        nt = self.nt
+        t = self.tiles
+        is_c = np.issubdtype(t[0, 0].dtype, np.complexfloating)
+        handles = {
+            (i, j): eng.handle(t[i, j], f"A[{i},{j}]")
+            for i in range(nt)
+            for j in range(i + 1)
+        }
+
+        def potrf(k):
+            t[k, k][:] = np.linalg.cholesky(t[k, k])
+
+        def trsm_panel(i, k):
+            # X L^T = B  =>  X = (L^{-1} B^T)^T.
+            t[i, k][:] = solve_triangular(
+                t[k, k], t[i, k].conj().T, lower=True, check_finite=False
+            ).conj().T
+
+        def update(i, j, k):
+            t[i, j] -= t[i, k] @ t[j, k].conj().T
+
+        for k in range(nt):
+            mk = t[k, k].shape[0]
+            eng.insert_task(
+                "potrf",
+                (lambda k=k: potrf(k)),
+                [(handles[k, k], RW)],
+                priority=lu_priorities(nt, k, "getrf"),
+                flops=flops_potrf(mk, is_complex=is_c),
+                label=f"potrf({k})",
+            )
+            for i in range(k + 1, nt):
+                eng.insert_task(
+                    "trsm",
+                    (lambda i=i, k=k: trsm_panel(i, k)),
+                    [(handles[k, k], R), (handles[i, k], RW)],
+                    priority=lu_priorities(nt, k, "trsm"),
+                    flops=flops_trsm(mk, t[i, k].shape[0], is_complex=is_c),
+                    label=f"trsm({i},{k})",
+                )
+            for i in range(k + 1, nt):
+                for j in range(k + 1, i + 1):
+                    eng.insert_task(
+                        "gemm",
+                        (lambda i=i, j=j, k=k: update(i, j, k)),
+                        [(handles[i, k], R), (handles[j, k], R), (handles[i, j], RW)],
+                        priority=lu_priorities(nt, k, "gemm", i, j),
+                        flops=flops_gemm(
+                            t[i, j].shape[0], t[i, j].shape[1], mk, is_complex=is_c
+                        ),
+                        label=f"syrk({i},{j},{k})" if i == j else f"gemm({i},{j},{k})",
+                    )
+        graph = eng.wait_all()
+        self._factorized = True
+        return FactorizationInfo(graph=graph, nb=self.nb, nt=self.nt)
+
+    def solve(self, b: np.ndarray) -> np.ndarray:
+        """Forward/backward substitution with the lower Cholesky tiles."""
+        if not self._factorized:
+            raise RuntimeError("call factorize() before solve()")
+        b = np.asarray(b)
+        squeeze = b.ndim == 1
+        x = np.array(b[:, None] if squeeze else b, copy=True)
+        if x.shape[0] != self.n:
+            raise ValueError(f"rhs leading dim {x.shape[0]} != {self.n}")
+        nt = self.nt
+        for k in range(nt):
+            for j in range(k):
+                x[self._sl(k)] -= self.tiles[k, j] @ x[self._sl(j)]
+            x[self._sl(k)] = solve_triangular(
+                self.tiles[k, k], x[self._sl(k)], lower=True, check_finite=False
+            )
+        for k in reversed(range(nt)):
+            for j in range(k + 1, nt):
+                x[self._sl(k)] -= self.tiles[j, k].conj().T @ x[self._sl(j)]
+            x[self._sl(k)] = solve_triangular(
+                self.tiles[k, k].conj().T, x[self._sl(k)], lower=False, check_finite=False
+            )
+        return x[:, 0] if squeeze else x

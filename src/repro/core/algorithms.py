@@ -1,0 +1,350 @@
+"""Tiled algorithms over Tile-H descriptors (the paper's Algorithm 1).
+
+``tiled_getrf_tasks`` walks the right-looking LU loop nest and submits one
+task per tile kernel to an :class:`~repro.runtime.stf.StfEngine` with the
+same access modes CHAMELEON declares (GETRF: RW on the diagonal tile; TRSM:
+R on the factor tile, RW on the panel tile; GEMM: R, R, RW).  The engine
+executes the H-arithmetic eagerly (sound numerics) and returns the task DAG
+with measured per-task costs for the simulator.
+
+Priorities follow CHAMELEON's LU heuristic: panel operations of earlier
+iterations dominate, and GETRF > TRSM > GEMM within an iteration — the
+ordering the ``prio``/``lws`` schedulers exploit in Figs. 6-7.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..dense import flops_gemm, flops_getrf, flops_potrf, flops_trsm
+from ..hmatrix import hgemm, hgemm_transb, hgetrf, hpotrf, htrsm
+from ..hmatrix.arithmetic import (
+    _htrsm_right_lower_transpose,
+    h_rmatvec,
+    solve_lower_panel,
+    solve_lower_transpose_panel,
+    solve_upper_panel,
+)
+from ..runtime import AccessMode, StfEngine, TaskGraph
+from .descriptor import TileHDesc
+
+__all__ = [
+    "lu_priorities",
+    "tiled_getrf_tasks",
+    "tiled_potrf_tasks",
+    "tiled_solve",
+    "tiled_solve_tasks",
+    "tiled_chol_solve",
+]
+
+R, RW = AccessMode.R, AccessMode.RW
+
+
+def lu_priorities(nt: int, k: int, kind: str, i: int = 0, j: int = 0) -> int:
+    """CHAMELEON-style LU priority: earlier panels first, GETRF highest.
+
+    The absolute values are irrelevant; only the ordering matters to the
+    priority-aware schedulers.
+    """
+    base = (nt - k) * 10
+    if kind == "getrf":
+        # +15 lifts getrf(k) above every iteration-(k-1) GEMM (+0/+1 on a
+        # base 10 units higher), keeping the critical path ahead of trailing
+        # updates.
+        return base + 15
+    if kind == "trsm":
+        return base + 12
+    if kind == "gemm":
+        # Updates feeding the next panel (i == k+1 or j == k+1) are urgent.
+        return base + (1 if (i == k + 1 or j == k + 1) else 0)
+    raise ValueError(f"unknown kernel kind {kind!r}")
+
+
+def tiled_getrf_tasks(
+    desc: TileHDesc,
+    engine: StfEngine | None = None,
+    *,
+    eps: float | None = None,
+) -> TaskGraph:
+    """Factorise ``desc`` in place via the tiled right-looking LU.
+
+    Returns the task graph; with the default eager engine the tiles are
+    already factorised when this returns (L and U packed tile-wise: strictly
+    lower tiles hold L, the diagonal packs both, upper tiles hold U).
+    """
+    eng = engine or StfEngine(mode="eager")
+    eps_ = desc.eps if eps is None else eps
+    nt = desc.nt
+    grid = desc.super
+    is_c = np.issubdtype(grid.dtype, np.complexfloating)
+
+    handles = {
+        (i, j): eng.handle(grid.get_blktile(i, j), f"A[{i},{j}]")
+        for i in range(nt)
+        for j in range(nt)
+    }
+
+    def t(i, j):
+        return grid.get_blktile(i, j).mat
+
+    for k in range(nt):
+        mk = grid.tile_rows(k)
+        eng.insert_task(
+            "getrf",
+            (lambda k=k: hgetrf(t(k, k), eps_)),
+            [(handles[k, k], RW)],
+            priority=lu_priorities(nt, k, "getrf"),
+            flops=flops_getrf(mk, is_complex=is_c),
+            label=f"getrf({k})",
+        )
+        for j in range(k + 1, nt):
+            eng.insert_task(
+                "trsm",
+                (lambda k=k, j=j: htrsm("left", "lower", t(k, k), t(k, j), eps_, unit_diagonal=True)),
+                [(handles[k, k], R), (handles[k, j], RW)],
+                priority=lu_priorities(nt, k, "trsm"),
+                flops=flops_trsm(mk, grid.tile_rows(j), is_complex=is_c),
+                label=f"trsm_u({k},{j})",
+            )
+        for i in range(k + 1, nt):
+            eng.insert_task(
+                "trsm",
+                (lambda k=k, i=i: htrsm("right", "upper", t(k, k), t(i, k), eps_)),
+                [(handles[k, k], R), (handles[i, k], RW)],
+                priority=lu_priorities(nt, k, "trsm"),
+                flops=flops_trsm(mk, grid.tile_rows(i), is_complex=is_c),
+                label=f"trsm_l({i},{k})",
+            )
+        for i in range(k + 1, nt):
+            for j in range(k + 1, nt):
+                eng.insert_task(
+                    "gemm",
+                    (lambda i=i, k=k, j=j: hgemm(t(i, j), t(i, k), t(k, j), eps_, alpha=-1.0)),
+                    [(handles[i, k], R), (handles[k, j], R), (handles[i, j], RW)],
+                    priority=lu_priorities(nt, k, "gemm", i, j),
+                    flops=flops_gemm(
+                        grid.tile_rows(i), grid.tile_rows(j), mk, is_complex=is_c
+                    ),
+                    label=f"gemm({i},{j},{k})",
+                )
+    return eng.wait_all()
+
+
+def tiled_potrf_tasks(
+    desc: TileHDesc,
+    engine: StfEngine | None = None,
+    *,
+    eps: float | None = None,
+) -> TaskGraph:
+    """Tiled right-looking Cholesky of an SPD Tile-H matrix, in place.
+
+    Only the lower-triangular tiles are referenced/written (upper tiles stay
+    untouched).  Task kinds: POTRF (diagonal), TRSM (panel, ``X L^T = B``),
+    GEMM (the SYRK-style ``C -= A B^T`` trailing update).  Priorities reuse
+    the LU heuristic (POTRF plays GETRF's role).
+    """
+    eng = engine or StfEngine(mode="eager")
+    eps_ = desc.eps if eps is None else eps
+    nt = desc.nt
+    grid = desc.super
+    is_c = np.issubdtype(grid.dtype, np.complexfloating)
+    handles = {
+        (i, j): eng.handle(grid.get_blktile(i, j), f"A[{i},{j}]")
+        for i in range(nt)
+        for j in range(i + 1)
+    }
+
+    def t(i, j):
+        return grid.get_blktile(i, j).mat
+
+    for k in range(nt):
+        mk = grid.tile_rows(k)
+        eng.insert_task(
+            "potrf",
+            (lambda k=k: hpotrf(t(k, k), eps_)),
+            [(handles[k, k], RW)],
+            priority=lu_priorities(nt, k, "getrf"),
+            flops=flops_potrf(mk, is_complex=is_c),
+            label=f"potrf({k})",
+        )
+        for i in range(k + 1, nt):
+            eng.insert_task(
+                "trsm",
+                (lambda k=k, i=i: _htrsm_right_lower_transpose(t(k, k), t(i, k), eps_)),
+                [(handles[k, k], R), (handles[i, k], RW)],
+                priority=lu_priorities(nt, k, "trsm"),
+                flops=flops_trsm(mk, grid.tile_rows(i), is_complex=is_c),
+                label=f"trsm({i},{k})",
+            )
+        for i in range(k + 1, nt):
+            for j in range(k + 1, i + 1):
+                eng.insert_task(
+                    "gemm",
+                    (lambda i=i, j=j, k=k: hgemm_transb(t(i, j), t(i, k), t(j, k), eps_, alpha=-1.0)),
+                    [(handles[i, k], R), (handles[j, k], R), (handles[i, j], RW)],
+                    priority=lu_priorities(nt, k, "gemm", i, j),
+                    flops=flops_gemm(
+                        grid.tile_rows(i), grid.tile_rows(j), mk, is_complex=is_c
+                    ),
+                    label=f"syrk({i},{j},{k})" if i == j else f"gemm({i},{j},{k})",
+                )
+    return eng.wait_all()
+
+
+def tiled_chol_solve(desc: TileHDesc, b: np.ndarray) -> np.ndarray:
+    """Solve ``A x = b`` after :func:`tiled_potrf_tasks` (``A = L L^T``).
+
+    Original ordering in and out, vector or panel.
+    """
+    b = np.asarray(b)
+    squeeze = b.ndim == 1
+    x = b[:, None] if squeeze else b
+    if x.shape[0] != desc.n:
+        raise ValueError(f"rhs leading dim {x.shape[0]} != {desc.n}")
+    nt = desc.nt
+    grid = desc.super
+    work = np.array(x[desc.perm], dtype=np.promote_types(grid.dtype, x.dtype), copy=True)
+
+    # Forward: L y = b (non-unit diagonal).
+    for k in range(nt):
+        sk = desc.tile_slice(k)
+        for j in range(k):
+            work[sk] -= grid.get_blktile(k, j).matvec(work[desc.tile_slice(j)])
+        work[sk] = solve_lower_panel(grid.get_blktile(k, k).mat, work[sk], unit_diagonal=False)
+    # Backward: L^T x = y, using the lower tiles transposed.
+    for k in reversed(range(nt)):
+        sk = desc.tile_slice(k)
+        for j in range(k + 1, nt):
+            work[sk] -= h_rmatvec(grid.get_blktile(j, k).mat, work[desc.tile_slice(j)])
+        work[sk] = solve_lower_transpose_panel(
+            grid.get_blktile(k, k).mat, work[sk], unit_diagonal=False
+        )
+
+    out = np.empty_like(work)
+    out[desc.perm] = work
+    return out[:, 0] if squeeze else out
+
+
+def tiled_solve_tasks(
+    desc: TileHDesc,
+    b: np.ndarray,
+    engine: StfEngine | None = None,
+) -> tuple[np.ndarray, TaskGraph]:
+    """Task-parallel forward/backward substitution after the tiled LU.
+
+    Submits one GEMV-style update task per off-diagonal tile and one TRSV
+    task per diagonal tile, with R/RW access modes on the tiles and on the
+    per-tile RHS segments — the solve phase as the paper's library would run
+    it through the runtime.  Returns ``(x, graph)`` with ``x`` in original
+    ordering; the graph's simulated makespan quantifies the (limited)
+    pipeline parallelism of triangular solves.
+    """
+    b = np.asarray(b)
+    squeeze = b.ndim == 1
+    x = b[:, None] if squeeze else b
+    if x.shape[0] != desc.n:
+        raise ValueError(f"rhs leading dim {x.shape[0]} != {desc.n}")
+    eng = engine or StfEngine(mode="eager")
+    nt = desc.nt
+    grid = desc.super
+    work = np.array(x[desc.perm], dtype=np.promote_types(grid.dtype, x.dtype), copy=True)
+
+    segments = [work[desc.tile_slice(k)] for k in range(nt)]
+    tile_handles = {
+        (i, j): eng.handle(grid.get_blktile(i, j), f"A[{i},{j}]")
+        for i in range(nt)
+        for j in range(nt)
+    }
+    seg_handles = [eng.handle(segments[k], f"x[{k}]") for k in range(nt)]
+    is_c = np.issubdtype(grid.dtype, np.complexfloating)
+    nrhs = work.shape[1]
+
+    def gemv(k, j):
+        segments[k][...] -= grid.get_blktile(k, j).matvec(segments[j])
+
+    def trsv_lower(k):
+        segments[k][...] = solve_lower_panel(
+            grid.get_blktile(k, k).mat, segments[k], unit_diagonal=True
+        )
+
+    def trsv_upper(k):
+        segments[k][...] = solve_upper_panel(grid.get_blktile(k, k).mat, segments[k])
+
+    # Forward substitution: L y = b.
+    for k in range(nt):
+        for j in range(k):
+            eng.insert_task(
+                "gemm",
+                (lambda k=k, j=j: gemv(k, j)),
+                [(tile_handles[k, j], R), (seg_handles[j], R), (seg_handles[k], RW)],
+                priority=lu_priorities(nt, min(j, nt - 1), "gemm", k, j),
+                flops=flops_gemm(grid.tile_rows(k), nrhs, grid.tile_rows(j), is_complex=is_c),
+                label=f"fwd_gemv({k},{j})",
+            )
+        eng.insert_task(
+            "trsm",
+            (lambda k=k: trsv_lower(k)),
+            [(tile_handles[k, k], R), (seg_handles[k], RW)],
+            priority=lu_priorities(nt, k, "trsm"),
+            flops=flops_trsm(grid.tile_rows(k), nrhs, is_complex=is_c),
+            label=f"fwd_trsv({k})",
+        )
+    # Backward substitution: U x = y.
+    for k in reversed(range(nt)):
+        for j in range(k + 1, nt):
+            eng.insert_task(
+                "gemm",
+                (lambda k=k, j=j: gemv(k, j)),
+                [(tile_handles[k, j], R), (seg_handles[j], R), (seg_handles[k], RW)],
+                priority=lu_priorities(nt, min(nt - 1 - j, nt - 1), "gemm", k, j),
+                flops=flops_gemm(grid.tile_rows(k), nrhs, grid.tile_rows(j), is_complex=is_c),
+                label=f"bwd_gemv({k},{j})",
+            )
+        eng.insert_task(
+            "trsm",
+            (lambda k=k: trsv_upper(k)),
+            [(tile_handles[k, k], R), (seg_handles[k], RW)],
+            priority=lu_priorities(nt, nt - 1 - k, "trsm"),
+            flops=flops_trsm(grid.tile_rows(k), nrhs, is_complex=is_c),
+            label=f"bwd_trsv({k})",
+        )
+    graph = eng.wait_all()
+
+    out = np.empty_like(work)
+    out[desc.perm] = work
+    return (out[:, 0] if squeeze else out), graph
+
+
+def tiled_solve(desc: TileHDesc, b: np.ndarray) -> np.ndarray:
+    """Solve ``A x = b`` after :func:`tiled_getrf_tasks` (vector or panel).
+
+    ``b`` and the returned ``x`` use the *original* unknown numbering; the
+    clustering permutation is applied internally.  The substitution runs
+    tile-wise: its cost is a lower-order term, so it is executed directly
+    rather than through the runtime.
+    """
+    b = np.asarray(b)
+    squeeze = b.ndim == 1
+    x = b[:, None] if squeeze else b
+    if x.shape[0] != desc.n:
+        raise ValueError(f"rhs leading dim {x.shape[0]} != {desc.n}")
+    nt = desc.nt
+    grid = desc.super
+    work = np.array(x[desc.perm], dtype=np.promote_types(grid.dtype, x.dtype), copy=True)
+
+    # Forward substitution: L y = b (unit lower, diagonal tiles packed).
+    for k in range(nt):
+        sk = desc.tile_slice(k)
+        for j in range(k):
+            work[sk] -= grid.get_blktile(k, j).matvec(work[desc.tile_slice(j)])
+        work[sk] = solve_lower_panel(grid.get_blktile(k, k).mat, work[sk], unit_diagonal=True)
+    # Backward substitution: U x = y.
+    for k in reversed(range(nt)):
+        sk = desc.tile_slice(k)
+        for j in range(k + 1, nt):
+            work[sk] -= grid.get_blktile(k, j).matvec(work[desc.tile_slice(j)])
+        work[sk] = solve_upper_panel(grid.get_blktile(k, k).mat, work[sk])
+
+    out = np.empty_like(work)
+    out[desc.perm] = work
+    return out[:, 0] if squeeze else out

@@ -1,0 +1,179 @@
+"""Krylov solvers preconditioned by approximate H-factorisations.
+
+Besides direct solution, the other standard use of a low-accuracy H-LU /
+H-Cholesky (e.g. eps = 1e-2) is as a *preconditioner*: assembly and
+factorisation get much cheaper while a few Krylov iterations against the
+exact operator restore full accuracy.  This module provides matrix-free
+right-preconditioned restarted GMRES and preconditioned CG, both taking
+``matvec`` (the exact operator, e.g. the streamed
+:class:`~repro.geometry.assembly.DenseOperator`) and ``precond`` (typically
+``TileHMatrix.solve`` after a loose factorisation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["KrylovResult", "gmres", "pcg"]
+
+
+@dataclass
+class KrylovResult:
+    """Outcome of a Krylov solve."""
+
+    x: np.ndarray
+    converged: bool
+    iterations: int
+    residuals: list
+
+    def __iter__(self):  # allow ``x, res = gmres(...)`` style unpacking
+        yield self.x
+        yield self.residuals
+
+
+def gmres(
+    matvec,
+    b: np.ndarray,
+    *,
+    precond=None,
+    x0: np.ndarray | None = None,
+    rtol: float = 1e-10,
+    restart: int = 30,
+    max_iter: int = 200,
+) -> KrylovResult:
+    """Right-preconditioned restarted GMRES(m).
+
+    Solves ``A x = b`` with ``A`` given as ``matvec`` and the (approximate)
+    inverse action ``precond`` (identity if None).  Works for real and
+    complex operators.  Iteration counts the total inner steps.
+    """
+    if restart < 1:
+        raise ValueError(f"restart must be >= 1, got {restart}")
+    if max_iter < 1:
+        raise ValueError(f"max_iter must be >= 1, got {max_iter}")
+    b = np.asarray(b)
+    n = b.shape[0]
+    ident = precond is None
+    m_apply = (lambda v: v) if ident else precond
+
+    probe = matvec(np.zeros_like(b))
+    dtype = np.promote_types(b.dtype, probe.dtype)
+    x = np.zeros(n, dtype=dtype) if x0 is None else np.array(x0, dtype=dtype, copy=True)
+    norm_b = float(np.linalg.norm(b))
+    if norm_b == 0.0:
+        return KrylovResult(np.zeros(n, dtype=dtype), True, 0, [0.0])
+
+    residuals: list[float] = []
+    total_iters = 0
+    while total_iters < max_iter:
+        r = b - matvec(x)
+        beta = float(np.linalg.norm(r))
+        residuals.append(beta / norm_b)
+        if beta / norm_b <= rtol:
+            return KrylovResult(x, True, total_iters, residuals)
+
+        m = min(restart, max_iter - total_iters)
+        v = np.zeros((m + 1, n), dtype=dtype)
+        h = np.zeros((m + 1, m), dtype=dtype)
+        v[0] = r / beta
+        g = np.zeros(m + 1, dtype=dtype)
+        g[0] = beta
+        cs = np.zeros(m, dtype=dtype)
+        sn = np.zeros(m, dtype=dtype)
+        k_used = 0
+        for k in range(m):
+            z = m_apply(v[k])
+            w = matvec(z)
+            # Modified Gram-Schmidt.
+            for i in range(k + 1):
+                h[i, k] = np.vdot(v[i], w)
+                w = w - h[i, k] * v[i]
+            h[k + 1, k] = np.linalg.norm(w)
+            if abs(h[k + 1, k]) > 1e-300:
+                v[k + 1] = w / h[k + 1, k]
+            # Apply previous Givens rotations to the new column.
+            for i in range(k):
+                t = cs[i] * h[i, k] + sn[i] * h[i + 1, k]
+                h[i + 1, k] = -np.conj(sn[i]) * h[i, k] + cs[i] * h[i + 1, k]
+                h[i, k] = t
+            # New rotation to annihilate h[k+1, k].
+            denom = np.sqrt(abs(h[k, k]) ** 2 + abs(h[k + 1, k]) ** 2)
+            if denom == 0.0:
+                cs[k], sn[k] = 1.0, 0.0
+            else:
+                cs[k] = abs(h[k, k]) / denom
+                phase = h[k, k] / abs(h[k, k]) if abs(h[k, k]) > 0 else 1.0
+                sn[k] = phase * np.conj(h[k + 1, k]) / denom
+            h[k, k] = cs[k] * h[k, k] + sn[k] * h[k + 1, k]
+            h[k + 1, k] = 0.0
+            g[k + 1] = -np.conj(sn[k]) * g[k]
+            g[k] = cs[k] * g[k]
+            total_iters += 1
+            k_used = k + 1
+            residuals.append(float(abs(g[k + 1])) / norm_b)
+            if residuals[-1] <= rtol:
+                break
+        # Solve the small triangular system and update x.
+        y = np.linalg.solve(h[:k_used, :k_used], g[:k_used])
+        update = (v[:k_used].T @ y)
+        x = x + m_apply(update)
+        if residuals[-1] <= rtol:
+            # Recompute the true residual to guard against drift.
+            true_res = float(np.linalg.norm(b - matvec(x))) / norm_b
+            residuals[-1] = true_res
+            if true_res <= 10 * rtol:
+                return KrylovResult(x, True, total_iters, residuals)
+    return KrylovResult(x, False, total_iters, residuals)
+
+
+def pcg(
+    matvec,
+    b: np.ndarray,
+    *,
+    precond=None,
+    x0: np.ndarray | None = None,
+    rtol: float = 1e-10,
+    max_iter: int = 500,
+) -> KrylovResult:
+    """Preconditioned conjugate gradients for SPD operators.
+
+    ``precond`` must be (an approximation of) the SPD inverse action, e.g. a
+    loose H-Cholesky solve.
+    """
+    if max_iter < 1:
+        raise ValueError(f"max_iter must be >= 1, got {max_iter}")
+    b = np.asarray(b, dtype=np.float64)
+    n = b.shape[0]
+    ident = precond is None
+    m_apply = (lambda v: v) if ident else precond
+    x = np.zeros(n) if x0 is None else np.array(x0, dtype=np.float64, copy=True)
+    norm_b = float(np.linalg.norm(b))
+    if norm_b == 0.0:
+        return KrylovResult(np.zeros(n), True, 0, [0.0])
+
+    r = b - matvec(x)
+    z = m_apply(r)
+    p = z.copy()
+    rz = float(r @ z)
+    residuals = [float(np.linalg.norm(r)) / norm_b]
+    for it in range(1, max_iter + 1):
+        if residuals[-1] <= rtol:
+            return KrylovResult(x, True, it - 1, residuals)
+        ap = matvec(p)
+        denom = float(p @ ap)
+        if denom <= 0.0:
+            raise np.linalg.LinAlgError(
+                "non-positive curvature: operator (or preconditioner) is not SPD"
+            )
+        alpha = rz / denom
+        x = x + alpha * p
+        r = r - alpha * ap
+        residuals.append(float(np.linalg.norm(r)) / norm_b)
+        z = m_apply(r)
+        rz_new = float(r @ z)
+        beta = rz_new / rz
+        rz = rz_new
+        p = z + beta * p
+    return KrylovResult(x, residuals[-1] <= rtol, max_iter, residuals)

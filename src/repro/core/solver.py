@@ -1,0 +1,281 @@
+"""Public solver API: :class:`TileHMatrix` (the H-Chameleon front door).
+
+Typical use::
+
+    from repro.core import TileHMatrix, TileHConfig
+    from repro.geometry import cylinder_cloud, make_kernel
+
+    pts = cylinder_cloud(20_000)
+    kern = make_kernel("laplace", pts)
+    a = TileHMatrix.build(kern, pts, TileHConfig(nb=1000, eps=1e-4))
+    info = a.factorize()                      # real numerics + task DAG
+    x = a.solve(b)                            # b, x in original ordering
+    sim = info.simulate(nworkers=35, scheduler="prio")   # Fig. 6/7 numbers
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..runtime import (
+    RuntimeOverheadModel,
+    SimulationResult,
+    StfEngine,
+    TaskGraph,
+    simulate,
+)
+from .algorithms import tiled_chol_solve, tiled_getrf_tasks, tiled_potrf_tasks, tiled_solve
+from .build import build_tile_h
+from .descriptor import TileHDesc
+
+__all__ = ["TileHConfig", "FactorizationInfo", "TileHMatrix", "iterative_refinement"]
+
+
+def iterative_refinement(
+    solve,
+    matvec,
+    b: np.ndarray,
+    *,
+    max_iter: int = 10,
+    rtol: float = 1e-12,
+) -> tuple[np.ndarray, list[float]]:
+    """Classical iterative refinement with an approximate factorisation.
+
+    An eps-accurate H-LU makes an excellent stationary preconditioner: each
+    sweep ``x += solve(b - A x)`` multiplies the error by roughly eps, so a
+    couple of iterations push a 1e-4 factorisation to near machine
+    precision.  ``matvec`` must apply the *exact* operator (e.g. the
+    streamed :class:`~repro.geometry.assembly.DenseOperator`).
+
+    Returns ``(x, residual_history)`` where the history holds the relative
+    residual after each sweep (including the initial solve).
+    """
+    if max_iter < 1:
+        raise ValueError(f"max_iter must be >= 1, got {max_iter}")
+    b = np.asarray(b)
+    norm_b = float(np.linalg.norm(b))
+    if norm_b == 0.0:
+        return np.zeros_like(b), [0.0]
+    x = solve(b)
+    history: list[float] = []
+    for _ in range(max_iter):
+        r = b - matvec(x)
+        rel = float(np.linalg.norm(r)) / norm_b
+        history.append(rel)
+        if rel <= rtol:
+            break
+        x = x + solve(r)
+    return x, history
+
+
+@dataclass(frozen=True)
+class TileHConfig:
+    """Construction parameters of a Tile-H matrix.
+
+    Attributes
+    ----------
+    nb:
+        Tile size NB.  The paper picks NB per (N, precision); see Figs. 6-7
+        captions (e.g. NB=250 for d/10K up to NB=4000 for z/200K).
+    eps:
+        Compression/arithmetic accuracy (1e-4 in the paper).
+    leaf_size:
+        Dense-leaf size inside each tile's H-structure.
+    eta:
+        Strong-admissibility parameter.
+    method:
+        Admissible-block compression ("aca" or "svd").
+    """
+
+    nb: int = 256
+    eps: float = 1e-4
+    leaf_size: int = 64
+    eta: float = 2.0
+    method: str = "aca"
+
+    def __post_init__(self) -> None:
+        if self.nb < 1:
+            raise ValueError(f"nb must be positive, got {self.nb}")
+        if self.eps < 0:
+            raise ValueError(f"eps must be non-negative, got {self.eps}")
+        if self.leaf_size < 1:
+            raise ValueError(f"leaf_size must be positive, got {self.leaf_size}")
+
+
+@dataclass
+class FactorizationInfo:
+    """Outcome of a factorisation: the task DAG plus convenience queries."""
+
+    graph: TaskGraph
+    nb: int
+    nt: int
+
+    @property
+    def n_tasks(self) -> int:
+        return len(self.graph)
+
+    @property
+    def n_dependencies(self) -> int:
+        return self.graph.n_edges()
+
+    def sequential_seconds(self) -> float:
+        """Measured single-core kernel time (sum of task costs)."""
+        return self.graph.total_work("seconds")
+
+    def simulate(
+        self,
+        nworkers: int,
+        scheduler: str = "prio",
+        *,
+        overheads: RuntimeOverheadModel | None = None,
+        cost_attr: str = "seconds",
+        cost_scale: float = 1.0,
+    ) -> SimulationResult:
+        """Virtual multicore execution of this factorisation's DAG."""
+        return simulate(
+            self.graph,
+            nworkers,
+            scheduler,
+            overheads=overheads,
+            cost_attr=cost_attr,
+            cost_scale=cost_scale,
+        )
+
+
+class TileHMatrix:
+    """A kernel matrix in Tile-H format with LU factorisation and solve."""
+
+    def __init__(self, desc: TileHDesc, config: TileHConfig) -> None:
+        self.desc = desc
+        self.config = config
+        self._factorized = False
+        self._method = "lu"
+
+    # -- construction ------------------------------------------------------
+    @classmethod
+    def build(cls, kernel, points: np.ndarray, config: TileHConfig | None = None) -> "TileHMatrix":
+        """Assemble the Tile-H matrix of ``kernel`` over ``points``."""
+        cfg = config or TileHConfig()
+        from ..hmatrix import StrongAdmissibility
+
+        desc = build_tile_h(
+            kernel,
+            points,
+            cfg.nb,
+            eps=cfg.eps,
+            leaf_size=cfg.leaf_size,
+            admissibility=StrongAdmissibility(eta=cfg.eta),
+            method=cfg.method,
+        )
+        return cls(desc, cfg)
+
+    # -- queries ---------------------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self.desc.n, self.desc.n)
+
+    @property
+    def nt(self) -> int:
+        return self.desc.nt
+
+    @property
+    def factorized(self) -> bool:
+        return self._factorized
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """``A @ x`` in original ordering (pre-factorisation only)."""
+        if self._factorized:
+            raise RuntimeError("matrix content was overwritten by factorize()")
+        return self.desc.matvec(x)
+
+    def compression_ratio(self) -> float:
+        return self.desc.compression_ratio()
+
+    def storage_bytes(self) -> int:
+        return self.desc.storage() * np.dtype(self.desc.super.dtype).itemsize
+
+    def to_dense(self) -> np.ndarray:
+        """Dense matrix in *original* ordering (small problems / tests)."""
+        dense_cluster = self.desc.to_dense()
+        perm = self.desc.perm
+        inv = np.empty_like(perm)
+        inv[perm] = np.arange(len(perm))
+        return dense_cluster[np.ix_(inv, inv)]
+
+    # -- factorisation / solve ----------------------------------------------------
+    def factorize(
+        self, *, method: str = "lu", engine: StfEngine | None = None
+    ) -> FactorizationInfo:
+        """Tiled factorisation in place; returns the task DAG for simulation.
+
+        ``method="lu"`` (default) runs the unpivoted tiled H-LU of
+        Algorithm 1; ``method="cholesky"`` runs the tiled H-Cholesky for
+        symmetric positive definite kernels (e.g. covariance matrices) —
+        about half the flops and only the lower tiles touched.
+
+        After this call the descriptor holds the packed factors and
+        :meth:`solve` becomes available (``matvec`` stops being meaningful).
+        """
+        if self._factorized:
+            raise RuntimeError("factorize() called twice on the same matrix")
+        if method == "lu":
+            graph = tiled_getrf_tasks(self.desc, engine)
+        elif method == "cholesky":
+            graph = tiled_potrf_tasks(self.desc, engine)
+        else:
+            raise ValueError(f"method must be 'lu' or 'cholesky', got {method!r}")
+        self._factorized = True
+        self._method = method
+        return FactorizationInfo(graph=graph, nb=self.desc.nb, nt=self.desc.nt)
+
+    def solve(self, b: np.ndarray) -> np.ndarray:
+        """Solve ``A x = b`` (vector or panel) in original ordering."""
+        if not self._factorized:
+            raise RuntimeError("call factorize() before solve()")
+        if self._method == "cholesky":
+            return tiled_chol_solve(self.desc, b)
+        return tiled_solve(self.desc, b)
+
+    def gesv(self, b: np.ndarray) -> np.ndarray:
+        """Factorise (if needed) and solve — the one-shot driver."""
+        if not self._factorized:
+            self.factorize()
+        return self.solve(b)
+
+    # -- persistence ----------------------------------------------------------
+    def save(self, path):
+        """Persist the assembled (unfactorised) matrix to an ``.npz`` file.
+
+        Assembly is the expensive step; a saved matrix reloads in seconds
+        with :meth:`load`.  Factorised matrices are not saveable (factors
+        overwrite the content in place).
+        """
+        if self._factorized:
+            raise RuntimeError("cannot save a factorised matrix")
+        from ..hmatrix.io import save_tile_h
+
+        return save_tile_h(self.desc, path)
+
+    @classmethod
+    def load(cls, path, config: TileHConfig | None = None) -> "TileHMatrix":
+        """Reload a matrix saved with :meth:`save`."""
+        from ..hmatrix.io import load_tile_h
+
+        desc = load_tile_h(path)
+        cfg = config or TileHConfig(nb=desc.nb, eps=desc.eps)
+        return cls(desc, cfg)
+
+    def solve_refined(
+        self, b: np.ndarray, matvec, *, max_iter: int = 10, rtol: float = 1e-12
+    ) -> tuple[np.ndarray, list[float]]:
+        """Solve with iterative refinement against the exact operator.
+
+        ``matvec`` applies the uncompressed matrix (e.g.
+        ``DenseOperator(kernel, points).matvec``); see
+        :func:`iterative_refinement`.
+        """
+        if not self._factorized:
+            raise RuntimeError("call factorize() before solve_refined()")
+        return iterative_refinement(self.solve, matvec, b, max_iter=max_iter, rtol=rtol)

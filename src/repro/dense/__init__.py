@@ -1,0 +1,40 @@
+"""Dense tile kernels (the LAPACK/BLAS layer under the H-arithmetic).
+
+These are the full-rank leaf kernels that HMAT-OSS delegates to MKL in the
+paper: an unpivoted blocked LU (``getrf_nopiv``), the four TRSM variants used
+by the tiled algorithms, and thin GEMM helpers.  All operate in place on
+NumPy arrays and defer the flop-heavy inner work to BLAS via ``@`` and
+``scipy.linalg.solve_triangular``.
+"""
+
+from .kernels import (
+    SingularTileError,
+    getrf_nopiv,
+    split_lu,
+    trsm,
+    gemm_update,
+    lu_solve_nopiv,
+)
+from .flops import (
+    flops_getrf,
+    flops_potrf,
+    flops_trsm,
+    flops_gemm,
+    flops_rk_gemm,
+    flops_truncation,
+)
+
+__all__ = [
+    "SingularTileError",
+    "getrf_nopiv",
+    "split_lu",
+    "trsm",
+    "gemm_update",
+    "lu_solve_nopiv",
+    "flops_getrf",
+    "flops_potrf",
+    "flops_trsm",
+    "flops_gemm",
+    "flops_rk_gemm",
+    "flops_truncation",
+]

@@ -1,0 +1,173 @@
+"""Unpivoted dense LU and triangular-solve kernels.
+
+H-LU factorisations are performed *without pivoting* (pivoting across the
+hierarchical structure would destroy it); the BEM-style test matrices are
+strongly regular after singularity clamping, which is the standard
+justification in the H-matrix literature.  The blocked recursion below keeps
+all O(n^3) work inside BLAS-3 calls.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.linalg import solve_triangular
+
+__all__ = [
+    "SingularTileError",
+    "getrf_nopiv",
+    "split_lu",
+    "trsm",
+    "gemm_update",
+    "lu_solve_nopiv",
+]
+
+#: Below this size the scalar right-looking loop is used directly.
+_GETRF_BASE = 64
+
+#: Pivots with magnitude below ``_PIVOT_RTOL * max|diag|`` raise.
+_PIVOT_RTOL = 1e-12
+
+
+class SingularTileError(np.linalg.LinAlgError):
+    """Raised when an unpivoted LU meets a (numerically) zero pivot."""
+
+
+def _getrf_base(a: np.ndarray, pivot_floor: float) -> None:
+    """Unblocked right-looking unpivoted LU, in place."""
+    n = a.shape[0]
+    for k in range(n):
+        piv = a[k, k]
+        if abs(piv) <= pivot_floor:
+            raise SingularTileError(
+                f"zero pivot at index {k}: |{piv!r}| <= {pivot_floor:.3e} (unpivoted LU)"
+            )
+        a[k + 1 :, k] /= piv
+        if k + 1 < n:
+            # Rank-1 update of the trailing submatrix.
+            a[k + 1 :, k + 1 :] -= np.outer(a[k + 1 :, k], a[k, k + 1 :])
+
+
+def getrf_nopiv(a: np.ndarray, *, overwrite: bool = True) -> np.ndarray:
+    """LU factorisation without pivoting: ``A = L U`` packed into one array.
+
+    On return the strict lower triangle holds ``L`` (unit diagonal implied)
+    and the upper triangle (incl. diagonal) holds ``U`` — same packing as
+    LAPACK ``getrf`` minus the permutation.
+
+    Parameters
+    ----------
+    a:
+        Square matrix; modified in place when ``overwrite`` is true (and the
+        array is writeable and contiguous enough), otherwise copied.
+
+    Raises
+    ------
+    SingularTileError
+        If a pivot is numerically zero relative to the diagonal scale.
+    """
+    a = np.array(a, copy=not overwrite, order="C", subok=False)
+    if a.ndim != 2 or a.shape[0] != a.shape[1]:
+        raise ValueError(f"getrf_nopiv expects a square matrix, got shape {a.shape}")
+    n = a.shape[0]
+    if n == 0:
+        return a
+    diag_scale = float(np.abs(np.diagonal(a)).max())
+    pivot_floor = _PIVOT_RTOL * max(diag_scale, 1e-300)
+
+    def recurse(block: np.ndarray) -> None:
+        m = block.shape[0]
+        if m <= _GETRF_BASE:
+            _getrf_base(block, pivot_floor)
+            return
+        half = m // 2
+        a11 = block[:half, :half]
+        a12 = block[:half, half:]
+        a21 = block[half:, :half]
+        a22 = block[half:, half:]
+        recurse(a11)
+        # A12 <- L11^{-1} A12 ; A21 <- A21 U11^{-1}
+        a12[:] = solve_triangular(a11, a12, lower=True, unit_diagonal=True, check_finite=False)
+        a21[:] = solve_triangular(
+            a11, a21.conj().T, lower=False, trans="C", check_finite=False
+        ).conj().T
+        a22 -= a21 @ a12
+        recurse(a22)
+
+    recurse(a)
+    return a
+
+
+def split_lu(lu: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Unpack the combined LU array into explicit ``(L, U)`` factors."""
+    l = np.tril(lu, -1)
+    np.fill_diagonal(l, 1.0)
+    u = np.triu(lu)
+    return l.astype(lu.dtype, copy=False), u
+
+
+def trsm(
+    side: str,
+    uplo: str,
+    a: np.ndarray,
+    b: np.ndarray,
+    *,
+    unit_diagonal: bool = False,
+    overwrite: bool = False,
+) -> np.ndarray:
+    """Triangular solve in BLAS TRSM form.
+
+    ``side="left"`` solves ``op(A) X = B``; ``side="right"`` solves
+    ``X op(A) = B``; ``uplo`` in {"lower", "upper"} selects the triangle of
+    ``a`` that is referenced.  Mirrors the two TRSM calls of Algorithm 1:
+    ``trsm("left", "lower", L, B, unit_diagonal=True)`` for the U-panel and
+    ``trsm("right", "upper", U, B)`` for the L-panel.
+    """
+    if side not in ("left", "right"):
+        raise ValueError(f"side must be 'left' or 'right', got {side!r}")
+    if uplo not in ("lower", "upper"):
+        raise ValueError(f"uplo must be 'lower' or 'upper', got {uplo!r}")
+    b_arr = np.asarray(b)
+    squeeze = b_arr.ndim == 1
+    if squeeze:
+        b_arr = b_arr[:, None]
+    lower = uplo == "lower"
+    if side == "left":
+        x = solve_triangular(a, b_arr, lower=lower, unit_diagonal=unit_diagonal, check_finite=False)
+    else:
+        # X A = B  <=>  A^T X^T = B^T; conj-transpose keeps complex exactness.
+        xt = solve_triangular(
+            a.conj().T,
+            b_arr.conj().T,
+            lower=not lower,
+            unit_diagonal=unit_diagonal,
+            check_finite=False,
+        )
+        x = xt.conj().T
+    x = np.ascontiguousarray(x)
+    if squeeze:
+        x = x[:, 0]
+    if overwrite and isinstance(b, np.ndarray) and b.shape == x.shape:
+        b[...] = x
+        return b
+    return x
+
+
+def gemm_update(c: np.ndarray, a: np.ndarray, b: np.ndarray, alpha: float = -1.0) -> np.ndarray:
+    """Schur-complement update ``C <- C + alpha * A @ B`` in place.
+
+    The default ``alpha = -1`` matches the GEMM of Algorithm 1 line 11.
+    """
+    prod = a @ b
+    if alpha == -1.0:
+        c -= prod
+    elif alpha == 1.0:
+        c += prod
+    else:
+        c += alpha * prod
+    return c
+
+
+def lu_solve_nopiv(lu: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Solve ``A x = b`` given the packed unpivoted LU of ``A``."""
+    y = solve_triangular(lu, np.asarray(b), lower=True, unit_diagonal=True, check_finite=False)
+    return solve_triangular(lu, y, lower=False, check_finite=False)

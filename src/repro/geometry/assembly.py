@@ -1,0 +1,141 @@
+"""Dense assembly and matrix-free application of the interaction operator.
+
+Large test matrices must never be formed densely (a 200K x 200K complex matrix
+is 640 GB), so alongside plain :func:`assemble_dense` this module provides a
+:class:`DenseOperator` facade that evaluates ``A @ x`` in row blocks — O(n^2)
+work but O(n * block) memory — which is what the accuracy experiments (Fig. 5)
+use to build right-hand sides and reference residuals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .kernels import KernelFunction
+
+__all__ = ["assemble_dense", "assemble_block", "streamed_matvec", "DenseOperator"]
+
+#: Default number of rows evaluated per streamed block; keeps the working set
+#: around a few MB for 3-D clouds of any size.
+_DEFAULT_BLOCK_ROWS = 512
+
+
+def assemble_dense(kernel: KernelFunction, points: np.ndarray) -> np.ndarray:
+    """Form the full dense interaction matrix ``A[i, j] = K(|x_i - x_j|)``.
+
+    Only intended for validation at small ``n``; raises if the result would
+    exceed ~4 GiB to protect against accidental large allocations.
+    """
+    pts = np.asarray(points, dtype=np.float64)
+    n = pts.shape[0]
+    nbytes = n * n * np.dtype(kernel.dtype).itemsize
+    if nbytes > 4 << 30:
+        raise MemoryError(
+            f"dense assembly of n={n} would take {nbytes / (1 << 30):.1f} GiB; "
+            "use DenseOperator (streamed) instead"
+        )
+    return assemble_block(kernel, pts, pts)
+
+
+def assemble_block(
+    kernel: KernelFunction,
+    row_points: np.ndarray,
+    col_points: np.ndarray,
+) -> np.ndarray:
+    """Evaluate one rectangular kernel block (rows x cols)."""
+    return kernel(row_points, col_points)
+
+
+def streamed_matvec(
+    kernel: KernelFunction,
+    points: np.ndarray,
+    x: np.ndarray,
+    *,
+    block_rows: int = _DEFAULT_BLOCK_ROWS,
+) -> np.ndarray:
+    """Compute ``A @ x`` without forming ``A``; ``x`` may be a vector or panel.
+
+    Rows of ``A`` are generated ``block_rows`` at a time, multiplied into the
+    output, and discarded.  The result dtype is the promotion of the kernel
+    and ``x`` dtypes.
+    """
+    pts = np.asarray(points, dtype=np.float64)
+    n = pts.shape[0]
+    x = np.asarray(x)
+    if x.shape[0] != n:
+        raise ValueError(f"x has leading dimension {x.shape[0]}, expected {n}")
+    if block_rows <= 0:
+        raise ValueError("block_rows must be positive")
+    out_dtype = np.promote_types(kernel.dtype, x.dtype)
+    out = np.zeros((n,) + x.shape[1:], dtype=out_dtype)
+    for start in range(0, n, block_rows):
+        stop = min(start + block_rows, n)
+        block = kernel(pts[start:stop], pts)
+        out[start:stop] = block @ x
+    return out
+
+
+@dataclass(frozen=True)
+class DenseOperator:
+    """Matrix-free view of the interaction matrix over a point cloud.
+
+    Provides the handful of dense-matrix operations the experiments need
+    (matvec, row/col slices, Frobenius norm estimate) without ever holding
+    more than a block of rows.
+    """
+
+    kernel: KernelFunction
+    points: np.ndarray
+    block_rows: int = _DEFAULT_BLOCK_ROWS
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        n = self.points.shape[0]
+        return (n, n)
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.kernel.dtype
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """``A @ x`` via streamed row blocks."""
+        return streamed_matvec(self.kernel, self.points, x, block_rows=self.block_rows)
+
+    def rmatvec(self, y: np.ndarray) -> np.ndarray:
+        """``A.conj().T @ y`` via streamed column blocks.
+
+        Exploits that ``A.T`` rows are ``A`` columns of the same radial
+        kernel with swapped point sets (the kernel is symmetric in d).
+        """
+        pts = np.asarray(self.points, dtype=np.float64)
+        n = pts.shape[0]
+        y = np.asarray(y)
+        out_dtype = np.promote_types(self.dtype, y.dtype)
+        out = np.zeros((n,) + y.shape[1:], dtype=out_dtype)
+        for start in range(0, n, self.block_rows):
+            stop = min(start + self.block_rows, n)
+            block = self.kernel(pts[start:stop], pts)  # rows [start:stop] of A
+            out += block.conj().T @ y[start:stop]
+        return out
+
+    def rows(self, index: np.ndarray | slice) -> np.ndarray:
+        """Materialise a set of rows of ``A``."""
+        pts = np.asarray(self.points, dtype=np.float64)
+        return self.kernel(pts[index], pts)
+
+    def cols(self, index: np.ndarray | slice) -> np.ndarray:
+        """Materialise a set of columns of ``A``."""
+        pts = np.asarray(self.points, dtype=np.float64)
+        return self.kernel(pts, pts[index])
+
+    def norm_fro_estimate(self, samples: int = 64, seed: int = 0) -> float:
+        """Unbiased Frobenius-norm estimate from random row samples."""
+        n = self.shape[0]
+        take = min(samples, n)
+        rng = np.random.default_rng(seed)
+        idx = rng.choice(n, size=take, replace=False)
+        rows = self.rows(np.sort(idx))
+        row_sq = np.sum(np.abs(rows) ** 2, axis=1)
+        return float(np.sqrt(row_sq.mean() * n))

@@ -1,0 +1,82 @@
+"""HMAT-OSS substrate: a from-scratch sequential H-matrix library.
+
+Implements everything the paper takes from Airbus' HMAT-OSS:
+
+* geometric cluster trees with median bisection (:mod:`.cluster`),
+* the paper's ``NTilesRecursive`` tile-aligned clustering (:mod:`.ntiles`),
+* block cluster trees and admissibility conditions (:mod:`.block`),
+* low-rank ``Rk`` blocks with rounded (truncated) arithmetic (:mod:`.rk`),
+* ACA compression for kernel blocks (:mod:`.aca`),
+* the :class:`HMatrix` container with assembly, matvec and memory accounting
+  (:mod:`.hmatrix`),
+* recursive H-arithmetic: H-GEMM, H-TRSM, H-GETRF (:mod:`.arithmetic`).
+"""
+
+from .cluster import ClusterTree, BoundingBox, build_cluster_tree
+from .ntiles import ntiles_recursive, tile_roots
+from .block import (
+    Admissibility,
+    StrongAdmissibility,
+    WeakAdmissibility,
+    BlockClusterTree,
+    build_block_cluster_tree,
+)
+from .rk import RkMatrix, truncate_svd, compress_dense, compress_dense_rsvd
+from .aca import aca_partial, aca_full, compress_kernel_block
+from .hmatrix import HMatrix, FullBlock, RkBlock, assemble_hmatrix, AssemblyConfig
+from .io import save_hmatrix, load_hmatrix, save_tile_h, load_tile_h
+from .arithmetic import (
+    hgetrf,
+    hgeadd,
+    to_rk,
+    htrsm,
+    hgemm,
+    hgemm_transb,
+    hpotrf,
+    hinv,
+    hchol_solve,
+    hlu_solve,
+    KernelTracer,
+    set_tracer,
+)
+
+__all__ = [
+    "ClusterTree",
+    "BoundingBox",
+    "build_cluster_tree",
+    "ntiles_recursive",
+    "tile_roots",
+    "Admissibility",
+    "StrongAdmissibility",
+    "WeakAdmissibility",
+    "BlockClusterTree",
+    "build_block_cluster_tree",
+    "RkMatrix",
+    "truncate_svd",
+    "compress_dense",
+    "compress_dense_rsvd",
+    "aca_partial",
+    "aca_full",
+    "compress_kernel_block",
+    "HMatrix",
+    "FullBlock",
+    "RkBlock",
+    "assemble_hmatrix",
+    "AssemblyConfig",
+    "hgetrf",
+    "hgeadd",
+    "to_rk",
+    "htrsm",
+    "hgemm",
+    "hgemm_transb",
+    "hpotrf",
+    "hinv",
+    "hchol_solve",
+    "hlu_solve",
+    "KernelTracer",
+    "set_tracer",
+    "save_hmatrix",
+    "load_hmatrix",
+    "save_tile_h",
+    "load_tile_h",
+]

@@ -1,0 +1,237 @@
+"""Adaptive Cross Approximation (ACA) for admissible kernel blocks.
+
+ACA with partial pivoting builds ``A ~= U V^T`` from O((m + n) k) kernel
+evaluations — it never materialises the block, which is what makes H-matrix
+*assembly* (not just arithmetic) log-linear.  This is the compression scheme
+the paper cites ([20], Rjasanow) as HMAT-OSS's default; an SVD path and a
+fully-pivoted ACA are provided for validation.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from .rk import RkMatrix, compress_dense, compress_dense_rsvd
+
+__all__ = ["aca_partial", "aca_full", "compress_kernel_block"]
+
+#: Residual entries below this (relative to the first pivot) are treated as 0.
+_PIVOT_DROP = 1e-14
+
+
+def aca_partial(
+    get_row: Callable[[int], np.ndarray],
+    get_col: Callable[[int], np.ndarray],
+    m: int,
+    n: int,
+    eps: float,
+    *,
+    max_rank: int | None = None,
+    recompress: bool = True,
+    grace: int = 3,
+) -> RkMatrix:
+    """Partially pivoted ACA of an ``m x n`` block defined by row/col oracles.
+
+    Parameters
+    ----------
+    get_row, get_col:
+        ``get_row(i)`` returns row ``i`` of the block (length ``n``);
+        ``get_col(j)`` returns column ``j`` (length ``m``).
+    eps:
+        Stopping tolerance: iteration ends when the new cross satisfies
+        ``||u_k|| ||v_k|| <= eps * ||A_k||_F`` (the standard heuristic
+        estimate of the relative residual).
+    max_rank:
+        Hard cap on the rank (defaults to ``min(m, n)``).
+    recompress:
+        Round the ACA factors with QR+SVD to ``eps`` afterwards (ACA ranks
+        are typically a few units above optimal).
+    grace:
+        Number of *consecutive* crosses that must satisfy the stopping
+        criterion before iteration ends.  Structured point grids (like the
+        cylinder mesh) make single-cross estimates unreliable — the classic
+        partial-pivoting failure mode — so a short grace run is required.
+
+    Returns
+    -------
+    RkMatrix
+        The compressed block.  Rank 0 if the block is numerically zero.
+    """
+    if m <= 0 or n <= 0:
+        raise ValueError(f"block dimensions must be positive, got {m} x {n}")
+    if eps < 0:
+        raise ValueError(f"eps must be non-negative, got {eps}")
+    limit = min(m, n) if max_rank is None else min(max_rank, m, n)
+
+    probe = np.asarray(get_row(0))
+    dtype = probe.dtype
+    us: list[np.ndarray] = []
+    vs: list[np.ndarray] = []
+    used_rows: set[int] = set()
+    used_cols: set[int] = set()
+    norm_sq = 0.0  # running estimate of ||A_k||_F^2
+    first_pivot = 0.0
+
+    next_row = 0
+    small_streak = 0
+    rng = np.random.default_rng(0x5EED)
+
+    def residual_row(i: int) -> np.ndarray:
+        r = np.array(get_row(i), dtype=dtype, copy=True)
+        for u, v in zip(us, vs):
+            r -= u[i] * v
+        return r
+
+    def verify_converged() -> int | None:
+        """Sample unused rows; return one with significant residual, if any.
+
+        Partial pivoting can stall with whole regions of the block untouched
+        (the classic ACA failure on structured meshes); random row checks
+        catch this before declaring convergence.
+        """
+        unused = np.setdiff1d(np.arange(m), np.fromiter(used_rows, dtype=np.int64))
+        if unused.size == 0:
+            return None
+        sample = rng.choice(unused, size=min(8, unused.size), replace=False)
+        tol = eps * np.sqrt(max(norm_sq, 0.0))
+        worst_i, worst = None, tol
+        for i in sample:
+            rnorm = float(np.linalg.norm(residual_row(int(i))))
+            if rnorm > worst:
+                worst_i, worst = int(i), rnorm
+        return worst_i
+
+    while len(us) < limit:
+        r = residual_row(next_row)
+        used_rows.add(next_row)
+
+        mask = np.ones(n, dtype=bool)
+        mask[list(used_cols)] = False
+        if not mask.any():
+            break
+        j = int(np.argmax(np.where(mask, np.abs(r), -1.0)))
+        pivot = r[j]
+        if first_pivot == 0.0:
+            first_pivot = abs(pivot)
+        if abs(pivot) <= _PIVOT_DROP * max(first_pivot, 1e-300):
+            # This row is already resolved; look for an unresolved one.
+            cont = verify_converged()
+            if cont is None:
+                break
+            next_row = cont
+            continue
+
+        v_new = r / pivot
+        c = np.array(get_col(j), dtype=dtype, copy=True)
+        for u, v in zip(us, vs):
+            c -= v[j] * u
+        u_new = c
+        used_cols.add(j)
+
+        # Norm bookkeeping: ||A_{k+1}||^2 = ||A_k||^2 + 2 Re<cross, prev> + ||cross||^2.
+        u_norm = float(np.linalg.norm(u_new))
+        v_norm = float(np.linalg.norm(v_new))
+        interact = 0.0
+        for u, v in zip(us, vs):
+            interact += 2.0 * float(np.real(np.vdot(u, u_new) * np.vdot(v, v_new)))
+        norm_sq += interact + (u_norm * v_norm) ** 2
+        us.append(u_new)
+        vs.append(v_new)
+
+        if u_norm * v_norm <= eps * np.sqrt(max(norm_sq, 0.0)):
+            small_streak += 1
+            if small_streak >= grace:
+                cont = verify_converged()
+                if cont is None:
+                    break
+                next_row = cont
+                small_streak = 0
+                continue
+        else:
+            small_streak = 0
+
+        # Next pivot row: largest remaining entry of the new column.
+        row_mask = np.ones(m, dtype=bool)
+        row_mask[list(used_rows)] = False
+        if not row_mask.any():
+            break
+        next_row = int(np.argmax(np.where(row_mask, np.abs(u_new), -1.0)))
+
+    if not us:
+        return RkMatrix.zeros(m, n, dtype=dtype)
+    rk = RkMatrix(np.column_stack(us), np.column_stack(vs))
+    if recompress:
+        rk = rk.truncate(eps, max_rank)
+    return rk
+
+
+def aca_full(block: np.ndarray, eps: float, *, max_rank: int | None = None) -> RkMatrix:
+    """Fully pivoted ACA of a materialised block (reference implementation).
+
+    O(m n k): the global residual maximum is the pivot at every step.  Used
+    in tests as a slower-but-robust cross check of :func:`aca_partial`.
+    """
+    r = np.array(block, copy=True)
+    m, n = r.shape
+    limit = min(m, n) if max_rank is None else min(max_rank, m, n)
+    ref = float(np.abs(r).max()) if r.size else 0.0
+    norm_ref = float(np.linalg.norm(block))
+    us: list[np.ndarray] = []
+    vs: list[np.ndarray] = []
+    for _ in range(limit):
+        flat = int(np.argmax(np.abs(r)))
+        i, j = divmod(flat, n)
+        pivot = r[i, j]
+        if abs(pivot) <= _PIVOT_DROP * max(ref, 1e-300):
+            break
+        u_new = r[:, j].copy()
+        v_new = r[i, :] / pivot
+        r -= np.outer(u_new, v_new)
+        us.append(u_new)
+        vs.append(v_new)
+        if np.linalg.norm(r) <= eps * max(norm_ref, 1e-300):
+            break
+    if not us:
+        return RkMatrix.zeros(m, n, dtype=block.dtype)
+    return RkMatrix(np.column_stack(us), np.column_stack(vs))
+
+
+def compress_kernel_block(
+    kernel,
+    row_points: np.ndarray,
+    col_points: np.ndarray,
+    eps: float,
+    *,
+    method: str = "aca",
+    max_rank: int | None = None,
+) -> RkMatrix:
+    """Compress the kernel block over two point sets into an Rk block.
+
+    ``method="aca"`` uses partially pivoted ACA (assembly never forms the
+    block); ``method="svd"`` forms the dense block and takes the truncated
+    SVD (optimal, for validation); ``method="aca_full"`` forms the block and
+    runs fully pivoted ACA; ``method="rsvd"`` uses the randomized SVD
+    (the paper cites randomized techniques as [21]).
+    """
+    m = np.atleast_2d(row_points).shape[0]
+    n = np.atleast_2d(col_points).shape[0]
+    if method == "aca":
+        rp = np.atleast_2d(row_points)
+        cp = np.atleast_2d(col_points)
+
+        def get_row(i: int) -> np.ndarray:
+            return kernel(rp[i : i + 1], cp)[0]
+
+        def get_col(j: int) -> np.ndarray:
+            return kernel(rp, cp[j : j + 1])[:, 0]
+
+        return aca_partial(get_row, get_col, m, n, eps, max_rank=max_rank)
+    if method == "svd":
+        return compress_dense(kernel(row_points, col_points), eps, max_rank)
+    if method == "rsvd":
+        return compress_dense_rsvd(kernel(row_points, col_points), eps, max_rank=max_rank)
+    if method == "aca_full":
+        return aca_full(kernel(row_points, col_points), eps, max_rank=max_rank)
+    raise ValueError(f"unknown compression method {method!r}")

@@ -1,0 +1,663 @@
+"""Recursive H-arithmetic: H-GEMM, H-TRSM, H-GETRF (Section II-B).
+
+The three kernels mirror HMAT-OSS's implementations:
+
+* :func:`hgetrf` applies the tiled right-looking LU (Algorithm 1) recursively
+  over the children grid, bottoming out in an unpivoted dense LU;
+* :func:`htrsm` handles the two triangular solves of the LU (left-lower-unit
+  and right-upper) for H, Rk and dense right-hand sides;
+* :func:`hgemm` dispatches over the 3 x 3 x 3 = 27 format combinations the
+  paper describes: any low-rank operand short-circuits to an Rk product, any
+  dense operand to a panel product, and the all-subdivided case recurses.
+
+A module-level :class:`KernelTracer` can observe every *leaf-level* kernel
+execution (kind, data read/written, measured seconds, modelled flops); the
+pure-H baseline uses it to reconstruct the fine-grained task DAG that the
+proprietary HMAT library submits to StarPU.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+import numpy as np
+from scipy.linalg import solve_triangular
+
+from ..dense import flops_gemm, flops_getrf, flops_trsm, getrf_nopiv
+from .hmatrix import HMatrix
+from .rk import RkMatrix, compress_dense
+
+__all__ = [
+    "hgemm",
+    "hgemm_transb",
+    "hgeadd",
+    "to_rk",
+    "hpotrf",
+    "hinv",
+    "hchol_solve",
+    "htrsm",
+    "hgetrf",
+    "hlu_solve",
+    "h_rmatvec",
+    "solve_lower_panel",
+    "solve_upper_transpose_panel",
+    "KernelTracer",
+    "set_tracer",
+    "TraceRecord",
+]
+
+
+# ---------------------------------------------------------------------------
+# Kernel tracing (fine-grain DAG reconstruction for the HMAT baseline)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One observed leaf kernel execution."""
+
+    kind: str
+    reads: tuple
+    writes: tuple
+    seconds: float
+    flops: float
+
+
+@dataclass
+class KernelTracer:
+    """Collects :class:`TraceRecord` entries during H-arithmetic calls."""
+
+    records: list = field(default_factory=list)
+
+    def record(self, kind: str, reads: tuple, writes: tuple, seconds: float, flops: float) -> None:
+        self.records.append(TraceRecord(kind, reads, writes, seconds, flops))
+
+    def clear(self) -> None:
+        self.records.clear()
+
+    def total_seconds(self) -> float:
+        return sum(r.seconds for r in self.records)
+
+    def total_flops(self) -> float:
+        return sum(r.flops for r in self.records)
+
+
+_TRACER: KernelTracer | None = None
+
+
+def set_tracer(tracer: KernelTracer | None) -> KernelTracer | None:
+    """Install (or clear, with ``None``) the global kernel tracer.
+
+    Returns the previously installed tracer so callers can restore it.
+    """
+    global _TRACER
+    prev = _TRACER
+    _TRACER = tracer
+    return prev
+
+
+@contextmanager
+def _traced(kind: str, reads: tuple, writes: tuple, flops: float):
+    """Time the enclosed kernel and report it to the tracer, if any."""
+    if _TRACER is None:
+        yield
+        return
+    t0 = time.perf_counter()
+    yield
+    _TRACER.record(kind, reads, writes, time.perf_counter() - t0, flops)
+
+
+# ---------------------------------------------------------------------------
+# Panel helpers (dense panels against H triangles / H transposes)
+# ---------------------------------------------------------------------------
+
+def h_rmatvec(h: HMatrix, x: np.ndarray) -> np.ndarray:
+    """``A.T @ x`` for an H-matrix (plain transpose, any leaf mix)."""
+    x = np.asarray(x)
+    if x.shape[0] != h.shape[0]:
+        raise ValueError(f"x leading dim {x.shape[0]} != {h.shape[0]}")
+    out_dtype = np.promote_types(h.dtype, x.dtype)
+    out = np.zeros((h.shape[1],) + x.shape[1:], dtype=out_dtype)
+    for leaf in h.leaves():
+        i0 = leaf.rows.start - h.rows.start
+        j0 = leaf.cols.start - h.cols.start
+        m, n = leaf.shape
+        seg = x[i0 : i0 + m]
+        if leaf.full is not None:
+            out[j0 : j0 + n] += leaf.full.T @ seg
+        elif leaf.rk.rank:
+            out[j0 : j0 + n] += leaf.rk.rmatvec(seg)
+    return out
+
+
+def solve_lower_panel(l: HMatrix, x: np.ndarray, *, unit_diagonal: bool = True) -> np.ndarray:
+    """Solve ``L y = x`` where ``L`` is the lower triangle of an H node.
+
+    ``x`` is a dense panel in the node's local row order; for packed-LU nodes
+    the strictly-lower part plus an implied unit diagonal is used.
+    """
+    x = np.array(x, dtype=np.promote_types(l.dtype, np.asarray(x).dtype), copy=True)
+    if l.full is not None:
+        return solve_triangular(l.full, x, lower=True, unit_diagonal=unit_diagonal, check_finite=False)
+    if l.rk is not None:
+        raise ValueError("diagonal H-LU block cannot be low-rank")
+    nb = l.nrow_children
+    offs = [c.rows.start - l.rows.start for c in (l.child(i, i) for i in range(nb))]
+    sizes = [l.child(i, i).rows.size for i in range(nb)]
+    for i in range(nb):
+        sl_i = slice(offs[i], offs[i] + sizes[i])
+        for j in range(i):
+            sl_j = slice(offs[j], offs[j] + sizes[j])
+            x[sl_i] -= l.child(i, j).matvec(x[sl_j])
+        x[sl_i] = solve_lower_panel(l.child(i, i), x[sl_i], unit_diagonal=unit_diagonal)
+    return x
+
+
+def solve_upper_panel(u: HMatrix, x: np.ndarray) -> np.ndarray:
+    """Solve ``U y = x`` (non-unit upper triangle of an H node, dense panel)."""
+    x = np.array(x, dtype=np.promote_types(u.dtype, np.asarray(x).dtype), copy=True)
+    if u.full is not None:
+        return solve_triangular(u.full, x, lower=False, check_finite=False)
+    if u.rk is not None:
+        raise ValueError("diagonal H-LU block cannot be low-rank")
+    nb = u.nrow_children
+    offs = [u.child(i, i).rows.start - u.rows.start for i in range(nb)]
+    sizes = [u.child(i, i).rows.size for i in range(nb)]
+    for i in reversed(range(nb)):
+        sl_i = slice(offs[i], offs[i] + sizes[i])
+        for j in range(i + 1, nb):
+            sl_j = slice(offs[j], offs[j] + sizes[j])
+            x[sl_i] -= u.child(i, j).matvec(x[sl_j])
+        x[sl_i] = solve_upper_panel(u.child(i, i), x[sl_i])
+    return x
+
+
+def solve_upper_transpose_panel(u: HMatrix, x: np.ndarray) -> np.ndarray:
+    """Solve ``U.T y = x`` (plain transpose of the non-unit upper triangle).
+
+    This is the panel form of the right-sided TRSM: ``X U = B`` is computed
+    column-wise as ``U.T X.T = B.T``.
+    """
+    x = np.array(x, dtype=np.promote_types(u.dtype, np.asarray(x).dtype), copy=True)
+    if u.full is not None:
+        return solve_triangular(u.full.T, x, lower=True, check_finite=False)
+    if u.rk is not None:
+        raise ValueError("diagonal H-LU block cannot be low-rank")
+    nb = u.nrow_children
+    offs = [u.child(i, i).rows.start - u.rows.start for i in range(nb)]
+    sizes = [u.child(i, i).rows.size for i in range(nb)]
+    # U.T is lower triangular with (i, j) block = U(j, i).T, i > j.
+    for i in range(nb):
+        sl_i = slice(offs[i], offs[i] + sizes[i])
+        for j in range(i):
+            sl_j = slice(offs[j], offs[j] + sizes[j])
+            x[sl_i] -= h_rmatvec(u.child(j, i), x[sl_j])
+        x[sl_i] = solve_upper_transpose_panel(u.child(i, i), x[sl_i])
+    return x
+
+
+def solve_lower_transpose_panel(l: HMatrix, x: np.ndarray, *, unit_diagonal: bool = True) -> np.ndarray:
+    """Solve ``L.T y = x`` (plain transpose of the unit lower triangle)."""
+    x = np.array(x, dtype=np.promote_types(l.dtype, np.asarray(x).dtype), copy=True)
+    if l.full is not None:
+        return solve_triangular(l.full.T, x, lower=False, unit_diagonal=unit_diagonal, check_finite=False)
+    if l.rk is not None:
+        raise ValueError("diagonal H-LU block cannot be low-rank")
+    nb = l.nrow_children
+    offs = [l.child(i, i).rows.start - l.rows.start for i in range(nb)]
+    sizes = [l.child(i, i).rows.size for i in range(nb)]
+    for i in reversed(range(nb)):
+        sl_i = slice(offs[i], offs[i] + sizes[i])
+        for j in range(i + 1, nb):
+            sl_j = slice(offs[j], offs[j] + sizes[j])
+            x[sl_i] -= h_rmatvec(l.child(j, i), x[sl_j])
+        x[sl_i] = solve_lower_transpose_panel(l.child(i, i), x[sl_i], unit_diagonal=unit_diagonal)
+    return x
+
+
+# ---------------------------------------------------------------------------
+# H-GEMM
+# ---------------------------------------------------------------------------
+
+def _effective_rank(x: HMatrix) -> float:
+    """Width proxy of an operand: exact rank for Rk leaves, storage-derived
+    for subdivided nodes, full width for dense leaves."""
+    if x.rk is not None:
+        return float(max(x.rk.rank, 1))
+    m, n = x.shape
+    if x.full is not None:
+        return float(min(m, n))
+    # storage ~ (m + n) * k_eff for an H node dominated by Rk leaves.
+    return float(max(1.0, min(min(m, n), x.storage() / (m + n))))
+
+
+def _gemm_flops(a: HMatrix, b: HMatrix) -> float:
+    """Rank-aware flop model of one H-GEMM contribution.
+
+    ``C += A @ B`` through a width-r bottleneck costs ~ 2 (m + n) k r; with
+    dense operands this reduces to the usual 2 m n k up to a factor <= 2.
+    Rank-awareness matters: it is what makes the modelled totals reproduce
+    the paper's Theta(n k^2 log^2 n) (instead of dense n^3) scaling.
+    """
+    m, k = a.shape
+    n = b.shape[1]
+    r = min(_effective_rank(a), _effective_rank(b))
+    is_c = np.issubdtype(a.dtype, np.complexfloating)
+    dense = flops_gemm(m, n, k, is_complex=is_c)
+    lowrank = 2.0 * (m + n) * k * r * (4.0 if is_c else 1.0)
+    return min(dense, lowrank)
+
+
+def _product_rk(a: HMatrix, b: HMatrix, alpha, eps: float) -> RkMatrix:
+    """``alpha * A @ B`` as an Rk block when either operand is low-rank."""
+    # The product rank equals the low-rank operand's rank, so no truncation
+    # here: the rounded addition into C recompresses anyway.
+    if a.rk is not None:
+        # (Ua Va^T) B = Ua (B^T Va)^T
+        v = h_rmatvec(b, a.rk.v)
+        return RkMatrix(alpha * a.rk.u, v)
+    if b.rk is not None:
+        u = a.matvec(b.rk.u)
+        return RkMatrix(alpha * u, b.rk.v.copy())
+    raise AssertionError("`_product_rk` requires a low-rank operand")
+
+
+def _product_dense(a: HMatrix, b: HMatrix) -> np.ndarray:
+    """``A @ B`` densely when one operand is a dense leaf (small panel)."""
+    if b.full is not None:
+        return a.matvec(b.full)
+    if a.full is not None:
+        # A @ B = (B^T A^T)^T with B^T applied leaf-wise.
+        return h_rmatvec(b, a.full.T).T
+    raise AssertionError("`_product_dense` requires a dense operand")
+
+
+def _collect_product(a: HMatrix, b: HMatrix, eps: float) -> RkMatrix:
+    """``A @ B`` as a rounded Rk block (both operands subdivided).
+
+    Recursively accumulates children products, zero-padding each into the
+    parent's shape; truncation after every addition keeps the rank bounded.
+    """
+    m, n = a.shape[0], b.shape[1]
+    dtype = np.promote_types(a.dtype, b.dtype)
+    acc = RkMatrix.zeros(m, n, dtype=dtype)
+    for i in range(a.nrow_children):
+        for j in range(b.ncol_children):
+            for l in range(a.ncol_children):
+                a_il = a.child(i, l)
+                b_lj = b.child(l, j)
+                if a_il.rk is not None or b_lj.rk is not None:
+                    sub = _product_rk(a_il, b_lj, 1.0, eps)
+                elif a_il.full is not None or b_lj.full is not None:
+                    sub = compress_dense(_product_dense(a_il, b_lj), eps)
+                else:
+                    sub = _collect_product(a_il, b_lj, eps)
+                if sub.rank == 0:
+                    continue
+                i0 = a_il.rows.start - a.rows.start
+                j0 = b_lj.cols.start - b.cols.start
+                u = np.zeros((m, sub.rank), dtype=dtype)
+                v = np.zeros((n, sub.rank), dtype=dtype)
+                u[i0 : i0 + a_il.shape[0]] = sub.u
+                v[j0 : j0 + b_lj.shape[1]] = sub.v
+                acc = acc.add(RkMatrix(u, v), eps)
+    return acc
+
+
+def hgemm(c: HMatrix, a: HMatrix, b: HMatrix, eps: float, alpha=-1.0) -> None:
+    """``C <- C + alpha * A @ B`` in H-arithmetic with rounding accuracy eps.
+
+    Handles all 27 structural configurations of (A, B, C); the default
+    ``alpha = -1`` is the Schur-complement update of Algorithm 1.
+    """
+    if a.shape[1] != b.shape[0] or c.shape != (a.shape[0], b.shape[1]):
+        raise ValueError(
+            f"hgemm shape mismatch: C{c.shape} += A{a.shape} @ B{b.shape}"
+        )
+    # Any low-rank operand: the product is low-rank.
+    if a.rk is not None or b.rk is not None:
+        with _traced("gemm", (a, b), (c,), _gemm_flops(a, b)):
+            prod = _product_rk(a, b, alpha, eps)
+            c.axpy_rk(prod, eps)
+        return
+    # Any dense operand: the product is a small dense panel.
+    if a.full is not None or b.full is not None:
+        with _traced("gemm", (a, b), (c,), _gemm_flops(a, b)):
+            prod = _product_dense(a, b)
+            if alpha != 1.0:
+                prod = alpha * prod
+            c.axpy_dense(prod, eps)
+        return
+    # Both subdivided.
+    if c.is_leaf:
+        with _traced("gemm", (a, b), (c,), _gemm_flops(a, b)):
+            prod = _collect_product(a, b, eps)
+            if prod.rank:
+                c.axpy_rk(prod.scale(alpha), eps)
+        return
+    # All three subdivided: recurse on the children grid (shared cluster
+    # trees guarantee compatible splits).
+    if a.nrow_children != c.nrow_children or b.ncol_children != c.ncol_children:
+        raise ValueError("incompatible children grids in hgemm recursion")
+    for i in range(c.nrow_children):
+        for j in range(c.ncol_children):
+            for l in range(a.ncol_children):
+                hgemm(c.child(i, j), a.child(i, l), b.child(l, j), eps, alpha)
+
+
+# ---------------------------------------------------------------------------
+# H-TRSM
+# ---------------------------------------------------------------------------
+
+def _trsm_flops(a: HMatrix, b: HMatrix) -> float:
+    is_c = np.issubdtype(a.dtype, np.complexfloating)
+    if b.rk is not None:
+        rhs = b.rk.rank
+    else:
+        rhs = b.shape[1] if a.shape[0] == b.shape[0] else b.shape[0]
+    return flops_trsm(a.shape[0], rhs, is_complex=is_c)
+
+
+def htrsm(side: str, uplo: str, a: HMatrix, b: HMatrix, eps: float, *, unit_diagonal: bool = False) -> None:
+    """Triangular solve with H operands, in place in ``b``.
+
+    Supports the two variants Algorithm 1 needs:
+
+    * ``side="left", uplo="lower", unit_diagonal=True`` — ``L X = B``
+      (produces the U-panel);
+    * ``side="right", uplo="upper"`` — ``X U = B`` (produces the L-panel).
+
+    ``a`` is a *packed* factorised node (output of :func:`hgetrf`): only the
+    relevant triangle is referenced.
+    """
+    if side == "left" and uplo == "lower":
+        if a.shape[0] != b.shape[0]:
+            raise ValueError(f"htrsm dims: L is {a.shape}, B is {b.shape}")
+        _htrsm_left_lower(a, b, eps, unit_diagonal)
+    elif side == "right" and uplo == "upper":
+        if a.shape[1] != b.shape[1]:
+            raise ValueError(f"htrsm dims: U is {a.shape}, B is {b.shape}")
+        _htrsm_right_upper(a, b, eps, unit_diagonal)
+    else:
+        raise ValueError(f"unsupported htrsm variant side={side!r}, uplo={uplo!r}")
+
+
+def _htrsm_left_lower(l: HMatrix, b: HMatrix, eps: float, unit: bool) -> None:
+    if b.rk is not None:
+        if b.rk.rank:
+            with _traced("trsm", (l,), (b,), _trsm_flops(l, b)):
+                b.rk = RkMatrix(
+                    solve_lower_panel(l, b.rk.u, unit_diagonal=unit), b.rk.v
+                )
+        return
+    if b.full is not None:
+        with _traced("trsm", (l,), (b,), _trsm_flops(l, b)):
+            b.full = np.ascontiguousarray(solve_lower_panel(l, b.full, unit_diagonal=unit))
+        return
+    # b subdivided.
+    if l.full is not None:
+        raise ValueError("RHS subdivided below a dense diagonal leaf: incompatible trees")
+    nb = l.nrow_children
+    if b.nrow_children != nb:
+        raise ValueError("incompatible row splits in left-lower htrsm")
+    for j in range(b.ncol_children):
+        for i in range(nb):
+            for p in range(i):
+                hgemm(b.child(i, j), l.child(i, p), b.child(p, j), eps, alpha=-1.0)
+            _htrsm_left_lower(l.child(i, i), b.child(i, j), eps, unit)
+
+
+def _htrsm_right_upper(u: HMatrix, b: HMatrix, eps: float, unit: bool) -> None:
+    if unit:
+        raise ValueError("right-upper htrsm with unit diagonal is not used by H-LU")
+    if b.rk is not None:
+        if b.rk.rank:
+            with _traced("trsm", (u,), (b,), _trsm_flops(u, b)):
+                # X U = Ub Vb^T  =>  X = Ub (U^{-T} Vb)^T.
+                b.rk = RkMatrix(b.rk.u, solve_upper_transpose_panel(u, b.rk.v))
+        return
+    if b.full is not None:
+        with _traced("trsm", (u,), (b,), _trsm_flops(u, b)):
+            b.full = np.ascontiguousarray(solve_upper_transpose_panel(u, b.full.T).T)
+        return
+    if u.full is not None:
+        raise ValueError("RHS subdivided below a dense diagonal leaf: incompatible trees")
+    nb = u.nrow_children
+    if b.ncol_children != nb:
+        raise ValueError("incompatible column splits in right-upper htrsm")
+    for i in range(b.nrow_children):
+        for j in range(nb):
+            for p in range(j):
+                hgemm(b.child(i, j), b.child(i, p), u.child(p, j), eps, alpha=-1.0)
+            _htrsm_right_upper(u.child(j, j), b.child(i, j), eps, unit)
+
+
+# ---------------------------------------------------------------------------
+# H-GETRF and solves
+# ---------------------------------------------------------------------------
+
+def hgetrf(a: HMatrix, eps: float) -> HMatrix:
+    """In-place H-LU: on return ``a`` packs L (strict lower, unit diag) and U.
+
+    Recursion follows Algorithm 1 on the children grid; dense diagonal leaves
+    use the unpivoted dense LU.
+    """
+    if a.shape[0] != a.shape[1]:
+        raise ValueError(f"hgetrf needs a square H-matrix, got {a.shape}")
+    if a.rk is not None:
+        raise ValueError("diagonal block is low-rank: cannot LU-factorise")
+    if a.full is not None:
+        is_c = np.issubdtype(a.dtype, np.complexfloating)
+        with _traced("getrf", (), (a,), flops_getrf(a.shape[0], is_complex=is_c)):
+            getrf_nopiv(a.full, overwrite=True)
+        return a
+    nt = a.nrow_children
+    if a.ncol_children != nt:
+        raise ValueError("hgetrf needs a square children grid")
+    for k in range(nt):
+        hgetrf(a.child(k, k), eps)
+        for j in range(k + 1, nt):
+            _htrsm_left_lower(a.child(k, k), a.child(k, j), eps, unit=True)
+        for i in range(k + 1, nt):
+            _htrsm_right_upper(a.child(k, k), a.child(i, k), eps, unit=False)
+        for i in range(k + 1, nt):
+            for j in range(k + 1, nt):
+                hgemm(a.child(i, j), a.child(i, k), a.child(k, j), eps, alpha=-1.0)
+    return a
+
+
+def to_rk(h: HMatrix, eps: float) -> RkMatrix:
+    """Compress a whole H-matrix node into a single rounded Rk block.
+
+    Leaves convert directly; subdivided nodes accumulate their children's
+    Rk forms zero-padded into the parent shape with truncation after every
+    addition (rank stays bounded by the eps-rank of the node).
+    """
+    if h.rk is not None:
+        return h.rk.truncate(eps)
+    if h.full is not None:
+        return compress_dense(h.full, eps)
+    m, n = h.shape
+    acc = RkMatrix.zeros(m, n, dtype=h.dtype)
+    for child in h.children:
+        sub = to_rk(child, eps)
+        if sub.rank == 0:
+            continue
+        i0 = child.rows.start - h.rows.start
+        j0 = child.cols.start - h.cols.start
+        u = np.zeros((m, sub.rank), dtype=acc.dtype)
+        v = np.zeros((n, sub.rank), dtype=acc.dtype)
+        u[i0 : i0 + child.shape[0]] = sub.u
+        v[j0 : j0 + child.shape[1]] = sub.v
+        acc = acc.add(RkMatrix(u, v), eps)
+    return acc
+
+
+def hgeadd(b: HMatrix, a: HMatrix, eps: float, alpha=1.0) -> None:
+    """Rounded H-matrix addition ``B <- B + alpha * A`` in place.
+
+    ``a`` and ``b`` must cover the same cluster pair; their internal
+    structures may differ (every leaf-format combination is handled).
+    """
+    if a.shape != b.shape:
+        raise ValueError(f"hgeadd shape mismatch: {a.shape} vs {b.shape}")
+    if a.rk is not None:
+        if a.rk.rank:
+            b.axpy_rk(a.rk.scale(alpha), eps)
+        return
+    if a.full is not None:
+        b.axpy_dense(alpha * a.full if alpha != 1.0 else a.full.copy(), eps)
+        return
+    if b.is_leaf:
+        # a subdivided, b a leaf: collapse a to Rk and add.
+        rk = to_rk(a, eps)
+        if rk.rank:
+            b.axpy_rk(rk.scale(alpha), eps)
+        return
+    if a.nrow_children != b.nrow_children or a.ncol_children != b.ncol_children:
+        raise ValueError("incompatible children grids in hgeadd")
+    for ca, cb in zip(a.children, b.children):
+        hgeadd(cb, ca, eps, alpha)
+
+
+def hgemm_transb(c: HMatrix, a: HMatrix, b: HMatrix, eps: float, alpha=-1.0) -> None:
+    """``C <- C + alpha * A @ B.T`` (plain transpose) in H-arithmetic.
+
+    The Cholesky update kernel (SYRK when ``a is b`` structurally).  The
+    transpose is materialised structurally (views of factor/leaf data), which
+    costs the same order as the product itself.
+    """
+    hgemm(c, a, b.transpose(), eps, alpha)
+
+
+def _htrsm_right_lower_transpose(l: HMatrix, b: HMatrix, eps: float) -> None:
+    """Solve ``X L^T = B`` in place in ``b`` (L non-unit lower, from hpotrf)."""
+    if b.rk is not None:
+        if b.rk.rank:
+            with _traced("trsm", (l,), (b,), _trsm_flops(l, b)):
+                # X = Ub (L^{-1} Vb)^T.
+                b.rk = RkMatrix(b.rk.u, solve_lower_panel(l, b.rk.v, unit_diagonal=False))
+        return
+    if b.full is not None:
+        with _traced("trsm", (l,), (b,), _trsm_flops(l, b)):
+            b.full = np.ascontiguousarray(
+                solve_lower_panel(l, b.full.T, unit_diagonal=False).T
+            )
+        return
+    if l.full is not None:
+        raise ValueError("RHS subdivided below a dense diagonal leaf: incompatible trees")
+    nb = l.nrow_children
+    if b.ncol_children != nb:
+        raise ValueError("incompatible column splits in right-lower-transpose htrsm")
+    for i in range(b.nrow_children):
+        for j in range(nb):
+            for p in range(j):
+                # (L^T)_{p j} = L_{j p}^T for p < j.
+                hgemm_transb(b.child(i, j), b.child(i, p), l.child(j, p), eps, alpha=-1.0)
+            _htrsm_right_lower_transpose(l.child(j, j), b.child(i, j), eps)
+
+
+def hpotrf(a: HMatrix, eps: float) -> HMatrix:
+    """In-place H-Cholesky of an SPD H-matrix: lower triangle holds ``L``.
+
+    Only the lower triangle (and diagonal) of ``a`` is referenced and
+    written; upper off-diagonal blocks are left untouched.  Raises
+    ``numpy.linalg.LinAlgError`` when a diagonal leaf is not positive
+    definite.
+    """
+    if a.shape[0] != a.shape[1]:
+        raise ValueError(f"hpotrf needs a square H-matrix, got {a.shape}")
+    if a.rk is not None:
+        raise ValueError("diagonal block is low-rank: cannot Cholesky-factorise")
+    if a.full is not None:
+        from ..dense import flops_potrf
+
+        is_c = np.issubdtype(a.dtype, np.complexfloating)
+        with _traced("potrf", (), (a,), flops_potrf(a.shape[0], is_complex=is_c)):
+            a.full = np.linalg.cholesky(a.full)
+        return a
+    nt = a.nrow_children
+    if a.ncol_children != nt:
+        raise ValueError("hpotrf needs a square children grid")
+    for k in range(nt):
+        hpotrf(a.child(k, k), eps)
+        for i in range(k + 1, nt):
+            _htrsm_right_lower_transpose(a.child(k, k), a.child(i, k), eps)
+        for i in range(k + 1, nt):
+            for j in range(k + 1, i + 1):
+                hgemm_transb(a.child(i, j), a.child(i, k), a.child(j, k), eps, alpha=-1.0)
+    return a
+
+
+def hinv(a: HMatrix, eps: float) -> HMatrix:
+    """In-place H-inversion by the recursive Schur-complement formulas.
+
+    For a 2x2-partitioned node (Hackbusch's classic recursion)::
+
+        B11 = X11 + T12 S^{-1} T21      X11 = A11^{-1}
+        B12 = -T12 S^{-1}               T12 = X11 A12,  T21 = A21 X11
+        B21 = -S^{-1} T21               S   = A22 - A21 X11 A12
+        B22 = S^{-1}
+
+    All products are rounded H-GEMMs at accuracy ``eps``.  Only binary
+    (2x2) children grids are supported — the shape every cluster-tree-pair
+    block structure in this library produces.
+    """
+    if a.shape[0] != a.shape[1]:
+        raise ValueError(f"hinv needs a square H-matrix, got {a.shape}")
+    if a.rk is not None:
+        raise ValueError("diagonal block is low-rank: cannot invert")
+    if a.full is not None:
+        with _traced("getrf", (), (a,), flops_getrf(a.shape[0], is_complex=np.issubdtype(a.dtype, np.complexfloating))):
+            a.full = np.linalg.inv(a.full)
+        return a
+    if a.nrow_children != 2 or a.ncol_children != 2:
+        raise ValueError("hinv supports binary (2x2) children grids only")
+    a11, a12 = a.child(0, 0), a.child(0, 1)
+    a21, a22 = a.child(1, 0), a.child(1, 1)
+
+    hinv(a11, eps)  # a11 = X11
+    t12 = a12.zeros_like()
+    hgemm(t12, a11, a12, eps, alpha=1.0)  # T12 = X11 A12
+    t21 = a21.zeros_like()
+    hgemm(t21, a21, a11, eps, alpha=1.0)  # T21 = A21 X11
+    hgemm(a22, a21, t12, eps, alpha=-1.0)  # S = A22 - A21 T12
+    hinv(a22, eps)  # a22 = S^{-1}
+    a12.zero_()
+    hgemm(a12, t12, a22, eps, alpha=-1.0)  # B12 = -T12 S^{-1}
+    a21.zero_()
+    hgemm(a21, a22, t21, eps, alpha=-1.0)  # B21 = -S^{-1} T21
+    hgemm(a11, t12, a21, eps, alpha=-1.0)  # B11 = X11 + T12 S^{-1} T21
+    return a
+
+
+def hchol_solve(l: HMatrix, b: np.ndarray) -> np.ndarray:
+    """Solve ``A x = b`` from the packed H-Cholesky factor (``A = L L^T``).
+
+    ``b`` in cluster order; vector or panel.
+    """
+    b = np.asarray(b)
+    squeeze = b.ndim == 1
+    x = b[:, None] if squeeze else b
+    if x.shape[0] != l.shape[0]:
+        raise ValueError(f"rhs leading dim {x.shape[0]} != {l.shape[0]}")
+    y = solve_lower_panel(l, x, unit_diagonal=False)
+    z = solve_lower_transpose_panel(l, y, unit_diagonal=False)
+    return z[:, 0] if squeeze else z
+
+
+def hlu_solve(lu: HMatrix, b: np.ndarray) -> np.ndarray:
+    """Solve ``A x = b`` from the packed H-LU of ``A`` (vector or panel RHS).
+
+    ``b`` is in *cluster (permuted) order*; callers working in original
+    numbering must permute in and out with the cluster tree's ``perm``.
+    """
+    b = np.asarray(b)
+    squeeze = b.ndim == 1
+    x = b[:, None] if squeeze else b
+    if x.shape[0] != lu.shape[0]:
+        raise ValueError(f"rhs leading dim {x.shape[0]} != {lu.shape[0]}")
+    y = solve_lower_panel(lu, x, unit_diagonal=True)
+    z = solve_upper_panel(lu, y)
+    return z[:, 0] if squeeze else z

@@ -1,0 +1,213 @@
+"""Geometric cluster trees (Definition 1 of the paper).
+
+A cluster tree recursively partitions the index set ``I`` of unknowns.  Nodes
+store a contiguous range ``[start, stop)`` into a global *permutation* array,
+so every cluster's indices are ``perm[start:stop]`` — the same layout HMAT-OSS
+(and every production H-matrix code) uses, because it makes sub-block
+extraction a pair of slices.
+
+The standard construction is *median bisection along the largest bounding-box
+dimension* (a.k.a. geometric/cardinality-balanced bisection), which is also
+the per-tile refinement the paper applies inside ``NTilesRecursive``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["BoundingBox", "ClusterTree", "build_cluster_tree"]
+
+
+@dataclass(frozen=True)
+class BoundingBox:
+    """Axis-aligned bounding box of a cluster's points."""
+
+    lo: np.ndarray
+    hi: np.ndarray
+
+    @classmethod
+    def of(cls, points: np.ndarray) -> "BoundingBox":
+        pts = np.atleast_2d(points)
+        if pts.shape[0] == 0:
+            raise ValueError("bounding box of an empty point set")
+        return cls(lo=pts.min(axis=0), hi=pts.max(axis=0))
+
+    @property
+    def extents(self) -> np.ndarray:
+        return self.hi - self.lo
+
+    @property
+    def diameter(self) -> float:
+        return float(np.linalg.norm(self.extents))
+
+    def largest_dimension(self) -> int:
+        """Index of the widest axis (the split axis for bisection)."""
+        return int(np.argmax(self.extents))
+
+    def distance(self, other: "BoundingBox") -> float:
+        """Euclidean distance between the two boxes (0 if they overlap)."""
+        gap = np.maximum(0.0, np.maximum(self.lo - other.hi, other.lo - self.hi))
+        return float(np.linalg.norm(gap))
+
+
+@dataclass
+class ClusterTree:
+    """A node of the cluster tree over the index set.
+
+    Attributes
+    ----------
+    start, stop:
+        Range into ``perm``; the node's indices are ``perm[start:stop]``.
+    bbox:
+        Bounding box of the node's points.
+    children:
+        Empty for leaves; otherwise the sons whose ranges partition
+        ``[start, stop)`` in order.
+    perm, points:
+        Shared references to the tree-global permutation and (original-order)
+        point array.
+    level:
+        Depth in the tree; the root is level 0.
+    """
+
+    start: int
+    stop: int
+    bbox: BoundingBox
+    perm: np.ndarray
+    points: np.ndarray
+    level: int = 0
+    children: list["ClusterTree"] = field(default_factory=list)
+
+    # -- basic queries -----------------------------------------------------
+    @property
+    def size(self) -> int:
+        return self.stop - self.start
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    @property
+    def indices(self) -> np.ndarray:
+        """Original indices of the unknowns in this cluster (a view)."""
+        return self.perm[self.start : self.stop]
+
+    @property
+    def cluster_points(self) -> np.ndarray:
+        """Points of this cluster, in permuted order."""
+        return self.points[self.indices]
+
+    def depth(self) -> int:
+        """Height of the subtree rooted here (leaf = 0)."""
+        if self.is_leaf:
+            return 0
+        return 1 + max(c.depth() for c in self.children)
+
+    def leaves(self):
+        """Yield the leaf clusters left-to-right."""
+        if self.is_leaf:
+            yield self
+        else:
+            for c in self.children:
+                yield from c.leaves()
+
+    def nodes(self):
+        """Yield all nodes, pre-order."""
+        yield self
+        for c in self.children:
+            yield from c.nodes()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        kind = "leaf" if self.is_leaf else f"{len(self.children)} sons"
+        return f"ClusterTree([{self.start}:{self.stop}), level={self.level}, {kind})"
+
+
+def _split_median(node: ClusterTree, leaf_size: int) -> None:
+    """Recursively split ``node`` by median bisection until leaves fit."""
+    if node.size <= leaf_size:
+        return
+    pts = node.points
+    perm = node.perm
+    seg = perm[node.start : node.stop]
+    axis = node.bbox.largest_dimension()
+    coords = pts[seg, axis]
+    half = node.size // 2
+    # argpartition gives a median split in O(n); stable ordering is not
+    # required for correctness, only the partition matters.
+    order = np.argpartition(coords, half - 1)
+    seg[:] = seg[order]
+    mid = node.start + half
+    left = ClusterTree(
+        start=node.start,
+        stop=mid,
+        bbox=BoundingBox.of(pts[perm[node.start : mid]]),
+        perm=perm,
+        points=pts,
+        level=node.level + 1,
+    )
+    right = ClusterTree(
+        start=mid,
+        stop=node.stop,
+        bbox=BoundingBox.of(pts[perm[mid : node.stop]]),
+        perm=perm,
+        points=pts,
+        level=node.level + 1,
+    )
+    node.children = [left, right]
+    _split_median(left, leaf_size)
+    _split_median(right, leaf_size)
+
+
+def build_cluster_tree(
+    points: np.ndarray,
+    *,
+    leaf_size: int = 64,
+    perm: np.ndarray | None = None,
+    start: int = 0,
+    stop: int | None = None,
+    level: int = 0,
+) -> ClusterTree:
+    """Build a median-bisection cluster tree over ``points``.
+
+    Parameters
+    ----------
+    points:
+        (n, dim) coordinates, original order.
+    leaf_size:
+        Maximum unknowns per leaf cluster.
+    perm, start, stop, level:
+        Internal hooks used by :func:`repro.hmatrix.ntiles.ntiles_recursive`
+        to refine a sub-range of an existing permutation in place.
+
+    Returns
+    -------
+    ClusterTree
+        Root of the (sub)tree; its ``perm`` array is the tree-global
+        permutation mapping cluster-order positions to original indices.
+    """
+    pts = np.ascontiguousarray(points, dtype=np.float64)
+    if pts.ndim != 2:
+        raise ValueError(f"points must be (n, dim), got shape {pts.shape}")
+    n = pts.shape[0]
+    if n == 0:
+        raise ValueError("cannot build a cluster tree over zero points")
+    if leaf_size < 1:
+        raise ValueError(f"leaf_size must be >= 1, got {leaf_size}")
+    if perm is None:
+        perm = np.arange(n, dtype=np.int64)
+    if stop is None:
+        stop = n
+    if not (0 <= start < stop <= len(perm)):
+        raise ValueError(f"invalid range [{start}, {stop}) for perm of length {len(perm)}")
+    root = ClusterTree(
+        start=start,
+        stop=stop,
+        bbox=BoundingBox.of(pts[perm[start:stop]]),
+        perm=perm,
+        points=pts,
+        level=level,
+    )
+    _split_median(root, leaf_size)
+    return root

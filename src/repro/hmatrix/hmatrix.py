@@ -1,0 +1,456 @@
+"""The ``HMatrix`` container: nested full-rank / low-rank block structure.
+
+An :class:`HMatrix` node mirrors a :class:`~repro.hmatrix.block.BlockClusterTree`
+node: a leaf stores either a dense block (``full``) or a low-rank block
+(``rk``); an interior node stores a row-major grid of children.  Assembly from
+a kernel, matvec, densification, Frobenius norm, storage accounting, rounded
+low-rank/dense accumulation (the ``axpy`` family used by H-GEMM), and the
+rank-map rendering of the paper's Figure 3 all live here; the recursive
+factorisation kernels live in :mod:`repro.hmatrix.arithmetic`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .aca import compress_kernel_block
+from .block import BlockClusterTree
+from .cluster import ClusterTree
+from .rk import RkMatrix, compress_dense
+
+__all__ = ["HMatrix", "FullBlock", "RkBlock", "AssemblyConfig", "assemble_hmatrix"]
+
+
+@dataclass(frozen=True)
+class AssemblyConfig:
+    """Knobs of H-matrix assembly.
+
+    Attributes
+    ----------
+    eps:
+        Relative (Frobenius) compression accuracy — the paper's accuracy
+        parameter, 1e-4 in Section V.
+    method:
+        "aca" (default, matrix-free), "svd" (optimal, densifies each
+        admissible block) or "aca_full".
+    max_rank:
+        Optional hard rank cap for admissible blocks.
+    """
+
+    eps: float = 1e-4
+    method: str = "aca"
+    max_rank: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.eps < 0:
+            raise ValueError(f"eps must be non-negative, got {self.eps}")
+
+
+class FullBlock:
+    """Marker type for dense leaves in structure listings."""
+
+    name = "full"
+
+
+class RkBlock:
+    """Marker type for low-rank leaves in structure listings."""
+
+    name = "rk"
+
+
+class HMatrix:
+    """H-matrix node (leaf: dense or Rk; interior: grid of children)."""
+
+    __slots__ = ("rows", "cols", "full", "rk", "children", "nrow_children", "ncol_children")
+
+    def __init__(
+        self,
+        rows: ClusterTree,
+        cols: ClusterTree,
+        *,
+        full: np.ndarray | None = None,
+        rk: RkMatrix | None = None,
+        children: list["HMatrix"] | None = None,
+        nrow_children: int = 0,
+        ncol_children: int = 0,
+    ) -> None:
+        self.rows = rows
+        self.cols = cols
+        self.full = full
+        self.rk = rk
+        self.children = children or []
+        self.nrow_children = nrow_children
+        self.ncol_children = ncol_children
+        kinds = (full is not None) + (rk is not None) + bool(self.children)
+        if kinds != 1:
+            raise ValueError("exactly one of full / rk / children must be set")
+        if full is not None and full.shape != self.shape:
+            raise ValueError(f"dense leaf shape {full.shape} != cluster shape {self.shape}")
+        if rk is not None and rk.shape != self.shape:
+            raise ValueError(f"rk leaf shape {rk.shape} != cluster shape {self.shape}")
+        if self.children and len(self.children) != nrow_children * ncol_children:
+            raise ValueError("children grid size mismatch")
+
+    # -- structure ----------------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self.rows.size, self.cols.size)
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    @property
+    def kind(self) -> str:
+        """One of "full", "rk", "h"."""
+        if self.full is not None:
+            return "full"
+        if self.rk is not None:
+            return "rk"
+        return "h"
+
+    @property
+    def dtype(self) -> np.dtype:
+        if self.full is not None:
+            return self.full.dtype
+        if self.rk is not None:
+            return self.rk.dtype
+        return self.children[0].dtype
+
+    def child(self, i: int, j: int) -> "HMatrix":
+        if self.is_leaf:
+            raise IndexError("leaf H-matrix has no children")
+        return self.children[i * self.ncol_children + j]
+
+    def set_child(self, i: int, j: int, value: "HMatrix") -> None:
+        self.children[i * self.ncol_children + j] = value
+
+    def leaves(self):
+        if self.is_leaf:
+            yield self
+        else:
+            for c in self.children:
+                yield from c.leaves()
+
+    def nodes(self):
+        yield self
+        for c in self.children:
+            yield from c.nodes()
+
+    def depth(self) -> int:
+        if self.is_leaf:
+            return 0
+        return 1 + max(c.depth() for c in self.children)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"HMatrix({self.shape[0]}x{self.shape[1]}, kind={self.kind})"
+
+    # -- offsets (relative to this node's origin) ----------------------------
+    def _row_off(self, node: "HMatrix") -> int:
+        return node.rows.start - self.rows.start
+
+    def _col_off(self, node: "HMatrix") -> int:
+        return node.cols.start - self.cols.start
+
+    # -- accounting -----------------------------------------------------------
+    def storage(self) -> int:
+        """Stored scalar count (dense entries + Rk factor entries)."""
+        total = 0
+        for leaf in self.leaves():
+            if leaf.full is not None:
+                total += leaf.full.size
+            else:
+                total += leaf.rk.storage
+        return total
+
+    def storage_bytes(self) -> int:
+        return self.storage() * np.dtype(self.dtype).itemsize
+
+    def compression_ratio(self) -> float:
+        """storage / dense storage — lower is better (paper's Fig. 4 metric)."""
+        m, n = self.shape
+        return self.storage() / float(m * n)
+
+    def max_rank(self) -> int:
+        return max((leaf.rk.rank for leaf in self.leaves() if leaf.rk is not None), default=0)
+
+    def leaf_count(self) -> dict:
+        """Count of leaves by kind."""
+        out = {"full": 0, "rk": 0}
+        for leaf in self.leaves():
+            out[leaf.kind] += 1
+        return out
+
+    # -- dense bridges ---------------------------------------------------------
+    def to_dense(self) -> np.ndarray:
+        out = np.zeros(self.shape, dtype=self.dtype)
+        for leaf in self.leaves():
+            i0, j0 = self._row_off(leaf), self._col_off(leaf)
+            m, n = leaf.shape
+            if leaf.full is not None:
+                out[i0 : i0 + m, j0 : j0 + n] = leaf.full
+            else:
+                out[i0 : i0 + m, j0 : j0 + n] = leaf.rk.to_dense()
+        return out
+
+    @classmethod
+    def from_dense(
+        cls,
+        dense: np.ndarray,
+        block_tree: BlockClusterTree,
+        eps: float,
+        *,
+        row_origin: int | None = None,
+        col_origin: int | None = None,
+    ) -> "HMatrix":
+        """Compress an explicit matrix into the structure of ``block_tree``.
+
+        ``dense`` is indexed in *cluster order*: entry (p, q) couples the
+        p-th row unknown and q-th column unknown of the trees' permutations.
+        """
+        r0 = block_tree.rows.start if row_origin is None else row_origin
+        c0 = block_tree.cols.start if col_origin is None else col_origin
+
+        def recurse(bt: BlockClusterTree) -> "HMatrix":
+            i0, j0 = bt.rows.start - r0, bt.cols.start - c0
+            sub = dense[i0 : i0 + bt.rows.size, j0 : j0 + bt.cols.size]
+            if bt.is_leaf:
+                if bt.admissible:
+                    return cls(bt.rows, bt.cols, rk=compress_dense(sub, eps))
+                return cls(bt.rows, bt.cols, full=np.array(sub, copy=True))
+            kids = [recurse(c) for c in bt.children]
+            return cls(
+                bt.rows,
+                bt.cols,
+                children=kids,
+                nrow_children=bt.nrow_children,
+                ncol_children=bt.ncol_children,
+            )
+
+        if dense.shape != (block_tree.rows.size, block_tree.cols.size):
+            raise ValueError(
+                f"dense shape {dense.shape} != block tree shape "
+                f"{(block_tree.rows.size, block_tree.cols.size)}"
+            )
+        return recurse(block_tree)
+
+    # -- norms / maps -----------------------------------------------------------
+    def norm_fro(self) -> float:
+        total = 0.0
+        for leaf in self.leaves():
+            if leaf.full is not None:
+                total += float(np.sum(np.abs(leaf.full) ** 2))
+            else:
+                total += leaf.rk.norm_fro() ** 2
+        return float(np.sqrt(total))
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """``A @ x`` (x in this block's local column order; vector or panel)."""
+        x = np.asarray(x)
+        if x.shape[0] != self.shape[1]:
+            raise ValueError(f"x leading dim {x.shape[0]} != {self.shape[1]}")
+        out_dtype = np.promote_types(self.dtype, x.dtype)
+        out = np.zeros((self.shape[0],) + x.shape[1:], dtype=out_dtype)
+        for leaf in self.leaves():
+            i0, j0 = self._row_off(leaf), self._col_off(leaf)
+            m, n = leaf.shape
+            seg = x[j0 : j0 + n]
+            if leaf.full is not None:
+                out[i0 : i0 + m] += leaf.full @ seg
+            elif leaf.rk.rank:
+                out[i0 : i0 + m] += leaf.rk.matvec(seg)
+        return out
+
+    def copy(self) -> "HMatrix":
+        if self.full is not None:
+            return HMatrix(self.rows, self.cols, full=self.full.copy())
+        if self.rk is not None:
+            return HMatrix(self.rows, self.cols, rk=self.rk.copy())
+        return HMatrix(
+            self.rows,
+            self.cols,
+            children=[c.copy() for c in self.children],
+            nrow_children=self.nrow_children,
+            ncol_children=self.ncol_children,
+        )
+
+    def transpose(self) -> "HMatrix":
+        """Structural transpose ``A.T`` (plain, not conjugate).
+
+        Dense leaves become copies of their transposes, Rk leaves swap
+        factors, interior grids flip row-major.  Used by the Cholesky path's
+        ``C -= A @ B.T`` updates.
+        """
+        if self.full is not None:
+            return HMatrix(self.cols, self.rows, full=np.ascontiguousarray(self.full.T))
+        if self.rk is not None:
+            return HMatrix(self.cols, self.rows, rk=self.rk.transpose())
+        kids = [
+            self.child(i, j).transpose()
+            for j in range(self.ncol_children)
+            for i in range(self.nrow_children)
+        ]
+        return HMatrix(
+            self.cols,
+            self.rows,
+            children=kids,
+            nrow_children=self.ncol_children,
+            ncol_children=self.nrow_children,
+        )
+
+    # -- rounded accumulation (used by H-GEMM) -----------------------------------
+    def axpy_rk(self, rk: RkMatrix, eps: float) -> None:
+        """``self += rk`` with rounding, preserving this node's structure.
+
+        The Rk contribution is restricted to each child/leaf: restriction of
+        a rank-k factorisation is the row-sliced factors, so no densification
+        happens above dense leaves.
+        """
+        if rk.shape != self.shape:
+            raise ValueError(f"axpy_rk shape mismatch: {rk.shape} vs {self.shape}")
+        if rk.rank == 0:
+            return
+        if self.full is not None:
+            self.full += rk.to_dense()
+            return
+        if self.rk is not None:
+            merged = self.rk.add(rk, eps)
+            self.rk = merged
+            return
+        for child in self.children:
+            i0, j0 = self._row_off(child), self._col_off(child)
+            m, n = child.shape
+            sub = RkMatrix(rk.u[i0 : i0 + m], rk.v[j0 : j0 + n])
+            child.axpy_rk(sub, eps)
+
+    def axpy_dense(self, block: np.ndarray, eps: float) -> None:
+        """``self += block`` (dense, local indexing) with compression on Rk leaves."""
+        if block.shape != self.shape:
+            raise ValueError(f"axpy_dense shape mismatch: {block.shape} vs {self.shape}")
+        if self.full is not None:
+            self.full += block
+            return
+        if self.rk is not None:
+            self.rk = self.rk.add(compress_dense(block, eps), eps)
+            return
+        for child in self.children:
+            i0, j0 = self._row_off(child), self._col_off(child)
+            m, n = child.shape
+            child.axpy_dense(block[i0 : i0 + m, j0 : j0 + n], eps)
+
+    def scale(self, alpha) -> None:
+        """In-place multiplication by a scalar."""
+        for leaf in self.leaves():
+            if leaf.full is not None:
+                leaf.full *= alpha
+            elif leaf.rk.rank:
+                leaf.rk = leaf.rk.scale(alpha)
+
+    def zero_(self) -> None:
+        """Zero all leaves in place (dense leaves to 0, Rk leaves to rank 0)."""
+        for leaf in self.leaves():
+            if leaf.full is not None:
+                leaf.full[:] = 0
+            else:
+                leaf.rk = RkMatrix.zeros(*leaf.shape, dtype=leaf.rk.dtype)
+
+    def zeros_like(self) -> "HMatrix":
+        """A structurally identical H-matrix with all-zero content."""
+        out = self.copy()
+        out.zero_()
+        return out
+
+    # -- Figure 3 support ---------------------------------------------------------
+    def rank_map(self) -> list[tuple[int, int, int, int, str, int]]:
+        """Leaf inventory for structure plots: (i0, j0, m, n, kind, rank)."""
+        out = []
+        for leaf in self.leaves():
+            rank = leaf.rk.rank if leaf.rk is not None else min(leaf.shape)
+            out.append(
+                (self._row_off(leaf), self._col_off(leaf), *leaf.shape, leaf.kind, rank)
+            )
+        return out
+
+    def structure_json(self) -> dict:
+        """Machine-readable structure dump (for external Fig. 3-style plots).
+
+        Returns a dict with the matrix shape, storage summary and one record
+        per leaf (offsets, sizes, kind, rank) — enough to redraw the paper's
+        green/red rank mosaics in any plotting tool.
+        """
+        counts = self.leaf_count()
+        return {
+            "shape": list(self.shape),
+            "dtype": str(self.dtype),
+            "storage": self.storage(),
+            "compression_ratio": self.compression_ratio(),
+            "max_rank": self.max_rank(),
+            "n_dense_leaves": counts["full"],
+            "n_rk_leaves": counts["rk"],
+            "leaves": [
+                {"i": i0, "j": j0, "m": m, "n": n, "kind": kind, "rank": rank}
+                for i0, j0, m, n, kind, rank in self.rank_map()
+            ],
+        }
+
+    def render_structure(self, width: int = 64) -> str:
+        """ASCII rendering of the block structure (Fig. 3 style).
+
+        Dense leaves print as ``#``, low-rank leaves as digits (rank clipped
+        to 9, ``+`` beyond); each character cell covers ``shape/width``
+        unknowns.
+        """
+        m, n = self.shape
+        height = max(1, int(round(width * m / max(n, 1))))
+        canvas = np.full((height, width), " ", dtype="<U1")
+        for i0, j0, bm, bn, kind, rank in self.rank_map():
+            r0 = int(i0 * height / m)
+            r1 = max(r0 + 1, int((i0 + bm) * height / m))
+            c0 = int(j0 * width / n)
+            c1 = max(c0 + 1, int((j0 + bn) * width / n))
+            if kind == "full":
+                ch = "#"
+            elif rank > 9:
+                ch = "+"
+            else:
+                ch = str(rank)
+            canvas[r0:r1, c0:c1] = ch
+        return "\n".join("".join(row) for row in canvas)
+
+
+def assemble_hmatrix(
+    kernel,
+    points: np.ndarray,
+    block_tree: BlockClusterTree,
+    config: AssemblyConfig | None = None,
+) -> HMatrix:
+    """Assemble the H-matrix of ``a_ij = K(|x_i - x_j|)`` over ``block_tree``.
+
+    Admissible leaves are compressed (ACA by default, never materialising the
+    block); inadmissible leaves are evaluated densely.
+    """
+    cfg = config or AssemblyConfig()
+    pts = np.ascontiguousarray(points, dtype=np.float64)
+
+    def recurse(bt: BlockClusterTree) -> HMatrix:
+        if bt.is_leaf:
+            rpts = pts[bt.rows.indices]
+            cpts = pts[bt.cols.indices]
+            if bt.admissible:
+                rk = compress_kernel_block(
+                    kernel, rpts, cpts, cfg.eps, method=cfg.method, max_rank=cfg.max_rank
+                )
+                return HMatrix(bt.rows, bt.cols, rk=rk)
+            return HMatrix(bt.rows, bt.cols, full=kernel(rpts, cpts))
+        kids = [recurse(c) for c in bt.children]
+        return HMatrix(
+            bt.rows,
+            bt.cols,
+            children=kids,
+            nrow_children=bt.nrow_children,
+            ncol_children=bt.ncol_children,
+        )
+
+    return recurse(block_tree)

@@ -1,0 +1,255 @@
+"""Persistence: save/load H-matrices and Tile-H descriptors (NumPy ``npz``).
+
+Assembly (clustering + ACA over every admissible block) is the expensive,
+embarrassingly-reusable step of the pipeline, so a production library needs
+it on disk.  The format is a single compressed ``.npz``:
+
+* the point cloud, the permutation, and the cluster tree in pre-order
+  (start/stop/level/child counts — bounding boxes are recomputed on load);
+* every H-matrix node in pre-order, referencing its row/column clusters by
+  pre-order index, with leaf payloads stored as individual arrays.
+
+The same node-indexing works for one global H-matrix and for the ``nt x nt``
+tiles of a Tile-H descriptor (whose row/col clusters are subtrees of the one
+root tree).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from .cluster import BoundingBox, ClusterTree
+from .hmatrix import HMatrix
+from .rk import RkMatrix
+
+__all__ = ["save_hmatrix", "load_hmatrix", "save_tile_h", "load_tile_h"]
+
+_KIND_CODE = {"full": 0, "rk": 1, "h": 2}
+
+
+# ---------------------------------------------------------------------------
+# Cluster trees
+# ---------------------------------------------------------------------------
+
+def _serialize_tree(root: ClusterTree) -> dict:
+    starts, stops, levels, nkids = [], [], [], []
+
+    def visit(node: ClusterTree) -> None:
+        starts.append(node.start)
+        stops.append(node.stop)
+        levels.append(node.level)
+        nkids.append(len(node.children))
+        for c in node.children:
+            visit(c)
+
+    visit(root)
+    return {
+        "tree_start": np.asarray(starts, dtype=np.int64),
+        "tree_stop": np.asarray(stops, dtype=np.int64),
+        "tree_level": np.asarray(levels, dtype=np.int64),
+        "tree_nkids": np.asarray(nkids, dtype=np.int64),
+    }
+
+
+def _tree_index(root: ClusterTree) -> dict[int, int]:
+    """Map ``id(node)`` -> pre-order index."""
+    out: dict[int, int] = {}
+
+    def visit(node: ClusterTree) -> None:
+        out[id(node)] = len(out)
+        for c in node.children:
+            visit(c)
+
+    visit(root)
+    return out
+
+
+def _deserialize_tree(data, points: np.ndarray, perm: np.ndarray) -> list[ClusterTree]:
+    starts = data["tree_start"]
+    stops = data["tree_stop"]
+    levels = data["tree_level"]
+    nkids = data["tree_nkids"]
+    nodes: list[ClusterTree] = []
+    pos = {"i": 0}
+
+    def build() -> ClusterTree:
+        i = pos["i"]
+        pos["i"] += 1
+        node = ClusterTree(
+            start=int(starts[i]),
+            stop=int(stops[i]),
+            bbox=BoundingBox.of(points[perm[int(starts[i]) : int(stops[i])]]),
+            perm=perm,
+            points=points,
+            level=int(levels[i]),
+        )
+        nodes.append(node)
+        node.children = [build() for _ in range(int(nkids[i]))]
+        return node
+
+    build()
+    if pos["i"] != len(starts):
+        raise ValueError("corrupt cluster-tree serialization")
+    return nodes  # nodes[0] is the root, pre-order
+
+
+# ---------------------------------------------------------------------------
+# H-matrix nodes
+# ---------------------------------------------------------------------------
+
+def _serialize_hmatrix(h: HMatrix, idx: dict[int, int], payloads: dict, prefix: str) -> dict:
+    kinds, rows_i, cols_i, nrc, ncc = [], [], [], [], []
+
+    def visit(node: HMatrix) -> None:
+        k = len(kinds)
+        kinds.append(_KIND_CODE[node.kind])
+        rows_i.append(idx[id(node.rows)])
+        cols_i.append(idx[id(node.cols)])
+        nrc.append(node.nrow_children)
+        ncc.append(node.ncol_children)
+        if node.full is not None:
+            payloads[f"{prefix}full_{k}"] = node.full
+        elif node.rk is not None:
+            payloads[f"{prefix}rku_{k}"] = node.rk.u
+            payloads[f"{prefix}rkv_{k}"] = node.rk.v
+        for c in node.children:
+            visit(c)
+
+    visit(h)
+    return {
+        f"{prefix}kind": np.asarray(kinds, dtype=np.int8),
+        f"{prefix}rows": np.asarray(rows_i, dtype=np.int64),
+        f"{prefix}cols": np.asarray(cols_i, dtype=np.int64),
+        f"{prefix}nrc": np.asarray(nrc, dtype=np.int64),
+        f"{prefix}ncc": np.asarray(ncc, dtype=np.int64),
+    }
+
+
+def _deserialize_hmatrix(data, nodes: list[ClusterTree], prefix: str) -> HMatrix:
+    kinds = data[f"{prefix}kind"]
+    rows_i = data[f"{prefix}rows"]
+    cols_i = data[f"{prefix}cols"]
+    nrc = data[f"{prefix}nrc"]
+    ncc = data[f"{prefix}ncc"]
+    pos = {"i": 0}
+
+    def build() -> HMatrix:
+        k = pos["i"]
+        pos["i"] += 1
+        rows = nodes[int(rows_i[k])]
+        cols = nodes[int(cols_i[k])]
+        code = int(kinds[k])
+        if code == 0:
+            return HMatrix(rows, cols, full=np.ascontiguousarray(data[f"{prefix}full_{k}"]))
+        if code == 1:
+            rk = RkMatrix(
+                np.ascontiguousarray(data[f"{prefix}rku_{k}"]),
+                np.ascontiguousarray(data[f"{prefix}rkv_{k}"]),
+            )
+            return HMatrix(rows, cols, rk=rk)
+        n_children = int(nrc[k]) * int(ncc[k])
+        kids = [build() for _ in range(n_children)]
+        return HMatrix(
+            rows, cols, children=kids, nrow_children=int(nrc[k]), ncol_children=int(ncc[k])
+        )
+
+    h = build()
+    return h
+
+
+# ---------------------------------------------------------------------------
+# Public API — single H-matrix
+# ---------------------------------------------------------------------------
+
+def save_hmatrix(h: HMatrix, tree: ClusterTree, path) -> Path:
+    """Save a (square) H-matrix plus its cluster tree to ``path`` (.npz).
+
+    ``tree`` must be the cluster tree whose nodes ``h`` references (rows and
+    columns share it for the kernel matrices this library builds).
+    """
+    idx = _tree_index(tree)
+    payloads: dict = {}
+    arrays = {
+        "points": tree.points,
+        "perm": tree.perm,
+        **_serialize_tree(tree),
+        **_serialize_hmatrix(h, idx, payloads, "h_"),
+    }
+    p = Path(path)
+    p.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(p, **arrays, **payloads)
+    return p
+
+
+def load_hmatrix(path) -> tuple[HMatrix, ClusterTree]:
+    """Load an H-matrix saved by :func:`save_hmatrix`; returns (h, tree)."""
+    with np.load(Path(path)) as data:
+        points = np.ascontiguousarray(data["points"])
+        perm = np.ascontiguousarray(data["perm"])
+        nodes = _deserialize_tree(data, points, perm)
+        h = _deserialize_hmatrix(data, nodes, "h_")
+    return h, nodes[0]
+
+
+# ---------------------------------------------------------------------------
+# Public API — Tile-H descriptors
+# ---------------------------------------------------------------------------
+
+def save_tile_h(desc, path) -> Path:
+    """Save a :class:`~repro.core.descriptor.TileHDesc` to ``path`` (.npz)."""
+    root = desc.root
+    idx = _tree_index(root)
+    nt = desc.nt
+    payloads: dict = {}
+    arrays = {
+        "points": root.points,
+        "perm": root.perm,
+        "nt": np.asarray([nt], dtype=np.int64),
+        "nb": np.asarray([desc.nb], dtype=np.int64),
+        "eps": np.asarray([desc.eps], dtype=np.float64),
+        "tile_cluster_idx": np.asarray(
+            [idx[id(c)] for c in desc.clusters], dtype=np.int64
+        ),
+        **_serialize_tree(root),
+    }
+    for i in range(nt):
+        for j in range(nt):
+            tile = desc.super.get_blktile(i, j)
+            arrays.update(
+                _serialize_hmatrix(tile.mat, idx, payloads, f"t{i}_{j}_")
+            )
+    p = Path(path)
+    p.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(p, **arrays, **payloads)
+    return p
+
+
+def load_tile_h(path):
+    """Load a Tile-H descriptor saved by :func:`save_tile_h`."""
+    from ..core.descriptor import Tile, TileDesc, TileHDesc
+    from .block import StrongAdmissibility
+
+    with np.load(Path(path)) as data:
+        points = np.ascontiguousarray(data["points"])
+        perm = np.ascontiguousarray(data["perm"])
+        nodes = _deserialize_tree(data, points, perm)
+        nt = int(data["nt"][0])
+        nb = int(data["nb"][0])
+        eps = float(data["eps"][0])
+        clusters = [nodes[int(k)] for k in data["tile_cluster_idx"]]
+        tiles = []
+        for i in range(nt):
+            for j in range(nt):
+                h = _deserialize_hmatrix(data, nodes, f"t{i}_{j}_")
+                tiles.append(Tile.of(h))
+    desc = TileDesc(n=points.shape[0], nb=nb, nt=nt, tiles=tiles)
+    return TileHDesc(
+        super=desc,
+        root=nodes[0],
+        clusters=clusters,
+        admissibility=StrongAdmissibility(),
+        perm=perm,
+        eps=eps,
+    )

@@ -1,0 +1,131 @@
+"""``NTilesRecursive`` — the paper's Algorithm 2.
+
+CHAMELEON works exclusively on regular tile sizes, so flattening the first
+levels of a median-bisection tree (as lattice H-matrices do) is not enough:
+the flattened clusters would have irregular cardinalities.  Algorithm 2
+instead performs, at each level, a *pseudo-bisection aligned with the tile
+size* along the largest geometric dimension: the left son receives exactly
+``NB * ceil(nt / 2)`` unknowns.  Recursing yields ``nt = ceil(n / NB)``
+clusters of exactly ``NB`` unknowns (the last one padded/smaller), each of
+which is then refined with ordinary median bisection to become the cluster
+tree of one tile's H-matrix.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .cluster import BoundingBox, ClusterTree, build_cluster_tree
+
+__all__ = ["ntiles_recursive", "tile_roots"]
+
+
+def _sort_by_dimension(perm: np.ndarray, points: np.ndarray, start: int, stop: int, dim: int) -> None:
+    """Order the cluster's unknowns by coordinate along ``dim`` (stable)."""
+    seg = perm[start:stop]
+    coords = points[seg, dim]
+    seg[:] = seg[np.argsort(coords, kind="stable")]
+
+
+def _ntiles_split(
+    points: np.ndarray,
+    perm: np.ndarray,
+    start: int,
+    stop: int,
+    nb: int,
+    leaf_size: int,
+    level: int,
+    tiles: list[ClusterTree],
+) -> ClusterTree:
+    """Recursive body of Algorithm 2 over ``perm[start:stop]``."""
+    size = stop - start
+    nt = math.ceil(size / nb)
+    if nt == 1:
+        # Tile reached: refine with median bisection (the paper's per-tile
+        # "median bisection algorithm ... to refine the clustering of each
+        # tile").
+        tile = build_cluster_tree(
+            points, leaf_size=leaf_size, perm=perm, start=start, stop=stop, level=level
+        )
+        tiles.append(tile)
+        return tile
+
+    bbox = BoundingBox.of(points[perm[start:stop]])
+    dim = bbox.largest_dimension()
+    _sort_by_dimension(perm, points, start, stop, dim)
+
+    size_left = nb * math.ceil(nt / 2)  # tile-aligned pseudo-bisection
+    mid = start + size_left
+    node = ClusterTree(start=start, stop=stop, bbox=bbox, perm=perm, points=points, level=level)
+    left = _ntiles_split(points, perm, start, mid, nb, leaf_size, level + 1, tiles)
+    right = _ntiles_split(points, perm, mid, stop, nb, leaf_size, level + 1, tiles)
+    node.children = [left, right]
+    return node
+
+
+def ntiles_recursive(
+    points: np.ndarray,
+    nb: int,
+    *,
+    leaf_size: int = 64,
+) -> tuple[ClusterTree, list[ClusterTree]]:
+    """Build the Tile-H cluster tree (paper Algorithm 2).
+
+    Parameters
+    ----------
+    points:
+        (n, dim) coordinates.
+    nb:
+        Desired tile size ``NB``.  All tiles hold exactly ``nb`` unknowns
+        except possibly the last one (the "padding" tile CHAMELEON allows).
+    leaf_size:
+        Leaf size for the per-tile median-bisection refinement.
+
+    Returns
+    -------
+    (root, tiles):
+        ``root`` is the full cluster tree; ``tiles`` lists the ``nt`` clusters
+        that form the regular tile partition, in permutation order — these are
+        the row/column clusters of the Tile-H layout.
+    """
+    pts = np.ascontiguousarray(points, dtype=np.float64)
+    if pts.ndim != 2:
+        raise ValueError(f"points must be (n, dim), got {pts.shape}")
+    n = pts.shape[0]
+    if n == 0:
+        raise ValueError("cannot cluster zero points")
+    if nb < 1:
+        raise ValueError(f"tile size nb must be >= 1, got {nb}")
+    if leaf_size < 1:
+        raise ValueError(f"leaf_size must be >= 1, got {leaf_size}")
+    perm = np.arange(n, dtype=np.int64)
+    tiles: list[ClusterTree] = []
+    root = _ntiles_split(pts, perm, 0, n, nb, leaf_size, 0, tiles)
+    tiles.sort(key=lambda t: t.start)
+    return root, tiles
+
+
+def tile_roots(root: ClusterTree, nb: int) -> list[ClusterTree]:
+    """Recover the tile-level clusters of an ``ntiles_recursive`` tree.
+
+    The tile roots are the shallowest nodes whose size is at most ``nb``;
+    provided for consumers that only kept the root.
+    """
+    out: list[ClusterTree] = []
+
+    def visit(node: ClusterTree) -> None:
+        if node.size <= nb:
+            out.append(node)
+            return
+        if node.is_leaf:
+            raise ValueError(
+                f"leaf of size {node.size} > nb={nb}: tree was not built by ntiles_recursive"
+            )
+        for c in node.children:
+            visit(c)
+
+    visit(root)
+    out.sort(key=lambda t: t.start)
+    return out

@@ -1,0 +1,244 @@
+"""Low-rank (``Rk``) blocks and truncated ("rounded") arithmetic.
+
+An admissible block is stored as ``A ~= U @ V.T`` with ``U`` (m x k) and ``V``
+(n x k).  Every operation that could grow the rank (addition, products) is
+followed by *recompression to the accuracy* ``eps`` via the standard
+QR+QR+SVD rounding, which is what keeps H-arithmetic log-linear (Section II-A
+of the paper).
+
+Note the transpose (not conjugate-transpose) convention: the BEM test kernels
+are complex-symmetric, and carrying plain ``V.T`` keeps real and complex code
+paths identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.linalg import qr, svd
+
+__all__ = ["RkMatrix", "truncate_svd", "compress_dense", "compress_dense_rsvd"]
+
+
+@dataclass
+class RkMatrix:
+    """Rank-k representation ``A ~= u @ v.T``.
+
+    ``u`` has shape (m, k), ``v`` shape (n, k); ``k`` may be 0 (exact zero
+    block).  Arrays are owned (callers must not mutate them afterwards).
+    """
+
+    u: np.ndarray
+    v: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.u.ndim != 2 or self.v.ndim != 2:
+            raise ValueError("u and v must be 2-D")
+        if self.u.shape[1] != self.v.shape[1]:
+            raise ValueError(
+                f"rank mismatch: u has {self.u.shape[1]} columns, v has {self.v.shape[1]}"
+            )
+
+    # -- constructors -------------------------------------------------------
+    @classmethod
+    def zeros(cls, m: int, n: int, dtype=np.float64) -> "RkMatrix":
+        """The exact zero block (rank 0)."""
+        return cls(np.zeros((m, 0), dtype=dtype), np.zeros((n, 0), dtype=dtype))
+
+    # -- basic queries -------------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self.u.shape[0], self.v.shape[0])
+
+    @property
+    def rank(self) -> int:
+        return self.u.shape[1]
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.u.dtype
+
+    @property
+    def storage(self) -> int:
+        """Number of stored scalars (the compression-ratio numerator)."""
+        return self.u.size + self.v.size
+
+    def to_dense(self) -> np.ndarray:
+        if self.rank == 0:
+            return np.zeros(self.shape, dtype=self.dtype)
+        return self.u @ self.v.T
+
+    def copy(self) -> "RkMatrix":
+        return RkMatrix(self.u.copy(), self.v.copy())
+
+    def norm_fro(self) -> float:
+        """Frobenius norm computed in O((m+n) k^2) without densifying."""
+        if self.rank == 0:
+            return 0.0
+        # ||U V^T||_F^2 = trace((U^H U) conj(V^H V)) with Gram matrices.
+        gu = self.u.conj().T @ self.u
+        gv = self.v.conj().T @ self.v
+        val = float(np.einsum("ij,ji->", gu, gv.conj()).real)
+        # Tiny negative values are roundoff in the Gram products.
+        return float(np.sqrt(max(val, 0.0)))
+
+    # -- linear maps ----------------------------------------------------------
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """``A @ x`` in O((m+n) k) per column of ``x``."""
+        if self.rank == 0:
+            out_shape = (self.shape[0],) + np.asarray(x).shape[1:]
+            return np.zeros(out_shape, dtype=np.promote_types(self.dtype, np.asarray(x).dtype))
+        return self.u @ (self.v.T @ x)
+
+    def rmatvec(self, y: np.ndarray) -> np.ndarray:
+        """``A.T @ y`` (plain transpose, matching the storage convention)."""
+        if self.rank == 0:
+            out_shape = (self.shape[1],) + np.asarray(y).shape[1:]
+            return np.zeros(out_shape, dtype=np.promote_types(self.dtype, np.asarray(y).dtype))
+        return self.v @ (self.u.T @ y)
+
+    def transpose(self) -> "RkMatrix":
+        return RkMatrix(self.v.copy(), self.u.copy())
+
+    def scale(self, alpha) -> "RkMatrix":
+        """Return ``alpha * A`` (rank unchanged)."""
+        if self.rank == 0:
+            return self.copy()
+        return RkMatrix(alpha * self.u, self.v.copy())
+
+    # -- rank-growing ops (with rounding) --------------------------------------
+    def truncate(self, eps: float, max_rank: int | None = None) -> "RkMatrix":
+        """Recompress to relative accuracy ``eps`` (QR+QR+SVD rounding)."""
+        return _truncate_rk(self, eps, max_rank)
+
+    def add(self, other: "RkMatrix", eps: float, max_rank: int | None = None) -> "RkMatrix":
+        """Rounded addition: ``trunc_eps(self + other)``."""
+        if self.shape != other.shape:
+            raise ValueError(f"shape mismatch: {self.shape} vs {other.shape}")
+        if other.rank == 0:
+            return self.truncate(eps, max_rank) if max_rank is not None else self.copy()
+        if self.rank == 0:
+            return other.truncate(eps, max_rank) if max_rank is not None else other.copy()
+        dtype = np.promote_types(self.dtype, other.dtype)
+        u = np.hstack([self.u.astype(dtype, copy=False), other.u.astype(dtype, copy=False)])
+        v = np.hstack([self.v.astype(dtype, copy=False), other.v.astype(dtype, copy=False)])
+        return _truncate_rk(RkMatrix(u, v), eps, max_rank)
+
+
+def _truncate_rk(rk: RkMatrix, eps: float, max_rank: int | None = None) -> RkMatrix:
+    """QR+QR+SVD rounding of an Rk block to relative Frobenius accuracy eps."""
+    if eps < 0:
+        raise ValueError(f"eps must be non-negative, got {eps}")
+    m, n = rk.shape
+    k = rk.rank
+    if k == 0:
+        return rk.copy()
+    limit = min(m, n, k)
+    qu, ru = qr(rk.u, mode="economic", check_finite=False)
+    qv, rv = qr(rk.v, mode="economic", check_finite=False)
+    core = ru @ rv.T
+    w, s, zh = svd(core, full_matrices=False, check_finite=False)
+    new_rank = _truncation_rank(s, eps)
+    if max_rank is not None:
+        new_rank = min(new_rank, max_rank)
+    new_rank = min(new_rank, limit)
+    # core = W S Zh, so A = (Qu W S) (Zh Qv^T): u = Qu W S, v = Qv Zh^T.
+    u = qu @ (w[:, :new_rank] * s[:new_rank])
+    v = qv @ zh[:new_rank].T
+    return RkMatrix(np.ascontiguousarray(u), np.ascontiguousarray(v))
+
+
+def _truncation_rank(s: np.ndarray, eps: float) -> int:
+    """Smallest rank r with ||tail||_F <= eps * ||s||_F (relative Frobenius)."""
+    if s.size == 0:
+        return 0
+    total = float(np.sum(s * s))
+    if total == 0.0:
+        return 0
+    # tail[r] = sum_{i >= r} s_i^2; keep the smallest r whose tail fits.
+    tail = np.cumsum((s * s)[::-1])[::-1]
+    keep = tail > (eps * eps) * total
+    if keep.all():
+        return int(s.size)
+    return int(np.argmin(keep))  # index of the first False
+
+
+def truncate_svd(a: np.ndarray, eps: float, max_rank: int | None = None) -> tuple[np.ndarray, np.ndarray]:
+    """Best low-rank factors of a dense block to relative accuracy ``eps``.
+
+    Returns ``(u, v)`` with ``a ~= u @ v.T`` and ``||a - u v^T||_F <=
+    eps ||a||_F`` (Frobenius-relative, per the paper's accuracy parameter).
+    """
+    if a.size == 0:
+        return (
+            np.zeros((a.shape[0], 0), dtype=a.dtype),
+            np.zeros((a.shape[1], 0), dtype=a.dtype),
+        )
+    w, s, zh = svd(a, full_matrices=False, check_finite=False)
+    r = _truncation_rank(s, eps)
+    if max_rank is not None:
+        r = min(r, max_rank)
+    u = w[:, :r] * s[:r]
+    v = zh[:r].T
+    return np.ascontiguousarray(u), np.ascontiguousarray(v)
+
+
+def compress_dense(a: np.ndarray, eps: float, max_rank: int | None = None) -> RkMatrix:
+    """SVD-compress a dense block into an :class:`RkMatrix`."""
+    u, v = truncate_svd(np.asarray(a), eps, max_rank)
+    return RkMatrix(u, v)
+
+
+def compress_dense_rsvd(
+    a: np.ndarray,
+    eps: float,
+    *,
+    max_rank: int | None = None,
+    oversampling: int = 8,
+    n_iter: int = 1,
+    seed: int = 0,
+) -> RkMatrix:
+    """Randomized-SVD compression (Halko/Martinsson/Tropp range finder).
+
+    The randomized alternative the paper cites ([21]) for reducing the cost
+    of truncation: sample the range with a Gaussian sketch, orthonormalise
+    (with ``n_iter`` power iterations for spectra with slow decay), then run
+    the small exact SVD on the projected block.  The achieved rank adapts to
+    ``eps``: the sketch width doubles until the residual tolerance is met or
+    ``min(m, n)`` is reached.
+    """
+    a = np.asarray(a)
+    m, n = a.shape
+    if a.size == 0 or not np.any(a):
+        return RkMatrix.zeros(m, n, dtype=a.dtype)
+    rng = np.random.default_rng(seed)
+    norm_a = float(np.linalg.norm(a))
+    limit = min(m, n)
+    width = min(limit, max(8, oversampling))
+    while True:
+        omega = rng.standard_normal((n, width))
+        if np.iscomplexobj(a):
+            omega = omega + 1j * rng.standard_normal((n, width))
+        y = a @ omega
+        q, _ = qr(y, mode="economic", check_finite=False)
+        for _ in range(n_iter):
+            # Subspace iteration with re-orthonormalisation: plain power
+            # iterations of (A A^H) lose the small singular directions to
+            # roundoff.
+            z, _ = qr(a.conj().T @ q, mode="economic", check_finite=False)
+            q, _ = qr(a @ z, mode="economic", check_finite=False)
+        b = q.conj().T @ a
+        resid = float(np.sqrt(max(norm_a**2 - np.linalg.norm(b) ** 2, 0.0)))
+        if resid <= eps * norm_a:
+            break
+        if width >= limit:
+            # Sketching cannot certify the tolerance: fall back to the exact
+            # SVD (the block is dense in hand anyway).
+            return compress_dense(a, eps, max_rank)
+        width = min(limit, 2 * width)
+    u_small, v = truncate_svd(b, eps, max_rank)
+    u = q @ u_small
+    if max_rank is not None and u.shape[1] > max_rank:
+        u, v = u[:, :max_rank], v[:, :max_rank]
+    return RkMatrix(np.ascontiguousarray(u), np.ascontiguousarray(v))

@@ -1,0 +1,121 @@
+"""Bulk-synchronous execution model (the related-work OpenMP baseline).
+
+Before StarPU-style task flow, H-LU parallelisations used OpenMP loops with
+a barrier per algorithmic stage — the paper's Section III: "These solutions
+realized a bulk-synchronous parallelism that was limited by synchronizations
+at each level of the H-Structure."  This module replays a task DAG under
+exactly that constraint: tasks are grouped into *stages* (by default the
+DAG's longest-path depth, which matches loop-level parallelism), each stage
+is list-scheduled on ``p`` workers, and a barrier separates stages.
+
+Comparing :func:`simulate_bulk_synchronous` with
+:func:`~repro.runtime.simulator.simulate` quantifies how much the
+dependencies-only STF model gains by letting stages overlap.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable
+
+from .dag import TaskGraph
+from .simulator import RuntimeOverheadModel, SimulationResult
+from .task import Task
+from .trace import ExecutionTrace, TraceEvent
+
+__all__ = ["simulate_bulk_synchronous", "depth_stages"]
+
+
+def depth_stages(graph: TaskGraph) -> dict[int, int]:
+    """Stage index per task: its longest-path depth in the DAG.
+
+    Tasks at equal depth could run in the same parallel loop; a barrier
+    between depths is the bulk-synchronous constraint.
+    """
+    depth: dict[int, int] = {}
+    for t in graph.topological_order():
+        depth[t.id] = max((depth[d] + 1 for d in t.deps), default=0)
+    return depth
+
+
+def simulate_bulk_synchronous(
+    graph: TaskGraph,
+    nworkers: int,
+    *,
+    stage_of: Callable[[Task], int] | None = None,
+    overheads: RuntimeOverheadModel | None = None,
+    cost_attr: str = "seconds",
+    cost_scale: float = 1.0,
+    barrier_cost: float = 0.0,
+    keep_trace: bool = True,
+) -> SimulationResult:
+    """Replay ``graph`` stage-by-stage with a barrier between stages.
+
+    Parameters
+    ----------
+    stage_of:
+        Maps a task to its stage index; defaults to DAG depth
+        (:func:`depth_stages`).  Any grouping that respects dependencies
+        (stage(pred) <= stage(succ)) is valid; the function checks this.
+    barrier_cost:
+        Extra seconds per barrier (fork/join overhead of the OpenMP model).
+
+    Returns
+    -------
+    SimulationResult
+        With ``scheduler`` set to "bulk-sync"; makespan is the sum of
+        stage makespans (LPT within each stage) plus barrier costs.
+    """
+    if nworkers < 1:
+        raise ValueError(f"nworkers must be >= 1, got {nworkers}")
+    if barrier_cost < 0:
+        raise ValueError("barrier_cost must be non-negative")
+    ovh = overheads if overheads is not None else RuntimeOverheadModel()
+    n = len(graph.tasks)
+    trace = ExecutionTrace(nworkers=nworkers) if keep_trace else None
+    if n == 0:
+        return SimulationResult(0.0, nworkers, "bulk-sync", 0.0, 0.0, trace)
+
+    depths = depth_stages(graph)
+    stage = {t.id: (stage_of(t) if stage_of else depths[t.id]) for t in graph.tasks}
+    for t in graph.tasks:
+        for d in t.deps:
+            if stage[d] >= stage[t.id]:
+                raise ValueError(
+                    f"stage assignment violates dependency {d} -> {t.id} "
+                    f"(stages {stage[d]} >= {stage[t.id]})"
+                )
+
+    def duration(task: Task) -> float:
+        return task.cost(cost_attr) * cost_scale + ovh.task_overhead(task.n_deps)
+
+    by_stage: dict[int, list[Task]] = {}
+    for t in graph.tasks:
+        by_stage.setdefault(stage[t.id], []).append(t)
+
+    now = 0.0
+    for s in sorted(by_stage):
+        # LPT list scheduling within the stage.
+        tasks = sorted(by_stage[s], key=lambda t: -duration(t))
+        free = [(now, w) for w in range(nworkers)]
+        heapq.heapify(free)
+        stage_end = now
+        for t in tasks:
+            start, w = heapq.heappop(free)
+            end = start + duration(t)
+            heapq.heappush(free, (end, w))
+            stage_end = max(stage_end, end)
+            if trace is not None:
+                trace.add(TraceEvent(t.id, t.kind, w, start, end))
+        now = stage_end + barrier_cost  # the barrier: nothing crosses stages
+
+    total_work = graph.total_work(cost_attr) * cost_scale
+    critical = graph.critical_path(cost_attr) * cost_scale
+    return SimulationResult(
+        makespan=now - (barrier_cost if by_stage else 0.0),
+        nworkers=nworkers,
+        scheduler="bulk-sync",
+        total_work=total_work,
+        critical_path=critical,
+        trace=trace,
+    )

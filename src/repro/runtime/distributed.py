@@ -1,0 +1,278 @@
+"""Distributed-memory execution simulation (the paper's Section VI outlook).
+
+The paper's future work is the distributed case, where "the main challenge
+is to correctly handle communications, when the size of the structures,
+depending on the ranks of matrices, cannot be known statically" and
+"distributed H-Matrices implementations are also known to be largely
+unbalanced".  This module provides the experimentation substrate the paper
+says such work needs:
+
+* tile-to-node **mappings** — 1-D/2-D block-cyclic (the dense-linear-algebra
+  classics) and a greedy storage-balancing heuristic;
+* a **distributed discrete-event simulator**: tasks execute on their owner
+  node's workers; a dependency crossing nodes delays the consumer by
+  ``latency + bytes / bandwidth``, with the actual (rank-dependent) tile
+  sizes supplying the byte counts — exactly the "cannot be known statically"
+  data volumes;
+* per-node load/communication accounting to quantify the imbalance.
+
+Owner-computes rule: a task runs on the node that owns its first written
+handle.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+
+from .dag import TaskGraph
+from .task import Task
+
+__all__ = [
+    "DistributedMachine",
+    "DistributedResult",
+    "block_cyclic_1d",
+    "block_cyclic_2d",
+    "greedy_balanced",
+    "simulate_distributed",
+    "tile_h_distribution",
+]
+
+
+@dataclass(frozen=True)
+class DistributedMachine:
+    """A homogeneous cluster: ``nodes`` x ``workers_per_node`` cores.
+
+    ``latency`` (seconds) and ``bandwidth`` (bytes/second) parameterise the
+    network; defaults approximate a commodity InfiniBand fabric.
+    """
+
+    nodes: int
+    workers_per_node: int = 18
+    latency: float = 2e-6
+    bandwidth: float = 10e9
+
+    def __post_init__(self) -> None:
+        if self.nodes < 1 or self.workers_per_node < 1:
+            raise ValueError("nodes and workers_per_node must be >= 1")
+        if self.latency < 0 or self.bandwidth <= 0:
+            raise ValueError("latency must be >= 0 and bandwidth > 0")
+
+    def comm_seconds(self, nbytes: float) -> float:
+        return self.latency + nbytes / self.bandwidth
+
+
+# ---------------------------------------------------------------------------
+# Tile mappings
+# ---------------------------------------------------------------------------
+
+def block_cyclic_1d(nt: int, nodes: int) -> dict[tuple[int, int], int]:
+    """Row-cyclic: tile (i, j) lives on node ``i mod nodes``."""
+    if nt < 1 or nodes < 1:
+        raise ValueError("nt and nodes must be >= 1")
+    return {(i, j): i % nodes for i in range(nt) for j in range(nt)}
+
+
+def block_cyclic_2d(nt: int, p: int, q: int) -> dict[tuple[int, int], int]:
+    """2-D block-cyclic over a ``p x q`` process grid (ScaLAPACK style)."""
+    if nt < 1 or p < 1 or q < 1:
+        raise ValueError("nt, p and q must be >= 1")
+    return {(i, j): (i % p) * q + (j % q) for i in range(nt) for j in range(nt)}
+
+
+def greedy_balanced(
+    tile_bytes: dict[tuple[int, int], float], nodes: int
+) -> dict[tuple[int, int], int]:
+    """Greedy storage balancing: heaviest tile to the lightest node.
+
+    A baseline load-balancing heuristic for the rank-dependent tile sizes
+    that make block-cyclic H-distributions unbalanced.
+    """
+    if nodes < 1:
+        raise ValueError("nodes must be >= 1")
+    loads = [(0.0, node) for node in range(nodes)]
+    heapq.heapify(loads)
+    mapping: dict[tuple[int, int], int] = {}
+    for key, nbytes in sorted(tile_bytes.items(), key=lambda kv: -kv[1]):
+        load, node = heapq.heappop(loads)
+        mapping[key] = node
+        heapq.heappush(loads, (load + nbytes, node))
+    return mapping
+
+
+def tile_h_distribution(
+    graph: TaskGraph,
+    tile_mapping: dict[tuple[int, int], int],
+) -> tuple[dict[int, int], dict[int, float]]:
+    """Derive (handle -> node, handle -> bytes) for a tiled-LU task graph.
+
+    The tiled algorithms name their handles ``A[i,j]`` and attach the
+    :class:`~repro.core.descriptor.Tile` as the handle payload, so both maps
+    fall out of a scan over the graph's accesses.  Tile byte counts use the
+    *actual* compressed storage — the rank-dependent message sizes the
+    paper's Section VI highlights.
+    """
+    handle_node: dict[int, int] = {}
+    handle_bytes: dict[int, float] = {}
+    for task in graph.tasks:
+        for handle, _ in task.accesses:
+            if handle.id in handle_node:
+                continue
+            name = handle.name
+            if not (name.startswith("A[") and name.endswith("]")):
+                raise ValueError(f"handle {name!r} is not a tile handle")
+            i, j = (int(s) for s in name[2:-1].split(","))
+            handle_node[handle.id] = tile_mapping[(i, j)]
+            payload = handle.payload
+            if payload is not None and hasattr(payload, "storage"):
+                itemsize = payload.dtype.itemsize
+                handle_bytes[handle.id] = float(payload.storage() * itemsize)
+    return handle_node, handle_bytes
+
+
+# ---------------------------------------------------------------------------
+# Distributed simulation
+# ---------------------------------------------------------------------------
+
+@dataclass
+class DistributedResult:
+    """Outcome of one simulated distributed execution."""
+
+    makespan: float
+    machine: DistributedMachine
+    node_busy: list[float]
+    node_comm_bytes: list[float]
+    total_comm_bytes: float
+    n_messages: int
+
+    @property
+    def load_imbalance(self) -> float:
+        """max node busy-time over mean (1.0 = perfectly balanced)."""
+        if not self.node_busy or max(self.node_busy) == 0.0:
+            return 1.0
+        mean = sum(self.node_busy) / len(self.node_busy)
+        return max(self.node_busy) / mean if mean > 0 else float("inf")
+
+
+def _task_node(task: Task, handle_node: dict[int, int]) -> int:
+    """Owner-computes: node of the first written handle (else first read)."""
+    for handle, mode in task.accesses:
+        if mode.writes and handle.id in handle_node:
+            return handle_node[handle.id]
+    for handle, _ in task.accesses:
+        if handle.id in handle_node:
+            return handle_node[handle.id]
+    return 0
+
+
+def simulate_distributed(
+    graph: TaskGraph,
+    handle_node: dict[int, int],
+    machine: DistributedMachine,
+    *,
+    handle_bytes: dict[int, float] | None = None,
+    cost_attr: str = "seconds",
+    cost_scale: float = 1.0,
+) -> DistributedResult:
+    """Replay ``graph`` on a distributed machine.
+
+    Parameters
+    ----------
+    handle_node:
+        ``DataHandle.id`` -> owning node.  Tasks run where their written
+        data lives (owner computes).
+    handle_bytes:
+        ``DataHandle.id`` -> payload size; a cross-node edge transferring
+        handle ``h`` costs ``machine.comm_seconds(handle_bytes[h])``.
+        Missing entries transfer in ``latency`` alone.
+    """
+    n = len(graph.tasks)
+    if n == 0:
+        return DistributedResult(0.0, machine, [0.0] * machine.nodes, [0.0] * machine.nodes, 0.0, 0)
+    hbytes = handle_bytes or {}
+    owner = {t.id: _task_node(t, handle_node) for t in graph.tasks}
+    for t in graph.tasks:
+        if not (0 <= owner[t.id] < machine.nodes):
+            raise ValueError(f"task #{t.id} mapped to node {owner[t.id]} out of range")
+
+    # Bytes moved along a dependency edge (producer -> consumer): the data
+    # the consumer reads among the producer's writes.
+    def edge_bytes(producer: Task, consumer: Task) -> float:
+        written = {h.id for h, m in producer.accesses if m.writes}
+        total = 0.0
+        for h, m in consumer.accesses:
+            if m.reads and h.id in written:
+                total += hbytes.get(h.id, 0.0)
+        return total
+
+    indeg = {t.id: len(t.deps) for t in graph.tasks}
+    ready_time = {t.id: 0.0 for t in graph.tasks}
+    node_busy = [0.0] * machine.nodes
+    node_comm = [0.0] * machine.nodes
+    total_comm = 0.0
+    n_messages = 0
+
+    # Per-node ready heaps (priority, seq, task) of tasks whose data arrived.
+    queues: list[list] = [[] for _ in range(machine.nodes)]
+    idle = [machine.workers_per_node] * machine.nodes
+    seq = itertools.count()
+    # Event heap: (time, seq, kind, task); kind "arrive" or "finish".
+    events: list = []
+
+    def schedule_arrival(task: Task) -> None:
+        heapq.heappush(events, (ready_time[task.id], next(seq), "arrive", task))
+
+    for t in graph.tasks:
+        if indeg[t.id] == 0:
+            schedule_arrival(t)
+
+    completed = 0
+    makespan = 0.0
+    while completed < n:
+        if not events:
+            raise RuntimeError("distributed simulator deadlock (cyclic graph?)")
+        now = events[0][0]
+        # Drain all events at the current instant.
+        while events and events[0][0] <= now:
+            _, _, kind, task = heapq.heappop(events)
+            if kind == "arrive":
+                heapq.heappush(
+                    queues[owner[task.id]], (-task.priority, next(seq), task)
+                )
+                continue
+            # finish
+            completed += 1
+            makespan = max(makespan, now)
+            src = owner[task.id]
+            idle[src] += 1
+            for sid in task.successors:
+                succ = graph.tasks[sid]
+                avail = now
+                if owner[sid] != src:
+                    nbytes = edge_bytes(task, succ)
+                    avail += machine.comm_seconds(nbytes)
+                    node_comm[src] += nbytes
+                    total_comm += nbytes
+                    n_messages += 1
+                ready_time[sid] = max(ready_time[sid], avail)
+                indeg[sid] -= 1
+                if indeg[sid] == 0:
+                    schedule_arrival(succ)
+        # Start work on every node with idle workers and queued tasks.
+        for node in range(machine.nodes):
+            while idle[node] > 0 and queues[node]:
+                _, _, task = heapq.heappop(queues[node])
+                idle[node] -= 1
+                dur = task.cost(cost_attr) * cost_scale
+                node_busy[node] += dur
+                heapq.heappush(events, (now + dur, next(seq), "finish", task))
+
+    return DistributedResult(
+        makespan=makespan,
+        machine=machine,
+        node_busy=node_busy,
+        node_comm_bytes=node_comm,
+        total_comm_bytes=total_comm,
+        n_messages=n_messages,
+    )

@@ -1,0 +1,216 @@
+"""Scheduling policies (Section V-C of the paper).
+
+Three StarPU strategies are modelled with the exact semantics the paper
+describes, plus a plain FIFO baseline:
+
+* ``ws`` — *work stealing*: one queue per worker; a ready task is queued on
+  the worker that released it; an idle worker steals from the most loaded
+  worker.
+* ``lws`` — *locality work stealing*: like ``ws`` but queues are sorted by
+  task priority and stealing proceeds over neighbouring workers.
+* ``prio`` — a single central queue sorted by decreasing priority; all
+  workers pull from it.  (Its global queue is why the paper sees contention
+  on small problems.)
+* ``eager`` — central FIFO, no priorities (ablation baseline).
+
+Schedulers are driven in *virtual time* by the simulator: ``push(task, w)``
+when a task becomes ready (``w`` = the worker that released it, or ``None``
+for source tasks), ``pop(w)`` when worker ``w`` is idle.  All policies are
+deterministic: ties break on submission order.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections import deque
+
+from .task import Task
+
+__all__ = [
+    "Scheduler",
+    "EagerScheduler",
+    "DequeModelScheduler",
+    "PrioScheduler",
+    "WorkStealingScheduler",
+    "LocalityWorkStealingScheduler",
+    "make_scheduler",
+    "SCHEDULER_NAMES",
+]
+
+
+class Scheduler:
+    """Virtual-time scheduler interface used by the simulator."""
+
+    name = "abstract"
+
+    def setup(self, nworkers: int) -> None:
+        """Reset internal state for a run on ``nworkers`` workers."""
+        raise NotImplementedError
+
+    def push(self, task: Task, worker: int | None) -> None:
+        """A task became ready; ``worker`` released it (None for sources)."""
+        raise NotImplementedError
+
+    def pop(self, worker: int) -> Task | None:
+        """Idle ``worker`` requests work; None if nothing is available."""
+        raise NotImplementedError
+
+    def pending(self) -> int:
+        """Number of queued (ready, unassigned) tasks."""
+        raise NotImplementedError
+
+
+class EagerScheduler(Scheduler):
+    """Central FIFO queue, no priorities (StarPU's ``eager``)."""
+
+    name = "eager"
+
+    def setup(self, nworkers: int) -> None:
+        self._queue: deque[Task] = deque()
+
+    def push(self, task: Task, worker: int | None) -> None:
+        self._queue.append(task)
+
+    def pop(self, worker: int) -> Task | None:
+        return self._queue.popleft() if self._queue else None
+
+    def pending(self) -> int:
+        return len(self._queue)
+
+
+class PrioScheduler(Scheduler):
+    """Single central queue sorted by decreasing priority (``prio``)."""
+
+    name = "prio"
+
+    def setup(self, nworkers: int) -> None:
+        self._heap: list[tuple[int, int, Task]] = []
+        self._seq = itertools.count()
+
+    def push(self, task: Task, worker: int | None) -> None:
+        heapq.heappush(self._heap, (-task.priority, next(self._seq), task))
+
+    def pop(self, worker: int) -> Task | None:
+        if not self._heap:
+            return None
+        return heapq.heappop(self._heap)[2]
+
+    def pending(self) -> int:
+        return len(self._heap)
+
+
+class WorkStealingScheduler(Scheduler):
+    """Per-worker FIFO queues with steal-from-most-loaded (``ws``)."""
+
+    name = "ws"
+
+    def setup(self, nworkers: int) -> None:
+        if nworkers < 1:
+            raise ValueError("need at least one worker")
+        self.nworkers = nworkers
+        self._queues: list[deque[Task]] = [deque() for _ in range(nworkers)]
+        self._rr = itertools.count()  # round-robin for source tasks
+
+    def push(self, task: Task, worker: int | None) -> None:
+        w = worker if worker is not None else next(self._rr) % self.nworkers
+        self._queues[w].append(task)
+
+    def pop(self, worker: int) -> Task | None:
+        own = self._queues[worker]
+        if own:
+            return own.popleft()
+        # Steal from the most loaded worker.
+        victim = max(range(self.nworkers), key=lambda w: len(self._queues[w]))
+        if self._queues[victim]:
+            # Steal from the opposite end to preserve the victim's locality.
+            return self._queues[victim].pop()
+        return None
+
+    def pending(self) -> int:
+        return sum(len(q) for q in self._queues)
+
+
+class LocalityWorkStealingScheduler(Scheduler):
+    """Per-worker priority queues with neighbour stealing (``lws``)."""
+
+    name = "lws"
+
+    def setup(self, nworkers: int) -> None:
+        if nworkers < 1:
+            raise ValueError("need at least one worker")
+        self.nworkers = nworkers
+        self._heaps: list[list[tuple[int, int, Task]]] = [[] for _ in range(nworkers)]
+        self._seq = itertools.count()
+        self._rr = itertools.count()
+
+    def push(self, task: Task, worker: int | None) -> None:
+        w = worker if worker is not None else next(self._rr) % self.nworkers
+        heapq.heappush(self._heaps[w], (-task.priority, next(self._seq), task))
+
+    def pop(self, worker: int) -> Task | None:
+        if self._heaps[worker]:
+            return heapq.heappop(self._heaps[worker])[2]
+        # Visit neighbours in ring distance order: w+1, w-1, w+2, ...
+        for dist in range(1, self.nworkers):
+            for cand in ((worker + dist) % self.nworkers, (worker - dist) % self.nworkers):
+                if self._heaps[cand]:
+                    return heapq.heappop(self._heaps[cand])[2]
+        return None
+
+    def pending(self) -> int:
+        return sum(len(h) for h in self._heaps)
+
+
+class DequeModelScheduler(Scheduler):
+    """Cost-aware central queue (StarPU's ``dm`` family, homogeneous case).
+
+    With homogeneous workers the deque-model policy reduces to serving the
+    most expensive ready task first (longest-processing-time list
+    scheduling), using each task's performance-model estimate — here the
+    measured/modelled cost itself.  Ties break on priority, then FIFO.
+    """
+
+    name = "dm"
+
+    def __init__(self, cost_attr: str = "seconds") -> None:
+        self.cost_attr = cost_attr
+
+    def setup(self, nworkers: int) -> None:
+        self._heap: list[tuple[float, int, int, Task]] = []
+        self._seq = itertools.count()
+
+    def push(self, task: Task, worker: int | None) -> None:
+        heapq.heappush(
+            self._heap,
+            (-task.cost(self.cost_attr), -task.priority, next(self._seq), task),
+        )
+
+    def pop(self, worker: int) -> Task | None:
+        if not self._heap:
+            return None
+        return heapq.heappop(self._heap)[3]
+
+    def pending(self) -> int:
+        return len(self._heap)
+
+
+_REGISTRY = {
+    "eager": EagerScheduler,
+    "prio": PrioScheduler,
+    "ws": WorkStealingScheduler,
+    "lws": LocalityWorkStealingScheduler,
+    "dm": DequeModelScheduler,
+}
+
+#: Names accepted by :func:`make_scheduler`, in the paper's order (the
+#: paper's three strategies first, then the extras).
+SCHEDULER_NAMES = ("ws", "lws", "prio", "eager", "dm")
+
+
+def make_scheduler(name: str) -> Scheduler:
+    """Instantiate a scheduler by its StarPU policy name."""
+    try:
+        return _REGISTRY[name]()
+    except KeyError:
+        raise ValueError(f"unknown scheduler {name!r}; available: {sorted(_REGISTRY)}") from None

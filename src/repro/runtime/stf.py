@@ -1,0 +1,115 @@
+"""Sequential-task-flow engine (StarPU's submission model).
+
+``insert_task`` mirrors ``starpu_task_insert``: a kernel plus ``(handle,
+mode)`` accesses.  Dependencies are inferred from the access sequence:
+
+* a reader depends on the handle's last writer;
+* a writer depends on the last writer *and* every reader since then.
+
+Two execution modes:
+
+* ``eager`` (default) — the kernel runs immediately (sound numerics, correct
+  sequential order) and its wall time is recorded as the task cost; the DAG
+  is then replayed on virtual workers by the simulator.
+* ``deferred`` — kernels are stored as closures for a real (threaded)
+  executor; used on genuinely multicore hosts.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable
+
+from .dag import TaskGraph
+from .task import AccessMode, DataHandle, Task
+
+__all__ = ["StfEngine"]
+
+
+class StfEngine:
+    """Builds a :class:`TaskGraph` from sequential task submissions."""
+
+    def __init__(self, mode: str = "eager") -> None:
+        if mode not in ("eager", "deferred"):
+            raise ValueError(f"mode must be 'eager' or 'deferred', got {mode!r}")
+        self.mode = mode
+        self.graph = TaskGraph()
+        self._handles: dict[int, DataHandle] = {}
+
+    # -- handle management -------------------------------------------------
+    def handle(self, payload: Any, name: str = "") -> DataHandle:
+        """Get-or-create the handle registered for ``payload`` (by identity)."""
+        key = id(payload)
+        h = self._handles.get(key)
+        if h is None:
+            h = DataHandle(name=name, payload=payload)
+            self._handles[key] = h
+        return h
+
+    @property
+    def n_handles(self) -> int:
+        return len(self._handles)
+
+    # -- submission -----------------------------------------------------------
+    def insert_task(
+        self,
+        kind: str,
+        func: Callable[[], Any] | None,
+        accesses: list[tuple[DataHandle, AccessMode]],
+        *,
+        priority: int = 0,
+        seconds: float | None = None,
+        flops: float = 0.0,
+        label: str = "",
+    ) -> Task:
+        """Submit one task; returns the created graph node.
+
+        In eager mode ``func`` runs now and its measured time becomes the
+        task cost unless an explicit ``seconds`` is given (pre-traced tasks
+        pass ``func=None`` with explicit costs).
+        """
+        task = self.graph.new_task(
+            kind,
+            accesses=tuple(accesses),
+            priority=priority,
+            flops=flops,
+            label=label,
+        )
+        self._infer_dependencies(task)
+        if self.mode == "eager":
+            if func is not None:
+                t0 = time.perf_counter()
+                func()
+                elapsed = time.perf_counter() - t0
+                task.seconds = elapsed if seconds is None else seconds
+            else:
+                task.seconds = 0.0 if seconds is None else seconds
+        else:
+            task.func = func
+            if seconds is not None:
+                task.seconds = seconds
+        return task
+
+    def _infer_dependencies(self, task: Task) -> None:
+        for handle, mode in task.accesses:
+            if mode.reads and handle.last_writer is not None:
+                self.graph.add_dependency(handle.last_writer, task)
+            if mode.writes:
+                if handle.last_writer is not None:
+                    self.graph.add_dependency(handle.last_writer, task)
+                for reader in handle.readers:
+                    if reader.id != task.id:
+                        self.graph.add_dependency(reader, task)
+        # Second pass so a task reading and writing different handles sees a
+        # consistent post-state.
+        for handle, mode in task.accesses:
+            if mode.writes:
+                handle.last_writer = task
+                handle.readers = []
+            elif mode.reads:
+                handle.readers.append(task)
+
+    def wait_all(self) -> TaskGraph:
+        """Finish the STF section and return the (validated) DAG."""
+        self.graph.validate()
+        return self.graph

@@ -1,0 +1,118 @@
+"""Tasks, data handles, and access modes (the StarPU data model).
+
+A :class:`DataHandle` stands for one piece of user data (a tile, an H-matrix
+node).  Tasks declare ``(handle, mode)`` accesses at submission; the STF
+engine derives dependencies from those declarations exactly like StarPU does,
+so "all the algorithms ... work out of the box" once kernels exist — the
+property the paper's Structure 2 is designed to preserve.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Callable
+
+__all__ = ["AccessMode", "DataHandle", "Task"]
+
+
+class AccessMode(Enum):
+    """Data access declared for one task operand (StarPU's R/W/RW)."""
+
+    R = "R"
+    W = "W"
+    RW = "RW"
+
+    @property
+    def writes(self) -> bool:
+        return self is not AccessMode.R
+
+    @property
+    def reads(self) -> bool:
+        return self is not AccessMode.W
+
+
+_handle_counter = itertools.count()
+
+
+class DataHandle:
+    """Runtime identity of one piece of data.
+
+    Dependency state (last writer / readers since last write) lives on the
+    handle, which makes STF inference O(accesses) per task.
+    """
+
+    __slots__ = ("id", "name", "payload", "last_writer", "readers")
+
+    def __init__(self, name: str = "", payload: Any = None) -> None:
+        self.id = next(_handle_counter)
+        self.name = name or f"data{self.id}"
+        self.payload = payload
+        self.last_writer: "Task | None" = None
+        self.readers: list["Task"] = []
+
+    def reset(self) -> None:
+        """Forget dependency state (new STF section)."""
+        self.last_writer = None
+        self.readers = []
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"DataHandle({self.name!r})"
+
+
+@dataclass
+class Task:
+    """One node of the task graph.
+
+    Attributes
+    ----------
+    id:
+        Dense index within its :class:`~repro.runtime.dag.TaskGraph`.
+    kind:
+        Kernel family ("getrf", "trsm", "gemm", ...); drives priorities and
+        reporting.
+    accesses:
+        Declared ``(handle, mode)`` pairs.
+    priority:
+        Larger runs earlier under priority-aware schedulers.
+    seconds:
+        Measured sequential execution time (the simulator's default cost).
+    flops:
+        Modelled arithmetic work (the deterministic alternative cost).
+    func:
+        The kernel closure; ``None`` once executed eagerly (STF mode) or for
+        replayed/traced tasks.
+    """
+
+    id: int
+    kind: str
+    accesses: tuple = ()
+    priority: int = 0
+    seconds: float = 0.0
+    flops: float = 0.0
+    func: Callable[[], Any] | None = None
+    deps: set = field(default_factory=set)
+    successors: set = field(default_factory=set)
+    label: str = ""
+
+    @property
+    def n_deps(self) -> int:
+        return len(self.deps)
+
+    def cost(self, attr: str = "seconds") -> float:
+        """Cost under the named model ("seconds" or "flops")."""
+        if attr == "seconds":
+            return self.seconds
+        if attr == "flops":
+            return self.flops
+        raise ValueError(f"unknown cost attribute {attr!r}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Task(#{self.id} {self.kind} prio={self.priority})"
+
+    def __hash__(self) -> int:
+        return self.id
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Task) and other.id == self.id

@@ -1,0 +1,118 @@
+"""Execution traces: per-worker timelines, gantt rendering, trace export."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = ["TraceEvent", "ExecutionTrace", "render_gantt", "export_chrome_trace"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One task execution on one (virtual or real) worker."""
+
+    task_id: int
+    kind: str
+    worker: int
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class ExecutionTrace:
+    """Ordered set of :class:`TraceEvent`; provides utilization summaries."""
+
+    nworkers: int
+    events: list[TraceEvent] = field(default_factory=list)
+
+    def add(self, event: TraceEvent) -> None:
+        if not (0 <= event.worker < self.nworkers):
+            raise ValueError(f"worker {event.worker} out of range [0, {self.nworkers})")
+        if event.end < event.start:
+            raise ValueError("event ends before it starts")
+        self.events.append(event)
+
+    @property
+    def makespan(self) -> float:
+        return max((e.end for e in self.events), default=0.0)
+
+    def busy_time(self, worker: int) -> float:
+        return sum(e.duration for e in self.events if e.worker == worker)
+
+    def utilization(self) -> float:
+        """Fraction of worker-time spent executing tasks (1.0 = perfect)."""
+        span = self.makespan
+        if span == 0.0:
+            return 0.0
+        busy = sum(e.duration for e in self.events)
+        return busy / (span * self.nworkers)
+
+    def worker_timelines(self) -> list[list[TraceEvent]]:
+        lanes: list[list[TraceEvent]] = [[] for _ in range(self.nworkers)]
+        for e in self.events:
+            lanes[e.worker].append(e)
+        for lane in lanes:
+            lane.sort(key=lambda e: e.start)
+        return lanes
+
+
+_KIND_CHARS = {"getrf": "G", "trsm": "T", "gemm": "M"}
+
+
+def render_gantt(trace: ExecutionTrace, width: int = 80) -> str:
+    """Text gantt chart: one row per worker, one char per time bucket.
+
+    Kernel kinds map to letters (G/T/M, ``?`` otherwise); idle time prints as
+    ``.``.  Useful to eyeball pipeline stalls that the paper attributes to
+    bulk-synchronous or contention effects.
+    """
+    span = trace.makespan
+    if span == 0.0 or not trace.events:
+        return "(empty trace)"
+    rows = []
+    for w, lane in enumerate(trace.worker_timelines()):
+        row = ["."] * width
+        for e in lane:
+            c0 = int(e.start / span * width)
+            c1 = max(c0 + 1, int(e.end / span * width))
+            ch = _KIND_CHARS.get(e.kind, "?")
+            for c in range(c0, min(c1, width)):
+                row[c] = ch
+        rows.append(f"w{w:02d} |" + "".join(row) + "|")
+    return "\n".join(rows)
+
+
+def export_chrome_trace(trace: ExecutionTrace, path) -> "Path":
+    """Write the trace in Chrome tracing JSON (``chrome://tracing`` /
+    Perfetto), the de-facto replacement for StarPU's Paje traces.
+
+    Workers map to thread ids; times are exported in microseconds.
+    """
+    events = []
+    for e in trace.events:
+        events.append(
+            {
+                "name": f"{e.kind}#{e.task_id}",
+                "cat": e.kind,
+                "ph": "X",
+                "ts": e.start * 1e6,
+                "dur": e.duration * 1e6,
+                "pid": 0,
+                "tid": e.worker,
+            }
+        )
+    payload = {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "metadata": {"nworkers": trace.nworkers},
+    }
+    p = Path(path)
+    p.parent.mkdir(parents=True, exist_ok=True)
+    p.write_text(json.dumps(payload))
+    return p

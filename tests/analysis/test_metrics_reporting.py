@@ -1,0 +1,111 @@
+"""Unit tests for analysis metrics and reporting."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    forward_error,
+    format_table,
+    parallel_efficiency,
+    relative_residual,
+    series_by,
+    speedup_curve,
+    write_csv,
+)
+
+
+class TestForwardError:
+    def test_zero_for_exact(self):
+        x = np.arange(5.0)
+        assert forward_error(x, x) == 0.0
+
+    def test_relative(self):
+        assert forward_error(np.array([1.1]), np.array([1.0])) == pytest.approx(0.1)
+
+    def test_zero_reference(self):
+        assert forward_error(np.array([0.5]), np.zeros(1)) == 0.5
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            forward_error(np.zeros(3), np.zeros(4))
+
+    def test_complex(self):
+        x = np.array([1.0 + 1j])
+        assert forward_error(x * 1.01, x) == pytest.approx(0.01, rel=1e-6)
+
+
+class TestRelativeResidual:
+    def test_exact_solution(self):
+        a = np.diag([2.0, 3.0])
+        x = np.array([1.0, 1.0])
+        b = a @ x
+        assert relative_residual(lambda v: a @ v, x, b) == 0.0
+
+    def test_nonzero(self):
+        a = np.eye(2)
+        res = relative_residual(lambda v: a @ v, np.array([1.0, 0.0]), np.array([0.0, 0.0]))
+        assert res == 1.0
+
+
+class TestSpeedupCurves:
+    def test_speedup(self):
+        s = speedup_curve({1: 10.0, 2: 5.0, 4: 2.5})
+        assert s == {1: 1.0, 2: 2.0, 4: 4.0}
+
+    def test_efficiency(self):
+        e = parallel_efficiency({1: 10.0, 2: 5.0, 4: 5.0})
+        assert e[2] == pytest.approx(1.0)
+        assert e[4] == pytest.approx(0.5)
+
+    def test_needs_serial_reference(self):
+        with pytest.raises(ValueError):
+            speedup_curve({2: 5.0})
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        out = format_table(["a", "bb"], [[1, 2.5], [10, 0.001]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(l) for l in lines)) == 1  # aligned
+
+    def test_title(self):
+        out = format_table(["x"], [[1]], title="T")
+        assert out.splitlines()[0] == "T"
+
+    def test_scientific_formatting(self):
+        out = format_table(["v"], [[1.23e-8]])
+        assert "1.230e-08" in out
+
+    def test_row_width_check(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+
+class TestWriteCsv:
+    def test_roundtrip(self, tmp_path):
+        p = write_csv(tmp_path / "sub" / "out.csv", ["a", "b"], [[1, 2], [3, 4]])
+        text = p.read_text().strip().splitlines()
+        assert text[0] == "a,b"
+        assert text[1:] == ["1,2", "3,4"]
+
+
+class TestSeriesBy:
+    def test_grouping_and_sorting(self):
+        rows = [
+            {"k": "x", "t": 2, "v": 20},
+            {"k": "x", "t": 1, "v": 10},
+            {"k": "y", "t": 1, "v": 5},
+        ]
+        s = series_by(rows, lambda r: r["k"], lambda r: r["t"], lambda r: r["v"])
+        assert s == {"x": [(1, 10), (2, 20)], "y": [(1, 5)]}
+
+    def test_attribute_access(self):
+        from repro.analysis import ParallelRow
+
+        rows = [
+            ParallelRow("ws", "d", 100, 10, 2, 0.5),
+            ParallelRow("ws", "d", 100, 10, 1, 1.0),
+        ]
+        s = series_by(rows, "version", "threads", "seconds")
+        assert s == {"ws": [(1, 1.0), (2, 0.5)]}

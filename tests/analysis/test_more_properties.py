@@ -1,0 +1,70 @@
+"""Additional property-based tests: accumulation and clustering invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hmatrix import RkMatrix, ntiles_recursive
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    terms=st.integers(min_value=2, max_value=8),
+    rank=st.integers(min_value=1, max_value=4),
+)
+def test_property_repeated_rounded_addition_error_accumulates_linearly(seed, terms, rank):
+    """Summing k Rk terms with per-add rounding stays within ~k*eps of exact.
+
+    This is the invariant the trailing Schur updates of the H-LU rely on:
+    truncation errors accumulate additively, not multiplicatively.
+    """
+    eps = 1e-8
+    rng = np.random.default_rng(seed)
+    m, n = 24, 20
+    parts = [
+        RkMatrix(rng.standard_normal((m, rank)), rng.standard_normal((n, rank)))
+        for _ in range(terms)
+    ]
+    acc = RkMatrix.zeros(m, n)
+    exact = np.zeros((m, n))
+    for p in parts:
+        acc = acc.add(p, eps)
+        exact += p.to_dense()
+    err = np.linalg.norm(acc.to_dense() - exact)
+    scale = max(np.linalg.norm(exact), max(np.linalg.norm(p.to_dense()) for p in parts))
+    assert err <= 4 * terms * eps * scale + 1e-12
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=300),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_property_ntiles_nb_one_gives_singletons(n, seed):
+    """NB = 1 degenerates to one cluster per point, still a permutation."""
+    rng = np.random.default_rng(seed)
+    pts = rng.uniform(-1, 1, size=(n, 3))
+    root, tiles = ntiles_recursive(pts, 1)
+    assert len(tiles) == n
+    assert all(t.size == 1 for t in tiles)
+    assert np.array_equal(np.sort(root.perm), np.arange(n))
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    m=st.integers(min_value=1, max_value=25),
+    n=st.integers(min_value=1, max_value=25),
+)
+def test_property_rsvd_matches_svd_storage(seed, m, n):
+    """Randomized compression never stores (much) more than the SVD optimum."""
+    from repro.hmatrix import compress_dense, compress_dense_rsvd
+
+    rng = np.random.default_rng(seed)
+    r = min(m, n, 4)
+    a = rng.standard_normal((m, r)) @ rng.standard_normal((r, n))
+    opt = compress_dense(a, 1e-8)
+    rnd = compress_dense_rsvd(a, 1e-8)
+    assert rnd.rank <= opt.rank + 2
+    assert np.linalg.norm(rnd.to_dense() - a) <= 1e-6 * max(np.linalg.norm(a), 1e-12)

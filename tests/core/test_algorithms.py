@@ -1,0 +1,169 @@
+"""Unit tests for the tiled LU task submission and tile-wise solves."""
+
+import numpy as np
+import pytest
+
+from repro.core import build_tile_h, lu_priorities, tiled_getrf_tasks, tiled_solve
+from repro.geometry import assemble_dense, cylinder_cloud, helmholtz_kernel, laplace_kernel
+from repro.runtime import StfEngine, simulate, RuntimeOverheadModel
+
+N = 400
+NB = 100
+EPS = 1e-7
+
+
+@pytest.fixture()
+def fresh_desc():
+    pts = cylinder_cloud(N)
+    kern = laplace_kernel(pts)
+    desc = build_tile_h(kern, pts, NB, eps=EPS, leaf_size=32)
+    dense = assemble_dense(kern, pts)
+    return pts, kern, desc, dense
+
+
+class TestLuPriorities:
+    def test_ordering_within_iteration(self):
+        nt = 8
+        assert lu_priorities(nt, 0, "getrf") > lu_priorities(nt, 0, "trsm")
+        assert lu_priorities(nt, 0, "trsm") > lu_priorities(nt, 0, "gemm", 3, 3)
+
+    def test_earlier_panels_dominate(self):
+        nt = 8
+        assert lu_priorities(nt, 0, "gemm", 7, 7) > lu_priorities(nt, 2, "gemm", 7, 7)
+        assert lu_priorities(nt, 1, "getrf") > lu_priorities(nt, 0, "gemm", 5, 5)
+
+    def test_next_panel_gemm_urgent(self):
+        nt = 8
+        assert lu_priorities(nt, 2, "gemm", 3, 5) > lu_priorities(nt, 2, "gemm", 4, 5)
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            lu_priorities(4, 0, "potrf")
+
+
+class TestTiledGetrf:
+    def test_task_counts(self, fresh_desc):
+        *_, desc, _ = fresh_desc
+        graph = tiled_getrf_tasks(desc)
+        nt = desc.nt
+        counts = graph.kind_counts()
+        assert counts["getrf"] == nt
+        assert counts["trsm"] == nt * (nt - 1)
+        assert counts["gemm"] == nt * (nt - 1) * (2 * nt - 1) // 6
+
+    def test_factorisation_correct(self, fresh_desc):
+        _, _, desc, dense = fresh_desc
+        tiled_getrf_tasks(desc)
+        packed = desc.to_dense()
+        n = desc.n
+        l = np.tril(packed, -1) + np.eye(n)
+        u = np.triu(packed)
+        ref = dense[np.ix_(desc.perm, desc.perm)]
+        assert np.linalg.norm(l @ u - ref) <= 1e-4 * np.linalg.norm(ref)
+
+    def test_costs_measured(self, fresh_desc):
+        *_, desc, _ = fresh_desc
+        graph = tiled_getrf_tasks(desc)
+        assert all(t.seconds > 0 for t in graph.tasks)
+        assert all(t.flops > 0 for t in graph.tasks)
+
+    def test_dag_simulatable(self, fresh_desc):
+        *_, desc, _ = fresh_desc
+        graph = tiled_getrf_tasks(desc)
+        r = simulate(graph, 4, "prio", overheads=RuntimeOverheadModel.zero())
+        assert r.makespan <= graph.total_work() + 1e-12
+        assert r.makespan >= graph.critical_path() - 1e-12
+
+    def test_custom_engine(self, fresh_desc):
+        *_, desc, _ = fresh_desc
+        eng = StfEngine(mode="eager")
+        graph = tiled_getrf_tasks(desc, eng)
+        assert graph is eng.graph
+
+
+class TestTiledSolve:
+    def test_solve_vector(self, fresh_desc):
+        _, _, desc, dense = fresh_desc
+        x0 = np.random.default_rng(0).standard_normal(N)
+        b = dense @ x0
+        tiled_getrf_tasks(desc)
+        x = tiled_solve(desc, b)
+        assert np.linalg.norm(x - x0) <= 1e-4 * np.linalg.norm(x0)
+
+    def test_solve_panel(self, fresh_desc):
+        _, _, desc, dense = fresh_desc
+        x0 = np.random.default_rng(1).standard_normal((N, 3))
+        tiled_getrf_tasks(desc)
+        x = tiled_solve(desc, dense @ x0)
+        assert np.linalg.norm(x - x0) <= 1e-4 * np.linalg.norm(x0)
+
+    def test_solve_complex(self):
+        pts = cylinder_cloud(N)
+        kern = helmholtz_kernel(pts)
+        desc = build_tile_h(kern, pts, NB, eps=EPS, leaf_size=32)
+        dense = assemble_dense(kern, pts)
+        rng = np.random.default_rng(2)
+        x0 = rng.standard_normal(N) + 1j * rng.standard_normal(N)
+        tiled_getrf_tasks(desc)
+        x = tiled_solve(desc, dense @ x0)
+        assert np.linalg.norm(x - x0) <= 1e-4 * np.linalg.norm(x0)
+
+    def test_dim_check(self, fresh_desc):
+        *_, desc, _ = fresh_desc
+        tiled_getrf_tasks(desc)
+        with pytest.raises(ValueError):
+            tiled_solve(desc, np.zeros(N + 1))
+
+    def test_single_tile_problem(self):
+        pts = cylinder_cloud(80)
+        kern = laplace_kernel(pts)
+        desc = build_tile_h(kern, pts, 128, eps=1e-8, leaf_size=32)
+        assert desc.nt == 1
+        dense = assemble_dense(kern, pts)
+        x0 = np.random.default_rng(3).standard_normal(80)
+        graph = tiled_getrf_tasks(desc)
+        assert len(graph) == 1
+        x = tiled_solve(desc, dense @ x0)
+        assert np.linalg.norm(x - x0) <= 1e-5 * np.linalg.norm(x0)
+
+
+class TestTiledSolveTasks:
+    def test_matches_direct_solve(self, fresh_desc):
+        from repro.core import tiled_solve_tasks
+
+        _, _, desc, dense = fresh_desc
+        tiled_getrf_tasks(desc)
+        x0 = np.random.default_rng(7).standard_normal(N)
+        b = dense @ x0
+        x_tasks, graph = tiled_solve_tasks(desc, b)
+        assert np.linalg.norm(x_tasks - x0) <= 1e-4 * np.linalg.norm(x0)
+        nt = desc.nt
+        counts = graph.kind_counts()
+        assert counts["trsm"] == 2 * nt
+        assert counts["gemm"] == nt * (nt - 1)
+
+    def test_panel_rhs(self, fresh_desc):
+        from repro.core import tiled_solve_tasks
+
+        _, _, desc, dense = fresh_desc
+        tiled_getrf_tasks(desc)
+        x0 = np.random.default_rng(8).standard_normal((N, 2))
+        x, _ = tiled_solve_tasks(desc, dense @ x0)
+        assert np.linalg.norm(x - x0) <= 1e-4 * np.linalg.norm(x0)
+
+    def test_solve_dag_simulatable(self, fresh_desc):
+        from repro.core import tiled_solve_tasks
+
+        _, _, desc, dense = fresh_desc
+        tiled_getrf_tasks(desc)
+        _, graph = tiled_solve_tasks(desc, np.ones(N))
+        r = simulate(graph, 4, "prio", overheads=RuntimeOverheadModel.zero())
+        assert r.makespan >= graph.critical_path() - 1e-12
+
+    def test_dim_check(self, fresh_desc):
+        from repro.core import tiled_solve_tasks
+
+        *_, desc, _ = fresh_desc
+        tiled_getrf_tasks(desc)
+        with pytest.raises(ValueError):
+            tiled_solve_tasks(desc, np.zeros(N + 1))

@@ -1,0 +1,92 @@
+"""Unit tests for the tiled Cholesky path of the core library."""
+
+import numpy as np
+import pytest
+
+from repro.core import TileHConfig, TileHMatrix, tiled_chol_solve, tiled_potrf_tasks
+from repro.core.build import build_tile_h
+from repro.geometry import assemble_dense, exponential_kernel, plate_cloud
+from repro.runtime import RuntimeOverheadModel
+
+N = 600
+NB = 150
+EPS = 1e-8
+
+
+@pytest.fixture()
+def spd_problem():
+    pts = plate_cloud(N)
+    kern = exponential_kernel(pts, length=0.6)
+    desc = build_tile_h(kern, pts, NB, eps=EPS, leaf_size=40)
+    dense = assemble_dense(kern, pts)
+    return pts, kern, desc, dense
+
+
+class TestTiledPotrf:
+    def test_task_counts(self, spd_problem):
+        *_, desc, _ = spd_problem
+        graph = tiled_potrf_tasks(desc)
+        nt = desc.nt
+        counts = graph.kind_counts()
+        assert counts["potrf"] == nt
+        assert counts["trsm"] == nt * (nt - 1) // 2
+        # SYRK + GEMM updates of the lower triangle.
+        assert counts["gemm"] == sum(
+            (nt - k - 1) * (nt - k) // 2 for k in range(nt)
+        )
+
+    def test_half_the_tasks_of_lu(self, spd_problem):
+        pts, kern, desc, _ = spd_problem
+        chol_graph = tiled_potrf_tasks(desc)
+        lu_desc = build_tile_h(kern, pts, NB, eps=EPS, leaf_size=40)
+        from repro.core import tiled_getrf_tasks
+
+        lu_graph = tiled_getrf_tasks(lu_desc)
+        assert len(chol_graph) < 0.75 * len(lu_graph)
+        assert chol_graph.total_work("flops") < 0.75 * lu_graph.total_work("flops")
+
+    def test_solve_vector(self, spd_problem):
+        _, _, desc, dense = spd_problem
+        tiled_potrf_tasks(desc)
+        x0 = np.random.default_rng(0).standard_normal(N)
+        x = tiled_chol_solve(desc, dense @ x0)
+        assert np.linalg.norm(x - x0) <= 1e-5 * np.linalg.norm(x0)
+
+    def test_solve_panel(self, spd_problem):
+        _, _, desc, dense = spd_problem
+        tiled_potrf_tasks(desc)
+        x0 = np.random.default_rng(1).standard_normal((N, 2))
+        x = tiled_chol_solve(desc, dense @ x0)
+        assert np.linalg.norm(x - x0) <= 1e-5 * np.linalg.norm(x0)
+
+    def test_dim_check(self, spd_problem):
+        *_, desc, _ = spd_problem
+        tiled_potrf_tasks(desc)
+        with pytest.raises(ValueError):
+            tiled_chol_solve(desc, np.zeros(N + 1))
+
+    def test_dag_simulatable(self, spd_problem):
+        *_, desc, _ = spd_problem
+        graph = tiled_potrf_tasks(desc)
+        from repro.runtime import simulate
+
+        r = simulate(graph, 8, "prio", overheads=RuntimeOverheadModel.zero())
+        assert 0 < r.makespan <= graph.total_work()
+
+
+class TestSolverApiCholesky:
+    def test_factorize_method(self, spd_problem):
+        pts, kern, *_ = spd_problem
+        a = TileHMatrix.build(kern, pts, TileHConfig(nb=NB, eps=EPS, leaf_size=40))
+        dense = spd_problem[3]
+        info = a.factorize(method="cholesky")
+        assert "potrf" in info.graph.kind_counts()
+        x0 = np.random.default_rng(2).standard_normal(N)
+        x = a.solve(dense @ x0)
+        assert np.linalg.norm(x - x0) <= 1e-5 * np.linalg.norm(x0)
+
+    def test_unknown_method(self, spd_problem):
+        pts, kern, *_ = spd_problem
+        a = TileHMatrix.build(kern, pts, TileHConfig(nb=NB, eps=EPS, leaf_size=40))
+        with pytest.raises(ValueError):
+            a.factorize(method="qr")

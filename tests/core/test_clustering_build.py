@@ -1,0 +1,104 @@
+"""Unit tests for Tile-H clustering and assembly."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import build_tile_h, build_tile_h_clustering
+from repro.geometry import assemble_dense, cylinder_cloud, helmholtz_kernel, laplace_kernel
+from repro.hmatrix import StrongAdmissibility, WeakAdmissibility
+
+
+@pytest.fixture(scope="module")
+def pts():
+    return cylinder_cloud(500)
+
+
+class TestBuildTileHClustering:
+    def test_tile_count_and_grid(self, pts):
+        cl = build_tile_h_clustering(pts, nb=128)
+        assert cl.nt == math.ceil(500 / 128)
+        assert len(cl.block_trees) == cl.nt**2
+
+    def test_block_tree_shapes(self, pts):
+        cl = build_tile_h_clustering(pts, nb=128)
+        for i in range(cl.nt):
+            for j in range(cl.nt):
+                bt = cl.block_tree(i, j)
+                assert bt.rows is cl.tiles[i]
+                assert bt.cols is cl.tiles[j]
+
+    def test_diagonal_blocks_not_admissible(self, pts):
+        cl = build_tile_h_clustering(pts, nb=128)
+        for i in range(cl.nt):
+            assert not cl.block_tree(i, i).admissible
+
+    def test_far_offdiagonal_admissible_at_top(self, pts):
+        cl = build_tile_h_clustering(pts, nb=100)
+        # Corner tiles cover geometrically distant slices.
+        assert cl.block_tree(0, cl.nt - 1).admissible
+
+    def test_custom_admissibility(self, pts):
+        cl = build_tile_h_clustering(pts, nb=128, admissibility=WeakAdmissibility())
+        # Weak condition: every off-diagonal tile is a single Rk leaf.
+        for i in range(cl.nt):
+            for j in range(cl.nt):
+                if i != j:
+                    assert cl.block_tree(i, j).admissible
+
+    def test_index_range(self, pts):
+        cl = build_tile_h_clustering(pts, nb=128)
+        with pytest.raises(IndexError):
+            cl.block_tree(cl.nt, 0)
+
+    def test_empty_points_rejected(self):
+        with pytest.raises(ValueError):
+            build_tile_h_clustering(np.zeros((0, 3)), nb=16)
+
+
+class TestBuildTileH:
+    def test_assembly_accuracy(self, pts):
+        kern = laplace_kernel(pts)
+        desc = build_tile_h(kern, pts, 128, eps=1e-6, leaf_size=32)
+        dense = assemble_dense(kern, pts)[np.ix_(desc.perm, desc.perm)]
+        assert np.linalg.norm(desc.to_dense() - dense) <= 1e-4 * np.linalg.norm(dense)
+
+    def test_complex_assembly(self, pts):
+        kern = helmholtz_kernel(pts)
+        desc = build_tile_h(kern, pts, 128, eps=1e-5, leaf_size=32)
+        dense = assemble_dense(kern, pts)[np.ix_(desc.perm, desc.perm)]
+        assert np.linalg.norm(desc.to_dense() - dense) <= 1e-3 * np.linalg.norm(dense)
+        assert desc.super.dtype == np.complex128
+
+    def test_small_nb_gives_dense_diagonal(self, pts):
+        kern = laplace_kernel(pts)
+        desc = build_tile_h(kern, pts, 50, eps=1e-6, leaf_size=64)
+        # nb < leaf_size: diagonal tiles are single dense leaves.
+        for i in range(desc.nt):
+            ii = desc.super.get_blktile(i, i)
+            assert ii.format == "full"
+
+    def test_far_tiles_are_rk(self, pts):
+        kern = laplace_kernel(pts)
+        desc = build_tile_h(kern, pts, 100, eps=1e-6, leaf_size=32)
+        assert desc.super.get_blktile(0, desc.nt - 1).format == "rk"
+
+    def test_reuse_clustering(self, pts):
+        cl = build_tile_h_clustering(pts, nb=128, leaf_size=32)
+        kd = laplace_kernel(pts)
+        kz = helmholtz_kernel(pts)
+        d1 = build_tile_h(kd, pts, 128, eps=1e-5, clustering=cl)
+        d2 = build_tile_h(kz, pts, 128, eps=1e-5, clustering=cl)
+        assert np.array_equal(d1.perm, d2.perm)
+
+    def test_compression_better_with_eps(self, pts):
+        kern = laplace_kernel(pts)
+        tight = build_tile_h(kern, pts, 128, eps=1e-10, leaf_size=32)
+        loose = build_tile_h(kern, pts, 128, eps=1e-2, leaf_size=32)
+        assert loose.compression_ratio() < tight.compression_ratio()
+
+    def test_eps_recorded(self, pts):
+        kern = laplace_kernel(pts)
+        desc = build_tile_h(kern, pts, 128, eps=3e-5)
+        assert desc.eps == 3e-5

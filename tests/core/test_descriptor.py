@@ -1,0 +1,144 @@
+"""Unit tests for Tile / TileDesc / TileHDesc."""
+
+import numpy as np
+import pytest
+
+from repro.core import Tile, TileDesc, TileHMatrix, TileHConfig, build_tile_h
+from repro.geometry import assemble_dense, cylinder_cloud, laplace_kernel
+from repro.hmatrix import (
+    AssemblyConfig,
+    StrongAdmissibility,
+    assemble_hmatrix,
+    build_block_cluster_tree,
+    build_cluster_tree,
+)
+
+N = 300
+NB = 100
+
+
+@pytest.fixture(scope="module")
+def geom():
+    pts = cylinder_cloud(N)
+    return pts, laplace_kernel(pts)
+
+
+@pytest.fixture(scope="module")
+def desc(geom):
+    pts, kern = geom
+    return build_tile_h(kern, pts, NB, eps=1e-6, leaf_size=25)
+
+
+class TestTile:
+    def _h(self, geom, leaf_size=64):
+        pts, kern = geom
+        ct = build_cluster_tree(pts[:60], leaf_size=leaf_size)
+        bt = build_block_cluster_tree(ct, ct, StrongAdmissibility())
+        return assemble_hmatrix(kern, pts[:60], bt, AssemblyConfig(eps=1e-8))
+
+    def test_of_full(self, geom):
+        h = self._h(geom, leaf_size=64)  # 60 <= 64: single dense leaf
+        t = Tile.of(h)
+        assert t.format == "full"
+        assert t.shape == (60, 60)
+
+    def test_of_hmat(self, geom):
+        h = self._h(geom, leaf_size=8)
+        t = Tile.of(h)
+        assert t.format == "hmat"
+
+    def test_matvec_matches_dense(self, geom):
+        h = self._h(geom, leaf_size=8)
+        t = Tile.of(h)
+        x = np.random.default_rng(0).standard_normal(60)
+        assert np.allclose(t.matvec(x), t.to_dense() @ x, atol=1e-6)
+
+    def test_storage(self, geom):
+        # Rk factors of tiny blocks may exceed the dense count, so only a
+        # loose upper bound holds at this size.
+        t = Tile.of(self._h(geom, leaf_size=8))
+        assert 0 < t.storage() <= 3 * 60 * 60
+
+    def test_copy_independent(self, geom):
+        t = Tile.of(self._h(geom, leaf_size=8))
+        cp = t.copy()
+        for leaf in cp.mat.leaves():
+            if leaf.full is not None:
+                leaf.full[:] = 0
+        assert not np.allclose(t.to_dense(), cp.to_dense())
+
+    def test_format_validation(self, geom):
+        h = self._h(geom)
+        with pytest.raises(ValueError):
+            Tile("sparse", 60, 60, h)
+        with pytest.raises(ValueError):
+            Tile("full", 61, 60, h)
+
+
+class TestTileDesc:
+    def test_grid_access(self, desc):
+        grid = desc.super
+        assert grid.nt == 3
+        t = grid.get_blktile(1, 2)
+        assert t.shape == (NB, NB)
+
+    def test_out_of_range(self, desc):
+        with pytest.raises(IndexError):
+            desc.super.get_blktile(3, 0)
+        with pytest.raises(IndexError):
+            desc.super.get_blktile(0, -1)
+
+    def test_set_blktile(self, desc):
+        grid = desc.super
+        t = grid.get_blktile(0, 0)
+        grid.set_blktile(0, 0, t)
+        assert grid.get_blktile(0, 0) is t
+
+    def test_tile_rows(self, desc):
+        assert desc.super.tile_rows(0) == NB
+        assert desc.super.tile_rows(2) == N - 2 * NB
+
+    def test_storage_positive(self, desc):
+        assert 0 < desc.super.storage() <= N * N
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TileDesc(n=0, nb=1, nt=1)
+        with pytest.raises(ValueError):
+            TileDesc(n=10, nb=5, nt=2, tiles=[None])
+
+
+class TestTileHDesc:
+    def test_tile_slices_partition(self, desc):
+        covered = np.zeros(N, dtype=bool)
+        for i in range(desc.nt):
+            s = desc.tile_slice(i)
+            assert not covered[s].any()
+            covered[s] = True
+        assert covered.all()
+
+    def test_to_dense_matches_kernel(self, desc, geom):
+        pts, kern = geom
+        dense = assemble_dense(kern, pts)
+        ref = dense[np.ix_(desc.perm, desc.perm)]
+        assert np.linalg.norm(desc.to_dense() - ref) <= 1e-4 * np.linalg.norm(ref)
+
+    def test_matvec_original_order(self, desc, geom):
+        pts, kern = geom
+        dense = assemble_dense(kern, pts)
+        x = np.random.default_rng(1).standard_normal(N)
+        assert np.linalg.norm(desc.matvec(x) - dense @ x) <= 1e-4 * np.linalg.norm(dense @ x)
+
+    def test_matvec_dim_check(self, desc):
+        with pytest.raises(ValueError):
+            desc.matvec(np.zeros(N + 1))
+
+    def test_compression_ratio(self, desc):
+        assert 0 < desc.compression_ratio() <= 1.0
+
+    def test_max_rank(self, desc):
+        assert desc.max_rank() > 0
+
+    def test_format_counts_total(self, desc):
+        counts = desc.format_counts()
+        assert sum(counts.values()) == desc.nt**2

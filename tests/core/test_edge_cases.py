@@ -1,0 +1,116 @@
+"""Edge-case tests for the core Tile-H layer."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Tile,
+    TileDesc,
+    TileHConfig,
+    TileHMatrix,
+    build_tile_h,
+    build_tile_h_clustering,
+)
+from repro.geometry import cylinder_cloud, laplace_kernel
+
+
+@pytest.fixture(scope="module")
+def geom():
+    pts = cylinder_cloud(300)
+    return pts, laplace_kernel(pts)
+
+
+class TestTileEdges:
+    def test_rk_format_tile(self, geom):
+        pts, kern = geom
+        desc = build_tile_h(kern, pts, 100, eps=1e-5, leaf_size=40)
+        rk_tiles = [t for t in desc.super.tiles if t.format == "rk"]
+        assert rk_tiles, "expected at least one whole-tile Rk block"
+        t = rk_tiles[0]
+        x = np.random.default_rng(0).standard_normal(t.n)
+        assert np.allclose(t.matvec(x), t.to_dense() @ x, atol=1e-6)
+        assert t.dtype == np.float64
+
+    def test_tile_of_roundtrip_formats(self, geom):
+        pts, kern = geom
+        desc = build_tile_h(kern, pts, 100, eps=1e-5, leaf_size=40)
+        for t in desc.super.tiles:
+            assert Tile.of(t.mat).format == t.format
+
+
+class TestTileDescEdges:
+    def test_dtype_property(self, geom):
+        pts, kern = geom
+        desc = build_tile_h(kern, pts, 100, eps=1e-5, leaf_size=40)
+        assert desc.super.dtype == np.float64
+
+    def test_single_tile_grid(self, geom):
+        pts, kern = geom
+        desc = build_tile_h(kern, pts, 1000, eps=1e-5, leaf_size=40)
+        assert desc.nt == 1
+        assert desc.super.tile_rows(0) == 300
+
+    def test_empty_tiles_list_allowed_then_filled(self):
+        d = TileDesc(n=10, nb=5, nt=2)
+        assert d.tiles == []
+
+
+class TestBuildEdges:
+    def test_nb_one(self):
+        # Degenerate NB = 1: every tile is a 1x1 dense block.
+        pts = cylinder_cloud(12)
+        kern = laplace_kernel(pts)
+        desc = build_tile_h(kern, pts, 1, eps=1e-6, leaf_size=4)
+        assert desc.nt == 12
+        assert all(t.shape == (1, 1) for t in desc.super.tiles)
+        from repro.core import tiled_getrf_tasks, tiled_solve
+        from repro.geometry import assemble_dense
+
+        dense = assemble_dense(kern, pts)
+        tiled_getrf_tasks(desc)
+        x0 = np.arange(1.0, 13.0)
+        x = tiled_solve(desc, dense @ x0)
+        assert np.linalg.norm(x - x0) <= 1e-8 * np.linalg.norm(x0)
+
+    def test_clustering_reuse_wrong_nb_is_callers_problem(self, geom):
+        # Reusing a clustering built for a different nb: the descriptor
+        # inherits the clustering's nt, which is the documented semantics.
+        pts, kern = geom
+        cl = build_tile_h_clustering(pts, 75, leaf_size=30)
+        desc = build_tile_h(kern, pts, 75, eps=1e-5, clustering=cl)
+        assert desc.nt == cl.nt
+
+
+class TestSolverEdges:
+    def test_method_recorded(self, geom):
+        pts, kern = geom
+        a = TileHMatrix.build(kern, pts, TileHConfig(nb=100, eps=1e-5, leaf_size=40))
+        a.factorize(method="lu")
+        assert a._method == "lu"
+
+    def test_solve_panel_after_gesv(self, geom):
+        pts, kern = geom
+        from repro.geometry import assemble_dense
+
+        dense = assemble_dense(kern, pts)
+        a = TileHMatrix.build(kern, pts, TileHConfig(nb=100, eps=1e-7, leaf_size=40))
+        x0 = np.random.default_rng(1).standard_normal((300, 2))
+        x = a.gesv(dense @ x0)
+        # gesv factorises once; subsequent solves reuse the factors.
+        x2 = a.solve(dense @ x0)
+        assert np.allclose(x, x2)
+
+    def test_shape_property(self, geom):
+        pts, kern = geom
+        a = TileHMatrix.build(kern, pts, TileHConfig(nb=100, eps=1e-4, leaf_size=40))
+        assert a.shape == (300, 300)
+
+
+class TestFactorizationInfoEdges:
+    def test_info_fields(self, geom):
+        pts, kern = geom
+        a = TileHMatrix.build(kern, pts, TileHConfig(nb=100, eps=1e-5, leaf_size=40))
+        info = a.factorize()
+        assert info.nb == 100
+        assert info.nt == a.nt
+        assert info.n_tasks == len(info.graph.tasks)

@@ -1,0 +1,138 @@
+"""Unit tests for the preconditioned Krylov solvers."""
+
+import numpy as np
+import pytest
+
+from repro.core import TileHConfig, TileHMatrix, gmres, pcg
+from repro.geometry import (
+    DenseOperator,
+    cylinder_cloud,
+    exponential_kernel,
+    helmholtz_kernel,
+    laplace_kernel,
+    plate_cloud,
+)
+
+N = 600
+
+
+@pytest.fixture(scope="module")
+def real_problem():
+    pts = cylinder_cloud(N)
+    kern = laplace_kernel(pts)
+    op = DenseOperator(kern, pts)
+    pre = TileHMatrix.build(kern, pts, TileHConfig(nb=150, eps=1e-2, leaf_size=40))
+    pre.factorize()
+    rng = np.random.default_rng(0)
+    x0 = rng.standard_normal(N)
+    return op, pre, x0
+
+
+class TestGmres:
+    def test_converges_with_h_preconditioner(self, real_problem):
+        op, pre, x0 = real_problem
+        b = op.matvec(x0)
+        res = gmres(op.matvec, b, precond=pre.solve, rtol=1e-12)
+        assert res.converged
+        assert np.linalg.norm(res.x - x0) <= 1e-9 * np.linalg.norm(x0)
+
+    def test_preconditioner_cuts_iterations(self, real_problem):
+        op, pre, x0 = real_problem
+        b = op.matvec(x0)
+        plain = gmres(op.matvec, b, rtol=1e-10, max_iter=300)
+        pc = gmres(op.matvec, b, precond=pre.solve, rtol=1e-10)
+        assert pc.converged
+        assert pc.iterations < plain.iterations / 3
+
+    def test_residual_history_monotone_within_cycle(self, real_problem):
+        op, pre, x0 = real_problem
+        b = op.matvec(x0)
+        res = gmres(op.matvec, b, precond=pre.solve, rtol=1e-12)
+        # GMRES residuals are non-increasing.
+        for r0, r1 in zip(res.residuals, res.residuals[1:]):
+            assert r1 <= r0 * (1 + 1e-8)
+
+    def test_complex_operator(self):
+        pts = cylinder_cloud(400)
+        kern = helmholtz_kernel(pts)
+        op = DenseOperator(kern, pts)
+        pre = TileHMatrix.build(kern, pts, TileHConfig(nb=100, eps=1e-2, leaf_size=40))
+        pre.factorize()
+        rng = np.random.default_rng(1)
+        x0 = rng.standard_normal(400) + 1j * rng.standard_normal(400)
+        res = gmres(op.matvec, op.matvec(x0), precond=pre.solve, rtol=1e-11)
+        assert res.converged
+        assert np.linalg.norm(res.x - x0) <= 1e-8 * np.linalg.norm(x0)
+
+    def test_restart_path(self, real_problem):
+        op, pre, x0 = real_problem
+        b = op.matvec(x0)
+        # A tiny restart forces multiple outer cycles.
+        res = gmres(op.matvec, b, precond=pre.solve, rtol=1e-10, restart=3)
+        assert res.converged
+
+    def test_zero_rhs(self, real_problem):
+        op, *_ = real_problem
+        res = gmres(op.matvec, np.zeros(N))
+        assert res.converged and np.array_equal(res.x, np.zeros(N))
+
+    def test_max_iter_exhaustion(self, real_problem):
+        op, _, x0 = real_problem
+        b = op.matvec(x0)
+        res = gmres(op.matvec, b, rtol=1e-14, max_iter=3)
+        assert not res.converged
+        assert res.iterations == 3
+
+    def test_unpacking(self, real_problem):
+        op, pre, x0 = real_problem
+        x, residuals = gmres(op.matvec, op.matvec(x0), precond=pre.solve)
+        assert isinstance(residuals, list)
+
+    def test_validation(self, real_problem):
+        op, *_ = real_problem
+        with pytest.raises(ValueError):
+            gmres(op.matvec, np.ones(N), restart=0)
+        with pytest.raises(ValueError):
+            gmres(op.matvec, np.ones(N), max_iter=0)
+
+
+class TestPcg:
+    @pytest.fixture(scope="class")
+    def spd_problem(self):
+        pts = plate_cloud(500)
+        kern = exponential_kernel(pts, length=0.6)
+        op = DenseOperator(kern, pts)
+        pre = TileHMatrix.build(kern, pts, TileHConfig(nb=125, eps=1e-2, leaf_size=40))
+        pre.factorize(method="cholesky")
+        x0 = np.random.default_rng(2).standard_normal(500)
+        return op, pre, x0
+
+    def test_converges_with_h_cholesky_preconditioner(self, spd_problem):
+        op, pre, x0 = spd_problem
+        b = op.matvec(x0)
+        res = pcg(op.matvec, b, precond=pre.solve, rtol=1e-11)
+        assert res.converged
+        assert np.linalg.norm(res.x - x0) <= 1e-7 * np.linalg.norm(x0)
+
+    def test_preconditioner_cuts_iterations(self, spd_problem):
+        op, pre, x0 = spd_problem
+        b = op.matvec(x0)
+        plain = pcg(op.matvec, b, rtol=1e-9, max_iter=500)
+        pc = pcg(op.matvec, b, precond=pre.solve, rtol=1e-9)
+        assert pc.converged
+        assert pc.iterations < plain.iterations
+
+    def test_indefinite_detected(self):
+        a = np.diag([1.0, -1.0])
+        with pytest.raises(np.linalg.LinAlgError):
+            pcg(lambda v: a @ v, np.array([1.0, 1.0]))
+
+    def test_zero_rhs(self, spd_problem):
+        op, *_ = spd_problem
+        res = pcg(op.matvec, np.zeros(500))
+        assert res.converged
+
+    def test_validation(self, spd_problem):
+        op, *_ = spd_problem
+        with pytest.raises(ValueError):
+            pcg(op.matvec, np.ones(500), max_iter=0)

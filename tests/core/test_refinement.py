@@ -1,0 +1,86 @@
+"""Unit tests for iterative refinement on top of the H-LU."""
+
+import numpy as np
+import pytest
+
+from repro.core import TileHConfig, TileHMatrix, iterative_refinement
+from repro.geometry import DenseOperator, assemble_dense, cylinder_cloud, laplace_kernel
+
+N = 500
+
+
+@pytest.fixture(scope="module")
+def setup():
+    pts = cylinder_cloud(N)
+    kern = laplace_kernel(pts)
+    op = DenseOperator(kern, pts)
+    a = TileHMatrix.build(kern, pts, TileHConfig(nb=125, eps=1e-3, leaf_size=40))
+    a.factorize()
+    return pts, kern, op, a
+
+
+class TestIterativeRefinement:
+    def test_reaches_machine_precision(self, setup):
+        _, _, op, a = setup
+        x0 = np.random.default_rng(0).standard_normal(N)
+        b = op.matvec(x0)
+        x, hist = a.solve_refined(b, op.matvec)
+        assert np.linalg.norm(x - x0) <= 1e-10 * np.linalg.norm(x0)
+        assert hist[-1] <= 1e-12
+
+    def test_history_contracts_geometrically(self, setup):
+        _, _, op, a = setup
+        x0 = np.random.default_rng(1).standard_normal(N)
+        b = op.matvec(x0)
+        _, hist = a.solve_refined(b, op.matvec, rtol=0.0, max_iter=4)
+        # Each sweep multiplies the residual by ~eps (here 1e-3): require at
+        # least a 10x contraction per recorded step until roundoff.
+        for r0, r1 in zip(hist, hist[1:]):
+            if r0 < 1e-13:
+                break
+            assert r1 < 0.1 * r0
+
+    def test_improves_on_plain_solve(self, setup):
+        _, _, op, a = setup
+        x0 = np.random.default_rng(2).standard_normal(N)
+        b = op.matvec(x0)
+        plain = np.linalg.norm(a.solve(b) - x0)
+        refined = np.linalg.norm(a.solve_refined(b, op.matvec)[0] - x0)
+        assert refined < 1e-6 * plain
+
+    def test_max_iter_respected(self, setup):
+        _, _, op, a = setup
+        b = op.matvec(np.ones(N))
+        _, hist = a.solve_refined(b, op.matvec, max_iter=2, rtol=0.0)
+        assert len(hist) == 2
+
+    def test_zero_rhs(self, setup):
+        _, _, op, a = setup
+        x, hist = a.solve_refined(np.zeros(N), op.matvec)
+        assert np.array_equal(x, np.zeros(N))
+        assert hist == [0.0]
+
+    def test_requires_factorization(self, setup):
+        pts, kern, op, _ = setup
+        fresh = TileHMatrix.build(kern, pts, TileHConfig(nb=125, eps=1e-3, leaf_size=40))
+        with pytest.raises(RuntimeError):
+            fresh.solve_refined(np.ones(N), op.matvec)
+
+    def test_standalone_helper_validation(self):
+        with pytest.raises(ValueError):
+            iterative_refinement(lambda b: b, lambda x: x, np.ones(3), max_iter=0)
+
+    def test_standalone_with_dense_lu(self):
+        """The helper works with any solve/matvec pair."""
+        rng = np.random.default_rng(3)
+        a = rng.standard_normal((50, 50)) + 50 * np.eye(50)
+        a_trunc = np.round(a, 2)  # a deliberately sloppy factorisation basis
+        import scipy.linalg as sla
+
+        lu = sla.lu_factor(a_trunc)
+        x0 = rng.standard_normal(50)
+        b = a @ x0
+        x, hist = iterative_refinement(
+            lambda r: sla.lu_solve(lu, r), lambda v: a @ v, b
+        )
+        assert np.linalg.norm(x - x0) <= 1e-10 * np.linalg.norm(x0)

@@ -1,0 +1,153 @@
+"""Unit tests for the public TileHMatrix API."""
+
+import numpy as np
+import pytest
+
+from repro.core import TileHConfig, TileHMatrix
+from repro.geometry import assemble_dense, cylinder_cloud, laplace_kernel, make_kernel
+from repro.runtime import RuntimeOverheadModel
+
+N = 350
+
+
+@pytest.fixture(scope="module")
+def geom():
+    pts = cylinder_cloud(N)
+    kern = laplace_kernel(pts)
+    dense = assemble_dense(kern, pts)
+    return pts, kern, dense
+
+
+class TestConfig:
+    def test_defaults(self):
+        cfg = TileHConfig()
+        assert cfg.nb > 0 and cfg.eps > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TileHConfig(nb=0)
+        with pytest.raises(ValueError):
+            TileHConfig(eps=-1)
+        with pytest.raises(ValueError):
+            TileHConfig(leaf_size=0)
+
+
+class TestBuild:
+    def test_shape_and_compression(self, geom):
+        pts, kern, _ = geom
+        a = TileHMatrix.build(kern, pts, TileHConfig(nb=100, eps=1e-5, leaf_size=32))
+        assert a.shape == (N, N)
+        assert 0 < a.compression_ratio() <= 1.0
+        assert a.storage_bytes() > 0
+        assert a.nt == 4
+
+    def test_to_dense_original_order(self, geom):
+        pts, kern, dense = geom
+        a = TileHMatrix.build(kern, pts, TileHConfig(nb=100, eps=1e-7, leaf_size=32))
+        assert np.linalg.norm(a.to_dense() - dense) <= 1e-5 * np.linalg.norm(dense)
+
+    def test_matvec_original_order(self, geom):
+        pts, kern, dense = geom
+        a = TileHMatrix.build(kern, pts, TileHConfig(nb=100, eps=1e-7, leaf_size=32))
+        x = np.random.default_rng(0).standard_normal(N)
+        assert np.linalg.norm(a.matvec(x) - dense @ x) <= 1e-5 * np.linalg.norm(dense @ x)
+
+
+class TestFactorizeSolve:
+    def test_full_cycle(self, geom):
+        pts, kern, dense = geom
+        a = TileHMatrix.build(kern, pts, TileHConfig(nb=100, eps=1e-7, leaf_size=32))
+        x0 = np.random.default_rng(1).standard_normal(N)
+        b = dense @ x0
+        info = a.factorize()
+        assert a.factorized
+        assert info.n_tasks == len(info.graph)
+        assert info.n_dependencies > 0
+        assert info.sequential_seconds() > 0
+        x = a.solve(b)
+        assert np.linalg.norm(x - x0) <= 1e-4 * np.linalg.norm(x0)
+
+    def test_factorize_twice_rejected(self, geom):
+        pts, kern, _ = geom
+        a = TileHMatrix.build(kern, pts, TileHConfig(nb=100, eps=1e-5, leaf_size=32))
+        a.factorize()
+        with pytest.raises(RuntimeError):
+            a.factorize()
+
+    def test_solve_before_factorize_rejected(self, geom):
+        pts, kern, _ = geom
+        a = TileHMatrix.build(kern, pts, TileHConfig(nb=100, eps=1e-5, leaf_size=32))
+        with pytest.raises(RuntimeError):
+            a.solve(np.zeros(N))
+
+    def test_matvec_after_factorize_rejected(self, geom):
+        pts, kern, _ = geom
+        a = TileHMatrix.build(kern, pts, TileHConfig(nb=100, eps=1e-5, leaf_size=32))
+        a.factorize()
+        with pytest.raises(RuntimeError):
+            a.matvec(np.zeros(N))
+
+    def test_gesv(self, geom):
+        pts, kern, dense = geom
+        a = TileHMatrix.build(kern, pts, TileHConfig(nb=100, eps=1e-7, leaf_size=32))
+        x0 = np.random.default_rng(2).standard_normal(N)
+        x = a.gesv(dense @ x0)
+        assert a.factorized
+        assert np.linalg.norm(x - x0) <= 1e-4 * np.linalg.norm(x0)
+
+    def test_complex_gesv(self):
+        pts = cylinder_cloud(N)
+        kern = make_kernel("helmholtz", pts)
+        dense = assemble_dense(kern, pts)
+        a = TileHMatrix.build(kern, pts, TileHConfig(nb=100, eps=1e-7, leaf_size=32))
+        rng = np.random.default_rng(3)
+        x0 = rng.standard_normal(N) + 1j * rng.standard_normal(N)
+        x = a.gesv(dense @ x0)
+        assert np.linalg.norm(x - x0) <= 1e-4 * np.linalg.norm(x0)
+
+
+class TestSimulation:
+    def test_simulate_from_info(self, geom):
+        pts, kern, _ = geom
+        a = TileHMatrix.build(kern, pts, TileHConfig(nb=50, eps=1e-5, leaf_size=25))
+        info = a.factorize()
+        r1 = info.simulate(1, "prio", overheads=RuntimeOverheadModel.zero())
+        r35 = info.simulate(35, "prio", overheads=RuntimeOverheadModel.zero())
+        assert r1.makespan == pytest.approx(info.sequential_seconds(), rel=1e-9)
+        assert r35.makespan < r1.makespan
+        assert r35.makespan >= r1.makespan / 35 - 1e-12
+
+    def test_simulate_flops_model_deterministic(self, geom):
+        pts, kern, _ = geom
+        a = TileHMatrix.build(kern, pts, TileHConfig(nb=50, eps=1e-5, leaf_size=25))
+        info = a.factorize()
+        r_a = info.simulate(4, "ws", cost_attr="flops", cost_scale=1e-9)
+        r_b = info.simulate(4, "ws", cost_attr="flops", cost_scale=1e-9)
+        assert r_a.makespan == r_b.makespan
+
+
+class TestSaveLoad:
+    def test_roundtrip_and_solve(self, geom, tmp_path):
+        pts, kern, dense = geom
+        a = TileHMatrix.build(kern, pts, TileHConfig(nb=100, eps=1e-7, leaf_size=32))
+        p = a.save(tmp_path / "a.npz")
+        b = TileHMatrix.load(p)
+        assert b.nt == a.nt
+        assert b.compression_ratio() == a.compression_ratio()
+        x0 = np.random.default_rng(5).standard_normal(N)
+        x = b.gesv(dense @ x0)
+        assert np.linalg.norm(x - x0) <= 1e-4 * np.linalg.norm(x0)
+
+    def test_cannot_save_factorized(self, geom, tmp_path):
+        pts, kern, _ = geom
+        a = TileHMatrix.build(kern, pts, TileHConfig(nb=100, eps=1e-5, leaf_size=32))
+        a.factorize()
+        with pytest.raises(RuntimeError):
+            a.save(tmp_path / "a.npz")
+
+    def test_load_with_explicit_config(self, geom, tmp_path):
+        pts, kern, _ = geom
+        a = TileHMatrix.build(kern, pts, TileHConfig(nb=100, eps=1e-5, leaf_size=32))
+        p = a.save(tmp_path / "a.npz")
+        b = TileHMatrix.load(p, TileHConfig(nb=100, eps=1e-5))
+        assert b.config.eps == 1e-5

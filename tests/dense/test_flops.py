@@ -1,0 +1,54 @@
+"""Unit tests for the analytic flop formulas."""
+
+import pytest
+
+from repro.dense import flops_gemm, flops_getrf, flops_rk_gemm, flops_trsm, flops_truncation
+from repro.dense.flops import complex_factor, flops_qr, flops_svd
+
+
+class TestFlopFormulas:
+    def test_getrf_leading_term(self):
+        # (2/3) n^3 dominates for large n.
+        n = 4096
+        assert flops_getrf(n) == pytest.approx(2 / 3 * n**3, rel=1e-3)
+
+    def test_complex_is_4x(self):
+        assert flops_getrf(100, is_complex=True) == 4 * flops_getrf(100)
+        assert flops_gemm(10, 20, 30, is_complex=True) == 4 * flops_gemm(10, 20, 30)
+
+    def test_gemm(self):
+        assert flops_gemm(2, 3, 4) == 48.0
+
+    def test_trsm(self):
+        assert flops_trsm(10, 5) == 500.0
+
+    def test_qr_square(self):
+        n = 100
+        assert flops_qr(n, n) == pytest.approx(4 / 3 * n**3, rel=1e-9)
+
+    def test_svd_orientation_invariant(self):
+        assert flops_svd(100, 30) == flops_svd(30, 100)
+
+    def test_rk_gemm_zero_rank(self):
+        assert flops_rk_gemm(10, 10, 10, 0, 0) == 0.0
+
+    def test_rk_gemm_monotone_in_rank(self):
+        lo = flops_rk_gemm(100, 100, 100, 5, 5)
+        hi = flops_rk_gemm(100, 100, 100, 10, 10)
+        assert hi > lo > 0
+
+    def test_truncation_zero_rank(self):
+        assert flops_truncation(50, 50, 0) == 0.0
+
+    def test_truncation_positive(self):
+        assert flops_truncation(200, 100, 8) > 0
+
+    def test_complex_factor(self):
+        assert complex_factor(False) == 1.0
+        assert complex_factor(True) == 4.0
+
+    def test_all_nonnegative_small_sizes(self):
+        for n in (1, 2, 3):
+            assert flops_getrf(n) > 0
+            assert flops_trsm(n, n) > 0
+            assert flops_gemm(n, n, n) > 0

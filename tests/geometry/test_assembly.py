@@ -1,0 +1,125 @@
+"""Unit tests for dense assembly and the streamed operator."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import (
+    DenseOperator,
+    assemble_block,
+    assemble_dense,
+    cylinder_cloud,
+    helmholtz_kernel,
+    laplace_kernel,
+    streamed_matvec,
+)
+
+
+@pytest.fixture(scope="module")
+def setup():
+    pts = cylinder_cloud(350)
+    kd = laplace_kernel(pts)
+    kz = helmholtz_kernel(pts)
+    return pts, kd, kz
+
+
+class TestAssembleDense:
+    def test_square_symmetric(self, setup):
+        pts, kd, _ = setup
+        a = assemble_dense(kd, pts)
+        assert a.shape == (350, 350)
+        assert np.allclose(a, a.T)
+
+    def test_complex_symmetric_not_hermitian(self, setup):
+        pts, _, kz = setup
+        a = assemble_dense(kz, pts)
+        assert np.allclose(a, a.T)  # kernel is symmetric (not conjugate-symmetric)
+        assert not np.allclose(a, a.conj().T)
+
+    def test_memory_guard(self, setup):
+        _, kd, _ = setup
+        big = np.zeros((40000, 3))
+        big[:, 0] = np.arange(40000)
+        with pytest.raises(MemoryError):
+            assemble_dense(kd, big)
+
+    def test_block_matches_dense(self, setup):
+        pts, kd, _ = setup
+        a = assemble_dense(kd, pts)
+        blk = assemble_block(kd, pts[10:40], pts[200:300])
+        assert np.allclose(blk, a[10:40, 200:300])
+
+
+class TestStreamedMatvec:
+    def test_matches_dense_real(self, setup):
+        pts, kd, _ = setup
+        a = assemble_dense(kd, pts)
+        x = np.random.default_rng(0).standard_normal(350)
+        for br in (7, 64, 1000):
+            assert np.allclose(streamed_matvec(kd, pts, x, block_rows=br), a @ x)
+
+    def test_matches_dense_complex(self, setup):
+        pts, _, kz = setup
+        a = assemble_dense(kz, pts)
+        rng = np.random.default_rng(1)
+        x = rng.standard_normal(350) + 1j * rng.standard_normal(350)
+        assert np.allclose(streamed_matvec(kz, pts, x), a @ x)
+
+    def test_panel_rhs(self, setup):
+        pts, kd, _ = setup
+        a = assemble_dense(kd, pts)
+        x = np.random.default_rng(2).standard_normal((350, 4))
+        assert np.allclose(streamed_matvec(kd, pts, x), a @ x)
+
+    def test_dtype_promotion(self, setup):
+        pts, kd, _ = setup
+        x = np.random.default_rng(3).standard_normal(350) * 1j
+        y = streamed_matvec(kd, pts, x)
+        assert y.dtype == np.complex128
+
+    def test_shape_mismatch(self, setup):
+        pts, kd, _ = setup
+        with pytest.raises(ValueError):
+            streamed_matvec(kd, pts, np.zeros(10))
+
+    def test_bad_block_rows(self, setup):
+        pts, kd, _ = setup
+        with pytest.raises(ValueError):
+            streamed_matvec(kd, pts, np.zeros(350), block_rows=0)
+
+
+class TestDenseOperator:
+    def test_matvec_and_rmatvec(self, setup):
+        pts, _, kz = setup
+        a = assemble_dense(kz, pts)
+        op = DenseOperator(kz, pts, block_rows=53)
+        rng = np.random.default_rng(4)
+        x = rng.standard_normal(350) + 1j * rng.standard_normal(350)
+        assert np.allclose(op.matvec(x), a @ x)
+        assert np.allclose(op.rmatvec(x), a.conj().T @ x)
+
+    def test_rows_cols(self, setup):
+        pts, kd, _ = setup
+        a = assemble_dense(kd, pts)
+        op = DenseOperator(kd, pts)
+        assert np.allclose(op.rows(slice(5, 9)), a[5:9])
+        assert np.allclose(op.cols(np.array([0, 17, 200])), a[:, [0, 17, 200]])
+
+    def test_shape_dtype(self, setup):
+        pts, kd, _ = setup
+        op = DenseOperator(kd, pts)
+        assert op.shape == (350, 350)
+        assert op.dtype == np.float64
+
+    def test_norm_estimate_close(self, setup):
+        pts, kd, _ = setup
+        a = assemble_dense(kd, pts)
+        op = DenseOperator(kd, pts)
+        est = op.norm_fro_estimate(samples=350)  # full sample => exact
+        assert np.isclose(est, np.linalg.norm(a), rtol=1e-10)
+
+    def test_norm_estimate_sampled(self, setup):
+        pts, kd, _ = setup
+        a = assemble_dense(kd, pts)
+        op = DenseOperator(kd, pts)
+        est = op.norm_fro_estimate(samples=64)
+        assert 0.5 * np.linalg.norm(a) < est < 2.0 * np.linalg.norm(a)

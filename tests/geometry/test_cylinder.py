@@ -1,0 +1,106 @@
+"""Unit tests for the point-cloud generators."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.geometry import cylinder_cloud, mesh_step, plate_cloud, sphere_cloud
+
+
+class TestCylinderCloud:
+    def test_shape_and_dtype(self):
+        pts = cylinder_cloud(1000)
+        assert pts.shape == (1000, 3)
+        assert pts.dtype == np.float64
+        assert pts.flags.c_contiguous
+
+    def test_exact_count_non_square(self):
+        # n that does not factor into a full grid still yields exactly n points.
+        pts = cylinder_cloud(997)
+        assert pts.shape == (997, 3)
+
+    def test_points_on_cylinder_surface(self):
+        r = 2.5
+        pts = cylinder_cloud(500, radius=r)
+        rho = np.hypot(pts[:, 0], pts[:, 1])
+        assert np.allclose(rho, r, rtol=1e-12)
+
+    def test_height_bounds(self):
+        h = 7.0
+        pts = cylinder_cloud(600, radius=1.0, height=h)
+        assert pts[:, 2].min() >= 0.0
+        assert pts[:, 2].max() <= h
+
+    def test_points_distinct(self):
+        pts = cylinder_cloud(400)
+        # No duplicated points (would break kernel clamping assumptions).
+        uniq = np.unique(pts.round(12), axis=0)
+        assert uniq.shape[0] == pts.shape[0]
+
+    def test_rejects_nonpositive_n(self):
+        with pytest.raises(ValueError):
+            cylinder_cloud(0)
+        with pytest.raises(ValueError):
+            cylinder_cloud(-5)
+
+    def test_deterministic(self):
+        assert np.array_equal(cylinder_cloud(128), cylinder_cloud(128))
+
+    def test_jitter_seed(self):
+        a = cylinder_cloud(128, seed=1)
+        b = cylinder_cloud(128, seed=2)
+        assert not np.array_equal(a, b)
+        # Jitter is tiny relative to the geometry.
+        assert np.abs(a - cylinder_cloud(128)).max() < 1e-6
+
+
+class TestSphereCloud:
+    def test_on_sphere(self):
+        pts = sphere_cloud(300, radius=1.5)
+        assert np.allclose(np.linalg.norm(pts, axis=1), 1.5, rtol=1e-12)
+
+    def test_quasi_uniform(self):
+        # z-coordinates should span (-r, r) roughly evenly.
+        pts = sphere_cloud(1000)
+        z = np.sort(pts[:, 2])
+        gaps = np.diff(z)
+        assert gaps.max() < 10.0 / 1000
+
+    def test_rejects_nonpositive_n(self):
+        with pytest.raises(ValueError):
+            sphere_cloud(0)
+
+
+class TestPlateCloud:
+    def test_planar(self):
+        pts = plate_cloud(250)
+        assert np.all(pts[:, 2] == 0.0)
+
+    def test_within_bounds(self):
+        pts = plate_cloud(250, width=2.0, height=3.0)
+        assert pts[:, 0].max() <= 2.0 and pts[:, 1].max() <= 3.0
+        assert pts[:, :2].min() >= 0.0
+
+
+class TestMeshStep:
+    def test_regular_grid_step(self):
+        # A perfectly regular 1-D line: the nearest-neighbour distance is the
+        # grid spacing.
+        x = np.zeros((100, 3))
+        x[:, 0] = np.arange(100) * 0.25
+        assert math.isclose(mesh_step(x), 0.25, rel_tol=1e-9)
+
+    def test_cylinder_step_positive_and_small(self):
+        pts = cylinder_cloud(2000)
+        h = mesh_step(pts)
+        assert 0 < h < 1.0
+
+    def test_requires_two_points(self):
+        with pytest.raises(ValueError):
+            mesh_step(np.zeros((1, 3)))
+
+    def test_scales_with_density(self):
+        h1 = mesh_step(cylinder_cloud(500))
+        h2 = mesh_step(cylinder_cloud(2000))
+        assert h2 < h1

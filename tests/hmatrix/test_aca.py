@@ -1,0 +1,141 @@
+"""Unit tests for the ACA compressors."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import cylinder_cloud, helmholtz_kernel, laplace_kernel
+from repro.hmatrix import aca_full, aca_partial, compress_kernel_block
+
+
+def _oracles(block):
+    return (lambda i: block[i], lambda j: block[:, j])
+
+
+def _smooth_block(m, n, seed=0):
+    """A numerically low-rank block from a smooth kernel on separated sets."""
+    rng = np.random.default_rng(seed)
+    x = rng.uniform(0, 1, size=(m, 3))
+    y = rng.uniform(0, 1, size=(n, 3)) + np.array([5.0, 0, 0])
+    d = np.linalg.norm(x[:, None] - y[None, :], axis=2)
+    return 1.0 / d
+
+
+class TestAcaPartial:
+    @pytest.mark.parametrize("eps", [1e-3, 1e-6, 1e-9])
+    def test_accuracy(self, eps):
+        block = _smooth_block(60, 50)
+        rk = aca_partial(*_oracles(block), 60, 50, eps)
+        err = np.linalg.norm(rk.to_dense() - block) / np.linalg.norm(block)
+        assert err <= 10 * eps
+
+    def test_exact_lowrank_recovery(self):
+        rng = np.random.default_rng(3)
+        block = rng.standard_normal((40, 5)) @ rng.standard_normal((5, 30))
+        rk = aca_partial(*_oracles(block), 40, 30, 1e-12)
+        assert rk.rank == 5
+        assert np.allclose(rk.to_dense(), block, atol=1e-9)
+
+    def test_zero_block(self):
+        block = np.zeros((10, 12))
+        rk = aca_partial(*_oracles(block), 10, 12, 1e-6)
+        assert rk.rank == 0
+
+    def test_complex_block(self):
+        block = _smooth_block(50, 40) * np.exp(1j * _smooth_block(50, 40, seed=1))
+        rk = aca_partial(*_oracles(block), 50, 40, 1e-8)
+        err = np.linalg.norm(rk.to_dense() - block) / np.linalg.norm(block)
+        assert err <= 1e-6
+        assert rk.dtype == np.complex128
+
+    def test_max_rank_cap(self):
+        block = _smooth_block(40, 40)
+        rk = aca_partial(*_oracles(block), 40, 40, 1e-14, max_rank=3)
+        assert rk.rank <= 3
+
+    def test_no_recompress_keeps_crosses(self):
+        block = _smooth_block(30, 30)
+        raw = aca_partial(*_oracles(block), 30, 30, 1e-6, recompress=False)
+        rec = aca_partial(*_oracles(block), 30, 30, 1e-6, recompress=True)
+        assert rec.rank <= raw.rank
+
+    def test_rank_one_block(self):
+        u = np.arange(1.0, 9.0)[:, None]
+        v = np.arange(1.0, 6.0)[None, :]
+        block = u @ v
+        rk = aca_partial(*_oracles(block), 8, 5, 1e-12)
+        assert rk.rank == 1
+        assert np.allclose(rk.to_dense(), block)
+
+    def test_structured_grid_no_stall(self):
+        # The regression this guards: partial pivoting stalling on the
+        # cylinder's structured mesh while untouched rows still carry error.
+        pts = cylinder_cloud(800)
+        kern = laplace_kernel(pts)
+        rows, cols = pts[:200], pts[-200:]
+        block = kern(rows, cols)
+        rk = aca_partial(*_oracles(block), 200, 200, 1e-6)
+        err = np.linalg.norm(rk.to_dense() - block) / np.linalg.norm(block)
+        assert err <= 1e-5
+
+    def test_validation(self):
+        block = np.zeros((3, 3))
+        with pytest.raises(ValueError):
+            aca_partial(*_oracles(block), 0, 3, 1e-6)
+        with pytest.raises(ValueError):
+            aca_partial(*_oracles(block), 3, 3, -1.0)
+
+
+class TestAcaFull:
+    def test_accuracy(self):
+        block = _smooth_block(45, 35)
+        rk = aca_full(block, 1e-8)
+        assert np.linalg.norm(rk.to_dense() - block) <= 1e-7 * np.linalg.norm(block)
+
+    def test_zero(self):
+        assert aca_full(np.zeros((5, 5)), 1e-6).rank == 0
+
+    def test_max_rank(self):
+        assert aca_full(_smooth_block(30, 30), 1e-14, max_rank=2).rank <= 2
+
+    def test_agrees_with_partial(self):
+        block = _smooth_block(50, 50, seed=7)
+        rk_p = aca_partial(*_oracles(block), 50, 50, 1e-8)
+        rk_f = aca_full(block, 1e-8)
+        assert np.allclose(rk_p.to_dense(), rk_f.to_dense(), atol=1e-6)
+
+
+class TestCompressKernelBlock:
+    @pytest.fixture(scope="class")
+    def geom(self):
+        pts = cylinder_cloud(600)
+        return pts, laplace_kernel(pts), helmholtz_kernel(pts)
+
+    @pytest.mark.parametrize("method", ["aca", "svd", "aca_full"])
+    def test_methods_agree(self, geom, method):
+        pts, kd, _ = geom
+        rows, cols = pts[:100], pts[-100:]
+        ref = kd(rows, cols)
+        rk = compress_kernel_block(kd, rows, cols, 1e-6, method=method)
+        err = np.linalg.norm(rk.to_dense() - ref) / np.linalg.norm(ref)
+        assert err <= 1e-5
+
+    def test_complex_kernel(self, geom):
+        pts, _, kz = geom
+        rows, cols = pts[:80], pts[-120:]
+        ref = kz(rows, cols)
+        rk = compress_kernel_block(kz, rows, cols, 1e-5)
+        assert np.linalg.norm(rk.to_dense() - ref) <= 1e-4 * np.linalg.norm(ref)
+
+    def test_helmholtz_rank_exceeds_laplace(self, geom):
+        # The paper's key workload asymmetry: oscillatory kernels carry
+        # higher ranks at equal accuracy.
+        pts, kd, kz = geom
+        rows, cols = pts[:150], pts[-150:]
+        rk_d = compress_kernel_block(kd, rows, cols, 1e-6)
+        rk_z = compress_kernel_block(kz, rows, cols, 1e-6)
+        assert rk_z.rank > rk_d.rank
+
+    def test_unknown_method(self, geom):
+        pts, kd, _ = geom
+        with pytest.raises(ValueError):
+            compress_kernel_block(kd, pts[:5], pts[:5], 1e-4, method="magic")

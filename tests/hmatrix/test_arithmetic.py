@@ -1,0 +1,346 @@
+"""Unit tests for recursive H-arithmetic (H-GEMM, H-TRSM, H-GETRF)."""
+
+import numpy as np
+import pytest
+from scipy.linalg import solve_triangular
+
+from repro.geometry import assemble_dense, cylinder_cloud, helmholtz_kernel, laplace_kernel
+from repro.hmatrix import (
+    AssemblyConfig,
+    KernelTracer,
+    StrongAdmissibility,
+    assemble_hmatrix,
+    build_block_cluster_tree,
+    build_cluster_tree,
+    hgemm,
+    hgetrf,
+    hlu_solve,
+    htrsm,
+    set_tracer,
+)
+from repro.hmatrix.arithmetic import (
+    h_rmatvec,
+    solve_lower_panel,
+    solve_upper_panel,
+    solve_upper_transpose_panel,
+)
+
+N = 360
+EPS = 1e-7
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    """Three H-matrices over the same cluster tree (A, B, C operands)."""
+    pts = cylinder_cloud(N)
+    ct = build_cluster_tree(pts, leaf_size=24)
+    bt = build_block_cluster_tree(ct, ct, StrongAdmissibility(eta=2.0))
+    kern = laplace_kernel(pts)
+    h = assemble_hmatrix(kern, pts, bt, AssemblyConfig(eps=EPS))
+    dense = assemble_dense(kern, pts)[np.ix_(ct.perm, ct.perm)]
+    return pts, ct, bt, kern, h, dense
+
+
+def _rel(a, b):
+    return np.linalg.norm(a - b) / max(np.linalg.norm(b), 1e-300)
+
+
+class TestHRmatvec:
+    def test_matches_transpose(self, ctx):
+        *_, h, dense = ctx
+        x = np.random.default_rng(0).standard_normal((N, 2))
+        assert _rel(h_rmatvec(h, x), dense.T @ x) <= 1e-5
+
+
+class TestHgemm:
+    def test_all_h_operands(self, ctx):
+        *_, h, dense = ctx
+        c = h.copy()
+        hgemm(c, h, h, eps=1e-9, alpha=-1.0)
+        ref = dense - dense @ dense
+        assert _rel(c.to_dense(), ref) <= 1e-4
+
+    def test_alpha_plus_one(self, ctx):
+        *_, h, dense = ctx
+        c = h.copy()
+        hgemm(c, h, h, eps=1e-9, alpha=1.0)
+        assert _rel(c.to_dense(), dense + dense @ dense) <= 1e-4
+
+    def test_rk_times_h(self, ctx):
+        # C += alpha * A @ B where A is a low-rank leaf: take off-diagonal
+        # children of the root.
+        *_, h, dense = ctx
+        a01 = h.child(0, 1)
+        b10 = h.child(1, 0)
+        c00 = h.child(0, 0).copy()
+        m = c00.shape[0]
+        ref = dense[:m, :m] - dense[:m, m:] @ dense[m:, :m]
+        hgemm(c00, a01, b10, eps=1e-9, alpha=-1.0)
+        assert _rel(c00.to_dense(), ref) <= 1e-4
+
+    def test_shape_validation(self, ctx):
+        *_, h, _ = ctx
+        # C (half-sized) cannot absorb the product of two full-sized operands.
+        with pytest.raises(ValueError):
+            hgemm(h.child(0, 0), h, h, eps=1e-6)
+
+    def test_gemm_into_rk_leaf(self, ctx):
+        # C is a low-rank leaf while A, B are subdivided: the collect path.
+        *_, h, dense = ctx
+        c = h.child(0, 1).copy()
+        a = h.child(0, 0)
+        b = h.child(0, 1)
+        m, n = c.shape
+        ref = dense[:m, m:] - dense[:m, :m] @ dense[:m, m:]
+        hgemm(c, a, b, eps=1e-9, alpha=-1.0)
+        assert _rel(c.to_dense(), ref) <= 1e-4
+
+    def test_complex(self):
+        pts = cylinder_cloud(200)
+        ct = build_cluster_tree(pts, leaf_size=16)
+        bt = build_block_cluster_tree(ct, ct, StrongAdmissibility())
+        kz = helmholtz_kernel(pts)
+        h = assemble_hmatrix(kz, pts, bt, AssemblyConfig(eps=1e-8))
+        dense = assemble_dense(kz, pts)[np.ix_(ct.perm, ct.perm)]
+        c = h.copy()
+        hgemm(c, h, h, eps=1e-10, alpha=-1.0)
+        assert _rel(c.to_dense(), dense - dense @ dense) <= 1e-5
+
+
+class TestPanelSolves:
+    @pytest.fixture(scope="class")
+    def lu(self, ctx):
+        *_, h, dense = ctx
+        hl = h.copy()
+        hgetrf(hl, eps=1e-9)
+        return hl, dense
+
+    def test_solve_lower_panel(self, lu, ctx):
+        hl, _ = lu
+        rng = np.random.default_rng(1)
+        b = rng.standard_normal((N, 3))
+        dense_lu = hl.to_dense()
+        l = np.tril(dense_lu, -1) + np.eye(N)
+        y = solve_lower_panel(hl, b, unit_diagonal=True)
+        assert _rel(l @ y, b) <= 1e-6
+
+    def test_solve_upper_panel(self, lu):
+        hl, _ = lu
+        rng = np.random.default_rng(2)
+        b = rng.standard_normal((N, 2))
+        u = np.triu(hl.to_dense())
+        y = solve_upper_panel(hl, b)
+        assert _rel(u @ y, b) <= 1e-6
+
+    def test_solve_upper_transpose_panel(self, lu):
+        hl, _ = lu
+        rng = np.random.default_rng(3)
+        b = rng.standard_normal((N, 2))
+        u = np.triu(hl.to_dense())
+        y = solve_upper_transpose_panel(hl, b)
+        assert _rel(u.T @ y, b) <= 1e-6
+
+
+class TestHtrsm:
+    @pytest.fixture(scope="class")
+    def factored_root_block(self, ctx):
+        *_, h, dense = ctx
+        hl = h.child(0, 0).copy()
+        hgetrf(hl, eps=1e-10)
+        m = hl.shape[0]
+        return hl, dense[:m, :m], m
+
+    def test_left_lower_on_h_rhs(self, ctx, factored_root_block):
+        *_, h, dense = ctx
+        hl, dkk, m = factored_root_block
+        b = h.child(0, 1).copy()
+        ref_rhs = dense[:m, m:].copy()
+        htrsm("left", "lower", hl, b, eps=1e-9, unit_diagonal=True)
+        l = np.tril(hl.to_dense(), -1) + np.eye(m)
+        assert _rel(l @ b.to_dense(), ref_rhs) <= 1e-5
+
+    def test_right_upper_on_h_rhs(self, ctx, factored_root_block):
+        *_, h, dense = ctx
+        hl, dkk, m = factored_root_block
+        b = h.child(1, 0).copy()
+        ref_rhs = dense[m:, :m].copy()
+        htrsm("right", "upper", hl, b, eps=1e-9)
+        u = np.triu(hl.to_dense())
+        assert _rel(b.to_dense() @ u, ref_rhs) <= 1e-5
+
+    def test_unsupported_variant(self, ctx, factored_root_block):
+        hl, _, _ = factored_root_block
+        b = hl.copy()
+        with pytest.raises(ValueError):
+            htrsm("left", "upper", hl, b, eps=1e-6)
+        with pytest.raises(ValueError):
+            htrsm("right", "upper", hl, b, eps=1e-6, unit_diagonal=True)
+
+    def test_dim_validation(self, ctx, factored_root_block):
+        *_, h, _ = ctx
+        hl, _, m = factored_root_block
+        with pytest.raises(ValueError):
+            htrsm("left", "lower", hl, h, eps=1e-6, unit_diagonal=True)
+
+
+class TestHgetrf:
+    def test_lu_reconstruction(self, ctx):
+        *_, h, dense = ctx
+        hl = h.copy()
+        hgetrf(hl, eps=1e-9)
+        packed = hl.to_dense()
+        l = np.tril(packed, -1) + np.eye(N)
+        u = np.triu(packed)
+        assert _rel(l @ u, dense) <= 1e-5
+
+    def test_solve_accuracy(self, ctx):
+        *_, h, dense = ctx
+        hl = h.copy()
+        hgetrf(hl, eps=1e-9)
+        x0 = np.random.default_rng(4).standard_normal(N)
+        x = hlu_solve(hl, dense @ x0)
+        assert _rel(x, x0) <= 1e-5
+
+    def test_solve_panel(self, ctx):
+        *_, h, dense = ctx
+        hl = h.copy()
+        hgetrf(hl, eps=1e-9)
+        x0 = np.random.default_rng(5).standard_normal((N, 4))
+        x = hlu_solve(hl, dense @ x0)
+        assert _rel(x, x0) <= 1e-5
+
+    def test_eps_controls_accuracy(self, ctx):
+        *_, h, dense = ctx
+        x0 = np.random.default_rng(6).standard_normal(N)
+        errs = []
+        for eps in (1e-2, 1e-8):
+            hl = h.copy()
+            hgetrf(hl, eps=eps)
+            x = hlu_solve(hl, dense @ x0)
+            errs.append(_rel(x, x0))
+        assert errs[1] < errs[0]
+
+    def test_complex_lu(self):
+        pts = cylinder_cloud(220)
+        ct = build_cluster_tree(pts, leaf_size=20)
+        bt = build_block_cluster_tree(ct, ct, StrongAdmissibility())
+        kz = helmholtz_kernel(pts)
+        h = assemble_hmatrix(kz, pts, bt, AssemblyConfig(eps=1e-8))
+        dense = assemble_dense(kz, pts)[np.ix_(ct.perm, ct.perm)]
+        hgetrf(h, eps=1e-9)
+        rng = np.random.default_rng(7)
+        x0 = rng.standard_normal(220) + 1j * rng.standard_normal(220)
+        x = hlu_solve(h, dense @ x0)
+        assert _rel(x, x0) <= 1e-5
+
+    def test_non_square_rejected(self, ctx):
+        *_, h, _ = ctx
+        with pytest.raises(ValueError):
+            hgetrf(h.child(0, 1), eps=1e-6)
+
+    def test_rhs_dim_validation(self, ctx):
+        *_, h, _ = ctx
+        hl = h.copy()
+        hgetrf(hl, eps=1e-9)
+        with pytest.raises(ValueError):
+            hlu_solve(hl, np.zeros(N + 1))
+
+
+class TestTracer:
+    def test_tracer_records_kernels(self, ctx):
+        *_, h, _ = ctx
+        tracer = KernelTracer()
+        prev = set_tracer(tracer)
+        try:
+            hl = h.copy()
+            hgetrf(hl, eps=1e-9)
+        finally:
+            set_tracer(prev)
+        kinds = {r.kind for r in tracer.records}
+        assert kinds == {"getrf", "trsm", "gemm"}
+        assert tracer.total_seconds() > 0
+        assert tracer.total_flops() > 0
+        # Every record has coherent read/write sets.
+        for r in tracer.records:
+            assert r.writes
+            if r.kind != "getrf":
+                assert r.reads
+
+    def test_tracer_disabled_by_default(self, ctx):
+        *_, h, _ = ctx
+        tracer = KernelTracer()
+        prev = set_tracer(tracer)
+        set_tracer(prev)  # restore immediately
+        hl = h.copy()
+        hgetrf(hl, eps=1e-9)
+        assert tracer.records == []
+
+    def test_tracer_clear(self):
+        tracer = KernelTracer()
+        tracer.record("getrf", (), ("x",), 0.1, 10.0)
+        tracer.clear()
+        assert tracer.records == [] and tracer.total_seconds() == 0.0
+
+
+class TestHgeaddToRk:
+    def test_to_rk_matches_dense(self, ctx):
+        from repro.hmatrix import to_rk
+
+        *_, h, dense = ctx
+        rk = to_rk(h, eps=1e-8)
+        err = np.linalg.norm(rk.to_dense() - dense) / np.linalg.norm(dense)
+        assert err < 1e-5
+        # The full matrix is not numerically low rank (dominant diagonal),
+        # but an off-diagonal subdivided block is.
+        off = h.child(0, 1)
+        rk_off = to_rk(off, eps=1e-6)
+        assert rk_off.rank < min(off.shape)
+        ref = dense[: off.shape[0], off.shape[0] :]
+        assert np.linalg.norm(rk_off.to_dense() - ref) < 1e-4 * np.linalg.norm(ref)
+
+    def test_hgeadd_same_structure(self, ctx):
+        from repro.hmatrix import hgeadd
+
+        *_, h, dense = ctx
+        b = h.copy()
+        hgeadd(b, h, eps=1e-9, alpha=-0.5)
+        assert _rel(b.to_dense(), 0.5 * dense) < 1e-5
+
+    def test_hgeadd_rk_into_h(self, ctx):
+        from repro.hmatrix import hgeadd
+
+        *_, h, dense = ctx
+        b = h.child(0, 0).copy()
+        a = h.child(0, 1)  # need same shape: only valid if square halves
+        if a.shape != b.shape:
+            pytest.skip("halves not square")
+        m = b.shape[0]
+        hgeadd(b, a, eps=1e-9, alpha=2.0)
+        ref = dense[:m, :m] + 2.0 * dense[:m, m:]
+        assert _rel(b.to_dense(), ref) < 1e-5
+
+    def test_hgeadd_h_into_leaf(self, ctx):
+        from repro.hmatrix import HMatrix, hgeadd
+        from repro.hmatrix.rk import compress_dense
+
+        *_, h, dense = ctx
+        a = h.child(0, 0)  # subdivided
+        m = a.shape[0]
+        leaf = HMatrix(a.rows, a.cols, rk=compress_dense(dense[:m, :m], 1e-9))
+        hgeadd(leaf, a, eps=1e-9, alpha=1.0)
+        assert _rel(leaf.to_dense(), 2.0 * dense[:m, :m]) < 1e-4
+
+    def test_hgeadd_shape_mismatch(self, ctx):
+        from repro.hmatrix import hgeadd
+
+        *_, h, _ = ctx
+        with pytest.raises(ValueError):
+            hgeadd(h.child(0, 0), h, eps=1e-6)
+
+    def test_hgeadd_cancellation(self, ctx):
+        from repro.hmatrix import hgeadd
+
+        *_, h, dense = ctx
+        b = h.copy()
+        hgeadd(b, h, eps=1e-10, alpha=-1.0)
+        assert b.norm_fro() <= 1e-5 * np.linalg.norm(dense)

@@ -1,0 +1,127 @@
+"""Unit tests for block cluster trees and admissibility conditions."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import cylinder_cloud
+from repro.hmatrix import (
+    StrongAdmissibility,
+    WeakAdmissibility,
+    build_block_cluster_tree,
+    build_cluster_tree,
+)
+
+
+@pytest.fixture(scope="module")
+def ct():
+    return build_cluster_tree(cylinder_cloud(600), leaf_size=32)
+
+
+class TestStrongAdmissibility:
+    def test_diagonal_never_admissible(self, ct):
+        adm = StrongAdmissibility(eta=2.0)
+        assert not adm.is_admissible(ct, ct)
+        for node in ct.nodes():
+            assert not adm.is_admissible(node, node)
+
+    def test_far_blocks_admissible(self, ct):
+        adm = StrongAdmissibility(eta=2.0)
+        leaves = list(ct.leaves())
+        first, last = leaves[0], leaves[-1]
+        # The cylinder's extremes are far apart relative to leaf diameters.
+        assert adm.is_admissible(first, last)
+
+    def test_eta_monotonicity(self, ct):
+        # Larger eta admits at least as many pairs.
+        loose = StrongAdmissibility(eta=10.0)
+        tight = StrongAdmissibility(eta=0.1)
+        nodes = list(ct.nodes())[:40]
+        for a in nodes:
+            for b in nodes:
+                if tight.is_admissible(a, b):
+                    assert loose.is_admissible(a, b)
+
+    def test_eta_validation(self):
+        with pytest.raises(ValueError):
+            StrongAdmissibility(eta=0.0)
+        with pytest.raises(ValueError):
+            StrongAdmissibility(eta=-1.0)
+
+
+class TestWeakAdmissibility:
+    def test_disjoint_ranges_admissible(self, ct):
+        adm = WeakAdmissibility()
+        l, r = ct.children
+        assert adm.is_admissible(l, r)
+        assert adm.is_admissible(r, l)
+
+    def test_overlapping_not_admissible(self, ct):
+        adm = WeakAdmissibility()
+        assert not adm.is_admissible(ct, ct)
+        assert not adm.is_admissible(ct, ct.children[0])
+
+
+class TestBlockClusterTree:
+    def test_root_pair(self, ct):
+        bt = build_block_cluster_tree(ct, ct)
+        assert bt.rows is ct and bt.cols is ct
+        assert bt.shape == (600, 600)
+
+    def test_leaves_partition_matrix(self, ct):
+        bt = build_block_cluster_tree(ct, ct)
+        covered = np.zeros((600, 600), dtype=bool)
+        for leaf in bt.leaves():
+            r = slice(leaf.rows.start, leaf.rows.stop)
+            c = slice(leaf.cols.start, leaf.cols.stop)
+            assert not covered[r, c].any()
+            covered[r, c] = True
+        assert covered.all()
+
+    def test_admissible_leaves_are_leaves(self, ct):
+        bt = build_block_cluster_tree(ct, ct)
+        for node in bt.nodes():
+            if node.admissible:
+                assert node.is_leaf
+
+    def test_inadmissible_leaves_have_leaf_cluster(self, ct):
+        bt = build_block_cluster_tree(ct, ct)
+        for leaf in bt.leaves():
+            if not leaf.admissible:
+                assert leaf.rows.is_leaf or leaf.cols.is_leaf
+
+    def test_child_grid_indexing(self, ct):
+        bt = build_block_cluster_tree(ct, ct)
+        assert not bt.is_leaf
+        assert bt.nrow_children == 2 and bt.ncol_children == 2
+        assert bt.child(0, 1).rows is ct.children[0]
+        assert bt.child(0, 1).cols is ct.children[1]
+        with pytest.raises(IndexError):
+            next(iter(bt.leaves())).child(0, 0)
+
+    def test_weak_admissibility_structure(self, ct):
+        bt = build_block_cluster_tree(ct, ct, WeakAdmissibility())
+        # All off-diagonal blocks at the first level are leaves.
+        assert bt.child(0, 1).is_leaf and bt.child(0, 1).admissible
+        assert bt.child(1, 0).is_leaf and bt.child(1, 0).admissible
+
+    def test_weak_has_fewer_leaves_than_strong(self, ct):
+        weak = build_block_cluster_tree(ct, ct, WeakAdmissibility())
+        strong = build_block_cluster_tree(ct, ct, StrongAdmissibility())
+        assert len(list(weak.leaves())) < len(list(strong.leaves()))
+
+    def test_min_block_stops_subdivision(self, ct):
+        bt = build_block_cluster_tree(ct, ct, min_block=600)
+        assert bt.is_leaf
+
+    def test_depth_bounded_by_cluster_depth(self, ct):
+        bt = build_block_cluster_tree(ct, ct)
+        assert bt.depth() <= ct.depth()
+
+    def test_rectangular_pair(self):
+        pts = cylinder_cloud(300)
+        ct_full = build_cluster_tree(pts, leaf_size=16)
+        l, r = ct_full.children
+        bt = build_block_cluster_tree(l, r)
+        assert bt.shape == (l.size, r.size)
+        total = sum(lf.rows.size * lf.cols.size for lf in bt.leaves())
+        assert total == l.size * r.size

@@ -1,0 +1,125 @@
+"""Unit tests for H-Cholesky (hpotrf / hchol_solve / transpose support)."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import assemble_dense, exponential_kernel, gravity_kernel, plate_cloud
+from repro.hmatrix import (
+    AssemblyConfig,
+    StrongAdmissibility,
+    assemble_hmatrix,
+    build_block_cluster_tree,
+    build_cluster_tree,
+    hchol_solve,
+    hgemm_transb,
+    hpotrf,
+)
+
+N = 500
+EPS = 1e-8
+
+
+@pytest.fixture(scope="module")
+def spd():
+    pts = plate_cloud(N)
+    kern = exponential_kernel(pts, length=0.7)
+    ct = build_cluster_tree(pts, leaf_size=32)
+    bt = build_block_cluster_tree(ct, ct, StrongAdmissibility())
+    h = assemble_hmatrix(kern, pts, bt, AssemblyConfig(eps=EPS))
+    dense = assemble_dense(kern, pts)[np.ix_(ct.perm, ct.perm)]
+    return pts, ct, h, dense
+
+
+class TestTranspose:
+    def test_dense_match(self, spd):
+        *_, h, dense = spd
+        assert np.allclose(h.transpose().to_dense(), dense.T, atol=1e-6)
+
+    def test_double_transpose_identity(self, spd):
+        *_, h, _ = spd
+        assert np.allclose(h.transpose().transpose().to_dense(), h.to_dense())
+
+    def test_transpose_structure(self, spd):
+        *_, h, _ = spd
+        t = h.transpose()
+        assert t.shape == (h.shape[1], h.shape[0])
+        assert t.nrow_children == h.ncol_children
+        assert len(list(t.leaves())) == len(list(h.leaves()))
+
+    def test_transpose_rectangular(self, spd):
+        *_, h, dense = spd
+        b01 = h.child(0, 1)
+        m = h.child(0, 0).shape[0]
+        assert np.allclose(
+            b01.transpose().to_dense(), dense[:m, m:].T, atol=1e-6
+        )
+
+
+class TestHgemmTransb:
+    def test_matches_dense(self, spd):
+        *_, h, dense = spd
+        c = h.copy()
+        hgemm_transb(c, h, h, eps=1e-10, alpha=-1.0)
+        ref = dense - dense @ dense.T
+        err = np.linalg.norm(c.to_dense() - ref) / np.linalg.norm(ref)
+        assert err < 1e-5
+
+
+class TestHpotrf:
+    def test_reconstruction(self, spd):
+        *_, h, dense = spd
+        hl = h.copy()
+        hpotrf(hl, eps=1e-10)
+        l = np.tril(hl.to_dense())
+        assert np.linalg.norm(l @ l.T - dense) <= 1e-5 * np.linalg.norm(dense)
+
+    def test_solve(self, spd):
+        *_, h, dense = spd
+        hl = h.copy()
+        hpotrf(hl, eps=1e-10)
+        x0 = np.random.default_rng(0).standard_normal(N)
+        x = hchol_solve(hl, dense @ x0)
+        assert np.linalg.norm(x - x0) <= 1e-5 * np.linalg.norm(x0)
+
+    def test_solve_panel(self, spd):
+        *_, h, dense = spd
+        hl = h.copy()
+        hpotrf(hl, eps=1e-10)
+        x0 = np.random.default_rng(1).standard_normal((N, 3))
+        x = hchol_solve(hl, dense @ x0)
+        assert np.linalg.norm(x - x0) <= 1e-5 * np.linalg.norm(x0)
+
+    def test_gravity_kernel_spd(self):
+        # A second smooth SPD kernel exercises different ranks.
+        pts = plate_cloud(300)
+        kern = gravity_kernel(pts)
+        ct = build_cluster_tree(pts, leaf_size=24)
+        bt = build_block_cluster_tree(ct, ct, StrongAdmissibility())
+        h = assemble_hmatrix(kern, pts, bt, AssemblyConfig(eps=1e-9))
+        dense = assemble_dense(kern, pts)[np.ix_(ct.perm, ct.perm)]
+        hpotrf(h, eps=1e-10)
+        x0 = np.random.default_rng(2).standard_normal(300)
+        x = hchol_solve(h, dense @ x0)
+        assert np.linalg.norm(x - x0) <= 1e-5 * np.linalg.norm(x0)
+
+    def test_non_square_rejected(self, spd):
+        *_, h, _ = spd
+        with pytest.raises(ValueError):
+            hpotrf(h.child(0, 1), eps=1e-8)
+
+    def test_not_spd_raises(self, spd):
+        pts, ct, *_ = spd
+        # An indefinite matrix: assemble, then flip the sign of a diagonal
+        # leaf.
+        h2 = spd[2].copy()
+        leaf = next(l for l in h2.leaves() if l.full is not None)
+        leaf.full[:] = -leaf.full
+        with pytest.raises(np.linalg.LinAlgError):
+            hpotrf(h2, eps=1e-8)
+
+    def test_rhs_dim_check(self, spd):
+        *_, h, _ = spd
+        hl = h.copy()
+        hpotrf(hl, eps=1e-10)
+        with pytest.raises(ValueError):
+            hchol_solve(hl, np.zeros(N + 1))

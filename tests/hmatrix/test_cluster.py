@@ -1,0 +1,152 @@
+"""Unit + property tests for cluster trees."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import cylinder_cloud, plate_cloud
+from repro.hmatrix import BoundingBox, build_cluster_tree
+
+
+class TestBoundingBox:
+    def test_of_points(self):
+        pts = np.array([[0.0, 1.0, 2.0], [3.0, -1.0, 2.0]])
+        bb = BoundingBox.of(pts)
+        assert np.array_equal(bb.lo, [0.0, -1.0, 2.0])
+        assert np.array_equal(bb.hi, [3.0, 1.0, 2.0])
+
+    def test_diameter(self):
+        bb = BoundingBox(lo=np.zeros(3), hi=np.array([3.0, 4.0, 0.0]))
+        assert bb.diameter == 5.0
+
+    def test_largest_dimension(self):
+        bb = BoundingBox(lo=np.zeros(3), hi=np.array([1.0, 5.0, 2.0]))
+        assert bb.largest_dimension() == 1
+
+    def test_distance_disjoint(self):
+        a = BoundingBox(lo=np.zeros(3), hi=np.ones(3))
+        b = BoundingBox(lo=np.array([4.0, 0.0, 0.0]), hi=np.array([5.0, 1.0, 1.0]))
+        assert a.distance(b) == 3.0
+        assert b.distance(a) == 3.0
+
+    def test_distance_overlapping_zero(self):
+        a = BoundingBox(lo=np.zeros(3), hi=np.ones(3))
+        b = BoundingBox(lo=np.array([0.5, 0.5, 0.5]), hi=np.array([2.0, 2.0, 2.0]))
+        assert a.distance(b) == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            BoundingBox.of(np.zeros((0, 3)))
+
+
+class TestBuildClusterTree:
+    def test_root_covers_everything(self):
+        pts = cylinder_cloud(500)
+        ct = build_cluster_tree(pts, leaf_size=32)
+        assert ct.size == 500
+        assert np.array_equal(np.sort(ct.perm), np.arange(500))
+
+    def test_leaf_size_respected(self):
+        ct = build_cluster_tree(cylinder_cloud(500), leaf_size=32)
+        for leaf in ct.leaves():
+            assert 1 <= leaf.size <= 32
+
+    def test_children_partition_parent(self):
+        ct = build_cluster_tree(cylinder_cloud(300), leaf_size=16)
+        for node in ct.nodes():
+            if not node.is_leaf:
+                assert len(node.children) == 2
+                l, r = node.children
+                assert l.start == node.start and r.stop == node.stop
+                assert l.stop == r.start
+                # Median bisection: balanced within one element.
+                assert abs(l.size - r.size) <= 1
+
+    def test_leaves_cover_in_order(self):
+        ct = build_cluster_tree(cylinder_cloud(257), leaf_size=10)
+        pos = 0
+        for leaf in ct.leaves():
+            assert leaf.start == pos
+            pos = leaf.stop
+        assert pos == 257
+
+    def test_levels_increase(self):
+        ct = build_cluster_tree(cylinder_cloud(128), leaf_size=8)
+        for node in ct.nodes():
+            for c in node.children:
+                assert c.level == node.level + 1
+
+    def test_bbox_contains_points(self):
+        pts = cylinder_cloud(200)
+        ct = build_cluster_tree(pts, leaf_size=16)
+        for node in ct.nodes():
+            p = node.cluster_points
+            assert np.all(p >= node.bbox.lo - 1e-12)
+            assert np.all(p <= node.bbox.hi + 1e-12)
+
+    def test_single_point(self):
+        ct = build_cluster_tree(np.zeros((1, 3)), leaf_size=4)
+        assert ct.is_leaf and ct.size == 1 and ct.depth() == 0
+
+    def test_degenerate_plate(self):
+        # One collapsed dimension must not break splitting.
+        ct = build_cluster_tree(plate_cloud(200), leaf_size=16)
+        assert all(leaf.size <= 16 for leaf in ct.leaves())
+
+    def test_duplicate_points(self):
+        pts = np.zeros((50, 3))  # all identical
+        ct = build_cluster_tree(pts, leaf_size=8)
+        assert sum(leaf.size for leaf in ct.leaves()) == 50
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            build_cluster_tree(np.zeros((0, 3)))
+        with pytest.raises(ValueError):
+            build_cluster_tree(cylinder_cloud(10), leaf_size=0)
+        with pytest.raises(ValueError):
+            build_cluster_tree(np.zeros(5))
+
+    def test_depth_logarithmic(self):
+        ct = build_cluster_tree(cylinder_cloud(1024), leaf_size=32)
+        # 1024/32 = 32 leaves => depth around log2(32) = 5 (allow slack for
+        # uneven splits).
+        assert ct.depth() <= 8
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=400),
+    leaf_size=st.integers(min_value=1, max_value=64),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_property_cluster_tree_is_partition(n, leaf_size, seed):
+    """perm is always a permutation and leaves tile [0, n) exactly."""
+    rng = np.random.default_rng(seed)
+    pts = rng.uniform(-1, 1, size=(n, 3))
+    ct = build_cluster_tree(pts, leaf_size=leaf_size)
+    assert np.array_equal(np.sort(ct.perm), np.arange(n))
+    covered = np.zeros(n, dtype=bool)
+    for leaf in ct.leaves():
+        assert leaf.size <= leaf_size
+        assert not covered[leaf.start : leaf.stop].any()
+        covered[leaf.start : leaf.stop] = True
+    assert covered.all()
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=300),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_property_sibling_boxes_separate_along_axis(n, seed):
+    """After a split, left child's split-axis max <= right child's min."""
+    rng = np.random.default_rng(seed)
+    pts = rng.uniform(-1, 1, size=(n, 3))
+    ct = build_cluster_tree(pts, leaf_size=max(1, n // 8))
+    for node in ct.nodes():
+        if node.is_leaf:
+            continue
+        axis = node.bbox.largest_dimension()
+        l, r = node.children
+        assert l.bbox.hi[axis] <= r.bbox.lo[axis] + 1e-12

@@ -1,0 +1,99 @@
+"""Unit tests for H-inversion (hinv) and the zeroing helpers."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import assemble_dense, cylinder_cloud, helmholtz_kernel, laplace_kernel
+from repro.hmatrix import (
+    AssemblyConfig,
+    StrongAdmissibility,
+    assemble_hmatrix,
+    build_block_cluster_tree,
+    build_cluster_tree,
+    hinv,
+)
+
+N = 320
+
+
+@pytest.fixture(scope="module")
+def problem():
+    pts = cylinder_cloud(N)
+    kern = laplace_kernel(pts)
+    ct = build_cluster_tree(pts, leaf_size=24)
+    bt = build_block_cluster_tree(ct, ct, StrongAdmissibility())
+    h = assemble_hmatrix(kern, pts, bt, AssemblyConfig(eps=1e-9))
+    dense = assemble_dense(kern, pts)[np.ix_(ct.perm, ct.perm)]
+    return h, dense
+
+
+class TestZeroHelpers:
+    def test_zero_in_place(self, problem):
+        h, _ = problem
+        z = h.copy()
+        z.zero_()
+        assert z.norm_fro() == 0.0
+        assert np.array_equal(z.to_dense(), np.zeros((N, N)))
+
+    def test_zeros_like_keeps_structure(self, problem):
+        h, _ = problem
+        z = h.zeros_like()
+        assert len(list(z.leaves())) == len(list(h.leaves()))
+        assert z.norm_fro() == 0.0
+        assert h.norm_fro() > 0  # original untouched
+
+
+class TestHinv:
+    def test_inverse_matches_dense(self, problem):
+        h, dense = problem
+        inv = h.copy()
+        hinv(inv, eps=1e-10)
+        ref = np.linalg.inv(dense)
+        assert np.linalg.norm(inv.to_dense() - ref) <= 1e-6 * np.linalg.norm(ref)
+
+    def test_identity_action(self, problem):
+        h, dense = problem
+        inv = h.copy()
+        hinv(inv, eps=1e-10)
+        x = np.random.default_rng(0).standard_normal(N)
+        assert np.linalg.norm(dense @ inv.matvec(x) - x) <= 1e-6 * np.linalg.norm(x)
+
+    def test_eps_controls_accuracy(self, problem):
+        h, dense = problem
+        x = np.random.default_rng(1).standard_normal(N)
+        errs = []
+        for eps in (1e-3, 1e-10):
+            inv = h.copy()
+            hinv(inv, eps=eps)
+            errs.append(np.linalg.norm(dense @ inv.matvec(x) - x))
+        assert errs[1] < errs[0]
+
+    def test_complex(self):
+        pts = cylinder_cloud(200)
+        kern = helmholtz_kernel(pts)
+        ct = build_cluster_tree(pts, leaf_size=20)
+        bt = build_block_cluster_tree(ct, ct, StrongAdmissibility())
+        h = assemble_hmatrix(kern, pts, bt, AssemblyConfig(eps=1e-9))
+        dense = assemble_dense(kern, pts)[np.ix_(ct.perm, ct.perm)]
+        hinv(h, eps=1e-10)
+        x = np.random.default_rng(2).standard_normal(200) + 0j
+        assert np.linalg.norm(dense @ h.matvec(x) - x) <= 1e-6 * np.linalg.norm(x)
+
+    def test_non_square_rejected(self, problem):
+        h, _ = problem
+        with pytest.raises(ValueError):
+            hinv(h.child(0, 1), eps=1e-8)
+
+    def test_inverse_solves_agree_with_lu(self, problem):
+        """x = A^{-1} b agrees with the H-LU solve."""
+        from repro.hmatrix import hgetrf, hlu_solve
+
+        h, dense = problem
+        inv = h.copy()
+        hinv(inv, eps=1e-10)
+        lu = h.copy()
+        hgetrf(lu, eps=1e-10)
+        b = np.random.default_rng(3).standard_normal(N)
+        x_inv = inv.matvec(b)
+        x_lu = hlu_solve(lu, b)
+        assert np.linalg.norm(x_inv - x_lu) <= 1e-6 * np.linalg.norm(x_lu)

@@ -1,0 +1,218 @@
+"""Unit tests for the HMatrix container (assembly, matvec, accounting)."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import assemble_dense, cylinder_cloud, helmholtz_kernel, laplace_kernel
+from repro.hmatrix import (
+    AssemblyConfig,
+    HMatrix,
+    RkMatrix,
+    StrongAdmissibility,
+    WeakAdmissibility,
+    assemble_hmatrix,
+    build_block_cluster_tree,
+    build_cluster_tree,
+)
+
+N = 400
+EPS = 1e-6
+
+
+@pytest.fixture(scope="module")
+def setup():
+    pts = cylinder_cloud(N)
+    ct = build_cluster_tree(pts, leaf_size=32)
+    bt = build_block_cluster_tree(ct, ct, StrongAdmissibility(eta=2.0))
+    kern = laplace_kernel(pts)
+    h = assemble_hmatrix(kern, pts, bt, AssemblyConfig(eps=EPS))
+    dense = assemble_dense(kern, pts)[np.ix_(ct.perm, ct.perm)]
+    return pts, ct, bt, kern, h, dense
+
+
+class TestAssembly:
+    def test_assembly_accuracy(self, setup):
+        *_, h, dense = setup
+        err = np.linalg.norm(h.to_dense() - dense) / np.linalg.norm(dense)
+        assert err <= 10 * EPS
+
+    def test_structure_mirrors_block_tree(self, setup):
+        _, _, bt, _, h, _ = setup
+        bt_leaves = [(b.rows.start, b.cols.start, b.admissible) for b in bt.leaves()]
+        h_leaves = [
+            (leaf.rows.start, leaf.cols.start, leaf.kind == "rk") for leaf in h.leaves()
+        ]
+        assert bt_leaves == h_leaves
+
+    def test_svd_method(self, setup):
+        pts, ct, bt, kern, _, dense = setup
+        h = assemble_hmatrix(kern, pts, bt, AssemblyConfig(eps=EPS, method="svd"))
+        assert np.linalg.norm(h.to_dense() - dense) <= 10 * EPS * np.linalg.norm(dense)
+
+    def test_complex_assembly(self, setup):
+        pts, ct, bt, *_ = setup
+        kz = helmholtz_kernel(pts)
+        h = assemble_hmatrix(kz, pts, bt, AssemblyConfig(eps=EPS))
+        dense = assemble_dense(kz, pts)[np.ix_(ct.perm, ct.perm)]
+        assert h.dtype == np.complex128
+        assert np.linalg.norm(h.to_dense() - dense) <= 10 * EPS * np.linalg.norm(dense)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            AssemblyConfig(eps=-1.0)
+
+
+class TestHMatrixOps:
+    def test_matvec_vector_and_panel(self, setup):
+        *_, h, dense = setup
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal(N)
+        assert np.allclose(h.matvec(x), dense @ x, atol=1e-4)
+        xp = rng.standard_normal((N, 3))
+        assert np.allclose(h.matvec(xp), dense @ xp, atol=1e-4)
+
+    def test_matvec_shape_check(self, setup):
+        *_, h, _ = setup
+        with pytest.raises(ValueError):
+            h.matvec(np.zeros(N + 1))
+
+    def test_norm_fro(self, setup):
+        *_, h, dense = setup
+        assert np.isclose(h.norm_fro(), np.linalg.norm(dense), rtol=1e-4)
+
+    def test_storage_less_than_dense(self, setup):
+        *_, h, _ = setup
+        assert h.storage() < N * N
+        assert h.compression_ratio() < 1.0
+        assert h.storage_bytes() == h.storage() * 8
+
+    def test_leaf_count(self, setup):
+        *_, h, _ = setup
+        counts = h.leaf_count()
+        assert counts["full"] > 0 and counts["rk"] > 0
+        assert counts["full"] + counts["rk"] == len(list(h.leaves()))
+
+    def test_max_rank_positive(self, setup):
+        *_, h, _ = setup
+        assert 0 < h.max_rank() < N
+
+    def test_copy_deep(self, setup):
+        *_, h, dense = setup
+        cp = h.copy()
+        for leaf in cp.leaves():
+            if leaf.full is not None:
+                leaf.full[:] = 0.0
+            else:
+                leaf.rk = RkMatrix.zeros(*leaf.shape, dtype=leaf.rk.dtype)
+        assert np.isclose(np.linalg.norm(h.to_dense() - dense), 0, atol=1e-4 * N)
+
+    def test_scale(self, setup):
+        *_, h, dense = setup
+        cp = h.copy()
+        cp.scale(-3.0)
+        assert np.allclose(cp.to_dense(), -3.0 * h.to_dense())
+
+    def test_depth_and_nodes(self, setup):
+        *_, h, _ = setup
+        assert h.depth() >= 1
+        assert len(list(h.nodes())) > len(list(h.leaves()))
+
+
+class TestFromDense:
+    def test_roundtrip(self, setup):
+        _, _, bt, _, _, dense = setup
+        h = HMatrix.from_dense(dense, bt, eps=1e-10)
+        assert np.linalg.norm(h.to_dense() - dense) <= 1e-8 * np.linalg.norm(dense)
+
+    def test_shape_mismatch(self, setup):
+        _, _, bt, *_ = setup
+        with pytest.raises(ValueError):
+            HMatrix.from_dense(np.zeros((3, 3)), bt, eps=1e-6)
+
+    def test_weak_admissibility_from_dense(self, setup):
+        pts, ct, *_ = setup
+        bt = build_block_cluster_tree(ct, ct, WeakAdmissibility())
+        dense = np.diag(np.arange(1.0, N + 1))
+        h = HMatrix.from_dense(dense, bt, eps=1e-10)
+        assert np.allclose(h.to_dense(), dense)
+
+
+class TestAxpy:
+    def test_axpy_rk(self, setup):
+        *_, h, dense = setup
+        cp = h.copy()
+        rng = np.random.default_rng(5)
+        rk = RkMatrix(rng.standard_normal((N, 2)), rng.standard_normal((N, 2)))
+        cp.axpy_rk(rk, eps=1e-10)
+        ref = dense + rk.to_dense()
+        assert np.linalg.norm(cp.to_dense() - ref) <= 1e-4 * np.linalg.norm(ref)
+
+    def test_axpy_rk_zero_is_noop(self, setup):
+        *_, h, _ = setup
+        cp = h.copy()
+        before = cp.to_dense()
+        cp.axpy_rk(RkMatrix.zeros(N, N), eps=1e-10)
+        assert np.array_equal(cp.to_dense(), before)
+
+    def test_axpy_dense(self, setup):
+        *_, h, dense = setup
+        cp = h.copy()
+        rng = np.random.default_rng(6)
+        block = rng.standard_normal((N, N)) * 1e-3
+        cp.axpy_dense(block, eps=1e-10)
+        ref = dense + block
+        # Rk leaves compress the dense update, so allow the eps-level error.
+        assert np.linalg.norm(cp.to_dense() - ref) <= 1e-3 * np.linalg.norm(ref)
+
+    def test_axpy_shape_checks(self, setup):
+        *_, h, _ = setup
+        with pytest.raises(ValueError):
+            h.axpy_rk(RkMatrix.zeros(3, 3), 1e-6)
+        with pytest.raises(ValueError):
+            h.axpy_dense(np.zeros((3, 3)), 1e-6)
+
+
+class TestStructureRendering:
+    def test_rank_map_covers_matrix(self, setup):
+        *_, h, _ = setup
+        area = sum(m * n for _, _, m, n, _, _ in h.rank_map())
+        assert area == N * N
+
+    def test_render_structure(self, setup):
+        *_, h, _ = setup
+        art = h.render_structure(width=32)
+        lines = art.splitlines()
+        assert all(len(line) == 32 for line in lines)
+        assert "#" in art  # dense diagonal blocks
+        assert any(c.isdigit() or c == "+" for c in art)  # low-rank blocks
+
+    def test_constructor_validation(self, setup):
+        _, ct, *_ = setup
+        with pytest.raises(ValueError):
+            HMatrix(ct, ct)  # no payload
+        with pytest.raises(ValueError):
+            HMatrix(ct, ct, full=np.zeros((2, 2)))  # wrong shape
+
+
+class TestStructureJson:
+    def test_json_consistency(self, setup):
+        *_, h, _ = setup
+        data = h.structure_json()
+        assert data["shape"] == [N, N]
+        assert data["storage"] == h.storage()
+        assert data["n_dense_leaves"] + data["n_rk_leaves"] == len(data["leaves"])
+        area = sum(l["m"] * l["n"] for l in data["leaves"])
+        assert area == N * N
+
+    def test_json_serialisable(self, setup):
+        import json
+
+        *_, h, _ = setup
+        text = json.dumps(h.structure_json())
+        assert "compression_ratio" in text
+
+    def test_ranks_match_rank_map(self, setup):
+        *_, h, _ = setup
+        json_ranks = sorted(l["rank"] for l in h.structure_json()["leaves"])
+        map_ranks = sorted(r for *_, r in h.rank_map())
+        assert json_ranks == map_ranks

@@ -1,0 +1,111 @@
+"""Unit tests for H-matrix / Tile-H persistence."""
+
+import numpy as np
+import pytest
+
+from repro.core import TileHConfig, TileHMatrix, tiled_getrf_tasks, tiled_solve
+from repro.geometry import assemble_dense, cylinder_cloud, helmholtz_kernel, laplace_kernel
+from repro.hmatrix import (
+    AssemblyConfig,
+    StrongAdmissibility,
+    assemble_hmatrix,
+    build_block_cluster_tree,
+    build_cluster_tree,
+    hgetrf,
+    hlu_solve,
+    load_hmatrix,
+    load_tile_h,
+    save_hmatrix,
+    save_tile_h,
+)
+
+N = 400
+
+
+@pytest.fixture(scope="module")
+def hmat():
+    pts = cylinder_cloud(N)
+    kern = laplace_kernel(pts)
+    ct = build_cluster_tree(pts, leaf_size=32)
+    bt = build_block_cluster_tree(ct, ct, StrongAdmissibility())
+    h = assemble_hmatrix(kern, pts, bt, AssemblyConfig(eps=1e-7))
+    return pts, kern, ct, h
+
+
+class TestSaveLoadHMatrix:
+    def test_bitexact_roundtrip(self, hmat, tmp_path):
+        _, _, ct, h = hmat
+        p = save_hmatrix(h, ct, tmp_path / "h.npz")
+        h2, ct2 = load_hmatrix(p)
+        assert np.array_equal(h2.to_dense(), h.to_dense())
+        assert np.array_equal(ct2.perm, ct.perm)
+
+    def test_structure_preserved(self, hmat, tmp_path):
+        _, _, ct, h = hmat
+        h2, _ = load_hmatrix(save_hmatrix(h, ct, tmp_path / "h.npz"))
+        assert h2.leaf_count() == h.leaf_count()
+        assert h2.max_rank() == h.max_rank()
+        assert h2.storage() == h.storage()
+        assert h2.depth() == h.depth()
+
+    def test_loaded_matrix_factorizes(self, hmat, tmp_path):
+        pts, kern, ct, h = hmat
+        h2, ct2 = load_hmatrix(save_hmatrix(h, ct, tmp_path / "h.npz"))
+        dense = assemble_dense(kern, pts)[np.ix_(ct2.perm, ct2.perm)]
+        hgetrf(h2, 1e-7)
+        x0 = np.random.default_rng(0).standard_normal(N)
+        x = hlu_solve(h2, dense @ x0)
+        assert np.linalg.norm(x - x0) <= 1e-4 * np.linalg.norm(x0)
+
+    def test_complex_roundtrip(self, tmp_path):
+        pts = cylinder_cloud(250)
+        kern = helmholtz_kernel(pts)
+        ct = build_cluster_tree(pts, leaf_size=24)
+        bt = build_block_cluster_tree(ct, ct, StrongAdmissibility())
+        h = assemble_hmatrix(kern, pts, bt, AssemblyConfig(eps=1e-6))
+        h2, _ = load_hmatrix(save_hmatrix(h, ct, tmp_path / "hz.npz"))
+        assert h2.dtype == np.complex128
+        assert np.array_equal(h2.to_dense(), h.to_dense())
+
+    def test_creates_parent_dirs(self, hmat, tmp_path):
+        _, _, ct, h = hmat
+        p = save_hmatrix(h, ct, tmp_path / "deep" / "dir" / "h.npz")
+        assert p.exists()
+
+
+class TestSaveLoadTileH:
+    @pytest.fixture(scope="class")
+    def tile_problem(self):
+        pts = cylinder_cloud(N)
+        kern = laplace_kernel(pts)
+        a = TileHMatrix.build(kern, pts, TileHConfig(nb=100, eps=1e-7, leaf_size=32))
+        dense = assemble_dense(kern, pts)
+        return pts, kern, a, dense
+
+    def test_bitexact_roundtrip(self, tile_problem, tmp_path):
+        _, _, a, _ = tile_problem
+        desc2 = load_tile_h(save_tile_h(a.desc, tmp_path / "t.npz"))
+        assert np.array_equal(desc2.to_dense(), a.desc.to_dense())
+        assert desc2.nt == a.nt
+        assert desc2.nb == a.desc.nb
+        assert desc2.eps == a.desc.eps
+        assert np.array_equal(desc2.perm, a.desc.perm)
+
+    def test_tile_formats_preserved(self, tile_problem, tmp_path):
+        _, _, a, _ = tile_problem
+        desc2 = load_tile_h(save_tile_h(a.desc, tmp_path / "t.npz"))
+        assert desc2.format_counts() == a.desc.format_counts()
+
+    def test_loaded_descriptor_solves(self, tile_problem, tmp_path):
+        _, _, a, dense = tile_problem
+        desc2 = load_tile_h(save_tile_h(a.desc, tmp_path / "t.npz"))
+        tiled_getrf_tasks(desc2)
+        x0 = np.random.default_rng(1).standard_normal(N)
+        x = tiled_solve(desc2, dense @ x0)
+        assert np.linalg.norm(x - x0) <= 1e-4 * np.linalg.norm(x0)
+
+    def test_tile_slices_preserved(self, tile_problem, tmp_path):
+        _, _, a, _ = tile_problem
+        desc2 = load_tile_h(save_tile_h(a.desc, tmp_path / "t.npz"))
+        for i in range(a.nt):
+            assert desc2.tile_slice(i) == a.desc.tile_slice(i)

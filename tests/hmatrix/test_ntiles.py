@@ -1,0 +1,120 @@
+"""Unit + property tests for the NTilesRecursive clustering (Algorithm 2)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import cylinder_cloud
+from repro.hmatrix import ntiles_recursive, tile_roots
+
+
+class TestNTilesRecursive:
+    def test_tile_count(self):
+        _, tiles = ntiles_recursive(cylinder_cloud(1000), nb=128)
+        assert len(tiles) == math.ceil(1000 / 128)
+
+    def test_all_tiles_full_size_except_last(self):
+        # The paper: CHAMELEON works on regular tiles with at most one
+        # padding tile.
+        _, tiles = ntiles_recursive(cylinder_cloud(1000), nb=128)
+        sizes = [t.size for t in tiles]
+        assert all(s == 128 for s in sizes[:-1])
+        assert sizes[-1] == 1000 - 128 * (len(sizes) - 1)
+
+    def test_exact_multiple(self):
+        _, tiles = ntiles_recursive(cylinder_cloud(512), nb=128)
+        assert [t.size for t in tiles] == [128] * 4
+
+    def test_nb_larger_than_n(self):
+        root, tiles = ntiles_recursive(cylinder_cloud(100), nb=512)
+        assert len(tiles) == 1 and tiles[0] is root
+
+    def test_tiles_contiguous_in_perm(self):
+        _, tiles = ntiles_recursive(cylinder_cloud(777), nb=100)
+        pos = 0
+        for t in tiles:
+            assert t.start == pos
+            pos = t.stop
+        assert pos == 777
+
+    def test_perm_is_permutation(self):
+        root, _ = ntiles_recursive(cylinder_cloud(900), nb=100)
+        assert np.array_equal(np.sort(root.perm), np.arange(900))
+
+    def test_tiles_refined_by_median_bisection(self):
+        _, tiles = ntiles_recursive(cylinder_cloud(1000), nb=250, leaf_size=32)
+        for t in tiles:
+            assert all(leaf.size <= 32 for leaf in t.leaves())
+
+    def test_tile_roots_recovery(self):
+        root, tiles = ntiles_recursive(cylinder_cloud(1000), nb=128)
+        rec = tile_roots(root, 128)
+        assert [(t.start, t.stop) for t in rec] == [(t.start, t.stop) for t in tiles]
+
+    def test_tile_roots_rejects_foreign_tree(self):
+        from repro.hmatrix import build_cluster_tree
+
+        ct = build_cluster_tree(cylinder_cloud(100), leaf_size=30)
+        # A median tree has leaves of ~25; asking for nb=10 must fail.
+        with pytest.raises(ValueError):
+            tile_roots(ct, 10)
+
+    def test_geometric_locality(self):
+        # Tiles should be geometrically compact: a tile's bbox diameter must
+        # be well below the full geometry's.
+        pts = cylinder_cloud(2000)
+        root, tiles = ntiles_recursive(pts, nb=250)
+        for t in tiles:
+            assert t.bbox.diameter < root.bbox.diameter
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ntiles_recursive(np.zeros((0, 3)), nb=10)
+        with pytest.raises(ValueError):
+            ntiles_recursive(cylinder_cloud(10), nb=0)
+        with pytest.raises(ValueError):
+            ntiles_recursive(cylinder_cloud(10), nb=4, leaf_size=0)
+        with pytest.raises(ValueError):
+            ntiles_recursive(np.zeros(7), nb=2)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=600),
+    nb=st.integers(min_value=1, max_value=200),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_property_tile_regularity(n, nb, seed):
+    """Algorithm 2 invariant: nt = ceil(n/NB) tiles, all of size NB except
+    possibly the last, tiling the permutation contiguously."""
+    rng = np.random.default_rng(seed)
+    pts = rng.uniform(-1, 1, size=(n, 3))
+    root, tiles = ntiles_recursive(pts, nb=nb)
+    nt = math.ceil(n / nb)
+    assert len(tiles) == nt
+    sizes = [t.size for t in tiles]
+    assert all(s == nb for s in sizes[:-1])
+    assert sum(sizes) == n
+    assert np.array_equal(np.sort(root.perm), np.arange(n))
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    n=st.integers(min_value=50, max_value=500),
+    nb=st.integers(min_value=10, max_value=120),
+)
+def test_property_left_sons_get_ceil_half_tiles(n, nb):
+    """The pseudo-bisection gives the left son exactly NB*ceil(nt/2) unknowns."""
+    pts = cylinder_cloud(n)
+    root, _ = ntiles_recursive(pts, nb=nb)
+    node = root
+    while not node.is_leaf and node.size > nb:
+        nt = math.ceil(node.size / nb)
+        if nt == 1:
+            break
+        left = node.children[0]
+        assert left.size == nb * math.ceil(nt / 2) or left.stop == node.stop
+        node = node.children[1]  # walk the (possibly padded) right spine

@@ -1,0 +1,148 @@
+"""Property-based tests of the H-arithmetic against the dense reference.
+
+Each property draws random geometry and structure parameters (leaf size,
+admissibility, accuracy) with hypothesis and verifies the error contract of
+the corresponding kernel: H-operations must stay within a modest multiple of
+the requested accuracy of the exact dense computation.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import assemble_dense, laplace_kernel
+from repro.hmatrix import (
+    AssemblyConfig,
+    StrongAdmissibility,
+    assemble_hmatrix,
+    build_block_cluster_tree,
+    build_cluster_tree,
+    hgemm,
+    hgetrf,
+    hlu_solve,
+)
+
+
+def _random_points(rng, n):
+    """Jittered-grid cloud: random but with a guaranteed minimum separation.
+
+    Fully uniform clouds can place two points within the kernel's clamping
+    distance, which makes their matrix rows *identical* — a genuinely
+    singular system that no unpivoted LU can factor (the paper's structured
+    meshes cannot produce this).
+    """
+    side = int(np.ceil(n ** (1 / 3)))
+    grid = np.stack(
+        np.meshgrid(*[np.arange(side)] * 3, indexing="ij"), axis=-1
+    ).reshape(-1, 3).astype(np.float64)
+    pick = rng.permutation(len(grid))[:n]
+    pts = grid[pick] + rng.uniform(-0.3, 0.3, size=(n, 3))  # separation >= 0.4
+    return pts
+
+
+def _random_problem(seed, n, leaf_size, eta, eps):
+    rng = np.random.default_rng(seed)
+    pts = _random_points(rng, n)
+    kern = laplace_kernel(pts)
+    ct = build_cluster_tree(pts, leaf_size=leaf_size)
+    bt = build_block_cluster_tree(ct, ct, StrongAdmissibility(eta=eta))
+    h = assemble_hmatrix(kern, pts, bt, AssemblyConfig(eps=eps))
+    dense = assemble_dense(kern, pts)[np.ix_(ct.perm, ct.perm)]
+    return h, dense
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    n=st.integers(min_value=40, max_value=220),
+    leaf_size=st.integers(min_value=8, max_value=48),
+    eta=st.sampled_from([1.0, 2.0, 4.0]),
+)
+def test_property_assembly_error_bounded(seed, n, leaf_size, eta):
+    """||A_H - A||_F <= C * eps * ||A||_F for random clouds/structures."""
+    eps = 1e-6
+    h, dense = _random_problem(seed, n, leaf_size, eta, eps)
+    err = np.linalg.norm(h.to_dense() - dense) / np.linalg.norm(dense)
+    assert err <= 100 * eps
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    n=st.integers(min_value=40, max_value=160),
+    leaf_size=st.integers(min_value=8, max_value=32),
+)
+def test_property_matvec_consistency(seed, n, leaf_size):
+    """H matvec equals dense matvec to assembly accuracy."""
+    eps = 1e-7
+    h, dense = _random_problem(seed, n, leaf_size, 2.0, eps)
+    rng = np.random.default_rng(seed + 1)
+    x = rng.standard_normal(n)
+    ref = dense @ x
+    err = np.linalg.norm(h.matvec(x) - ref) / max(np.linalg.norm(ref), 1e-300)
+    assert err <= 1e-4
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    n=st.integers(min_value=40, max_value=140),
+    leaf_size=st.integers(min_value=8, max_value=32),
+)
+def test_property_hgemm_error_bounded(seed, n, leaf_size):
+    """C <- C - A@A stays within accuracy of the dense Schur update."""
+    eps = 1e-8
+    h, dense = _random_problem(seed, n, leaf_size, 2.0, eps)
+    c = h.copy()
+    hgemm(c, h, h, eps=eps, alpha=-1.0)
+    ref = dense - dense @ dense
+    err = np.linalg.norm(c.to_dense() - ref) / max(np.linalg.norm(ref), 1e-300)
+    assert err <= 1e-4
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    n=st.integers(min_value=50, max_value=140),
+    leaf_size=st.integers(min_value=10, max_value=32),
+)
+def test_property_hlu_solve_error_bounded(seed, n, leaf_size):
+    """H-LU + solve recovers a manufactured solution to ~eps accuracy."""
+    eps = 1e-8
+    h, dense = _random_problem(seed, n, leaf_size, 2.0, eps)
+    rng = np.random.default_rng(seed + 2)
+    x0 = rng.standard_normal(n)
+    hgetrf(h, eps=eps)
+    x = hlu_solve(h, dense @ x0)
+    assert np.linalg.norm(x - x0) <= 1e-3 * np.linalg.norm(x0)
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    n=st.integers(min_value=40, max_value=160),
+    leaf_size=st.integers(min_value=8, max_value=32),
+)
+def test_property_storage_counts_consistent(seed, n, leaf_size):
+    """Leaf storage identities: rank map covers the matrix exactly and the
+    accounted storage matches a direct leaf walk."""
+    h, _ = _random_problem(seed, n, leaf_size, 2.0, 1e-4)
+    area = sum(m_ * n_ for _, _, m_, n_, _, _ in h.rank_map())
+    assert area == n * n
+    direct = 0
+    for leaf in h.leaves():
+        direct += leaf.full.size if leaf.full is not None else leaf.rk.storage
+    assert direct == h.storage()
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    n=st.integers(min_value=40, max_value=160),
+)
+def test_property_transpose_involution(seed, n):
+    """transpose() is an involution and matches the dense transpose."""
+    h, dense = _random_problem(seed, n, 16, 2.0, 1e-7)
+    t = h.transpose()
+    assert np.allclose(t.to_dense(), h.to_dense().T)
+    assert np.allclose(t.transpose().to_dense(), h.to_dense())

@@ -1,0 +1,190 @@
+"""Unit + property tests for Rk blocks and truncated arithmetic."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hmatrix import RkMatrix, compress_dense, truncate_svd
+
+
+def _random_lowrank(m, n, r, seed=0, dtype=np.float64):
+    rng = np.random.default_rng(seed)
+    u = rng.standard_normal((m, r))
+    v = rng.standard_normal((n, r))
+    if np.issubdtype(dtype, np.complexfloating):
+        u = u + 1j * rng.standard_normal((m, r))
+        v = v + 1j * rng.standard_normal((n, r))
+    return RkMatrix(u.astype(dtype), v.astype(dtype))
+
+
+class TestRkBasics:
+    def test_shape_rank_storage(self):
+        rk = _random_lowrank(20, 30, 4)
+        assert rk.shape == (20, 30)
+        assert rk.rank == 4
+        assert rk.storage == 20 * 4 + 30 * 4
+
+    def test_zeros(self):
+        rk = RkMatrix.zeros(5, 7, dtype=np.complex128)
+        assert rk.rank == 0
+        assert rk.dtype == np.complex128
+        assert np.array_equal(rk.to_dense(), np.zeros((5, 7)))
+        assert rk.norm_fro() == 0.0
+
+    def test_rank_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            RkMatrix(np.zeros((4, 2)), np.zeros((5, 3)))
+
+    def test_to_dense(self):
+        rk = _random_lowrank(6, 8, 2)
+        assert np.allclose(rk.to_dense(), rk.u @ rk.v.T)
+
+    def test_norm_fro_matches_dense(self):
+        for dtype in (np.float64, np.complex128):
+            rk = _random_lowrank(15, 12, 5, dtype=dtype)
+            assert np.isclose(rk.norm_fro(), np.linalg.norm(rk.to_dense()))
+
+    def test_matvec_rmatvec(self):
+        rk = _random_lowrank(9, 11, 3, dtype=np.complex128)
+        x = np.random.default_rng(1).standard_normal(11)
+        y = np.random.default_rng(2).standard_normal(9)
+        assert np.allclose(rk.matvec(x), rk.to_dense() @ x)
+        assert np.allclose(rk.rmatvec(y), rk.to_dense().T @ y)
+
+    def test_matvec_zero_rank(self):
+        rk = RkMatrix.zeros(4, 6)
+        assert np.array_equal(rk.matvec(np.ones(6)), np.zeros(4))
+        assert np.array_equal(rk.rmatvec(np.ones(4)), np.zeros(6))
+
+    def test_transpose(self):
+        rk = _random_lowrank(7, 5, 2)
+        assert np.allclose(rk.transpose().to_dense(), rk.to_dense().T)
+
+    def test_scale(self):
+        rk = _random_lowrank(5, 5, 2)
+        assert np.allclose(rk.scale(-2.0).to_dense(), -2.0 * rk.to_dense())
+
+    def test_copy_independent(self):
+        rk = _random_lowrank(4, 4, 2)
+        cp = rk.copy()
+        cp.u[:] = 0
+        assert not np.allclose(rk.u, 0)
+
+
+class TestTruncation:
+    def test_truncate_exact_rank_recovery(self):
+        # A rank-3 block stored with redundant rank 10 must shrink to 3.
+        base = _random_lowrank(30, 25, 3, seed=5)
+        dense = base.to_dense()
+        redundant = RkMatrix(
+            np.hstack([base.u, base.u @ np.ones((3, 7))]),
+            np.hstack([base.v, np.zeros((25, 7))]),
+        )
+        out = redundant.truncate(1e-12)
+        assert out.rank == 3
+        assert np.allclose(out.to_dense(), dense)
+
+    def test_truncate_error_bound(self):
+        rng = np.random.default_rng(7)
+        a = rng.standard_normal((40, 40))
+        rk = compress_dense(a, eps=0.0)  # full accuracy
+        for eps in (1e-2, 1e-4, 1e-8):
+            tr = rk.truncate(eps)
+            err = np.linalg.norm(tr.to_dense() - a) / np.linalg.norm(a)
+            assert err <= eps * 1.001 + 1e-15
+
+    def test_truncate_max_rank(self):
+        rk = _random_lowrank(20, 20, 10)
+        out = rk.truncate(0.0, max_rank=4)
+        assert out.rank == 4
+
+    def test_negative_eps_rejected(self):
+        rk = _random_lowrank(5, 5, 2)
+        with pytest.raises(ValueError):
+            rk.truncate(-1e-3)
+
+    def test_add_exact(self):
+        a = _random_lowrank(15, 10, 3, seed=1)
+        b = _random_lowrank(15, 10, 2, seed=2)
+        out = a.add(b, eps=1e-13)
+        assert np.allclose(out.to_dense(), a.to_dense() + b.to_dense())
+        assert out.rank <= 5
+
+    def test_add_with_zero(self):
+        a = _random_lowrank(8, 9, 3)
+        z = RkMatrix.zeros(8, 9)
+        assert np.allclose(a.add(z, 1e-12).to_dense(), a.to_dense())
+        assert np.allclose(z.add(a, 1e-12).to_dense(), a.to_dense())
+
+    def test_add_shape_mismatch(self):
+        a = _random_lowrank(8, 9, 2)
+        b = _random_lowrank(9, 8, 2)
+        with pytest.raises(ValueError):
+            a.add(b, 1e-8)
+
+    def test_add_cancellation(self):
+        a = _random_lowrank(10, 10, 4)
+        out = a.add(a.scale(-1.0), eps=1e-10)
+        assert out.norm_fro() <= 1e-10 * max(a.norm_fro(), 1.0)
+
+    def test_complex_add(self):
+        a = _random_lowrank(12, 9, 3, seed=3, dtype=np.complex128)
+        b = _random_lowrank(12, 9, 2, seed=4, dtype=np.complex128)
+        out = a.add(b, eps=1e-12)
+        assert np.allclose(out.to_dense(), a.to_dense() + b.to_dense())
+
+
+class TestTruncateSvd:
+    def test_rank_detection(self):
+        dense = _random_lowrank(30, 20, 5, seed=9).to_dense()
+        u, v = truncate_svd(dense, eps=1e-10)
+        assert u.shape[1] == 5
+        assert np.allclose(u @ v.T, dense)
+
+    def test_empty(self):
+        u, v = truncate_svd(np.zeros((0, 4)), 1e-4)
+        assert u.shape == (0, 0) and v.shape == (4, 0)
+
+    def test_zero_matrix(self):
+        rk = compress_dense(np.zeros((6, 6)), 1e-8)
+        assert rk.rank == 0
+
+    def test_eps_zero_keeps_everything(self):
+        a = np.random.default_rng(0).standard_normal((10, 10))
+        u, v = truncate_svd(a, eps=0.0)
+        assert u.shape[1] == 10
+        assert np.allclose(u @ v.T, a)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    m=st.integers(min_value=1, max_value=30),
+    n=st.integers(min_value=1, max_value=30),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    eps=st.sampled_from([1e-1, 1e-3, 1e-6]),
+)
+def test_property_truncation_error_bound(m, n, seed, eps):
+    """||A - trunc_eps(A)||_F <= eps * ||A||_F always holds."""
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((m, n))
+    rk = compress_dense(a, eps)
+    err = np.linalg.norm(rk.to_dense() - a)
+    assert err <= eps * np.linalg.norm(a) * (1 + 1e-10) + 1e-14
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    r1=st.integers(min_value=0, max_value=6),
+    r2=st.integers(min_value=0, max_value=6),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_property_rounded_addition(r1, r2, seed):
+    """Rounded addition is within eps of the exact sum, rank <= r1 + r2."""
+    a = _random_lowrank(18, 14, r1, seed=seed) if r1 else RkMatrix.zeros(18, 14)
+    b = _random_lowrank(18, 14, r2, seed=seed + 1) if r2 else RkMatrix.zeros(18, 14)
+    eps = 1e-8
+    out = a.add(b, eps)
+    exact = a.to_dense() + b.to_dense()
+    assert out.rank <= r1 + r2
+    assert np.linalg.norm(out.to_dense() - exact) <= eps * np.linalg.norm(exact) + 1e-12

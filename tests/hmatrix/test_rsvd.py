@@ -1,0 +1,93 @@
+"""Unit tests for the randomized-SVD compressor."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import cylinder_cloud, laplace_kernel
+from repro.hmatrix import compress_dense, compress_dense_rsvd, compress_kernel_block
+
+
+def _lowrank(m, n, r, seed=0, dtype=np.float64):
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((m, r)) @ rng.standard_normal((r, n))
+    if np.issubdtype(dtype, np.complexfloating):
+        a = a + 1j * (rng.standard_normal((m, r)) @ rng.standard_normal((r, n)))
+    return a.astype(dtype)
+
+
+class TestCompressDenseRsvd:
+    def test_exact_rank_recovery(self):
+        a = _lowrank(80, 60, 6)
+        rk = compress_dense_rsvd(a, 1e-10)
+        assert rk.rank == 6
+        assert np.linalg.norm(rk.to_dense() - a) <= 1e-8 * np.linalg.norm(a)
+
+    @pytest.mark.parametrize("eps", [1e-3, 1e-6, 1e-9])
+    def test_error_bound(self, eps):
+        rng = np.random.default_rng(1)
+        # Exponentially decaying spectrum: realistic compressible block.
+        u, _ = np.linalg.qr(rng.standard_normal((70, 70)))
+        v, _ = np.linalg.qr(rng.standard_normal((50, 50)))
+        s = np.exp(-np.arange(50) / 3.0)
+        a = u[:, :50] @ np.diag(s) @ v.T
+        rk = compress_dense_rsvd(a, eps)
+        err = np.linalg.norm(rk.to_dense() - a) / np.linalg.norm(a)
+        assert err <= 10 * eps
+
+    def test_adaptive_width_grows(self):
+        # Rank ~24 exceeds the initial sketch width (8): the doubling loop
+        # must engage and still meet the tolerance.
+        a = _lowrank(100, 90, 24, seed=2)
+        rk = compress_dense_rsvd(a, 1e-9)
+        assert rk.rank >= 20
+        assert np.linalg.norm(rk.to_dense() - a) <= 1e-7 * np.linalg.norm(a)
+
+    def test_complex(self):
+        a = _lowrank(50, 40, 5, dtype=np.complex128)
+        rk = compress_dense_rsvd(a, 1e-10)
+        assert rk.dtype == np.complex128
+        assert np.linalg.norm(rk.to_dense() - a) <= 1e-8 * np.linalg.norm(a)
+
+    def test_zero_matrix(self):
+        rk = compress_dense_rsvd(np.zeros((10, 8)), 1e-6)
+        assert rk.rank == 0
+
+    def test_max_rank_cap(self):
+        a = _lowrank(40, 40, 10)
+        rk = compress_dense_rsvd(a, 1e-14, max_rank=4)
+        assert rk.rank <= 4
+
+    def test_deterministic_with_seed(self):
+        a = _lowrank(30, 30, 4)
+        r1 = compress_dense_rsvd(a, 1e-8, seed=7)
+        r2 = compress_dense_rsvd(a, 1e-8, seed=7)
+        assert np.array_equal(r1.u, r2.u)
+
+    def test_rank_close_to_svd_optimum(self):
+        a = _lowrank(60, 60, 8, seed=3) + 1e-9 * np.random.default_rng(4).standard_normal((60, 60))
+        opt = compress_dense(a, 1e-6).rank
+        rnd = compress_dense_rsvd(a, 1e-6).rank
+        assert rnd <= opt + 4
+
+
+class TestRsvdInAssembly:
+    def test_registry_method(self):
+        pts = cylinder_cloud(400)
+        kern = laplace_kernel(pts)
+        ref = kern(pts[:100], pts[-100:])
+        rk = compress_kernel_block(kern, pts[:100], pts[-100:], 1e-6, method="rsvd")
+        assert np.linalg.norm(rk.to_dense() - ref) <= 1e-5 * np.linalg.norm(ref)
+
+    def test_full_pipeline_with_rsvd(self):
+        from repro.core import TileHConfig, TileHMatrix
+        from repro.geometry import assemble_dense
+
+        pts = cylinder_cloud(400)
+        kern = laplace_kernel(pts)
+        dense = assemble_dense(kern, pts)
+        a = TileHMatrix.build(
+            kern, pts, TileHConfig(nb=100, eps=1e-6, leaf_size=32, method="rsvd")
+        )
+        x0 = np.random.default_rng(5).standard_normal(400)
+        x = a.gesv(dense @ x0)
+        assert np.linalg.norm(x - x0) <= 1e-4 * np.linalg.norm(x0)

@@ -1,0 +1,147 @@
+"""Integration tests: whole-pipeline flows across subsystem boundaries.
+
+These mirror the paper's experiment pipeline end-to-end at miniature sizes:
+geometry -> clustering -> assembly -> task-parallel LU -> solve -> simulate,
+for both precisions and all solver variants, cross-validated against the
+dense reference and each other.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import forward_error
+from repro.baselines import BLRMatrix, DenseTiledLU, HMatSolver
+from repro.core import TileHConfig, TileHMatrix
+from repro.geometry import (
+    assemble_dense,
+    cylinder_cloud,
+    helmholtz_kernel,
+    laplace_kernel,
+    sphere_cloud,
+    streamed_matvec,
+)
+from repro.runtime import RuntimeOverheadModel, ThreadedExecutor, StfEngine
+
+N = 600
+EPS = 1e-6
+
+
+@pytest.fixture(scope="module", params=["d", "z"])
+def problem(request):
+    pts = cylinder_cloud(N)
+    kern = laplace_kernel(pts) if request.param == "d" else helmholtz_kernel(pts)
+    dense = assemble_dense(kern, pts)
+    rng = np.random.default_rng(42)
+    x0 = rng.standard_normal(N)
+    if request.param == "z":
+        x0 = x0 + 1j * rng.standard_normal(N)
+    return request.param, pts, kern, dense, x0
+
+
+class TestSolverAgreement:
+    """All four solvers agree with the dense reference and each other."""
+
+    def test_all_solvers_converge(self, problem):
+        precision, pts, kern, dense, x0 = problem
+        b = dense @ x0
+
+        th = TileHMatrix.build(kern, pts, TileHConfig(nb=150, eps=EPS, leaf_size=40))
+        x_th = th.gesv(b)
+        assert forward_error(x_th, x0) < 1e-4
+
+        blr = BLRMatrix.build(kern, pts, TileHConfig(nb=150, eps=EPS))
+        x_blr = blr.gesv(b)
+        assert forward_error(x_blr, x0) < 1e-4
+
+        hm = HMatSolver(kern, pts, eps=EPS, leaf_size=40)
+        x_hm = hm.gesv(b)
+        assert forward_error(x_hm, x0) < 1e-4
+
+        dt = DenseTiledLU(dense, nb=150)
+        dt.factorize()
+        x_dt = dt.solve(b)
+        assert forward_error(x_dt, x0) < 1e-10
+
+        # Cross-agreement between compressed solvers.
+        assert forward_error(x_th, x_hm) < 1e-3
+        assert forward_error(x_th, x_blr) < 1e-3
+
+    def test_matvec_agreement(self, problem):
+        precision, pts, kern, dense, x0 = problem
+        th = TileHMatrix.build(kern, pts, TileHConfig(nb=150, eps=EPS, leaf_size=40))
+        hm = HMatSolver(kern, pts, eps=EPS, leaf_size=40)
+        ref = dense @ x0
+        assert np.linalg.norm(th.matvec(x0) - ref) < 1e-4 * np.linalg.norm(ref)
+        assert np.linalg.norm(hm.matvec(x0) - ref) < 1e-4 * np.linalg.norm(ref)
+        # Streamed matrix-free operator is exact.
+        assert np.allclose(streamed_matvec(kern, pts, x0), ref)
+
+
+class TestSimulationConsistency:
+    def test_serial_simulation_matches_measured_work(self, problem):
+        _, pts, kern, _, _ = problem
+        th = TileHMatrix.build(kern, pts, TileHConfig(nb=100, eps=EPS, leaf_size=40))
+        info = th.factorize()
+        r = info.simulate(1, "eager", overheads=RuntimeOverheadModel.zero())
+        assert r.makespan == pytest.approx(info.sequential_seconds(), rel=1e-9)
+
+    def test_speedup_monotone_in_workers(self, problem):
+        _, pts, kern, _, _ = problem
+        th = TileHMatrix.build(kern, pts, TileHConfig(nb=75, eps=EPS, leaf_size=40))
+        info = th.factorize()
+        times = [
+            info.simulate(p, "prio", overheads=RuntimeOverheadModel.zero()).makespan
+            for p in (1, 2, 4, 8)
+        ]
+        for a, b in zip(times, times[1:]):
+            assert b <= a + 1e-12
+
+    def test_fine_grain_dag_has_more_parallelism_headroom(self, problem):
+        """The pure-H DAG has a *shorter* relative critical path (more
+        parallelism) but pays more per-dependency overhead: both directions
+        of the paper's trade-off, from one problem."""
+        _, pts, kern, _, _ = problem
+        th = TileHMatrix.build(kern, pts, TileHConfig(nb=100, eps=EPS, leaf_size=40))
+        ti = th.factorize()
+        hm = HMatSolver(kern, pts, eps=EPS, leaf_size=40)
+        hi = hm.factorize()
+        assert hi.n_dependencies > ti.n_dependencies
+
+
+class TestThreadedExecution:
+    def test_threaded_tiled_lu_matches_eager(self, problem):
+        """Deferred submission + real thread pool produces the same factors
+        (up to truncation nondeterminism) and solves correctly."""
+        precision, pts, kern, dense, x0 = problem
+        th = TileHMatrix.build(kern, pts, TileHConfig(nb=150, eps=EPS, leaf_size=40))
+        eng = StfEngine(mode="deferred")
+        from repro.core.algorithms import tiled_getrf_tasks, tiled_solve
+
+        graph = tiled_getrf_tasks(th.desc, eng)
+        ThreadedExecutor(3).run(graph)
+        x = tiled_solve(th.desc, dense @ x0)
+        assert forward_error(x, x0) < 1e-4
+
+
+class TestDifferentGeometries:
+    def test_sphere_pipeline(self):
+        pts = sphere_cloud(500)
+        kern = laplace_kernel(pts)
+        dense = assemble_dense(kern, pts)
+        x0 = np.random.default_rng(0).standard_normal(500)
+        th = TileHMatrix.build(kern, pts, TileHConfig(nb=100, eps=EPS, leaf_size=40))
+        x = th.gesv(dense @ x0)
+        assert forward_error(x, x0) < 1e-4
+
+
+class TestAccuracySweep:
+    @pytest.mark.parametrize("eps", [1e-2, 1e-4, 1e-8])
+    def test_error_scales_with_eps(self, eps):
+        """Fig. 5's underlying relationship: forward error tracks eps."""
+        pts = cylinder_cloud(N)
+        kern = laplace_kernel(pts)
+        dense = assemble_dense(kern, pts)
+        x0 = np.random.default_rng(1).standard_normal(N)
+        th = TileHMatrix.build(kern, pts, TileHConfig(nb=150, eps=eps, leaf_size=40))
+        err = forward_error(th.gesv(dense @ x0), x0)
+        assert err < 100 * eps + 1e-12

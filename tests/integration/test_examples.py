@@ -1,0 +1,57 @@
+"""Smoke tests: every example script runs end-to-end at a small size.
+
+Examples are user-facing documentation; this keeps them from rotting.
+Each runs in a subprocess (exactly as a user would run it) with a reduced
+problem size.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def _run(script: str, n: int) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / script), str(n)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+
+
+@pytest.mark.parametrize(
+    "script,n,needle",
+    [
+        ("quickstart.py", 700, "forward error"),
+        ("bem_acoustics.py", 600, "manufactured-solution forward error"),
+        ("electrostatics_capacitance.py", 700, "capacitance"),
+        ("kriging_gp.py", 700, "kriging interpolation succeeded"),
+        ("scheduler_tradeoffs.py", 700, "gantt charts"),
+        ("distributed_outlook.py", 700, "Distributed Tile-H LU"),
+    ],
+)
+def test_example_runs(script, n, needle):
+    proc = _run(script, n)
+    assert proc.returncode == 0, f"{script} failed:\n{proc.stdout}\n{proc.stderr}"
+    assert needle in proc.stdout
+
+
+def test_cli_module_runs():
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "--n", "400", "--nb", "100", "--threads", "1", "4"],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "forward error" in proc.stdout
+
+
+def test_preconditioned_krylov_example():
+    proc = _run("preconditioned_krylov.py", 700)
+    assert proc.returncode == 0, proc.stderr
+    assert "Direct vs preconditioned solves" in proc.stdout

@@ -1,0 +1,73 @@
+"""Property-based tests for TaskGraph invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime import TaskGraph
+
+
+def _random_dag(seed, n):
+    rng = np.random.default_rng(seed)
+    g = TaskGraph()
+    ts = [
+        g.new_task("k", seconds=float(rng.uniform(0.01, 1.0)))
+        for _ in range(n)
+    ]
+    for i in range(1, n):
+        k = int(rng.integers(0, min(4, i) + 1))
+        for d in rng.choice(i, size=k, replace=False):
+            g.add_dependency(ts[int(d)], ts[i])
+    return g
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    n=st.integers(min_value=1, max_value=60),
+)
+def test_property_topological_order_is_valid(seed, n):
+    g = _random_dag(seed, n)
+    order = g.topological_order()
+    assert len(order) == n
+    pos = {t.id: i for i, t in enumerate(order)}
+    for t in g.tasks:
+        for d in t.deps:
+            assert pos[d] < pos[t.id]
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    n=st.integers(min_value=1, max_value=60),
+)
+def test_property_critical_path_bounds(seed, n):
+    """critical path <= total work; both positive; critical path >= max task."""
+    g = _random_dag(seed, n)
+    crit = g.critical_path()
+    total = g.total_work()
+    assert 0 < crit <= total + 1e-12
+    assert crit >= max(t.seconds for t in g.tasks) - 1e-12
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    n=st.integers(min_value=2, max_value=60),
+)
+def test_property_validate_passes_on_engine_built_graphs(seed, n):
+    g = _random_dag(seed, n)
+    g.validate()  # must not raise
+    assert g.n_edges() == sum(len(t.successors) for t in g.tasks)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+def test_property_bulk_sync_stages_respect_deps(seed):
+    from repro.runtime import depth_stages
+
+    g = _random_dag(seed, 40)
+    stage = depth_stages(g)
+    for t in g.tasks:
+        for d in t.deps:
+            assert stage[d] < stage[t.id]

@@ -1,0 +1,71 @@
+"""Unit tests for the serialized runtime-core overhead mode."""
+
+import pytest
+
+from repro.runtime import RuntimeOverheadModel, TaskGraph, simulate
+
+
+def _independent(costs):
+    g = TaskGraph()
+    for c in costs:
+        g.new_task("k", seconds=c)
+    return g
+
+
+class TestSerializedOverheads:
+    def test_flag_default_off(self):
+        assert RuntimeOverheadModel().serialized is False
+
+    def test_runtime_core_serializes_releases(self):
+        # 10 zero-cost independent tasks on 10 workers: with a serialized
+        # 1-second per-task overhead the runtime core is the bottleneck and
+        # the makespan is ~10 s, however many workers exist.
+        g = _independent([0.0] * 10)
+        ovh = RuntimeOverheadModel(per_task=1.0, per_dependency=0.0, serialized=True)
+        r = simulate(g, 10, "eager", overheads=ovh)
+        assert r.makespan == pytest.approx(10.0)
+
+    def test_non_serialized_overheads_parallelise(self):
+        # Same setup without serialization: each worker pays its own 1 s.
+        g = _independent([0.0] * 10)
+        ovh = RuntimeOverheadModel(per_task=1.0, per_dependency=0.0, serialized=False)
+        r = simulate(g, 10, "eager", overheads=ovh)
+        assert r.makespan == pytest.approx(1.0)
+
+    def test_per_dependency_serialized(self):
+        # A task with many dependencies pays them all on the runtime core.
+        g = TaskGraph()
+        srcs = [g.new_task("k", seconds=1.0) for _ in range(4)]
+        sink = g.new_task("k", seconds=0.0)
+        for s in srcs:
+            g.add_dependency(s, sink)
+        ovh = RuntimeOverheadModel(per_task=0.0, per_dependency=0.5, serialized=True)
+        r = simulate(g, 4, "eager", overheads=ovh)
+        # Sources run in parallel (1 s), sink release costs 4 * 0.5 = 2 s.
+        assert r.makespan == pytest.approx(3.0)
+
+    def test_fine_grain_dag_penalised_more(self):
+        # Two graphs with the same total work: 100 small vs 10 big tasks.
+        fine = _independent([0.01] * 100)
+        coarse = _independent([0.1] * 10)
+        ovh = RuntimeOverheadModel(per_task=0.05, per_dependency=0.0, serialized=True)
+        t_fine = simulate(fine, 10, "eager", overheads=ovh).makespan
+        t_coarse = simulate(coarse, 10, "eager", overheads=ovh).makespan
+        assert t_fine > 3 * t_coarse
+
+    def test_serialized_zero_overhead_matches_plain(self):
+        g = _independent([1.0, 2.0, 3.0])
+        a = simulate(
+            g, 2, "prio", overheads=RuntimeOverheadModel(0.0, 0.0, serialized=True)
+        ).makespan
+        b = simulate(g, 2, "prio", overheads=RuntimeOverheadModel.zero()).makespan
+        assert a == pytest.approx(b)
+
+    def test_makespan_still_bounded_below_by_critical_path(self):
+        g = TaskGraph()
+        a = g.new_task("k", seconds=1.0)
+        b = g.new_task("k", seconds=1.0)
+        g.add_dependency(a, b)
+        ovh = RuntimeOverheadModel(per_task=0.1, per_dependency=0.1, serialized=True)
+        r = simulate(g, 4, "prio", overheads=ovh)
+        assert r.makespan >= 2.0

@@ -1,0 +1,258 @@
+"""Unit + property tests for the discrete-event multicore simulator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime import (
+    SCHEDULER_NAMES,
+    RuntimeOverheadModel,
+    TaskGraph,
+    simulate,
+)
+
+ZERO = RuntimeOverheadModel.zero()
+
+
+def _independent(costs):
+    g = TaskGraph()
+    for c in costs:
+        g.new_task("k", seconds=c)
+    return g
+
+
+def _chain(costs):
+    g = TaskGraph()
+    prev = None
+    for c in costs:
+        t = g.new_task("k", seconds=c)
+        if prev is not None:
+            g.add_dependency(prev, t)
+        prev = t
+    return g
+
+
+class TestOverheadModel:
+    def test_defaults_positive(self):
+        m = RuntimeOverheadModel()
+        assert m.per_task > 0 and m.per_dependency > 0
+
+    def test_task_overhead(self):
+        m = RuntimeOverheadModel(per_task=1.0, per_dependency=0.5)
+        assert m.task_overhead(4) == 3.0
+
+    def test_zero(self):
+        assert RuntimeOverheadModel.zero().task_overhead(100) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RuntimeOverheadModel(per_task=-1.0)
+
+
+class TestSimulateBasics:
+    def test_empty_graph(self):
+        r = simulate(TaskGraph(), 4, "prio")
+        assert r.makespan == 0.0
+
+    def test_single_task(self):
+        g = _independent([2.0])
+        r = simulate(g, 3, "prio", overheads=ZERO)
+        assert r.makespan == 2.0
+
+    def test_serial_equals_total_work(self):
+        g = _independent([1.0, 2.0, 3.0])
+        r = simulate(g, 1, "eager", overheads=ZERO)
+        assert r.makespan == pytest.approx(6.0)
+
+    def test_perfect_parallelism(self):
+        g = _independent([1.0] * 8)
+        r = simulate(g, 8, "eager", overheads=ZERO)
+        assert r.makespan == pytest.approx(1.0)
+        assert r.efficiency == pytest.approx(1.0)
+
+    def test_chain_is_serial_regardless_of_workers(self):
+        g = _chain([1.0, 1.0, 1.0])
+        r = simulate(g, 16, "ws", overheads=ZERO)
+        assert r.makespan == pytest.approx(3.0)
+
+    def test_invalid_workers(self):
+        with pytest.raises(ValueError):
+            simulate(TaskGraph(), 0, "prio")
+
+    def test_overheads_extend_makespan(self):
+        g = _chain([1.0, 1.0])
+        base = simulate(g, 1, "prio", overheads=ZERO).makespan
+        ovh = simulate(
+            g, 1, "prio", overheads=RuntimeOverheadModel(per_task=0.5, per_dependency=0.25)
+        ).makespan
+        # Two tasks (0.5 each) + one dependency (0.25).
+        assert ovh == pytest.approx(base + 2 * 0.5 + 0.25)
+
+    def test_submission_throttles_start(self):
+        g = _independent([1.0, 1.0])
+        m = RuntimeOverheadModel(per_task=0.0, per_dependency=0.0, submission=5.0)
+        r = simulate(g, 2, "eager", overheads=m)
+        # Task 1 cannot start before t=5.
+        assert r.makespan == pytest.approx(6.0)
+
+    def test_flops_cost_model(self):
+        g = TaskGraph()
+        g.new_task("k", flops=100.0)
+        r = simulate(g, 1, "prio", overheads=ZERO, cost_attr="flops", cost_scale=0.01)
+        assert r.makespan == pytest.approx(1.0)
+
+    def test_trace_recorded(self):
+        g = _independent([1.0, 1.0, 1.0])
+        r = simulate(g, 2, "eager", overheads=ZERO)
+        assert len(r.trace.events) == 3
+        assert r.trace.makespan == r.makespan
+
+    def test_keep_trace_false(self):
+        g = _independent([1.0])
+        r = simulate(g, 1, "eager", overheads=ZERO, keep_trace=False)
+        assert r.trace is None
+
+    def test_result_metrics(self):
+        g = _independent([1.0] * 4)
+        r = simulate(g, 2, "eager", overheads=ZERO)
+        assert r.speedup_vs_serial == pytest.approx(2.0)
+        assert r.efficiency == pytest.approx(1.0)
+        assert r.total_work == pytest.approx(4.0)
+        assert r.critical_path == pytest.approx(1.0)
+
+
+class TestSchedulerBehaviour:
+    def test_prio_runs_critical_task_first(self):
+        # One long chain task (high prio) + filler; prio must start the chain
+        # immediately; ignoring priority delays it.
+        g = TaskGraph()
+        chain_head = g.new_task("k", seconds=1.0, priority=100)
+        chain_tail = g.new_task("k", seconds=10.0, priority=100)
+        g.add_dependency(chain_head, chain_tail)
+        for _ in range(4):
+            g.new_task("k", seconds=1.0, priority=0)
+        r_prio = simulate(g, 1, "prio", overheads=ZERO)
+        assert r_prio.makespan == pytest.approx(15.0)
+        # With 2 workers, prio finishes at the critical path.
+        r2 = simulate(g, 2, "prio", overheads=ZERO)
+        assert r2.makespan == pytest.approx(11.0)
+
+    @pytest.mark.parametrize("name", SCHEDULER_NAMES)
+    def test_all_schedulers_complete_all_tasks(self, name):
+        g = TaskGraph()
+        rng = np.random.default_rng(0)
+        tasks = [g.new_task("k", seconds=float(rng.uniform(0.1, 1.0))) for _ in range(30)]
+        for i in range(1, 30):
+            for d in rng.choice(i, size=min(3, i), replace=False):
+                g.add_dependency(tasks[int(d)], tasks[i])
+        r = simulate(g, 4, name, overheads=ZERO)
+        assert len(r.trace.events) == 30
+        assert {e.task_id for e in r.trace.events} == set(range(30))
+
+    def test_ws_locality_push_to_releasing_worker(self):
+        # a releases b: with ws, b should run on the same worker as a.
+        g = TaskGraph()
+        a = g.new_task("k", seconds=1.0)
+        b = g.new_task("k", seconds=1.0)
+        g.add_dependency(a, b)
+        r = simulate(g, 4, "ws", overheads=ZERO)
+        by_id = {e.task_id: e for e in r.trace.events}
+        assert by_id[0].worker == by_id[1].worker
+
+
+class TestSimulatorInvariants:
+    def _random_graph(self, seed, n=40):
+        rng = np.random.default_rng(seed)
+        g = TaskGraph()
+        tasks = [
+            g.new_task("k", seconds=float(rng.uniform(0.01, 1.0)), priority=int(rng.integers(0, 10)))
+            for _ in range(n)
+        ]
+        for i in range(1, n):
+            for d in rng.choice(i, size=int(rng.integers(0, min(4, i) + 1)), replace=False):
+                g.add_dependency(tasks[int(d)], tasks[i])
+        return g
+
+    @pytest.mark.parametrize("name", SCHEDULER_NAMES)
+    @pytest.mark.parametrize("p", [1, 2, 7])
+    def test_lower_bounds(self, name, p):
+        g = self._random_graph(42)
+        r = simulate(g, p, name, overheads=ZERO)
+        assert r.makespan >= r.critical_path - 1e-12
+        assert r.makespan >= r.total_work / p - 1e-12
+        # Greedy list scheduling satisfies Graham's 2-approximation bound.
+        assert r.makespan <= r.total_work / p + r.critical_path + 1e-9
+
+    def test_execution_respects_dependencies(self):
+        g = self._random_graph(7)
+        r = simulate(g, 3, "lws", overheads=ZERO)
+        start = {e.task_id: e.start for e in r.trace.events}
+        end = {e.task_id: e.end for e in r.trace.events}
+        for t in g.tasks:
+            for d in t.deps:
+                assert end[d] <= start[t.id] + 1e-12
+
+    def test_no_worker_overlap(self):
+        g = self._random_graph(9)
+        r = simulate(g, 3, "ws", overheads=ZERO)
+        for lane in r.trace.worker_timelines():
+            for e1, e2 in zip(lane, lane[1:]):
+                assert e1.end <= e2.start + 1e-12
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    p=st.integers(min_value=1, max_value=8),
+    name=st.sampled_from(SCHEDULER_NAMES),
+)
+def test_property_simulated_order_is_linear_extension(seed, p, name):
+    """Any simulated execution is a valid linear extension of the DAG and
+    makespan respects both classical lower bounds."""
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(1, 25))
+    g = TaskGraph()
+    tasks = [g.new_task("k", seconds=float(rng.uniform(0.01, 1.0))) for _ in range(n)]
+    for i in range(1, n):
+        k = int(rng.integers(0, min(3, i) + 1))
+        for d in rng.choice(i, size=k, replace=False):
+            g.add_dependency(tasks[int(d)], tasks[i])
+    r = simulate(g, p, name, overheads=ZERO)
+    assert len(r.trace.events) == n
+    start = {e.task_id: e.start for e in r.trace.events}
+    end = {e.task_id: e.end for e in r.trace.events}
+    for t in g.tasks:
+        for d in t.deps:
+            assert end[d] <= start[t.id] + 1e-12
+    assert r.makespan >= g.critical_path() - 1e-12
+    assert r.makespan >= g.total_work() / p - 1e-12
+
+
+class TestHeterogeneousWorkers:
+    def test_fast_worker_halves_serial_time(self):
+        g = _independent([2.0])
+        r = simulate(g, 1, "eager", overheads=ZERO, worker_speeds=[2.0])
+        assert r.makespan == pytest.approx(1.0)
+
+    def test_mixed_speeds(self):
+        # Two equal tasks, one fast and one slow worker: makespan set by the
+        # slow one.
+        g = _independent([1.0, 1.0])
+        r = simulate(g, 2, "eager", overheads=ZERO, worker_speeds=[1.0, 4.0])
+        assert r.makespan == pytest.approx(1.0)
+        busy = [r.trace.busy_time(0), r.trace.busy_time(1)]
+        assert sorted(busy) == [pytest.approx(0.25), pytest.approx(1.0)]
+
+    def test_homogeneous_default_unchanged(self):
+        g = _independent([1.0, 2.0, 3.0])
+        a = simulate(g, 2, "prio", overheads=ZERO).makespan
+        b = simulate(g, 2, "prio", overheads=ZERO, worker_speeds=[1.0, 1.0]).makespan
+        assert a == pytest.approx(b)
+
+    def test_validation(self):
+        g = _independent([1.0])
+        with pytest.raises(ValueError):
+            simulate(g, 2, "eager", worker_speeds=[1.0])
+        with pytest.raises(ValueError):
+            simulate(g, 1, "eager", worker_speeds=[0.0])

@@ -1,0 +1,160 @@
+"""Unit tests for execution traces, gantt rendering, and the threaded executor."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.runtime import (
+    AccessMode,
+    ExecutionTrace,
+    StfEngine,
+    ThreadedExecutor,
+    TraceEvent,
+    render_gantt,
+)
+
+R, W, RW = AccessMode.R, AccessMode.W, AccessMode.RW
+
+
+class TestExecutionTrace:
+    def test_makespan(self):
+        tr = ExecutionTrace(nworkers=2)
+        tr.add(TraceEvent(0, "gemm", 0, 0.0, 1.0))
+        tr.add(TraceEvent(1, "trsm", 1, 0.5, 2.5))
+        assert tr.makespan == 2.5
+
+    def test_busy_time(self):
+        tr = ExecutionTrace(nworkers=2)
+        tr.add(TraceEvent(0, "gemm", 0, 0.0, 1.0))
+        tr.add(TraceEvent(1, "gemm", 0, 1.0, 3.0))
+        assert tr.busy_time(0) == 3.0
+        assert tr.busy_time(1) == 0.0
+
+    def test_utilization(self):
+        tr = ExecutionTrace(nworkers=2)
+        tr.add(TraceEvent(0, "gemm", 0, 0.0, 2.0))
+        tr.add(TraceEvent(1, "gemm", 1, 0.0, 1.0))
+        assert tr.utilization() == pytest.approx(0.75)
+
+    def test_empty_utilization(self):
+        assert ExecutionTrace(nworkers=3).utilization() == 0.0
+
+    def test_validation(self):
+        tr = ExecutionTrace(nworkers=1)
+        with pytest.raises(ValueError):
+            tr.add(TraceEvent(0, "k", 5, 0.0, 1.0))
+        with pytest.raises(ValueError):
+            tr.add(TraceEvent(0, "k", 0, 2.0, 1.0))
+
+    def test_timelines_sorted(self):
+        tr = ExecutionTrace(nworkers=1)
+        tr.add(TraceEvent(1, "k", 0, 2.0, 3.0))
+        tr.add(TraceEvent(0, "k", 0, 0.0, 1.0))
+        lane = tr.worker_timelines()[0]
+        assert [e.task_id for e in lane] == [0, 1]
+
+
+class TestRenderGantt:
+    def test_empty(self):
+        assert render_gantt(ExecutionTrace(nworkers=2)) == "(empty trace)"
+
+    def test_kind_letters(self):
+        tr = ExecutionTrace(nworkers=2)
+        tr.add(TraceEvent(0, "getrf", 0, 0.0, 1.0))
+        tr.add(TraceEvent(1, "gemm", 1, 0.5, 1.0))
+        art = render_gantt(tr, width=20)
+        assert "G" in art and "M" in art and "." in art
+        assert art.count("\n") == 1  # two worker rows
+
+    def test_unknown_kind(self):
+        tr = ExecutionTrace(nworkers=1)
+        tr.add(TraceEvent(0, "compress", 0, 0.0, 1.0))
+        assert "?" in render_gantt(tr, width=10)
+
+
+class TestThreadedExecutor:
+    def _graph(self, nchains=4, length=5):
+        eng = StfEngine(mode="deferred")
+        results = [[] for _ in range(nchains)]
+        for c in range(nchains):
+            h = eng.handle(results[c], f"chain{c}")
+            for i in range(length):
+                eng.insert_task(
+                    "k", (lambda c=c, i=i: results[c].append(i)), [(h, RW)]
+                )
+        return eng.wait_all(), results
+
+    def test_runs_all_tasks_in_order(self):
+        g, results = self._graph()
+        ThreadedExecutor(4).run(g)
+        for chain in results:
+            assert chain == list(range(5))
+
+    def test_single_worker(self):
+        g, results = self._graph(nchains=2, length=3)
+        ThreadedExecutor(1).run(g)
+        assert all(chain == [0, 1, 2] for chain in results)
+
+    def test_trace_collected(self):
+        g, _ = self._graph(nchains=2, length=2)
+        ex = ThreadedExecutor(2)
+        ex.run(g)
+        assert len(ex.trace.events) == 4
+
+    def test_empty_graph(self):
+        from repro.runtime import TaskGraph
+
+        assert ThreadedExecutor(2).run(TaskGraph()) == 0.0
+
+    def test_exception_propagates(self):
+        eng = StfEngine(mode="deferred")
+        h = eng.handle(object())
+
+        def boom():
+            raise RuntimeError("kernel failed")
+
+        eng.insert_task("k", boom, [(h, RW)])
+        eng.insert_task("k", lambda: None, [(h, RW)])
+        with pytest.raises(RuntimeError, match="kernel failed"):
+            ThreadedExecutor(2).run(eng.wait_all())
+
+    def test_parallel_execution_uses_threads(self):
+        # Two independent tasks that each wait on a barrier: completes only
+        # if they genuinely overlap on two worker threads.
+        eng = StfEngine(mode="deferred")
+        barrier = threading.Barrier(2, timeout=10)
+        for i in range(2):
+            h = eng.handle(object())
+            eng.insert_task("k", barrier.wait, [(h, RW)])
+        ThreadedExecutor(2).run(eng.wait_all())  # would raise BrokenBarrier if serial
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ThreadedExecutor(0)
+
+
+class TestChromeTraceExport:
+    def test_export_roundtrip(self, tmp_path):
+        import json
+
+        from repro.runtime import export_chrome_trace
+
+        tr = ExecutionTrace(nworkers=2)
+        tr.add(TraceEvent(0, "gemm", 0, 0.0, 1.5))
+        tr.add(TraceEvent(1, "trsm", 1, 0.5, 1.0))
+        p = export_chrome_trace(tr, tmp_path / "sub" / "trace.json")
+        data = json.loads(p.read_text())
+        assert data["metadata"]["nworkers"] == 2
+        assert len(data["traceEvents"]) == 2
+        ev = data["traceEvents"][0]
+        assert ev["ph"] == "X" and ev["tid"] == 0
+        assert ev["dur"] == pytest.approx(1.5e6)
+
+    def test_export_empty(self, tmp_path):
+        import json
+
+        from repro.runtime import export_chrome_trace
+
+        p = export_chrome_trace(ExecutionTrace(nworkers=1), tmp_path / "t.json")
+        assert json.loads(p.read_text())["traceEvents"] == []

@@ -1,0 +1,55 @@
+"""Unit tests for the command-line driver (python -m repro)."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args([])
+        assert args.n == 2000 and args.precision == "d" and args.format == "tile-h"
+
+    def test_all_flags(self):
+        args = build_parser().parse_args(
+            [
+                "--n", "500", "--precision", "z", "--format", "blr",
+                "--nb", "100", "--eps", "1e-5", "--scheduler", "ws",
+                "--threads", "1", "4", "--seed", "3",
+            ]
+        )
+        assert args.n == 500 and args.nb == 100 and args.threads == [1, 4]
+
+    def test_rejects_unknown_format(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--format", "dense"])
+
+
+class TestMain:
+    def test_tile_h_run(self, capsys):
+        rc = main(["--n", "400", "--nb", "100", "--threads", "1", "4"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "forward error" in out
+        assert "compression" in out
+        assert "virtual-machine replay" in out
+
+    def test_hmat_run(self, capsys):
+        rc = main(["--n", "300", "--format", "hmat", "--threads", "1"])
+        assert rc == 0
+        assert "forward error" in capsys.readouterr().out
+
+    def test_blr_run(self, capsys):
+        rc = main(["--n", "300", "--format", "blr", "--nb", "100", "--threads", "1"])
+        assert rc == 0
+
+    def test_complex_run(self, capsys):
+        rc = main(["--n", "300", "--precision", "z", "--nb", "100", "--threads", "1"])
+        assert rc == 0
+
+    def test_invalid_n(self, capsys):
+        assert main(["--n", "1"]) == 2
+
+    def test_cholesky_rejected_for_hmat(self, capsys):
+        rc = main(["--n", "300", "--format", "hmat", "--method", "cholesky"])
+        assert rc == 2
