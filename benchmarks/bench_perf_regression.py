@@ -1,0 +1,125 @@
+"""Perf regression guard: wall-clock Tile-H LU solves and ACA assembly.
+
+Unlike the figure benches (which replay measured DAGs through the
+simulator), this module times the *real* sequential kernels end to end —
+the numbers that accumulator-based arithmetic, the vectorised ACA loop and
+the packed-triangle panel solves are supposed to move.  Results land in
+``BENCH_lu.json`` at the repository root so successive PRs can be compared:
+
+    [{"case": "lu_d", "n": 2048, "nb": 256, "seconds": ..., "fwd_error": ...}, ...]
+
+``seconds`` is the minimum over ``REPRO_BENCH_REPS`` repetitions (minimum,
+not mean: the machine-noise floor is the quantity regressions shift).
+Smoke mode (``REPRO_BENCH_SMOKE=1``, used by CI) shrinks the problem sizes
+so the guard runs in seconds while still exercising every code path.
+
+Run standalone (``python benchmarks/bench_perf_regression.py``) or through
+pytest (``pytest benchmarks/bench_perf_regression.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import TileHConfig, TileHMatrix
+from repro.geometry import cylinder_cloud, make_kernel
+from repro.hmatrix import (
+    AssemblyConfig,
+    StrongAdmissibility,
+    assemble_hmatrix,
+    build_block_cluster_tree,
+    build_cluster_tree,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUT_PATH = REPO_ROOT / "BENCH_lu.json"
+
+EPS = 1e-4
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "0") == "1"
+REPS = int(os.environ.get("REPRO_BENCH_REPS", "1" if SMOKE else "3"))
+
+#: (case, n, nb, precision) — smoke mode shrinks n, keeping nt >= 4.
+_LU_CASES = (
+    [("lu_d", 512, 128, "d"), ("lu_z", 384, 96, "z")]
+    if SMOKE
+    else [("lu_d", 2048, 256, "d"), ("lu_z", 1024, 128, "z")]
+)
+_ACA_N = 512 if SMOKE else 2048
+
+
+def _time_lu(case: str, n: int, nb: int, precision: str, *, accumulate: bool = True) -> dict:
+    pts = cylinder_cloud(n)
+    kern = make_kernel("laplace" if precision == "d" else "helmholtz", pts)
+    cfg = TileHConfig(nb=nb, eps=EPS, leaf_size=min(48, nb), accumulate=accumulate)
+
+    ref = TileHMatrix.build(kern, pts, cfg)
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal(n)
+    if precision == "z":
+        x = x + 1j * rng.standard_normal(n)
+    b = ref.matvec(x)
+
+    best = np.inf
+    fwd_error = None
+    for _ in range(REPS):
+        a = TileHMatrix.build(kern, pts, cfg)
+        t0 = time.perf_counter()
+        a.factorize()
+        best = min(best, time.perf_counter() - t0)
+        if fwd_error is None:
+            xhat = a.solve(b)
+            fwd_error = float(np.linalg.norm(xhat - x) / np.linalg.norm(x))
+    return {"case": case, "n": n, "nb": nb, "seconds": best, "fwd_error": fwd_error}
+
+
+def _time_aca(n: int) -> dict:
+    """Full H-assembly of a strong-admissibility matrix: ACA-dominated."""
+    pts = cylinder_cloud(n)
+    kern = make_kernel("laplace", pts)
+    tree = build_cluster_tree(pts, leaf_size=48)
+    block = build_block_cluster_tree(tree, tree, StrongAdmissibility(eta=2.0))
+    best = np.inf
+    for _ in range(REPS):
+        t0 = time.perf_counter()
+        h = assemble_hmatrix(kern, pts, block, AssemblyConfig(eps=EPS, method="aca"))
+        best = min(best, time.perf_counter() - t0)
+    # Compression stands in for fwd_error: assembly has no solve to check.
+    return {
+        "case": "aca_assembly",
+        "n": n,
+        "nb": 0,
+        "seconds": best,
+        "fwd_error": float(h.compression_ratio()),
+    }
+
+
+def run() -> list[dict]:
+    rows = [_time_lu(case, n, nb, precision) for case, n, nb, precision in _LU_CASES]
+    rows.append(_time_aca(_ACA_N))
+    OUT_PATH.write_text(json.dumps(rows, indent=2) + "\n")
+    return rows
+
+
+def test_perf_regression():
+    rows = run()
+    assert OUT_PATH.exists()
+    for row in rows:
+        assert row["seconds"] > 0
+        if row["case"].startswith("lu"):
+            # eps=1e-4 factorisation: forward error can exceed eps through
+            # conditioning, but an order-of-magnitude blowup is a bug.
+            assert row["fwd_error"] < 1e-2, row
+
+
+if __name__ == "__main__":
+    for r in run():
+        print(
+            f"{r['case']:>12}  n={r['n']:>5} nb={r['nb']:>4}  "
+            f"{r['seconds']:8.3f}s  fwd_err={r['fwd_error']:.3e}"
+        )
+    print(f"\nwrote {OUT_PATH}")

@@ -129,12 +129,17 @@ class HMatSolver:
         eta: float = 2.0,
         method: str = "aca",
         admissibility=None,
+        accumulate: bool = True,
     ) -> None:
         """``admissibility=WeakAdmissibility()`` yields the HODLR / Block-
         Separable structure of the related-work section (every off-diagonal
-        block low-rank); the default is HMAT-OSS's eta-strong condition."""
+        block low-rank); the default is HMAT-OSS's eta-strong condition.
+        ``accumulate`` buffers trailing-update roundings during the H-LU
+        (see :class:`~repro.hmatrix.UpdateAccumulator`); ``False`` keeps the
+        eager one-rounding-per-update arithmetic."""
         self.points = np.ascontiguousarray(points, dtype=np.float64)
         self.eps = eps
+        self.accumulate = accumulate
         self.tree = build_cluster_tree(self.points, leaf_size=leaf_size)
         adm = admissibility if admissibility is not None else StrongAdmissibility(eta=eta)
         block = build_block_cluster_tree(self.tree, self.tree, adm)
@@ -173,7 +178,13 @@ class HMatSolver:
         tracer = KernelTracer()
         prev = set_tracer(tracer)
         try:
-            hgetrf(self.matrix, self.eps)
+            if self.accumulate:
+                from ..hmatrix import UpdateAccumulator
+
+                with UpdateAccumulator(self.eps) as acc:
+                    hgetrf(self.matrix, self.eps, acc)
+            else:
+                hgetrf(self.matrix, self.eps)
         finally:
             set_tracer(prev)
         self._factorized = True

@@ -17,7 +17,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..dense import flops_gemm, flops_getrf, flops_potrf, flops_trsm
-from ..hmatrix import hgemm, hgemm_transb, hgetrf, hpotrf, htrsm
+from ..hmatrix import UpdateAccumulator, hgemm, hgemm_transb, hgetrf, hpotrf, htrsm
 from ..hmatrix.arithmetic import (
     _htrsm_right_lower_transpose,
     h_rmatvec,
@@ -65,18 +65,30 @@ def tiled_getrf_tasks(
     engine: StfEngine | None = None,
     *,
     eps: float | None = None,
+    accumulate: bool = True,
 ) -> TaskGraph:
     """Factorise ``desc`` in place via the tiled right-looking LU.
 
     Returns the task graph; with the default eager engine the tiles are
     already factorised when this returns (L and U packed tile-wise: strictly
     lower tiles hold L, the diagonal packs both, upper tiles hold U).
+
+    With ``accumulate=True`` (default) the ``nt - k`` trailing-matrix GEMM
+    updates each tile receives are buffered in an
+    :class:`~repro.hmatrix.UpdateAccumulator` and rounded once, at the panel
+    step that next reads the tile (its GETRF or TRSM).  The flush happens
+    inside a task that already declares RW on that tile and that depends on
+    every deferred writer, so the declared R/W/RW access modes still cover
+    all actual accesses and the inferred DAG stays sound.  The accumulator
+    is only engaged on the eager (sequential) engine — simulation-only
+    engines never execute kernels, and the buffer is not thread-safe.
     """
     eng = engine or StfEngine(mode="eager")
     eps_ = desc.eps if eps is None else eps
     nt = desc.nt
     grid = desc.super
     is_c = np.issubdtype(grid.dtype, np.complexfloating)
+    acc = UpdateAccumulator(eps_) if accumulate and eng.mode == "eager" else None
 
     handles = {
         (i, j): eng.handle(grid.get_blktile(i, j), f"A[{i},{j}]")
@@ -91,7 +103,7 @@ def tiled_getrf_tasks(
         mk = grid.tile_rows(k)
         eng.insert_task(
             "getrf",
-            (lambda k=k: hgetrf(t(k, k), eps_)),
+            (lambda k=k: hgetrf(t(k, k), eps_, acc)),
             [(handles[k, k], RW)],
             priority=lu_priorities(nt, k, "getrf"),
             flops=flops_getrf(mk, is_complex=is_c),
@@ -100,7 +112,7 @@ def tiled_getrf_tasks(
         for j in range(k + 1, nt):
             eng.insert_task(
                 "trsm",
-                (lambda k=k, j=j: htrsm("left", "lower", t(k, k), t(k, j), eps_, unit_diagonal=True)),
+                (lambda k=k, j=j: htrsm("left", "lower", t(k, k), t(k, j), eps_, unit_diagonal=True, acc=acc)),
                 [(handles[k, k], R), (handles[k, j], RW)],
                 priority=lu_priorities(nt, k, "trsm"),
                 flops=flops_trsm(mk, grid.tile_rows(j), is_complex=is_c),
@@ -109,7 +121,7 @@ def tiled_getrf_tasks(
         for i in range(k + 1, nt):
             eng.insert_task(
                 "trsm",
-                (lambda k=k, i=i: htrsm("right", "upper", t(k, k), t(i, k), eps_)),
+                (lambda k=k, i=i: htrsm("right", "upper", t(k, k), t(i, k), eps_, acc=acc)),
                 [(handles[k, k], R), (handles[i, k], RW)],
                 priority=lu_priorities(nt, k, "trsm"),
                 flops=flops_trsm(mk, grid.tile_rows(i), is_complex=is_c),
@@ -119,7 +131,7 @@ def tiled_getrf_tasks(
             for j in range(k + 1, nt):
                 eng.insert_task(
                     "gemm",
-                    (lambda i=i, k=k, j=j: hgemm(t(i, j), t(i, k), t(k, j), eps_, alpha=-1.0)),
+                    (lambda i=i, k=k, j=j: hgemm(t(i, j), t(i, k), t(k, j), eps_, alpha=-1.0, acc=acc)),
                     [(handles[i, k], R), (handles[k, j], R), (handles[i, j], RW)],
                     priority=lu_priorities(nt, k, "gemm", i, j),
                     flops=flops_gemm(
@@ -127,6 +139,10 @@ def tiled_getrf_tasks(
                     ),
                     label=f"gemm({i},{j},{k})",
                 )
+    if acc is not None:
+        # Every tile's last pending update is flushed by its own panel step,
+        # so this is a no-op safety net (asserted by the equivalence tests).
+        acc.flush()
     return eng.wait_all()
 
 
@@ -135,19 +151,22 @@ def tiled_potrf_tasks(
     engine: StfEngine | None = None,
     *,
     eps: float | None = None,
+    accumulate: bool = True,
 ) -> TaskGraph:
     """Tiled right-looking Cholesky of an SPD Tile-H matrix, in place.
 
     Only the lower-triangular tiles are referenced/written (upper tiles stay
     untouched).  Task kinds: POTRF (diagonal), TRSM (panel, ``X L^T = B``),
     GEMM (the SYRK-style ``C -= A B^T`` trailing update).  Priorities reuse
-    the LU heuristic (POTRF plays GETRF's role).
+    the LU heuristic (POTRF plays GETRF's role).  ``accumulate`` defers the
+    trailing-update roundings exactly as in :func:`tiled_getrf_tasks`.
     """
     eng = engine or StfEngine(mode="eager")
     eps_ = desc.eps if eps is None else eps
     nt = desc.nt
     grid = desc.super
     is_c = np.issubdtype(grid.dtype, np.complexfloating)
+    acc = UpdateAccumulator(eps_) if accumulate and eng.mode == "eager" else None
     handles = {
         (i, j): eng.handle(grid.get_blktile(i, j), f"A[{i},{j}]")
         for i in range(nt)
@@ -161,7 +180,7 @@ def tiled_potrf_tasks(
         mk = grid.tile_rows(k)
         eng.insert_task(
             "potrf",
-            (lambda k=k: hpotrf(t(k, k), eps_)),
+            (lambda k=k: hpotrf(t(k, k), eps_, acc)),
             [(handles[k, k], RW)],
             priority=lu_priorities(nt, k, "getrf"),
             flops=flops_potrf(mk, is_complex=is_c),
@@ -170,7 +189,7 @@ def tiled_potrf_tasks(
         for i in range(k + 1, nt):
             eng.insert_task(
                 "trsm",
-                (lambda k=k, i=i: _htrsm_right_lower_transpose(t(k, k), t(i, k), eps_)),
+                (lambda k=k, i=i: _htrsm_right_lower_transpose(t(k, k), t(i, k), eps_, acc)),
                 [(handles[k, k], R), (handles[i, k], RW)],
                 priority=lu_priorities(nt, k, "trsm"),
                 flops=flops_trsm(mk, grid.tile_rows(i), is_complex=is_c),
@@ -180,7 +199,7 @@ def tiled_potrf_tasks(
             for j in range(k + 1, i + 1):
                 eng.insert_task(
                     "gemm",
-                    (lambda i=i, j=j, k=k: hgemm_transb(t(i, j), t(i, k), t(j, k), eps_, alpha=-1.0)),
+                    (lambda i=i, j=j, k=k: hgemm_transb(t(i, j), t(i, k), t(j, k), eps_, alpha=-1.0, acc=acc)),
                     [(handles[i, k], R), (handles[j, k], R), (handles[i, j], RW)],
                     priority=lu_priorities(nt, k, "gemm", i, j),
                     flops=flops_gemm(
@@ -188,6 +207,8 @@ def tiled_potrf_tasks(
                     ),
                     label=f"syrk({i},{j},{k})" if i == j else f"gemm({i},{j},{k})",
                 )
+    if acc is not None:
+        acc.flush()
     return eng.wait_all()
 
 

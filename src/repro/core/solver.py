@@ -87,6 +87,12 @@ class TileHConfig:
         Strong-admissibility parameter.
     method:
         Admissible-block compression ("aca" or "svd").
+    accumulate:
+        Use accumulator-based rounded arithmetic during factorisation:
+        trailing-matrix updates are buffered per tile and rounded once per
+        panel step instead of once per update (same eps accuracy class,
+        fewer recompressions).  ``False`` reproduces the eager
+        one-rounding-per-update arithmetic exactly.
     """
 
     nb: int = 256
@@ -94,6 +100,7 @@ class TileHConfig:
     leaf_size: int = 64
     eta: float = 2.0
     method: str = "aca"
+    accumulate: bool = True
 
     def __post_init__(self) -> None:
         if self.nb < 1:
@@ -220,10 +227,11 @@ class TileHMatrix:
         """
         if self._factorized:
             raise RuntimeError("factorize() called twice on the same matrix")
+        accumulate = self.config.accumulate
         if method == "lu":
-            graph = tiled_getrf_tasks(self.desc, engine)
+            graph = tiled_getrf_tasks(self.desc, engine, accumulate=accumulate)
         elif method == "cholesky":
-            graph = tiled_potrf_tasks(self.desc, engine)
+            graph = tiled_potrf_tasks(self.desc, engine, accumulate=accumulate)
         else:
             raise ValueError(f"method must be 'lu' or 'cholesky', got {method!r}")
         self._factorized = True

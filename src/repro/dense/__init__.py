@@ -11,6 +11,7 @@ from .kernels import (
     SingularTileError,
     getrf_nopiv,
     split_lu,
+    tri_solve,
     trsm,
     gemm_update,
     lu_solve_nopiv,
@@ -28,6 +29,7 @@ __all__ = [
     "SingularTileError",
     "getrf_nopiv",
     "split_lu",
+    "tri_solve",
     "trsm",
     "gemm_update",
     "lu_solve_nopiv",

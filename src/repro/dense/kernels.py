@@ -10,16 +10,60 @@ all O(n^3) work inside BLAS-3 calls.
 from __future__ import annotations
 
 import numpy as np
-from scipy.linalg import solve_triangular
+from scipy.linalg import get_lapack_funcs, solve_triangular
 
 __all__ = [
     "SingularTileError",
     "getrf_nopiv",
     "split_lu",
+    "tri_solve",
     "trsm",
     "gemm_update",
     "lu_solve_nopiv",
 ]
+
+_LAPACK_CACHE: dict = {}
+
+
+def _lapack(name: str, dtype: np.dtype):
+    key = (name, dtype.char)
+    func = _LAPACK_CACHE.get(key)
+    if func is None:
+        (func,) = get_lapack_funcs((name,), dtype=dtype)
+        _LAPACK_CACHE[key] = func
+    return func
+
+
+def tri_solve(
+    a: np.ndarray,
+    b: np.ndarray,
+    *,
+    lower: bool,
+    unit_diagonal: bool = False,
+    trans: int = 0,
+) -> np.ndarray:
+    """Triangular solve ``op(A) X = B`` via LAPACK ``trtrs`` directly.
+
+    A thin bypass of :func:`scipy.linalg.solve_triangular`, whose per-call
+    validation overhead dominates on the small panels H-arithmetic produces.
+    ``trans``: 0 = no transpose, 1 = transpose, 2 = conjugate transpose.
+    """
+    dtype = np.promote_types(a.dtype, b.dtype)
+    a = a.astype(dtype, copy=False)
+    b = np.asarray(b)
+    if b.size == 0:
+        return b.astype(dtype)
+    trtrs = _lapack("trtrs", dtype)
+    x, info = trtrs(
+        a,
+        b.astype(dtype, copy=False),
+        lower=lower,
+        trans=trans,
+        unitdiag=unit_diagonal,
+    )
+    if info != 0:
+        raise np.linalg.LinAlgError(f"trtrs failed with info={info}")
+    return x
 
 #: Below this size the scalar right-looking loop is used directly.
 _GETRF_BASE = 64
@@ -43,8 +87,9 @@ def _getrf_base(a: np.ndarray, pivot_floor: float) -> None:
             )
         a[k + 1 :, k] /= piv
         if k + 1 < n:
-            # Rank-1 update of the trailing submatrix.
-            a[k + 1 :, k + 1 :] -= np.outer(a[k + 1 :, k], a[k, k + 1 :])
+            # Rank-1 update of the trailing submatrix (broadcast, not
+            # np.outer: the wrapper overhead shows up at this call volume).
+            a[k + 1 :, k + 1 :] -= a[k + 1 :, k, None] * a[k, k + 1 :]
 
 
 def getrf_nopiv(a: np.ndarray, *, overwrite: bool = True) -> np.ndarray:
@@ -74,6 +119,21 @@ def getrf_nopiv(a: np.ndarray, *, overwrite: bool = True) -> np.ndarray:
     diag_scale = float(np.abs(np.diagonal(a)).max())
     pivot_floor = _PIVOT_RTOL * max(diag_scale, 1e-300)
 
+    # Fast path: LAPACK getrf *with* pivoting, accepted only when the pivot
+    # permutation turns out to be the identity — then its result IS the
+    # unpivoted LU (computed by LAPACK's blocked kernels instead of our
+    # Python loop).  Strongly regular H-LU diagonal blocks take this path
+    # almost always; any row swap falls back to the manual recursion.
+    getrf = _lapack("getrf", a.dtype)
+    lu, piv, info = getrf(a, overwrite_a=False)
+    if (
+        info == 0
+        and np.array_equal(piv, np.arange(n, dtype=piv.dtype))
+        and float(np.abs(np.diagonal(lu)).min()) > pivot_floor
+    ):
+        a[...] = lu
+        return a
+
     def recurse(block: np.ndarray) -> None:
         m = block.shape[0]
         if m <= _GETRF_BASE:
@@ -86,10 +146,8 @@ def getrf_nopiv(a: np.ndarray, *, overwrite: bool = True) -> np.ndarray:
         a22 = block[half:, half:]
         recurse(a11)
         # A12 <- L11^{-1} A12 ; A21 <- A21 U11^{-1}
-        a12[:] = solve_triangular(a11, a12, lower=True, unit_diagonal=True, check_finite=False)
-        a21[:] = solve_triangular(
-            a11, a21.conj().T, lower=False, trans="C", check_finite=False
-        ).conj().T
+        a12[:] = tri_solve(a11, a12, lower=True, unit_diagonal=True)
+        a21[:] = tri_solve(a11, a21.conj().T, lower=False, trans=2).conj().T
         a22 -= a21 @ a12
         recurse(a22)
 
@@ -132,16 +190,10 @@ def trsm(
         b_arr = b_arr[:, None]
     lower = uplo == "lower"
     if side == "left":
-        x = solve_triangular(a, b_arr, lower=lower, unit_diagonal=unit_diagonal, check_finite=False)
+        x = tri_solve(a, b_arr, lower=lower, unit_diagonal=unit_diagonal)
     else:
-        # X A = B  <=>  A^T X^T = B^T; conj-transpose keeps complex exactness.
-        xt = solve_triangular(
-            a.conj().T,
-            b_arr.conj().T,
-            lower=not lower,
-            unit_diagonal=unit_diagonal,
-            check_finite=False,
-        )
+        # X A = B  <=>  A^H X^H = B^H; conj-transpose keeps complex exactness.
+        xt = tri_solve(a, b_arr.conj().T, lower=lower, unit_diagonal=unit_diagonal, trans=2)
         x = xt.conj().T
     x = np.ascontiguousarray(x)
     if squeeze:
@@ -169,5 +221,5 @@ def gemm_update(c: np.ndarray, a: np.ndarray, b: np.ndarray, alpha: float = -1.0
 
 def lu_solve_nopiv(lu: np.ndarray, b: np.ndarray) -> np.ndarray:
     """Solve ``A x = b`` given the packed unpivoted LU of ``A``."""
-    y = solve_triangular(lu, np.asarray(b), lower=True, unit_diagonal=True, check_finite=False)
-    return solve_triangular(lu, y, lower=False, check_finite=False)
+    y = tri_solve(lu, np.asarray(b), lower=True, unit_diagonal=True)
+    return tri_solve(lu, y, lower=False)

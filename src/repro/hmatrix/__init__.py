@@ -23,6 +23,7 @@ from .block import (
 )
 from .rk import RkMatrix, truncate_svd, compress_dense, compress_dense_rsvd
 from .aca import aca_partial, aca_full, compress_kernel_block
+from .accumulator import UpdateAccumulator
 from .hmatrix import HMatrix, FullBlock, RkBlock, assemble_hmatrix, AssemblyConfig
 from .io import save_hmatrix, load_hmatrix, save_tile_h, load_tile_h
 from .arithmetic import (
@@ -58,6 +59,7 @@ __all__ = [
     "aca_partial",
     "aca_full",
     "compress_kernel_block",
+    "UpdateAccumulator",
     "HMatrix",
     "FullBlock",
     "RkBlock",

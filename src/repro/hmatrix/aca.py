@@ -67,10 +67,17 @@ def aca_partial(
 
     probe = np.asarray(get_row(0))
     dtype = probe.dtype
-    us: list[np.ndarray] = []
-    vs: list[np.ndarray] = []
-    used_rows: set[int] = set()
-    used_cols: set[int] = set()
+    # Stacked factors in preallocated buffers (columns 0..k are live) so the
+    # residual updates below are single GEMVs instead of Python loops over
+    # rank-1 terms; capacity doubles as the rank grows.
+    cap = min(limit, 8)
+    uu = np.empty((m, cap), dtype=dtype)
+    vv = np.empty((n, cap), dtype=dtype)
+    k = 0
+    # Persistent availability masks, updated incrementally as pivots are
+    # consumed (no per-iteration rebuild from the used-index sets).
+    row_avail = np.ones(m, dtype=bool)
+    col_avail = np.ones(n, dtype=bool)
     norm_sq = 0.0  # running estimate of ||A_k||_F^2
     first_pivot = 0.0
 
@@ -80,8 +87,8 @@ def aca_partial(
 
     def residual_row(i: int) -> np.ndarray:
         r = np.array(get_row(i), dtype=dtype, copy=True)
-        for u, v in zip(us, vs):
-            r -= u[i] * v
+        if k:
+            r -= vv[:, :k] @ uu[i, :k]
         return r
 
     def verify_converged() -> int | None:
@@ -91,7 +98,7 @@ def aca_partial(
         (the classic ACA failure on structured meshes); random row checks
         catch this before declaring convergence.
         """
-        unused = np.setdiff1d(np.arange(m), np.fromiter(used_rows, dtype=np.int64))
+        unused = np.flatnonzero(row_avail)
         if unused.size == 0:
             return None
         sample = rng.choice(unused, size=min(8, unused.size), replace=False)
@@ -103,15 +110,13 @@ def aca_partial(
                 worst_i, worst = int(i), rnorm
         return worst_i
 
-    while len(us) < limit:
+    while k < limit:
         r = residual_row(next_row)
-        used_rows.add(next_row)
+        row_avail[next_row] = False
 
-        mask = np.ones(n, dtype=bool)
-        mask[list(used_cols)] = False
-        if not mask.any():
+        if not col_avail.any():
             break
-        j = int(np.argmax(np.where(mask, np.abs(r), -1.0)))
+        j = int(np.argmax(np.where(col_avail, np.abs(r), -1.0)))
         pivot = r[j]
         if first_pivot == 0.0:
             first_pivot = abs(pivot)
@@ -124,21 +129,28 @@ def aca_partial(
             continue
 
         v_new = r / pivot
-        c = np.array(get_col(j), dtype=dtype, copy=True)
-        for u, v in zip(us, vs):
-            c -= v[j] * u
-        u_new = c
-        used_cols.add(j)
+        u_new = np.array(get_col(j), dtype=dtype, copy=True)
+        if k:
+            u_new -= uu[:, :k] @ vv[j, :k]
+        col_avail[j] = False
 
         # Norm bookkeeping: ||A_{k+1}||^2 = ||A_k||^2 + 2 Re<cross, prev> + ||cross||^2.
         u_norm = float(np.linalg.norm(u_new))
         v_norm = float(np.linalg.norm(v_new))
-        interact = 0.0
-        for u, v in zip(us, vs):
-            interact += 2.0 * float(np.real(np.vdot(u, u_new) * np.vdot(v, v_new)))
+        if k:
+            interact = 2.0 * float(
+                np.real(np.sum((uu[:, :k].conj().T @ u_new) * (vv[:, :k].conj().T @ v_new)))
+            )
+        else:
+            interact = 0.0
         norm_sq += interact + (u_norm * v_norm) ** 2
-        us.append(u_new)
-        vs.append(v_new)
+        if k == cap:
+            cap = min(limit, 2 * cap)
+            uu = np.concatenate([uu, np.empty((m, cap - k), dtype=dtype)], axis=1)
+            vv = np.concatenate([vv, np.empty((n, cap - k), dtype=dtype)], axis=1)
+        uu[:, k] = u_new
+        vv[:, k] = v_new
+        k += 1
 
         if u_norm * v_norm <= eps * np.sqrt(max(norm_sq, 0.0)):
             small_streak += 1
@@ -153,15 +165,13 @@ def aca_partial(
             small_streak = 0
 
         # Next pivot row: largest remaining entry of the new column.
-        row_mask = np.ones(m, dtype=bool)
-        row_mask[list(used_rows)] = False
-        if not row_mask.any():
+        if not row_avail.any():
             break
-        next_row = int(np.argmax(np.where(row_mask, np.abs(u_new), -1.0)))
+        next_row = int(np.argmax(np.where(row_avail, np.abs(u_new), -1.0)))
 
-    if not us:
+    if k == 0:
         return RkMatrix.zeros(m, n, dtype=dtype)
-    rk = RkMatrix(np.column_stack(us), np.column_stack(vs))
+    rk = RkMatrix(np.ascontiguousarray(uu[:, :k]), np.ascontiguousarray(vv[:, :k]))
     if recompress:
         rk = rk.truncate(eps, max_rank)
     return rk

@@ -19,13 +19,11 @@ proprietary HMAT library submits to StarPU.
 from __future__ import annotations
 
 import time
-from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 import numpy as np
-from scipy.linalg import solve_triangular
 
-from ..dense import flops_gemm, flops_getrf, flops_trsm, getrf_nopiv
+from ..dense import flops_gemm, flops_getrf, flops_trsm, getrf_nopiv, tri_solve
 from .hmatrix import HMatrix
 from .rk import RkMatrix, compress_dense
 
@@ -97,15 +95,32 @@ def set_tracer(tracer: KernelTracer | None) -> KernelTracer | None:
     return prev
 
 
-@contextmanager
-def _traced(kind: str, reads: tuple, writes: tuple, flops: float):
-    """Time the enclosed kernel and report it to the tracer, if any."""
-    if _TRACER is None:
-        yield
-        return
-    t0 = time.perf_counter()
-    yield
-    _TRACER.record(kind, reads, writes, time.perf_counter() - t0, flops)
+class _traced:
+    """Time the enclosed kernel and report it to the tracer, if any.
+
+    A plain slotted context manager: the ``contextlib`` generator machinery
+    costs a few microseconds per call, which is measurable at the leaf-kernel
+    call volume of an H-LU.
+    """
+
+    __slots__ = ("kind", "reads", "writes", "flops", "t0")
+
+    def __init__(self, kind: str, reads: tuple, writes: tuple, flops: float) -> None:
+        self.kind = kind
+        self.reads = reads
+        self.writes = writes
+        self.flops = flops
+
+    def __enter__(self) -> None:
+        if _TRACER is not None:
+            self.t0 = time.perf_counter()
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if _TRACER is not None and exc_type is None:
+            _TRACER.record(
+                self.kind, self.reads, self.writes, time.perf_counter() - self.t0, self.flops
+            )
+        return False
 
 
 # ---------------------------------------------------------------------------
@@ -119,16 +134,23 @@ def h_rmatvec(h: HMatrix, x: np.ndarray) -> np.ndarray:
         raise ValueError(f"x leading dim {x.shape[0]} != {h.shape[0]}")
     out_dtype = np.promote_types(h.dtype, x.dtype)
     out = np.zeros((h.shape[1],) + x.shape[1:], dtype=out_dtype)
-    for leaf in h.leaves():
-        i0 = leaf.rows.start - h.rows.start
-        j0 = leaf.cols.start - h.cols.start
+    for leaf, i0, j0 in h.leaf_index():
         m, n = leaf.shape
         seg = x[i0 : i0 + m]
         if leaf.full is not None:
             out[j0 : j0 + n] += leaf.full.T @ seg
-        elif leaf.rk.rank:
-            out[j0 : j0 + n] += leaf.rk.rmatvec(seg)
+        else:
+            rk = leaf.rk
+            if rk.u.shape[1]:
+                out[j0 : j0 + n] += rk.v @ (rk.u.T @ seg)
     return out
+
+
+#: Factorised diagonal nodes up to this size are packed dense (hgetrf /
+#: hpotrf attach ``packed_lu``) so panel solves collapse to one trtrs call.
+#: The cap bounds the cache to O(n * _PACK_TRI_MAX) scalars along the
+#: diagonal — small next to the H-matrix itself.
+_PACK_TRI_MAX = 256
 
 
 def solve_lower_panel(l: HMatrix, x: np.ndarray, *, unit_diagonal: bool = True) -> np.ndarray:
@@ -139,7 +161,9 @@ def solve_lower_panel(l: HMatrix, x: np.ndarray, *, unit_diagonal: bool = True) 
     """
     x = np.array(x, dtype=np.promote_types(l.dtype, np.asarray(x).dtype), copy=True)
     if l.full is not None:
-        return solve_triangular(l.full, x, lower=True, unit_diagonal=unit_diagonal, check_finite=False)
+        return tri_solve(l.full, x, lower=True, unit_diagonal=unit_diagonal)
+    if l.packed_lu is not None:
+        return tri_solve(l.packed_lu, x, lower=True, unit_diagonal=unit_diagonal)
     if l.rk is not None:
         raise ValueError("diagonal H-LU block cannot be low-rank")
     nb = l.nrow_children
@@ -158,7 +182,9 @@ def solve_upper_panel(u: HMatrix, x: np.ndarray) -> np.ndarray:
     """Solve ``U y = x`` (non-unit upper triangle of an H node, dense panel)."""
     x = np.array(x, dtype=np.promote_types(u.dtype, np.asarray(x).dtype), copy=True)
     if u.full is not None:
-        return solve_triangular(u.full, x, lower=False, check_finite=False)
+        return tri_solve(u.full, x, lower=False)
+    if u.packed_lu is not None:
+        return tri_solve(u.packed_lu, x, lower=False)
     if u.rk is not None:
         raise ValueError("diagonal H-LU block cannot be low-rank")
     nb = u.nrow_children
@@ -181,7 +207,9 @@ def solve_upper_transpose_panel(u: HMatrix, x: np.ndarray) -> np.ndarray:
     """
     x = np.array(x, dtype=np.promote_types(u.dtype, np.asarray(x).dtype), copy=True)
     if u.full is not None:
-        return solve_triangular(u.full.T, x, lower=True, check_finite=False)
+        return tri_solve(u.full, x, lower=False, trans=1)
+    if u.packed_lu is not None:
+        return tri_solve(u.packed_lu, x, lower=False, trans=1)
     if u.rk is not None:
         raise ValueError("diagonal H-LU block cannot be low-rank")
     nb = u.nrow_children
@@ -201,7 +229,9 @@ def solve_lower_transpose_panel(l: HMatrix, x: np.ndarray, *, unit_diagonal: boo
     """Solve ``L.T y = x`` (plain transpose of the unit lower triangle)."""
     x = np.array(x, dtype=np.promote_types(l.dtype, np.asarray(x).dtype), copy=True)
     if l.full is not None:
-        return solve_triangular(l.full.T, x, lower=False, unit_diagonal=unit_diagonal, check_finite=False)
+        return tri_solve(l.full, x, lower=True, unit_diagonal=unit_diagonal, trans=1)
+    if l.packed_lu is not None:
+        return tri_solve(l.packed_lu, x, lower=True, unit_diagonal=unit_diagonal, trans=1)
     if l.rk is not None:
         raise ValueError("diagonal H-LU block cannot be low-rank")
     nb = l.nrow_children
@@ -243,7 +273,7 @@ def _gemm_flops(a: HMatrix, b: HMatrix) -> float:
     m, k = a.shape
     n = b.shape[1]
     r = min(_effective_rank(a), _effective_rank(b))
-    is_c = np.issubdtype(a.dtype, np.complexfloating)
+    is_c = a.dtype.kind == "c"
     dense = flops_gemm(m, n, k, is_complex=is_c)
     lowrank = 2.0 * (m + n) * k * r * (4.0 if is_c else 1.0)
     return min(dense, lowrank)
@@ -254,10 +284,14 @@ def _product_rk(a: HMatrix, b: HMatrix, alpha, eps: float) -> RkMatrix:
     # The product rank equals the low-rank operand's rank, so no truncation
     # here: the rounded addition into C recompresses anyway.
     if a.rk is not None:
+        if a.rk.rank == 0:
+            return RkMatrix.zeros(a.shape[0], b.shape[1], dtype=a.rk.dtype)
         # (Ua Va^T) B = Ua (B^T Va)^T
         v = h_rmatvec(b, a.rk.v)
         return RkMatrix(alpha * a.rk.u, v)
     if b.rk is not None:
+        if b.rk.rank == 0:
+            return RkMatrix.zeros(a.shape[0], b.shape[1], dtype=b.rk.dtype)
         u = a.matvec(b.rk.u)
         return RkMatrix(alpha * u, b.rk.v.copy())
     raise AssertionError("`_product_rk` requires a low-rank operand")
@@ -273,15 +307,20 @@ def _product_dense(a: HMatrix, b: HMatrix) -> np.ndarray:
     raise AssertionError("`_product_dense` requires a dense operand")
 
 
-def _collect_product(a: HMatrix, b: HMatrix, eps: float) -> RkMatrix:
+def _collect_product(a: HMatrix, b: HMatrix, eps: float, batched: bool = False) -> RkMatrix:
     """``A @ B`` as a rounded Rk block (both operands subdivided).
 
     Recursively accumulates children products, zero-padding each into the
-    parent's shape; truncation after every addition keeps the rank bounded.
+    parent's shape.  The eager path (``batched=False``, the historical
+    behaviour) truncates after every addition; the batched path collects all
+    contributions and rounds the stacked factors once with
+    :meth:`RkMatrix.add_many` — same accuracy class, one QR+QR+SVD instead
+    of one per term.
     """
     m, n = a.shape[0], b.shape[1]
     dtype = np.promote_types(a.dtype, b.dtype)
     acc = RkMatrix.zeros(m, n, dtype=dtype)
+    terms: list[RkMatrix] = [acc]
     for i in range(a.nrow_children):
         for j in range(b.ncol_children):
             for l in range(a.ncol_children):
@@ -292,7 +331,7 @@ def _collect_product(a: HMatrix, b: HMatrix, eps: float) -> RkMatrix:
                 elif a_il.full is not None or b_lj.full is not None:
                     sub = compress_dense(_product_dense(a_il, b_lj), eps)
                 else:
-                    sub = _collect_product(a_il, b_lj, eps)
+                    sub = _collect_product(a_il, b_lj, eps, batched)
                 if sub.rank == 0:
                     continue
                 i0 = a_il.rows.start - a.rows.start
@@ -301,25 +340,34 @@ def _collect_product(a: HMatrix, b: HMatrix, eps: float) -> RkMatrix:
                 v = np.zeros((n, sub.rank), dtype=dtype)
                 u[i0 : i0 + a_il.shape[0]] = sub.u
                 v[j0 : j0 + b_lj.shape[1]] = sub.v
-                acc = acc.add(RkMatrix(u, v), eps)
+                if batched:
+                    terms.append(RkMatrix(u, v))
+                else:
+                    acc = acc.add(RkMatrix(u, v), eps)
+    if batched:
+        return RkMatrix.add_many(terms, eps)
     return acc
 
 
-def hgemm(c: HMatrix, a: HMatrix, b: HMatrix, eps: float, alpha=-1.0) -> None:
+def hgemm(c: HMatrix, a: HMatrix, b: HMatrix, eps: float, alpha=-1.0, acc=None) -> None:
     """``C <- C + alpha * A @ B`` in H-arithmetic with rounding accuracy eps.
 
     Handles all 27 structural configurations of (A, B, C); the default
-    ``alpha = -1`` is the Schur-complement update of Algorithm 1.
+    ``alpha = -1`` is the Schur-complement update of Algorithm 1.  Passing an
+    :class:`~repro.hmatrix.accumulator.UpdateAccumulator` defers the
+    rounding of C's Rk-leaf updates (the caller must flush before C is next
+    read); ``A`` and ``B`` must have no pending updates.
     """
     if a.shape[1] != b.shape[0] or c.shape != (a.shape[0], b.shape[1]):
         raise ValueError(
             f"hgemm shape mismatch: C{c.shape} += A{a.shape} @ B{b.shape}"
         )
+    c.packed_lu = None
     # Any low-rank operand: the product is low-rank.
     if a.rk is not None or b.rk is not None:
         with _traced("gemm", (a, b), (c,), _gemm_flops(a, b)):
             prod = _product_rk(a, b, alpha, eps)
-            c.axpy_rk(prod, eps)
+            c.axpy_rk(prod, eps, acc)
         return
     # Any dense operand: the product is a small dense panel.
     if a.full is not None or b.full is not None:
@@ -327,14 +375,14 @@ def hgemm(c: HMatrix, a: HMatrix, b: HMatrix, eps: float, alpha=-1.0) -> None:
             prod = _product_dense(a, b)
             if alpha != 1.0:
                 prod = alpha * prod
-            c.axpy_dense(prod, eps)
+            c.axpy_dense(prod, eps, acc)
         return
     # Both subdivided.
     if c.is_leaf:
         with _traced("gemm", (a, b), (c,), _gemm_flops(a, b)):
-            prod = _collect_product(a, b, eps)
+            prod = _collect_product(a, b, eps, batched=acc is not None)
             if prod.rank:
-                c.axpy_rk(prod.scale(alpha), eps)
+                c.axpy_rk(prod.scale(alpha), eps, acc)
         return
     # All three subdivided: recurse on the children grid (shared cluster
     # trees guarantee compatible splits).
@@ -343,7 +391,7 @@ def hgemm(c: HMatrix, a: HMatrix, b: HMatrix, eps: float, alpha=-1.0) -> None:
     for i in range(c.nrow_children):
         for j in range(c.ncol_children):
             for l in range(a.ncol_children):
-                hgemm(c.child(i, j), a.child(i, l), b.child(l, j), eps, alpha)
+                hgemm(c.child(i, j), a.child(i, l), b.child(l, j), eps, alpha, acc)
 
 
 # ---------------------------------------------------------------------------
@@ -351,7 +399,7 @@ def hgemm(c: HMatrix, a: HMatrix, b: HMatrix, eps: float, alpha=-1.0) -> None:
 # ---------------------------------------------------------------------------
 
 def _trsm_flops(a: HMatrix, b: HMatrix) -> float:
-    is_c = np.issubdtype(a.dtype, np.complexfloating)
+    is_c = a.dtype.kind == "c"
     if b.rk is not None:
         rhs = b.rk.rank
     else:
@@ -359,7 +407,7 @@ def _trsm_flops(a: HMatrix, b: HMatrix) -> float:
     return flops_trsm(a.shape[0], rhs, is_complex=is_c)
 
 
-def htrsm(side: str, uplo: str, a: HMatrix, b: HMatrix, eps: float, *, unit_diagonal: bool = False) -> None:
+def htrsm(side: str, uplo: str, a: HMatrix, b: HMatrix, eps: float, *, unit_diagonal: bool = False, acc=None) -> None:
     """Triangular solve with H operands, in place in ``b``.
 
     Supports the two variants Algorithm 1 needs:
@@ -369,22 +417,27 @@ def htrsm(side: str, uplo: str, a: HMatrix, b: HMatrix, eps: float, *, unit_diag
     * ``side="right", uplo="upper"`` — ``X U = B`` (produces the L-panel).
 
     ``a`` is a *packed* factorised node (output of :func:`hgetrf`): only the
-    relevant triangle is referenced.
+    relevant triangle is referenced.  With an accumulator, pending updates
+    on ``b`` (e.g. deferred trailing-matrix GEMMs) are flushed leaf-by-leaf
+    right before each leaf is solved, and the internal update GEMMs of the
+    subdivided case defer their own roundings; on return ``b`` is clean.
     """
     if side == "left" and uplo == "lower":
         if a.shape[0] != b.shape[0]:
             raise ValueError(f"htrsm dims: L is {a.shape}, B is {b.shape}")
-        _htrsm_left_lower(a, b, eps, unit_diagonal)
+        _htrsm_left_lower(a, b, eps, unit_diagonal, acc)
     elif side == "right" and uplo == "upper":
         if a.shape[1] != b.shape[1]:
             raise ValueError(f"htrsm dims: U is {a.shape}, B is {b.shape}")
-        _htrsm_right_upper(a, b, eps, unit_diagonal)
+        _htrsm_right_upper(a, b, eps, unit_diagonal, acc)
     else:
         raise ValueError(f"unsupported htrsm variant side={side!r}, uplo={uplo!r}")
 
 
-def _htrsm_left_lower(l: HMatrix, b: HMatrix, eps: float, unit: bool) -> None:
+def _htrsm_left_lower(l: HMatrix, b: HMatrix, eps: float, unit: bool, acc=None) -> None:
     if b.rk is not None:
+        if acc is not None:
+            acc.flush(b)
         if b.rk.rank:
             with _traced("trsm", (l,), (b,), _trsm_flops(l, b)):
                 b.rk = RkMatrix(
@@ -404,14 +457,16 @@ def _htrsm_left_lower(l: HMatrix, b: HMatrix, eps: float, unit: bool) -> None:
     for j in range(b.ncol_children):
         for i in range(nb):
             for p in range(i):
-                hgemm(b.child(i, j), l.child(i, p), b.child(p, j), eps, alpha=-1.0)
-            _htrsm_left_lower(l.child(i, i), b.child(i, j), eps, unit)
+                hgemm(b.child(i, j), l.child(i, p), b.child(p, j), eps, alpha=-1.0, acc=acc)
+            _htrsm_left_lower(l.child(i, i), b.child(i, j), eps, unit, acc)
 
 
-def _htrsm_right_upper(u: HMatrix, b: HMatrix, eps: float, unit: bool) -> None:
+def _htrsm_right_upper(u: HMatrix, b: HMatrix, eps: float, unit: bool, acc=None) -> None:
     if unit:
         raise ValueError("right-upper htrsm with unit diagonal is not used by H-LU")
     if b.rk is not None:
+        if acc is not None:
+            acc.flush(b)
         if b.rk.rank:
             with _traced("trsm", (u,), (b,), _trsm_flops(u, b)):
                 # X U = Ub Vb^T  =>  X = Ub (U^{-T} Vb)^T.
@@ -429,24 +484,29 @@ def _htrsm_right_upper(u: HMatrix, b: HMatrix, eps: float, unit: bool) -> None:
     for i in range(b.nrow_children):
         for j in range(nb):
             for p in range(j):
-                hgemm(b.child(i, j), b.child(i, p), u.child(p, j), eps, alpha=-1.0)
-            _htrsm_right_upper(u.child(j, j), b.child(i, j), eps, unit)
+                hgemm(b.child(i, j), b.child(i, p), u.child(p, j), eps, alpha=-1.0, acc=acc)
+            _htrsm_right_upper(u.child(j, j), b.child(i, j), eps, unit, acc)
 
 
 # ---------------------------------------------------------------------------
 # H-GETRF and solves
 # ---------------------------------------------------------------------------
 
-def hgetrf(a: HMatrix, eps: float) -> HMatrix:
+def hgetrf(a: HMatrix, eps: float, acc=None) -> HMatrix:
     """In-place H-LU: on return ``a`` packs L (strict lower, unit diag) and U.
 
     Recursion follows Algorithm 1 on the children grid; dense diagonal leaves
-    use the unpivoted dense LU.
+    use the unpivoted dense LU.  With an accumulator, any pending updates
+    under ``a`` are flushed up front (GETRF reads and rewrites the whole
+    block) and the internal trailing-matrix GEMMs defer their roundings to
+    the panel step that next touches each child; ``a`` is clean on return.
     """
     if a.shape[0] != a.shape[1]:
         raise ValueError(f"hgetrf needs a square H-matrix, got {a.shape}")
     if a.rk is not None:
         raise ValueError("diagonal block is low-rank: cannot LU-factorise")
+    if acc is not None:
+        acc.flush(a)
     if a.full is not None:
         is_c = np.issubdtype(a.dtype, np.complexfloating)
         with _traced("getrf", (), (a,), flops_getrf(a.shape[0], is_complex=is_c)):
@@ -456,23 +516,29 @@ def hgetrf(a: HMatrix, eps: float) -> HMatrix:
     if a.ncol_children != nt:
         raise ValueError("hgetrf needs a square children grid")
     for k in range(nt):
-        hgetrf(a.child(k, k), eps)
+        hgetrf(a.child(k, k), eps, acc)
         for j in range(k + 1, nt):
-            _htrsm_left_lower(a.child(k, k), a.child(k, j), eps, unit=True)
+            _htrsm_left_lower(a.child(k, k), a.child(k, j), eps, unit=True, acc=acc)
         for i in range(k + 1, nt):
-            _htrsm_right_upper(a.child(k, k), a.child(i, k), eps, unit=False)
+            _htrsm_right_upper(a.child(k, k), a.child(i, k), eps, unit=False, acc=acc)
         for i in range(k + 1, nt):
             for j in range(k + 1, nt):
-                hgemm(a.child(i, j), a.child(i, k), a.child(k, j), eps, alpha=-1.0)
+                hgemm(a.child(i, j), a.child(i, k), a.child(k, j), eps, alpha=-1.0, acc=acc)
+    if a.shape[0] <= _PACK_TRI_MAX:
+        # The factor is read-only from here on (panel solves, H-TRSM);
+        # packing it dense turns every later panel solve into one trtrs.
+        a.packed_lu = a.to_dense()
     return a
 
 
-def to_rk(h: HMatrix, eps: float) -> RkMatrix:
+def to_rk(h: HMatrix, eps: float, batched: bool = False) -> RkMatrix:
     """Compress a whole H-matrix node into a single rounded Rk block.
 
     Leaves convert directly; subdivided nodes accumulate their children's
-    Rk forms zero-padded into the parent shape with truncation after every
-    addition (rank stays bounded by the eps-rank of the node).
+    Rk forms zero-padded into the parent shape — with truncation after every
+    addition on the eager path, or (``batched=True``) one
+    :meth:`RkMatrix.add_many` rounding of all stacked children (rank stays
+    bounded by the eps-rank of the node either way).
     """
     if h.rk is not None:
         return h.rk.truncate(eps)
@@ -480,8 +546,9 @@ def to_rk(h: HMatrix, eps: float) -> RkMatrix:
         return compress_dense(h.full, eps)
     m, n = h.shape
     acc = RkMatrix.zeros(m, n, dtype=h.dtype)
+    terms: list[RkMatrix] = [acc]
     for child in h.children:
-        sub = to_rk(child, eps)
+        sub = to_rk(child, eps, batched)
         if sub.rank == 0:
             continue
         i0 = child.rows.start - h.rows.start
@@ -490,11 +557,16 @@ def to_rk(h: HMatrix, eps: float) -> RkMatrix:
         v = np.zeros((n, sub.rank), dtype=acc.dtype)
         u[i0 : i0 + child.shape[0]] = sub.u
         v[j0 : j0 + child.shape[1]] = sub.v
-        acc = acc.add(RkMatrix(u, v), eps)
+        if batched:
+            terms.append(RkMatrix(u, v))
+        else:
+            acc = acc.add(RkMatrix(u, v), eps)
+    if batched:
+        return RkMatrix.add_many(terms, eps)
     return acc
 
 
-def hgeadd(b: HMatrix, a: HMatrix, eps: float, alpha=1.0) -> None:
+def hgeadd(b: HMatrix, a: HMatrix, eps: float, alpha=1.0, acc=None) -> None:
     """Rounded H-matrix addition ``B <- B + alpha * A`` in place.
 
     ``a`` and ``b`` must cover the same cluster pair; their internal
@@ -502,38 +574,41 @@ def hgeadd(b: HMatrix, a: HMatrix, eps: float, alpha=1.0) -> None:
     """
     if a.shape != b.shape:
         raise ValueError(f"hgeadd shape mismatch: {a.shape} vs {b.shape}")
+    b.packed_lu = None
     if a.rk is not None:
         if a.rk.rank:
-            b.axpy_rk(a.rk.scale(alpha), eps)
+            b.axpy_rk(a.rk.scale(alpha), eps, acc)
         return
     if a.full is not None:
-        b.axpy_dense(alpha * a.full if alpha != 1.0 else a.full.copy(), eps)
+        b.axpy_dense(alpha * a.full if alpha != 1.0 else a.full.copy(), eps, acc)
         return
     if b.is_leaf:
         # a subdivided, b a leaf: collapse a to Rk and add.
-        rk = to_rk(a, eps)
+        rk = to_rk(a, eps, batched=acc is not None)
         if rk.rank:
-            b.axpy_rk(rk.scale(alpha), eps)
+            b.axpy_rk(rk.scale(alpha), eps, acc)
         return
     if a.nrow_children != b.nrow_children or a.ncol_children != b.ncol_children:
         raise ValueError("incompatible children grids in hgeadd")
     for ca, cb in zip(a.children, b.children):
-        hgeadd(cb, ca, eps, alpha)
+        hgeadd(cb, ca, eps, alpha, acc)
 
 
-def hgemm_transb(c: HMatrix, a: HMatrix, b: HMatrix, eps: float, alpha=-1.0) -> None:
+def hgemm_transb(c: HMatrix, a: HMatrix, b: HMatrix, eps: float, alpha=-1.0, acc=None) -> None:
     """``C <- C + alpha * A @ B.T`` (plain transpose) in H-arithmetic.
 
     The Cholesky update kernel (SYRK when ``a is b`` structurally).  The
     transpose is materialised structurally (views of factor/leaf data), which
     costs the same order as the product itself.
     """
-    hgemm(c, a, b.transpose(), eps, alpha)
+    hgemm(c, a, b.transpose(), eps, alpha, acc)
 
 
-def _htrsm_right_lower_transpose(l: HMatrix, b: HMatrix, eps: float) -> None:
+def _htrsm_right_lower_transpose(l: HMatrix, b: HMatrix, eps: float, acc=None) -> None:
     """Solve ``X L^T = B`` in place in ``b`` (L non-unit lower, from hpotrf)."""
     if b.rk is not None:
+        if acc is not None:
+            acc.flush(b)
         if b.rk.rank:
             with _traced("trsm", (l,), (b,), _trsm_flops(l, b)):
                 # X = Ub (L^{-1} Vb)^T.
@@ -554,22 +629,26 @@ def _htrsm_right_lower_transpose(l: HMatrix, b: HMatrix, eps: float) -> None:
         for j in range(nb):
             for p in range(j):
                 # (L^T)_{p j} = L_{j p}^T for p < j.
-                hgemm_transb(b.child(i, j), b.child(i, p), l.child(j, p), eps, alpha=-1.0)
-            _htrsm_right_lower_transpose(l.child(j, j), b.child(i, j), eps)
+                hgemm_transb(b.child(i, j), b.child(i, p), l.child(j, p), eps, alpha=-1.0, acc=acc)
+            _htrsm_right_lower_transpose(l.child(j, j), b.child(i, j), eps, acc)
 
 
-def hpotrf(a: HMatrix, eps: float) -> HMatrix:
+def hpotrf(a: HMatrix, eps: float, acc=None) -> HMatrix:
     """In-place H-Cholesky of an SPD H-matrix: lower triangle holds ``L``.
 
     Only the lower triangle (and diagonal) of ``a`` is referenced and
     written; upper off-diagonal blocks are left untouched.  Raises
     ``numpy.linalg.LinAlgError`` when a diagonal leaf is not positive
-    definite.
+    definite.  With an accumulator the same flush-before-read discipline as
+    :func:`hgetrf` applies: pending updates under ``a`` are flushed first and
+    ``a`` is clean on return.
     """
     if a.shape[0] != a.shape[1]:
         raise ValueError(f"hpotrf needs a square H-matrix, got {a.shape}")
     if a.rk is not None:
         raise ValueError("diagonal block is low-rank: cannot Cholesky-factorise")
+    if acc is not None:
+        acc.flush(a)
     if a.full is not None:
         from ..dense import flops_potrf
 
@@ -581,12 +660,15 @@ def hpotrf(a: HMatrix, eps: float) -> HMatrix:
     if a.ncol_children != nt:
         raise ValueError("hpotrf needs a square children grid")
     for k in range(nt):
-        hpotrf(a.child(k, k), eps)
+        hpotrf(a.child(k, k), eps, acc)
         for i in range(k + 1, nt):
-            _htrsm_right_lower_transpose(a.child(k, k), a.child(i, k), eps)
+            _htrsm_right_lower_transpose(a.child(k, k), a.child(i, k), eps, acc)
         for i in range(k + 1, nt):
             for j in range(k + 1, i + 1):
-                hgemm_transb(a.child(i, j), a.child(i, k), a.child(j, k), eps, alpha=-1.0)
+                hgemm_transb(a.child(i, j), a.child(i, k), a.child(j, k), eps, alpha=-1.0, acc=acc)
+    if a.shape[0] <= _PACK_TRI_MAX:
+        # Only the lower triangle is valid, which is all trtrs references.
+        a.packed_lu = a.to_dense()
     return a
 
 

@@ -63,7 +63,18 @@ class RkBlock:
 class HMatrix:
     """H-matrix node (leaf: dense or Rk; interior: grid of children)."""
 
-    __slots__ = ("rows", "cols", "full", "rk", "children", "nrow_children", "ncol_children")
+    __slots__ = (
+        "rows",
+        "cols",
+        "shape",
+        "full",
+        "rk",
+        "children",
+        "nrow_children",
+        "ncol_children",
+        "_leaf_index",
+        "packed_lu",
+    )
 
     def __init__(
         self,
@@ -78,11 +89,17 @@ class HMatrix:
     ) -> None:
         self.rows = rows
         self.cols = cols
+        self.shape = (rows.size, cols.size)
         self.full = full
         self.rk = rk
         self.children = children or []
         self.nrow_children = nrow_children
         self.ncol_children = ncol_children
+        self._leaf_index = None
+        # Dense copy of a small *factorised* diagonal node (set by
+        # hgetrf/hpotrf, cleared by any mutation): lets the panel solves do a
+        # single LAPACK trtrs instead of walking the tree.
+        self.packed_lu = None
         kinds = (full is not None) + (rk is not None) + bool(self.children)
         if kinds != 1:
             raise ValueError("exactly one of full / rk / children must be set")
@@ -94,10 +111,6 @@ class HMatrix:
             raise ValueError("children grid size mismatch")
 
     # -- structure ----------------------------------------------------------
-    @property
-    def shape(self) -> tuple[int, int]:
-        return (self.rows.size, self.cols.size)
-
     @property
     def is_leaf(self) -> bool:
         return not self.children
@@ -126,13 +139,35 @@ class HMatrix:
 
     def set_child(self, i: int, j: int, value: "HMatrix") -> None:
         self.children[i * self.ncol_children + j] = value
+        self._leaf_index = None
+        self.packed_lu = None
+
+    def leaf_index(self) -> list[tuple["HMatrix", int, int]]:
+        """Cached flat list of ``(leaf, row_offset, col_offset)`` triples.
+
+        Offsets are relative to this node's origin, leaves in DFS order.  The
+        cache stays valid across payload mutations (``full``/``rk``
+        replacement never changes the tree shape); :meth:`set_child`
+        invalidates it for this node — callers restructuring trees from the
+        outside must do so before the first traversal.
+        """
+        idx = self._leaf_index
+        if idx is None:
+            if self.is_leaf:
+                idx = [(self, 0, 0)]
+            else:
+                r0, c0 = self.rows.start, self.cols.start
+                idx = []
+                for c in self.children:
+                    dr, dc = c.rows.start - r0, c.cols.start - c0
+                    for leaf, i0, j0 in c.leaf_index():
+                        idx.append((leaf, dr + i0, dc + j0))
+            self._leaf_index = idx
+        return idx
 
     def leaves(self):
-        if self.is_leaf:
-            yield self
-        else:
-            for c in self.children:
-                yield from c.leaves()
+        for leaf, _, _ in self.leaf_index():
+            yield leaf
 
     def nodes(self):
         yield self
@@ -158,7 +193,7 @@ class HMatrix:
     def storage(self) -> int:
         """Stored scalar count (dense entries + Rk factor entries)."""
         total = 0
-        for leaf in self.leaves():
+        for leaf, _, _ in self.leaf_index():
             if leaf.full is not None:
                 total += leaf.full.size
             else:
@@ -186,8 +221,7 @@ class HMatrix:
     # -- dense bridges ---------------------------------------------------------
     def to_dense(self) -> np.ndarray:
         out = np.zeros(self.shape, dtype=self.dtype)
-        for leaf in self.leaves():
-            i0, j0 = self._row_off(leaf), self._col_off(leaf)
+        for leaf, i0, j0 in self.leaf_index():
             m, n = leaf.shape
             if leaf.full is not None:
                 out[i0 : i0 + m, j0 : j0 + n] = leaf.full
@@ -251,16 +285,18 @@ class HMatrix:
         x = np.asarray(x)
         if x.shape[0] != self.shape[1]:
             raise ValueError(f"x leading dim {x.shape[0]} != {self.shape[1]}")
-        out_dtype = np.promote_types(self.dtype, x.dtype)
+        dt = self.dtype
+        out_dtype = dt if dt == x.dtype else np.promote_types(dt, x.dtype)
         out = np.zeros((self.shape[0],) + x.shape[1:], dtype=out_dtype)
-        for leaf in self.leaves():
-            i0, j0 = self._row_off(leaf), self._col_off(leaf)
-            m, n = leaf.shape
-            seg = x[j0 : j0 + n]
-            if leaf.full is not None:
-                out[i0 : i0 + m] += leaf.full @ seg
-            elif leaf.rk.rank:
-                out[i0 : i0 + m] += leaf.rk.matvec(seg)
+        for leaf, i0, j0 in self.leaf_index():
+            full = leaf.full
+            if full is not None:
+                m, n = full.shape
+                out[i0 : i0 + m] += full @ x[j0 : j0 + n]
+            else:
+                rk = leaf.rk
+                if rk.u.shape[1]:
+                    out[i0 : i0 + rk.u.shape[0]] += rk.u @ (rk.v.T @ x[j0 : j0 + rk.v.shape[0]])
         return out
 
     def copy(self) -> "HMatrix":
@@ -301,47 +337,64 @@ class HMatrix:
         )
 
     # -- rounded accumulation (used by H-GEMM) -----------------------------------
-    def axpy_rk(self, rk: RkMatrix, eps: float) -> None:
+    def axpy_rk(self, rk: RkMatrix, eps: float, acc=None) -> None:
         """``self += rk`` with rounding, preserving this node's structure.
 
         The Rk contribution is restricted to each child/leaf: restriction of
         a rank-k factorisation is the row-sliced factors, so no densification
-        happens above dense leaves.
+        happens above dense leaves.  With an
+        :class:`~repro.hmatrix.accumulator.UpdateAccumulator` the rounding
+        of Rk-leaf updates is deferred to the accumulator's flush; ``rk``
+        must then stay unmutated by the caller (it is buffered by
+        reference).
         """
         if rk.shape != self.shape:
             raise ValueError(f"axpy_rk shape mismatch: {rk.shape} vs {self.shape}")
         if rk.rank == 0:
             return
+        self.packed_lu = None
         if self.full is not None:
             self.full += rk.to_dense()
             return
         if self.rk is not None:
-            merged = self.rk.add(rk, eps)
-            self.rk = merged
+            if acc is not None:
+                acc.defer_rk(self, rk)
+            else:
+                self.rk = self.rk.add(rk, eps)
             return
         for child in self.children:
             i0, j0 = self._row_off(child), self._col_off(child)
             m, n = child.shape
             sub = RkMatrix(rk.u[i0 : i0 + m], rk.v[j0 : j0 + n])
-            child.axpy_rk(sub, eps)
+            child.axpy_rk(sub, eps, acc)
 
-    def axpy_dense(self, block: np.ndarray, eps: float) -> None:
-        """``self += block`` (dense, local indexing) with compression on Rk leaves."""
+    def axpy_dense(self, block: np.ndarray, eps: float, acc=None) -> None:
+        """``self += block`` (dense, local indexing) with compression on Rk leaves.
+
+        With an accumulator, dense contributions to Rk leaves are summed in
+        the buffer (exact ``+=``) and compressed once at flush time.
+        """
         if block.shape != self.shape:
             raise ValueError(f"axpy_dense shape mismatch: {block.shape} vs {self.shape}")
+        self.packed_lu = None
         if self.full is not None:
             self.full += block
             return
         if self.rk is not None:
-            self.rk = self.rk.add(compress_dense(block, eps), eps)
+            if acc is not None:
+                acc.defer_dense(self, block)
+            else:
+                self.rk = self.rk.add(compress_dense(block, eps), eps)
             return
         for child in self.children:
             i0, j0 = self._row_off(child), self._col_off(child)
             m, n = child.shape
-            child.axpy_dense(block[i0 : i0 + m, j0 : j0 + n], eps)
+            child.axpy_dense(block[i0 : i0 + m, j0 : j0 + n], eps, acc)
 
     def scale(self, alpha) -> None:
         """In-place multiplication by a scalar."""
+        for node in self.nodes():
+            node.packed_lu = None
         for leaf in self.leaves():
             if leaf.full is not None:
                 leaf.full *= alpha
@@ -350,6 +403,8 @@ class HMatrix:
 
     def zero_(self) -> None:
         """Zero all leaves in place (dense leaves to 0, Rk leaves to rank 0)."""
+        for node in self.nodes():
+            node.packed_lu = None
         for leaf in self.leaves():
             if leaf.full is not None:
                 leaf.full[:] = 0

@@ -125,6 +125,38 @@ class RkMatrix:
         v = np.hstack([self.v.astype(dtype, copy=False), other.v.astype(dtype, copy=False)])
         return _truncate_rk(RkMatrix(u, v), eps, max_rank)
 
+    @staticmethod
+    def add_many(terms, eps: float, max_rank: int | None = None) -> "RkMatrix":
+        """Rounded sum of Rk terms with a *single* QR+QR+SVD recompression.
+
+        Equivalent in accuracy class to folding ``add`` over ``terms`` —
+        ``||sum - result||_F <= eps ||sum||_F`` — but recompresses once at
+        total stacked rank instead of once per term (Börm-Christophersen
+        accumulator arithmetic).  ``terms`` must be a non-empty sequence of
+        equal-shape :class:`RkMatrix`.
+        """
+        terms = list(terms)
+        if not terms:
+            raise ValueError("add_many needs at least one term")
+        shape = terms[0].shape
+        for t in terms[1:]:
+            if t.shape != shape:
+                raise ValueError(f"shape mismatch in add_many: {t.shape} vs {shape}")
+        live = [t for t in terms if t.rank]
+        if not live:
+            return RkMatrix.zeros(*shape, dtype=terms[0].dtype)
+        if len(live) == 1:
+            # Match ``add``'s zero-operand short-circuit: a single term is
+            # returned untruncated unless a rank cap forces rounding.
+            only = live[0]
+            return only.truncate(eps, max_rank) if max_rank is not None else only.copy()
+        dtype = live[0].dtype
+        for t in live[1:]:
+            dtype = np.promote_types(dtype, t.dtype)
+        u = np.hstack([t.u.astype(dtype, copy=False) for t in live])
+        v = np.hstack([t.v.astype(dtype, copy=False) for t in live])
+        return _truncate_rk(RkMatrix(u, v), eps, max_rank)
+
 
 def _truncate_rk(rk: RkMatrix, eps: float, max_rank: int | None = None) -> RkMatrix:
     """QR+QR+SVD rounding of an Rk block to relative Frobenius accuracy eps."""
@@ -215,7 +247,11 @@ def compress_dense_rsvd(
     rng = np.random.default_rng(seed)
     norm_a = float(np.linalg.norm(a))
     limit = min(m, n)
-    width = min(limit, max(8, oversampling))
+    # With a hard rank cap the sketch never needs to be wider than
+    # max_rank + oversampling: anything beyond it is discarded by the final
+    # truncation anyway.
+    hard = limit if max_rank is None else min(limit, max_rank + oversampling)
+    width = min(hard, max(8, oversampling))
     while True:
         omega = rng.standard_normal((n, width))
         if np.iscomplexobj(a):
@@ -232,11 +268,14 @@ def compress_dense_rsvd(
         resid = float(np.sqrt(max(norm_a**2 - np.linalg.norm(b) ** 2, 0.0)))
         if resid <= eps * norm_a:
             break
-        if width >= limit:
-            # Sketching cannot certify the tolerance: fall back to the exact
-            # SVD (the block is dense in hand anyway).
-            return compress_dense(a, eps, max_rank)
-        width = min(limit, 2 * width)
+        if width >= hard:
+            if max_rank is None:
+                # Sketching cannot certify the tolerance: fall back to the
+                # exact SVD (the block is dense in hand anyway).
+                return compress_dense(a, eps, max_rank)
+            # The rank cap bounds the attainable accuracy; accept the sketch.
+            break
+        width = min(hard, 2 * width)
     u_small, v = truncate_svd(b, eps, max_rank)
     u = q @ u_small
     if max_rank is not None and u.shape[1] > max_rank:

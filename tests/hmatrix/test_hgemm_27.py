@@ -13,6 +13,7 @@ import pytest
 from repro.hmatrix import (
     BlockClusterTree,
     HMatrix,
+    UpdateAccumulator,
     build_cluster_tree,
     hgemm,
 )
@@ -72,6 +73,32 @@ def test_hgemm_configuration(ct, fa, fb, fc):
     ref = dc - da @ db
     err = np.linalg.norm(c.to_dense() - ref) / np.linalg.norm(ref)
     assert err < 1e-7, f"configuration (A={fa}, B={fb}, C={fc}) failed: {err:.2e}"
+
+
+@pytest.mark.parametrize("fa", FORMATS)
+@pytest.mark.parametrize("fb", FORMATS)
+@pytest.mark.parametrize("fc", FORMATS)
+def test_hgemm_configuration_accumulated(ct, fa, fb, fc):
+    """All 27 configurations again through an UpdateAccumulator.
+
+    Deferred roundings must land within the same eps accuracy class as the
+    eager per-update roundings once the accumulator flushes.
+    """
+    a, da = _operand(ct, fa, seed=1)
+    b, db = _operand(ct, fb, seed=2)
+    c_eager, dc = _operand(ct, fc, seed=3)
+    c_acc, _ = _operand(ct, fc, seed=3)
+
+    hgemm(c_eager, a, b, eps=EPS, alpha=-1.0)
+    with UpdateAccumulator(EPS) as acc:
+        hgemm(c_acc, a, b, eps=EPS, alpha=-1.0, acc=acc)
+
+    ref = dc - da @ db
+    scale = np.linalg.norm(ref)
+    err_acc = np.linalg.norm(c_acc.to_dense() - ref)
+    gap = np.linalg.norm(c_acc.to_dense() - c_eager.to_dense())
+    assert err_acc < 1e-7 * scale, f"(A={fa}, B={fb}, C={fc}): {err_acc / scale:.2e}"
+    assert gap < 1e-7 * scale, f"(A={fa}, B={fb}, C={fc}): paths diverge {gap / scale:.2e}"
 
 
 @pytest.mark.parametrize("fa", FORMATS)
