@@ -22,6 +22,7 @@ from .analysis.experiments import PAPER_EQUIVALENT_OVERHEADS
 from .baselines import BLRMatrix, HMatSolver
 from .core import TileHConfig, TileHMatrix
 from .geometry import cylinder_cloud, make_kernel, streamed_matvec
+from .runtime import validate_trace
 
 __all__ = ["main", "build_parser"]
 
@@ -67,6 +68,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker counts to simulate",
     )
     parser.add_argument("--seed", type=int, default=0, help="RNG seed for x0")
+    parser.add_argument(
+        "--racecheck",
+        action="store_true",
+        help="verify declared task access modes against actual memory effects "
+        "(runtime race detector) and validate simulated schedules against the DAG",
+    )
     return parser
 
 
@@ -84,18 +91,20 @@ def main(argv: list[str] | None = None) -> int:
     print(f"format    : {args.format} (nb={nb}, eps={args.eps:g}, leaf={args.leaf_size})")
 
     t0 = time.perf_counter()
+    tile_config = TileHConfig(
+        nb=nb, eps=args.eps, leaf_size=args.leaf_size, racecheck=args.racecheck
+    )
     if args.format == "tile-h":
-        solver = TileHMatrix.build(
-            kernel, points, TileHConfig(nb=nb, eps=args.eps, leaf_size=args.leaf_size)
-        )
+        solver = TileHMatrix.build(kernel, points, tile_config)
         ratio = solver.compression_ratio()
     elif args.format == "blr":
-        solver = BLRMatrix.build(
-            kernel, points, TileHConfig(nb=nb, eps=args.eps, leaf_size=args.leaf_size)
-        )
+        solver = BLRMatrix.build(kernel, points, tile_config)
         ratio = solver.compression_ratio()
     else:
-        solver = HMatSolver(kernel, points, eps=args.eps, leaf_size=args.leaf_size)
+        solver = HMatSolver(
+            kernel, points, eps=args.eps, leaf_size=args.leaf_size,
+            racecheck=args.racecheck,
+        )
         ratio = solver.compression_ratio()
     t_build = time.perf_counter() - t0
     print(f"assembly  : {t_build:.2f} s, compression {ratio:.1%} of dense")
@@ -123,10 +132,14 @@ def main(argv: list[str] | None = None) -> int:
 
     x = solver.solve(b)
     print(f"solve     : forward error {forward_error(x, x0):.2e} (eps={args.eps:g})")
+    if args.racecheck and info.racecheck is not None:
+        print(f"racecheck : {info.racecheck.summary()}")
 
     rows = []
     for p in args.threads:
         r = info.simulate(p, args.scheduler, overheads=PAPER_EQUIVALENT_OVERHEADS)
+        if args.racecheck and r.trace is not None:
+            validate_trace(info.graph, r.trace)
         rows.append([p, f"{r.makespan:.4f}", f"{r.speedup_vs_serial:.1f}",
                      f"{r.efficiency:.0%}"])
     print()
@@ -135,6 +148,9 @@ def main(argv: list[str] | None = None) -> int:
         rows,
         title=f"virtual-machine replay [{args.scheduler}]",
     ))
+    if args.racecheck:
+        print(f"racecheck : {len(args.threads)} simulated schedules validated "
+              "as linear extensions of the DAG")
     return 0
 
 

@@ -36,7 +36,15 @@ from ..hmatrix import (
     hlu_solve,
     set_tracer,
 )
-from ..runtime import AccessMode, RuntimeOverheadModel, SimulationResult, StfEngine, TaskGraph, simulate
+from ..runtime import (
+    AccessMode,
+    RaceChecker,
+    RuntimeOverheadModel,
+    SimulationResult,
+    StfEngine,
+    TaskGraph,
+    simulate,
+)
 
 __all__ = ["HMatSolver", "trace_to_graph"]
 
@@ -56,9 +64,14 @@ def _leaf_handles(engine: StfEngine, node: HMatrix, cache: dict) -> list:
     return found
 
 
-def trace_to_graph(tracer: KernelTracer) -> TaskGraph:
-    """Replay a kernel trace into a fine-grained task DAG via STF inference."""
-    engine = StfEngine(mode="eager")
+def trace_to_graph(tracer: KernelTracer, engine: StfEngine | None = None) -> TaskGraph:
+    """Replay a kernel trace into a fine-grained task DAG via STF inference.
+
+    Pass an engine with ``racecheck`` enabled to screen the leaf handles
+    for memory aliasing while the trace replays (the kernels already ran
+    during tracing, so per-task fingerprints do not apply here).
+    """
+    engine = engine or StfEngine(mode="eager")
     cache: dict = {}
     for rec in tracer.records:
         accesses = []
@@ -85,6 +98,7 @@ class HMatFactorizationInfo:
     """Fine-grain DAG of a pure H-LU plus simulation access."""
 
     graph: TaskGraph
+    racecheck: RaceChecker | None = None
 
     @property
     def n_tasks(self) -> int:
@@ -130,16 +144,20 @@ class HMatSolver:
         method: str = "aca",
         admissibility=None,
         accumulate: bool = True,
+        racecheck: bool = False,
     ) -> None:
         """``admissibility=WeakAdmissibility()`` yields the HODLR / Block-
         Separable structure of the related-work section (every off-diagonal
         block low-rank); the default is HMAT-OSS's eta-strong condition.
         ``accumulate`` buffers trailing-update roundings during the H-LU
         (see :class:`~repro.hmatrix.UpdateAccumulator`); ``False`` keeps the
-        eager one-rounding-per-update arithmetic."""
+        eager one-rounding-per-update arithmetic.  ``racecheck`` screens the
+        fine-grain leaf handles for memory aliasing while the kernel trace
+        replays through the STF engine."""
         self.points = np.ascontiguousarray(points, dtype=np.float64)
         self.eps = eps
         self.accumulate = accumulate
+        self.racecheck = racecheck
         self.tree = build_cluster_tree(self.points, leaf_size=leaf_size)
         adm = admissibility if admissibility is not None else StrongAdmissibility(eta=eta)
         block = build_block_cluster_tree(self.tree, self.tree, adm)
@@ -188,7 +206,9 @@ class HMatSolver:
         finally:
             set_tracer(prev)
         self._factorized = True
-        return HMatFactorizationInfo(graph=trace_to_graph(tracer))
+        engine = StfEngine(mode="eager", racecheck=True) if self.racecheck else StfEngine(mode="eager")
+        graph = trace_to_graph(tracer, engine)
+        return HMatFactorizationInfo(graph=graph, racecheck=engine.racecheck)
 
     def solve(self, b: np.ndarray) -> np.ndarray:
         """Solve ``A x = b`` in original ordering (vector or panel)."""

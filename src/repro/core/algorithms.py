@@ -66,6 +66,7 @@ def tiled_getrf_tasks(
     *,
     eps: float | None = None,
     accumulate: bool = True,
+    racecheck: bool = False,
 ) -> TaskGraph:
     """Factorise ``desc`` in place via the tiled right-looking LU.
 
@@ -82,13 +83,19 @@ def tiled_getrf_tasks(
     all actual accesses and the inferred DAG stays sound.  The accumulator
     is only engaged on the eager (sequential) engine — simulation-only
     engines never execute kernels, and the buffer is not thread-safe.
+
+    ``racecheck=True`` (ignored when ``engine`` is supplied — configure the
+    engine instead) verifies every task's actual memory effects against its
+    declared access modes via :class:`~repro.runtime.RaceChecker`.
     """
-    eng = engine or StfEngine(mode="eager")
+    eng = engine or StfEngine(mode="eager", racecheck=racecheck)
     eps_ = desc.eps if eps is None else eps
     nt = desc.nt
     grid = desc.super
     is_c = np.issubdtype(grid.dtype, np.complexfloating)
     acc = UpdateAccumulator(eps_) if accumulate and eng.mode == "eager" else None
+    if acc is not None and eng.racecheck is not None:
+        eng.racecheck.watch_accumulator(acc)
 
     handles = {
         (i, j): eng.handle(grid.get_blktile(i, j), f"A[{i},{j}]")
@@ -152,6 +159,7 @@ def tiled_potrf_tasks(
     *,
     eps: float | None = None,
     accumulate: bool = True,
+    racecheck: bool = False,
 ) -> TaskGraph:
     """Tiled right-looking Cholesky of an SPD Tile-H matrix, in place.
 
@@ -159,14 +167,17 @@ def tiled_potrf_tasks(
     untouched).  Task kinds: POTRF (diagonal), TRSM (panel, ``X L^T = B``),
     GEMM (the SYRK-style ``C -= A B^T`` trailing update).  Priorities reuse
     the LU heuristic (POTRF plays GETRF's role).  ``accumulate`` defers the
-    trailing-update roundings exactly as in :func:`tiled_getrf_tasks`.
+    trailing-update roundings exactly as in :func:`tiled_getrf_tasks`;
+    ``racecheck`` enables the access-mode race detector the same way.
     """
-    eng = engine or StfEngine(mode="eager")
+    eng = engine or StfEngine(mode="eager", racecheck=racecheck)
     eps_ = desc.eps if eps is None else eps
     nt = desc.nt
     grid = desc.super
     is_c = np.issubdtype(grid.dtype, np.complexfloating)
     acc = UpdateAccumulator(eps_) if accumulate and eng.mode == "eager" else None
+    if acc is not None and eng.racecheck is not None:
+        eng.racecheck.watch_accumulator(acc)
     handles = {
         (i, j): eng.handle(grid.get_blktile(i, j), f"A[{i},{j}]")
         for i in range(nt)
@@ -250,6 +261,8 @@ def tiled_solve_tasks(
     desc: TileHDesc,
     b: np.ndarray,
     engine: StfEngine | None = None,
+    *,
+    racecheck: bool = False,
 ) -> tuple[np.ndarray, TaskGraph]:
     """Task-parallel forward/backward substitution after the tiled LU.
 
@@ -258,14 +271,15 @@ def tiled_solve_tasks(
     per-tile RHS segments — the solve phase as the paper's library would run
     it through the runtime.  Returns ``(x, graph)`` with ``x`` in original
     ordering; the graph's simulated makespan quantifies the (limited)
-    pipeline parallelism of triangular solves.
+    pipeline parallelism of triangular solves.  ``racecheck`` enables the
+    access-mode race detector on the default engine.
     """
     b = np.asarray(b)
     squeeze = b.ndim == 1
     x = b[:, None] if squeeze else b
     if x.shape[0] != desc.n:
         raise ValueError(f"rhs leading dim {x.shape[0]} != {desc.n}")
-    eng = engine or StfEngine(mode="eager")
+    eng = engine or StfEngine(mode="eager", racecheck=racecheck)
     nt = desc.nt
     grid = desc.super
     work = np.array(x[desc.perm], dtype=np.promote_types(grid.dtype, x.dtype), copy=True)

@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..runtime import (
+    RaceChecker,
     RuntimeOverheadModel,
     SimulationResult,
     StfEngine,
@@ -93,6 +94,14 @@ class TileHConfig:
         panel step instead of once per update (same eps accuracy class,
         fewer recompressions).  ``False`` reproduces the eager
         one-rounding-per-update arithmetic exactly.
+    racecheck:
+        Run the factorisation (and the LU solve) under the runtime
+        access-mode race detector
+        (:class:`~repro.runtime.RaceChecker`): every task's actual memory
+        effects are verified against its declared R/W/RW modes, handles
+        are screened for aliasing, and a violation raises
+        :class:`~repro.runtime.RaceCheckError`.  Off by default (the
+        detector is zero-cost when disabled).
     """
 
     nb: int = 256
@@ -101,6 +110,7 @@ class TileHConfig:
     eta: float = 2.0
     method: str = "aca"
     accumulate: bool = True
+    racecheck: bool = False
 
     def __post_init__(self) -> None:
         if self.nb < 1:
@@ -113,11 +123,17 @@ class TileHConfig:
 
 @dataclass
 class FactorizationInfo:
-    """Outcome of a factorisation: the task DAG plus convenience queries."""
+    """Outcome of a factorisation: the task DAG plus convenience queries.
+
+    ``racecheck`` holds the :class:`~repro.runtime.RaceChecker` that
+    observed the factorisation when the detector was enabled (``None``
+    otherwise); query it for ``violations`` / ``summary()``.
+    """
 
     graph: TaskGraph
     nb: int
     nt: int
+    racecheck: RaceChecker | None = field(default=None, repr=False)
 
     @property
     def n_tasks(self) -> int:
@@ -228,6 +244,8 @@ class TileHMatrix:
         if self._factorized:
             raise RuntimeError("factorize() called twice on the same matrix")
         accumulate = self.config.accumulate
+        if engine is None and self.config.racecheck:
+            engine = StfEngine(mode="eager", racecheck=True)
         if method == "lu":
             graph = tiled_getrf_tasks(self.desc, engine, accumulate=accumulate)
         elif method == "cholesky":
@@ -236,14 +254,29 @@ class TileHMatrix:
             raise ValueError(f"method must be 'lu' or 'cholesky', got {method!r}")
         self._factorized = True
         self._method = method
-        return FactorizationInfo(graph=graph, nb=self.desc.nb, nt=self.desc.nt)
+        return FactorizationInfo(
+            graph=graph,
+            nb=self.desc.nb,
+            nt=self.desc.nt,
+            racecheck=engine.racecheck if engine is not None else None,
+        )
 
     def solve(self, b: np.ndarray) -> np.ndarray:
-        """Solve ``A x = b`` (vector or panel) in original ordering."""
+        """Solve ``A x = b`` (vector or panel) in original ordering.
+
+        With ``racecheck`` enabled in the config, the LU solve runs through
+        the task-parallel substitution path so the detector also covers the
+        solve-phase TRSV/GEMV tasks.
+        """
         if not self._factorized:
             raise RuntimeError("call factorize() before solve()")
         if self._method == "cholesky":
             return tiled_chol_solve(self.desc, b)
+        if self.config.racecheck:
+            from .algorithms import tiled_solve_tasks
+
+            x, _ = tiled_solve_tasks(self.desc, b, racecheck=True)
+            return x
         return tiled_solve(self.desc, b)
 
     def gesv(self, b: np.ndarray) -> np.ndarray:

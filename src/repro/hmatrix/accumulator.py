@@ -95,6 +95,20 @@ class UpdateAccumulator:
         """Total buffered factor entries (the memory-cap metric)."""
         return self._total_scalars
 
+    def has_pending(self, node) -> bool:
+        """True if ``node`` (a leaf or subtree root) has buffered updates.
+
+        Used by the race detector to enforce the flush-before-read
+        discipline: a kernel that reads a block must find it flushed.
+        """
+        if not self._pending:
+            return False
+        if id(node) in self._pending:
+            return True
+        if getattr(node, "is_leaf", True):
+            return False
+        return any(id(leaf) in self._pending for leaf, _, _ in node.leaf_index())
+
     # -- deferral -------------------------------------------------------------
     def defer_rk(self, leaf, rk: RkMatrix) -> None:
         """Buffer ``leaf.rk += rk`` (rounded later).  ``rk`` is owned."""

@@ -28,6 +28,13 @@ from .schedulers import (
     SCHEDULER_NAMES,
 )
 from .simulator import RuntimeOverheadModel, SimulationResult, simulate
+from .racecheck import (
+    RaceCheckError,
+    RaceChecker,
+    RaceViolation,
+    payload_fingerprint,
+    validate_trace,
+)
 from .threaded import ThreadedExecutor
 from .trace import ExecutionTrace, TraceEvent, render_gantt, export_chrome_trace
 from .bulksync import simulate_bulk_synchronous, depth_stages
@@ -58,6 +65,11 @@ __all__ = [
     "RuntimeOverheadModel",
     "SimulationResult",
     "simulate",
+    "RaceCheckError",
+    "RaceChecker",
+    "RaceViolation",
+    "payload_fingerprint",
+    "validate_trace",
     "simulate_bulk_synchronous",
     "depth_stages",
     "ThreadedExecutor",

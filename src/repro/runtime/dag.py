@@ -113,6 +113,7 @@ class TaskGraph:
         for t in self.tasks:
             color = colors.get(t.kind, "gray")
             label = t.label or f"{t.kind}#{t.id}"
+            label = label.replace("\\", "\\\\").replace('"', '\\"')
             lines.append(f'  t{t.id} [label="{label}", color={color}];')
         for t in self.tasks:
             for d in t.deps:

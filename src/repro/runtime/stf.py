@@ -21,20 +21,34 @@ import time
 from typing import Any, Callable
 
 from .dag import TaskGraph
+from .racecheck import RaceChecker
 from .task import AccessMode, DataHandle, Task
 
 __all__ = ["StfEngine"]
 
 
 class StfEngine:
-    """Builds a :class:`TaskGraph` from sequential task submissions."""
+    """Builds a :class:`TaskGraph` from sequential task submissions.
 
-    def __init__(self, mode: str = "eager") -> None:
+    ``racecheck`` enables the runtime access-mode race detector: ``True``
+    installs a default strict :class:`~repro.runtime.racecheck.RaceChecker`,
+    or pass a configured checker instance.  When enabled, every eager kernel
+    run is bracketed by payload fingerprints verifying the declared R/W/RW
+    modes against the actual memory effects, and newly registered handles
+    are screened for memory aliasing.  Disabled (the default) it costs one
+    ``None`` test per task.
+    """
+
+    def __init__(self, mode: str = "eager", *, racecheck: bool | RaceChecker = False) -> None:
         if mode not in ("eager", "deferred"):
             raise ValueError(f"mode must be 'eager' or 'deferred', got {mode!r}")
         self.mode = mode
         self.graph = TaskGraph()
         self._handles: dict[int, DataHandle] = {}
+        if racecheck is True:
+            self.racecheck: RaceChecker | None = RaceChecker()
+        else:
+            self.racecheck = racecheck or None
 
     # -- handle management -------------------------------------------------
     def handle(self, payload: Any, name: str = "") -> DataHandle:
@@ -44,6 +58,8 @@ class StfEngine:
         if h is None:
             h = DataHandle(name=name, payload=payload)
             self._handles[key] = h
+            if self.racecheck is not None:
+                self.racecheck.register_handle(h)
         return h
 
     @property
@@ -78,9 +94,16 @@ class StfEngine:
         self._infer_dependencies(task)
         if self.mode == "eager":
             if func is not None:
+                checker = self.racecheck
+                if checker is not None:
+                    # Fingerprints run outside the timed window so measured
+                    # task costs stay kernel-only.
+                    checker.before_task(task)
                 t0 = time.perf_counter()
                 func()
                 elapsed = time.perf_counter() - t0
+                if checker is not None:
+                    checker.after_task(task)
                 task.seconds = elapsed if seconds is None else seconds
             else:
                 task.seconds = 0.0 if seconds is None else seconds

@@ -34,7 +34,12 @@ class ThreadedExecutor:
     def run(self, graph: TaskGraph) -> float:
         """Run all tasks respecting dependencies; returns elapsed seconds.
 
-        Raises the first worker exception (after draining the pool).
+        Raises the first worker exception (after draining the pool).  A
+        caller-supplied :class:`ExecutionTrace` is appended to (it must
+        cover at least ``nworkers`` lanes); otherwise a fresh trace is
+        created.  Each executed task's measured wall time is written back to
+        ``task.seconds`` so a deferred graph can be replayed in the
+        simulator with real costs.
         """
         n = len(graph.tasks)
         if n == 0:
@@ -46,7 +51,13 @@ class ThreadedExecutor:
         # Sort sources by priority so high-priority work starts first.
         ready.sort(key=lambda t: -t.priority)
         state = {"completed": 0, "error": None}
-        self.trace = ExecutionTrace(nworkers=self.nworkers)
+        if self.trace is None:
+            self.trace = ExecutionTrace(nworkers=self.nworkers)
+        elif self.trace.nworkers < self.nworkers:
+            raise ValueError(
+                f"supplied trace covers {self.trace.nworkers} workers, "
+                f"executor has {self.nworkers}"
+            )
         t_start = time.perf_counter()
 
         def worker(widx: int) -> None:
@@ -68,6 +79,9 @@ class ThreadedExecutor:
                         state["error"] = exc
                         lock.notify_all()
                     return
+                if task.func is not None:
+                    # Pre-traced tasks (func=None) keep their explicit cost.
+                    task.seconds = t1 - t0
                 with lock:
                     self.trace.add(TraceEvent(task.id, task.kind, widx, t0, t1))
                     state["completed"] += 1

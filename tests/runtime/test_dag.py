@@ -120,3 +120,14 @@ class TestTaskGraph:
         g = _chain([1.0] * 10)
         with pytest.raises(ValueError):
             g.to_dot(max_tasks=5)
+
+    def test_to_dot_escapes_quotes_and_backslashes(self):
+        g = TaskGraph()
+        g.new_task("k", label='solve "L\\U" panel')
+        dot = g.to_dot()
+        assert 'label="solve \\"L\\\\U\\" panel"' in dot
+        # Every label attribute's quotes stay balanced line by line.
+        for line in dot.splitlines():
+            if "label=" in line:
+                body = line.split("label=", 1)[1]
+                assert body.count('"') - body.count('\\"') == 2

@@ -102,6 +102,43 @@ class TestThreadedExecutor:
         ex.run(g)
         assert len(ex.trace.events) == 4
 
+    def test_caller_supplied_trace_reused(self):
+        g, _ = self._graph(nchains=2, length=2)
+        tr = ExecutionTrace(nworkers=2)
+        ex = ThreadedExecutor(2, trace=tr)
+        ex.run(g)
+        assert ex.trace is tr
+        assert len(tr.events) == 4
+
+    def test_caller_trace_too_small_rejected(self):
+        g, _ = self._graph(nchains=1, length=1)
+        ex = ThreadedExecutor(2, trace=ExecutionTrace(nworkers=1))
+        with pytest.raises(ValueError, match="covers 1 workers"):
+            ex.run(g)
+
+    def test_measured_seconds_written_back(self):
+        import time
+
+        eng = StfEngine(mode="deferred")
+        h = eng.handle(object())
+        eng.insert_task("k", (lambda: time.sleep(0.01)), [(h, RW)])
+        g = eng.wait_all()
+        assert g.tasks[0].seconds == 0.0  # deferred: no cost yet
+        ThreadedExecutor(1).run(g)
+        assert g.tasks[0].seconds >= 0.01
+        # A deferred graph replayed in the simulator now has real costs.
+        from repro.runtime import simulate
+
+        assert simulate(g, 1, "prio").makespan >= 0.01
+
+    def test_pretraced_seconds_kept(self):
+        eng = StfEngine(mode="deferred")
+        h = eng.handle(object())
+        eng.insert_task("k", None, [(h, RW)], seconds=3.5)
+        g = eng.wait_all()
+        ThreadedExecutor(1).run(g)
+        assert g.tasks[0].seconds == 3.5
+
     def test_empty_graph(self):
         from repro.runtime import TaskGraph
 

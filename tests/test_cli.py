@@ -53,3 +53,21 @@ class TestMain:
     def test_cholesky_rejected_for_hmat(self, capsys):
         rc = main(["--n", "300", "--format", "hmat", "--method", "cholesky"])
         assert rc == 2
+
+    def test_racecheck_run(self, capsys):
+        rc = main(["--n", "300", "--nb", "100", "--threads", "1", "--racecheck"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "racecheck" in out
+        assert "0 errors" in out
+        assert "validated as linear extensions" in out
+
+    def test_racecheck_hmat_run(self, capsys):
+        rc = main(["--n", "250", "--format", "hmat", "--threads", "1", "--racecheck"])
+        assert rc == 0
+        assert "racecheck" in capsys.readouterr().out
+
+    def test_racecheck_flag_parsed(self):
+        args = build_parser().parse_args(["--racecheck"])
+        assert args.racecheck is True
+        assert build_parser().parse_args([]).racecheck is False
