@@ -7,6 +7,8 @@ and (simulated) parallel performance::
     python -m repro --n 5000 --precision d --nb 500 --threads 1 9 35
     python -m repro --n 2000 --precision z --format hmat
     python -m repro --n 3000 --format blr --scheduler ws
+    python -m repro --n 2000 --exec threaded --nworkers 4 --scheduler lws \
+        --priority-mode bottom-level
 """
 
 from __future__ import annotations
@@ -67,6 +69,28 @@ def build_parser() -> argparse.ArgumentParser:
         default=[1, 2, 9, 18, 35],
         help="worker counts to simulate",
     )
+    parser.add_argument(
+        "--exec",
+        dest="exec_mode",
+        choices=["eager", "threaded"],
+        default="eager",
+        help="task execution: eager (run at submission) or threaded "
+        "(real worker threads driving --scheduler; fuses Tile-H assembly "
+        "with factorisation)",
+    )
+    parser.add_argument(
+        "--nworkers",
+        type=int,
+        default=2,
+        help="worker threads for --exec threaded",
+    )
+    parser.add_argument(
+        "--priority-mode",
+        choices=["static", "bottom-level"],
+        default="static",
+        help="task priorities: static CHAMELEON-style panel priorities or "
+        "critical-path bottom levels (tile-h threaded path)",
+    )
     parser.add_argument("--seed", type=int, default=0, help="RNG seed for x0")
     parser.add_argument(
         "--racecheck",
@@ -83,31 +107,39 @@ def main(argv: list[str] | None = None) -> int:
         print("error: --n must be at least 2", file=sys.stderr)
         return 2
 
+    if args.exec_mode == "threaded":
+        if args.racecheck:
+            print("error: --racecheck is eager-only (per-task fingerprints need "
+                  "kernels to run at submission); drop --exec threaded",
+                  file=sys.stderr)
+            return 2
+        if args.format == "blr":
+            print("error: --exec threaded supports --format tile-h and hmat only",
+                  file=sys.stderr)
+            return 2
+        if args.nworkers < 1:
+            print("error: --nworkers must be at least 1", file=sys.stderr)
+            return 2
+
     points = cylinder_cloud(args.n)
     kernel = make_kernel("laplace" if args.precision == "d" else "helmholtz", points)
     nb = args.nb if args.nb is not None else max(64, args.n // 16)
 
     print(f"test case : cylinder, n={args.n}, precision={args.precision}")
     print(f"format    : {args.format} (nb={nb}, eps={args.eps:g}, leaf={args.leaf_size})")
+    if args.exec_mode == "threaded":
+        print(f"executor  : threaded, {args.nworkers} workers, "
+              f"scheduler={args.scheduler}, priorities={args.priority_mode}")
 
-    t0 = time.perf_counter()
     tile_config = TileHConfig(
-        nb=nb, eps=args.eps, leaf_size=args.leaf_size, racecheck=args.racecheck
+        nb=nb, eps=args.eps, leaf_size=args.leaf_size, racecheck=args.racecheck,
+        exec_mode=args.exec_mode, nworkers=args.nworkers,
+        scheduler=args.scheduler, priority_mode=args.priority_mode,
     )
-    if args.format == "tile-h":
-        solver = TileHMatrix.build(kernel, points, tile_config)
-        ratio = solver.compression_ratio()
-    elif args.format == "blr":
-        solver = BLRMatrix.build(kernel, points, tile_config)
-        ratio = solver.compression_ratio()
-    else:
-        solver = HMatSolver(
-            kernel, points, eps=args.eps, leaf_size=args.leaf_size,
-            racecheck=args.racecheck,
-        )
-        ratio = solver.compression_ratio()
-    t_build = time.perf_counter() - t0
-    print(f"assembly  : {t_build:.2f} s, compression {ratio:.1%} of dense")
+    if args.method != "lu" and args.format != "tile-h":
+        print("error: --method cholesky is only supported with --format tile-h",
+              file=sys.stderr)
+        return 2
 
     rng = np.random.default_rng(args.seed)
     x0 = rng.standard_normal(args.n)
@@ -115,20 +147,67 @@ def main(argv: list[str] | None = None) -> int:
         x0 = x0 + 1j * rng.standard_normal(args.n)
     b = streamed_matvec(kernel, points, x0)
 
-    t0 = time.perf_counter()
-    if args.format == "tile-h":
-        info = solver.factorize(method=args.method)
+    if args.format == "tile-h" and args.exec_mode == "threaded":
+        # Fused pipeline: one deferred graph holds both the per-tile assemble
+        # tasks and the factorisation tasks, so early panels factorise while
+        # late tiles are still assembling.
+        t0 = time.perf_counter()
+        solver, info = TileHMatrix.build_factorize(
+            kernel, points, tile_config, method=args.method
+        )
+        t_fused = time.perf_counter() - t0
+        print(f"assembly  : fused with factorisation, "
+              f"compression {solver.compression_ratio():.1%} of dense")
+        print(
+            f"factorise : {t_fused:.2f} s wall (fused build+factorise), "
+            f"{info.sequential_seconds():.2f} s kernel time, "
+            f"{info.n_tasks} tasks, {info.n_dependencies} dependencies"
+        )
     else:
-        if args.method != "lu":
-            print("error: --method cholesky is only supported with --format tile-h",
-                  file=sys.stderr)
-            return 2
-        info = solver.factorize()
-    t_fact = time.perf_counter() - t0
-    print(
-        f"factorise : {t_fact:.2f} s wall, {info.sequential_seconds():.2f} s kernel time, "
-        f"{info.n_tasks} tasks, {info.n_dependencies} dependencies"
-    )
+        t0 = time.perf_counter()
+        if args.format == "tile-h":
+            solver = TileHMatrix.build(kernel, points, tile_config)
+            ratio = solver.compression_ratio()
+        elif args.format == "blr":
+            solver = BLRMatrix.build(kernel, points, tile_config)
+            ratio = solver.compression_ratio()
+        else:
+            solver = HMatSolver(
+                kernel, points, eps=args.eps, leaf_size=args.leaf_size,
+                racecheck=args.racecheck, exec_mode=args.exec_mode,
+                nworkers=args.nworkers,
+                scheduler=args.scheduler if args.exec_mode == "threaded" else "lws",
+            )
+            ratio = solver.compression_ratio()
+        t_build = time.perf_counter() - t0
+        print(f"assembly  : {t_build:.2f} s, compression {ratio:.1%} of dense")
+
+        t0 = time.perf_counter()
+        if args.format == "tile-h":
+            info = solver.factorize(method=args.method)
+        else:
+            info = solver.factorize()
+        t_fact = time.perf_counter() - t0
+        print(
+            f"factorise : {t_fact:.2f} s wall, {info.sequential_seconds():.2f} s kernel time, "
+            f"{info.n_tasks} tasks, {info.n_dependencies} dependencies"
+        )
+
+    if args.exec_mode == "threaded":
+        threaded_trace = getattr(info, "trace", None)
+        threaded_graph = info.graph
+        if threaded_trace is None:
+            # hmat path: the threaded part is the leaf assembly.
+            threaded_trace = getattr(solver, "assembly_trace", None)
+            threaded_graph = getattr(solver, "assembly_graph", None)
+        if threaded_trace is not None:
+            violations = validate_trace(threaded_graph, threaded_trace, strict=False)
+            if violations:
+                print(f"error: threaded trace violates the DAG: {violations[:3]}",
+                      file=sys.stderr)
+                return 1
+            print(f"trace     : {len(threaded_trace.events)} threaded events "
+                  "validated as a linear extension of the DAG")
 
     x = solver.solve(b)
     print(f"solve     : forward error {forward_error(x, x0):.2e} (eps={args.eps:g})")

@@ -15,7 +15,7 @@ HMAT-OSS-style H-matrix tiles and the StarPU-style runtime:
 
 from .descriptor import Tile, TileDesc, TileHDesc
 from .clustering import TileHClustering, build_tile_h_clustering
-from .build import build_tile_h
+from .build import build_tile_h, assemble_priority
 from .algorithms import (
     tiled_getrf_tasks,
     tiled_potrf_tasks,
@@ -23,6 +23,7 @@ from .algorithms import (
     tiled_solve_tasks,
     tiled_chol_solve,
     lu_priorities,
+    apply_bottom_level_priorities,
 )
 from .solver import TileHConfig, TileHMatrix, FactorizationInfo, iterative_refinement
 from .krylov import KrylovResult, gmres, pcg
@@ -40,6 +41,8 @@ __all__ = [
     "tiled_solve_tasks",
     "tiled_chol_solve",
     "lu_priorities",
+    "apply_bottom_level_priorities",
+    "assemble_priority",
     "TileHConfig",
     "TileHMatrix",
     "FactorizationInfo",

@@ -30,6 +30,7 @@ from .descriptor import TileHDesc
 
 __all__ = [
     "lu_priorities",
+    "apply_bottom_level_priorities",
     "tiled_getrf_tasks",
     "tiled_potrf_tasks",
     "tiled_solve",
@@ -38,6 +39,27 @@ __all__ = [
 ]
 
 R, RW = AccessMode.R, AccessMode.RW
+
+
+def apply_bottom_level_priorities(graph: TaskGraph, cost_attr: str = "flops") -> None:
+    """Overwrite every task's priority with its critical-path rank.
+
+    The priority becomes the dense rank of the task's *bottom level*
+    (:meth:`~repro.runtime.dag.TaskGraph.bottom_levels` — longest path to a
+    sink by ``cost_attr``), so priority-aware schedulers (``prio``, ``lws``)
+    run the critical path first.  ``cost_attr="flops"`` (default) is the
+    right choice for deferred graphs, whose measured ``seconds`` do not
+    exist before execution; the modelled flops are available at submission
+    time for every factorisation kernel.
+
+    This is the dynamic alternative to the static CHAMELEON heuristic of
+    :func:`lu_priorities`; select it with
+    ``TileHConfig(priority_mode="bottom-level")``.
+    """
+    levels = graph.bottom_levels(cost_attr)
+    rank = {v: r for r, v in enumerate(sorted(set(levels.values())))}
+    for t in graph.tasks:
+        t.priority = rank[levels[t.id]]
 
 
 def lu_priorities(nt: int, k: int, kind: str, i: int = 0, j: int = 0) -> int:
@@ -263,6 +285,7 @@ def tiled_solve_tasks(
     engine: StfEngine | None = None,
     *,
     racecheck: bool = False,
+    executor=None,
 ) -> tuple[np.ndarray, TaskGraph]:
     """Task-parallel forward/backward substitution after the tiled LU.
 
@@ -273,6 +296,11 @@ def tiled_solve_tasks(
     ordering; the graph's simulated makespan quantifies the (limited)
     pipeline parallelism of triangular solves.  ``racecheck`` enables the
     access-mode race detector on the default engine.
+
+    With a *deferred* ``engine`` the submitted kernels have not run when the
+    section closes, so an ``executor`` (typically a
+    :class:`~repro.runtime.ThreadedExecutor`) is required and is run on the
+    graph before the solution is gathered.
     """
     b = np.asarray(b)
     squeeze = b.ndim == 1
@@ -344,6 +372,13 @@ def tiled_solve_tasks(
             label=f"bwd_trsv({k})",
         )
     graph = eng.wait_all()
+    if eng.mode == "deferred":
+        if executor is None:
+            raise ValueError(
+                "a deferred engine leaves the solve kernels unexecuted; "
+                "pass executor= (e.g. a ThreadedExecutor) to run them"
+            )
+        executor.run(graph)
 
     out = np.empty_like(work)
     out[desc.perm] = work

@@ -20,14 +20,23 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..runtime import (
+    SCHEDULER_NAMES,
+    ExecutionTrace,
     RaceChecker,
     RuntimeOverheadModel,
     SimulationResult,
     StfEngine,
     TaskGraph,
+    ThreadedExecutor,
     simulate,
 )
-from .algorithms import tiled_chol_solve, tiled_getrf_tasks, tiled_potrf_tasks, tiled_solve
+from .algorithms import (
+    apply_bottom_level_priorities,
+    tiled_chol_solve,
+    tiled_getrf_tasks,
+    tiled_potrf_tasks,
+    tiled_solve,
+)
 from .build import build_tile_h
 from .descriptor import TileHDesc
 
@@ -101,7 +110,28 @@ class TileHConfig:
         effects are verified against its declared R/W/RW modes, handles
         are screened for aliasing, and a violation raises
         :class:`~repro.runtime.RaceCheckError`.  Off by default (the
-        detector is zero-cost when disabled).
+        detector is zero-cost when disabled).  The detector brackets each
+        *eagerly executed* kernel, so it is eager-only: combining it with
+        ``exec_mode="threaded"`` raises (post-hoc
+        :func:`~repro.runtime.validate_trace` still covers threaded runs).
+    exec_mode:
+        "eager" (default) — kernels run sequentially at submission, exactly
+        the historical bit-identical path; "threaded" — assembly,
+        factorisation and the LU solve are submitted to a deferred engine
+        and executed by a :class:`~repro.runtime.ThreadedExecutor` on
+        ``nworkers`` real threads under ``scheduler``.  The accumulator is
+        engaged only on the eager path (its buffer is not thread-safe), so
+        threaded runs use plain one-rounding-per-update arithmetic.
+    nworkers:
+        Worker-thread count for ``exec_mode="threaded"``.
+    scheduler:
+        Scheduling policy driving the threaded executor ("ws", "lws",
+        "prio", "eager", "dm" — Section V-C's StarPU policies).
+    priority_mode:
+        "static" (default) keeps the CHAMELEON LU heuristic of
+        :func:`~repro.core.algorithms.lu_priorities`; "bottom-level"
+        recomputes every task priority from the DAG's critical path
+        (:func:`~repro.core.algorithms.apply_bottom_level_priorities`).
     """
 
     nb: int = 256
@@ -111,6 +141,10 @@ class TileHConfig:
     method: str = "aca"
     accumulate: bool = True
     racecheck: bool = False
+    exec_mode: str = "eager"
+    nworkers: int = 1
+    scheduler: str = "lws"
+    priority_mode: str = "static"
 
     def __post_init__(self) -> None:
         if self.nb < 1:
@@ -119,6 +153,27 @@ class TileHConfig:
             raise ValueError(f"eps must be non-negative, got {self.eps}")
         if self.leaf_size < 1:
             raise ValueError(f"leaf_size must be positive, got {self.leaf_size}")
+        if self.exec_mode not in ("eager", "threaded"):
+            raise ValueError(
+                f"exec_mode must be 'eager' or 'threaded', got {self.exec_mode!r}"
+            )
+        if self.nworkers < 1:
+            raise ValueError(f"nworkers must be >= 1, got {self.nworkers}")
+        if self.scheduler not in SCHEDULER_NAMES:
+            raise ValueError(
+                f"unknown scheduler {self.scheduler!r}; available: {SCHEDULER_NAMES}"
+            )
+        if self.priority_mode not in ("static", "bottom-level"):
+            raise ValueError(
+                "priority_mode must be 'static' or 'bottom-level', "
+                f"got {self.priority_mode!r}"
+            )
+        if self.racecheck and self.exec_mode == "threaded":
+            raise ValueError(
+                "racecheck is eager-only: the detector fingerprints payloads "
+                "around each eagerly executed kernel; use validate_trace on "
+                "the threaded trace instead"
+            )
 
 
 @dataclass
@@ -128,12 +183,19 @@ class FactorizationInfo:
     ``racecheck`` holds the :class:`~repro.runtime.RaceChecker` that
     observed the factorisation when the detector was enabled (``None``
     otherwise); query it for ``violations`` / ``summary()``.
+
+    After a threaded run, ``trace`` holds the real per-worker execution
+    timeline (validate it with :func:`~repro.runtime.validate_trace`) and
+    ``wall_seconds`` the measured end-to-end wall time of the threaded
+    graph execution; both are ``None`` on the eager path.
     """
 
     graph: TaskGraph
     nb: int
     nt: int
     racecheck: RaceChecker | None = field(default=None, repr=False)
+    trace: ExecutionTrace | None = field(default=None, repr=False)
+    wall_seconds: float | None = None
 
     @property
     def n_tasks(self) -> int:
@@ -177,13 +239,11 @@ class TileHMatrix:
         self._method = "lu"
 
     # -- construction ------------------------------------------------------
-    @classmethod
-    def build(cls, kernel, points: np.ndarray, config: TileHConfig | None = None) -> "TileHMatrix":
-        """Assemble the Tile-H matrix of ``kernel`` over ``points``."""
-        cfg = config or TileHConfig()
+    @staticmethod
+    def _build_desc(kernel, points, cfg: TileHConfig, engine: StfEngine | None) -> TileHDesc:
         from ..hmatrix import StrongAdmissibility
 
-        desc = build_tile_h(
+        return build_tile_h(
             kernel,
             points,
             cfg.nb,
@@ -191,8 +251,82 @@ class TileHMatrix:
             leaf_size=cfg.leaf_size,
             admissibility=StrongAdmissibility(eta=cfg.eta),
             method=cfg.method,
+            engine=engine,
         )
+
+    def _executor(self) -> ThreadedExecutor:
+        cfg = self.config
+        return ThreadedExecutor(cfg.nworkers, scheduler=cfg.scheduler)
+
+    @classmethod
+    def build(cls, kernel, points: np.ndarray, config: TileHConfig | None = None) -> "TileHMatrix":
+        """Assemble the Tile-H matrix of ``kernel`` over ``points``.
+
+        With ``exec_mode="threaded"`` the ``nt^2`` tiles are assembled as
+        parallel ``assemble`` tasks on the configured worker threads (the
+        returned matrix is fully assembled either way).  To overlap assembly
+        with factorisation, use :meth:`build_factorize` instead.
+        """
+        cfg = config or TileHConfig()
+        if cfg.exec_mode == "threaded":
+            engine = StfEngine(mode="deferred")
+            desc = cls._build_desc(kernel, points, cfg, engine)
+            mat = cls(desc, cfg)
+            mat._executor().run(engine.wait_all())
+            return mat
+        desc = cls._build_desc(kernel, points, cfg, None)
         return cls(desc, cfg)
+
+    @classmethod
+    def build_factorize(
+        cls,
+        kernel,
+        points: np.ndarray,
+        config: TileHConfig | None = None,
+        *,
+        method: str = "lu",
+    ) -> tuple["TileHMatrix", FactorizationInfo]:
+        """Fused task-based assembly + factorisation (build/facto overlap).
+
+        With ``exec_mode="threaded"`` both phases are submitted to one
+        deferred STF engine: every ``assemble`` task writes its tile's
+        handle, and the GETRF/TRSM/GEMM tasks depend only on the tile
+        handles they touch, so early panels factorise while late tiles are
+        still assembling — one :class:`~repro.runtime.ThreadedExecutor` run
+        covers the fused graph.  The returned info's ``graph``/``trace``
+        span assembly *and* factorisation; ``wall_seconds`` is the fused
+        wall time.
+
+        With ``exec_mode="eager"`` this is exactly ``build()`` followed by
+        ``factorize()`` (bit-identical to the two-step path).
+        """
+        cfg = config or TileHConfig()
+        if cfg.exec_mode != "threaded":
+            mat = cls.build(kernel, points, cfg)
+            return mat, mat.factorize(method=method)
+        engine = StfEngine(mode="deferred")
+        desc = cls._build_desc(kernel, points, cfg, engine)
+        mat = cls(desc, cfg)
+        if method == "lu":
+            graph = tiled_getrf_tasks(desc, engine, accumulate=cfg.accumulate)
+        elif method == "cholesky":
+            graph = tiled_potrf_tasks(desc, engine, accumulate=cfg.accumulate)
+        else:
+            raise ValueError(f"method must be 'lu' or 'cholesky', got {method!r}")
+        if cfg.priority_mode == "bottom-level":
+            apply_bottom_level_priorities(graph, "flops")
+        executor = mat._executor()
+        wall = executor.run(graph)
+        mat._factorized = True
+        mat._method = method
+        info = FactorizationInfo(
+            graph=graph,
+            nb=desc.nb,
+            nt=desc.nt,
+            trace=executor.trace,
+            wall_seconds=wall,
+        )
+        return mat, info
 
     # -- queries ---------------------------------------------------------------
     @property
@@ -244,14 +378,26 @@ class TileHMatrix:
         if self._factorized:
             raise RuntimeError("factorize() called twice on the same matrix")
         accumulate = self.config.accumulate
-        if engine is None and self.config.racecheck:
-            engine = StfEngine(mode="eager", racecheck=True)
+        threaded = self.config.exec_mode == "threaded"
+        if engine is None:
+            if threaded:
+                engine = StfEngine(mode="deferred")
+            elif self.config.racecheck:
+                engine = StfEngine(mode="eager", racecheck=True)
         if method == "lu":
             graph = tiled_getrf_tasks(self.desc, engine, accumulate=accumulate)
         elif method == "cholesky":
             graph = tiled_potrf_tasks(self.desc, engine, accumulate=accumulate)
         else:
             raise ValueError(f"method must be 'lu' or 'cholesky', got {method!r}")
+        if self.config.priority_mode == "bottom-level":
+            apply_bottom_level_priorities(graph, "flops")
+        trace = None
+        wall = None
+        if threaded and engine is not None and engine.mode == "deferred":
+            executor = self._executor()
+            wall = executor.run(graph)
+            trace = executor.trace
         self._factorized = True
         self._method = method
         return FactorizationInfo(
@@ -259,6 +405,8 @@ class TileHMatrix:
             nb=self.desc.nb,
             nt=self.desc.nt,
             racecheck=engine.racecheck if engine is not None else None,
+            trace=trace,
+            wall_seconds=wall,
         )
 
     def solve(self, b: np.ndarray) -> np.ndarray:
@@ -266,12 +414,24 @@ class TileHMatrix:
 
         With ``racecheck`` enabled in the config, the LU solve runs through
         the task-parallel substitution path so the detector also covers the
-        solve-phase TRSV/GEMV tasks.
+        solve-phase TRSV/GEMV tasks.  With ``exec_mode="threaded"`` the LU
+        substitution likewise runs as tasks, executed by the configured
+        threaded scheduler — the end of the end-to-end task-parallel solve.
         """
         if not self._factorized:
             raise RuntimeError("call factorize() before solve()")
         if self._method == "cholesky":
             return tiled_chol_solve(self.desc, b)
+        if self.config.exec_mode == "threaded":
+            from .algorithms import tiled_solve_tasks
+
+            x, _ = tiled_solve_tasks(
+                self.desc,
+                b,
+                StfEngine(mode="deferred"),
+                executor=self._executor(),
+            )
+            return x
         if self.config.racecheck:
             from .algorithms import tiled_solve_tasks
 

@@ -24,7 +24,14 @@ from .block import (
 from .rk import RkMatrix, truncate_svd, compress_dense, compress_dense_rsvd
 from .aca import aca_partial, aca_full, compress_kernel_block
 from .accumulator import UpdateAccumulator
-from .hmatrix import HMatrix, FullBlock, RkBlock, assemble_hmatrix, AssemblyConfig
+from .hmatrix import (
+    HMatrix,
+    FullBlock,
+    RkBlock,
+    assemble_hmatrix,
+    assemble_hmatrix_tasks,
+    AssemblyConfig,
+)
 from .io import save_hmatrix, load_hmatrix, save_tile_h, load_tile_h
 from .arithmetic import (
     hgetrf,
@@ -64,6 +71,7 @@ __all__ = [
     "FullBlock",
     "RkBlock",
     "assemble_hmatrix",
+    "assemble_hmatrix_tasks",
     "AssemblyConfig",
     "hgetrf",
     "hgeadd",

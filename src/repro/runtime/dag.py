@@ -80,6 +80,22 @@ class TaskGraph:
             longest[t.id] = base + t.cost(cost_attr)
         return max(longest.values(), default=0.0)
 
+    def bottom_levels(self, cost_attr: str = "seconds") -> dict:
+        """Longest path from each task to a sink, including its own cost.
+
+        The classic list-scheduling *bottom level* ``b(t) = cost(t) +
+        max(b(s) for s in successors)``: tasks on the critical path carry the
+        largest values, so scheduling by decreasing bottom level keeps the
+        critical path moving ahead of bulk trailing updates.  Returns a
+        ``task id -> level`` map; ``max`` of the values equals
+        :meth:`critical_path`.
+        """
+        levels: dict[int, float] = {}
+        for t in reversed(self.topological_order()):
+            below = max((levels[s] for s in t.successors), default=0.0)
+            levels[t.id] = below + t.cost(cost_attr)
+        return levels
+
     def validate(self) -> None:
         """Check edge symmetry and acyclicity (cheap structural audit)."""
         for t in self.tasks:
@@ -108,7 +124,17 @@ class TaskGraph:
         """GraphViz DOT text (small graphs only; Figure 1 style)."""
         if len(self.tasks) > max_tasks:
             raise ValueError(f"graph too large for DOT export ({len(self.tasks)} tasks)")
-        colors = {"getrf": "firebrick", "trsm": "goldenrod", "gemm": "steelblue"}
+        colors = {
+            "getrf": "firebrick",
+            "potrf": "indianred",
+            "trsm": "goldenrod",
+            "trsm-solve": "darkgoldenrod",
+            "gemm": "steelblue",
+            "assemble": "forestgreen",
+            "trsv": "darkorchid",
+            "gemv": "slateblue",
+            "compress": "darkcyan",
+        }
         lines = ["digraph tasks {", "  rankdir=TB;"]
         for t in self.tasks:
             color = colors.get(t.kind, "gray")

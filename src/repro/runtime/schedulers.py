@@ -120,12 +120,23 @@ class WorkStealingScheduler(Scheduler):
         own = self._queues[worker]
         if own:
             return own.popleft()
-        # Steal from the most loaded worker.
-        victim = max(range(self.nworkers), key=lambda w: len(self._queues[w]))
-        if self._queues[victim]:
-            # Steal from the opposite end to preserve the victim's locality.
-            return self._queues[victim].pop()
-        return None
+        # Steal from the most loaded *other* worker.  The idle caller's own
+        # (empty) queue is excluded outright so it can never win a length
+        # tie, and only workers with queued work are candidates; ties break
+        # on the lowest worker index (deterministic).
+        victim = None
+        best = 0
+        for w in range(self.nworkers):
+            if w == worker:
+                continue
+            load = len(self._queues[w])
+            if load > best:
+                best = load
+                victim = w
+        if victim is None:
+            return None
+        # Steal from the opposite end to preserve the victim's locality.
+        return self._queues[victim].pop()
 
     def pending(self) -> int:
         return sum(len(q) for q in self._queues)

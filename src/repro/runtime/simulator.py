@@ -207,7 +207,9 @@ def simulate(
             completed += 1
             makespan = max(makespan, now)
             idle.add(w)
-            for s in task.successors:
+            # Sorted release order matches the threaded executor exactly, so
+            # single-worker threaded traces reproduce the simulated ones.
+            for s in sorted(task.successors):
                 indegree[s] -= 1
                 if indegree[s] == 0:
                     make_ready(graph.tasks[s], w, now)

@@ -1,11 +1,17 @@
-"""Real thread-pool execution of a deferred task graph.
+"""Scheduler-backed thread-pool execution of a deferred task graph.
 
-NumPy's BLAS kernels release the GIL, so on a genuinely multicore host the
-coarse tile tasks of the Tile-H LU do overlap under CPython.  This executor
+NumPy's BLAS/ACA kernels release the GIL, so on a multicore host the coarse
+tile tasks of the Tile-H LU genuinely overlap under CPython.  This executor
 runs a graph built by a *deferred* :class:`~repro.runtime.stf.StfEngine`
-with worker threads pulling ready tasks from a shared condition-guarded
-queue.  (On this reproduction's single-core reference machine it degrades to
-serial execution and exists for API completeness and multicore users.)
+with real worker threads driven by any virtual-time
+:class:`~repro.runtime.schedulers.Scheduler` policy (``ws``, ``lws``,
+``prio``, ``eager``, ``dm``): ready tasks are pushed to the worker that
+released them (``push(task, w)``), idle workers pull or steal through the
+policy's own ``pop(w)``.  All scheduler calls happen under one shared
+condition variable, so the per-worker queue and steal semantics are exactly
+the simulator's — a threaded run follows the same pull/steal order a
+virtual-time replay would take under equal costs (bit-for-bit with one
+worker, where timing jitter cannot reorder completions).
 """
 
 from __future__ import annotations
@@ -15,6 +21,7 @@ import time
 from dataclasses import dataclass, field
 
 from .dag import TaskGraph
+from .schedulers import Scheduler, make_scheduler
 from .trace import ExecutionTrace, TraceEvent
 
 __all__ = ["ThreadedExecutor"]
@@ -22,14 +29,21 @@ __all__ = ["ThreadedExecutor"]
 
 @dataclass
 class ThreadedExecutor:
-    """Execute a deferred :class:`TaskGraph` on real threads."""
+    """Execute a deferred :class:`TaskGraph` on real threads under a policy.
+
+    ``scheduler`` accepts any :func:`~repro.runtime.schedulers.make_scheduler`
+    name or a :class:`Scheduler` instance; it is reset (``setup``) per run.
+    """
 
     nworkers: int
+    scheduler: Scheduler | str = "lws"
     trace: ExecutionTrace | None = field(default=None)
 
     def __post_init__(self) -> None:
         if self.nworkers < 1:
             raise ValueError(f"nworkers must be >= 1, got {self.nworkers}")
+        if isinstance(self.scheduler, str):
+            self.scheduler = make_scheduler(self.scheduler)
 
     def run(self, graph: TaskGraph) -> float:
         """Run all tasks respecting dependencies; returns elapsed seconds.
@@ -39,17 +53,22 @@ class ThreadedExecutor:
         cover at least ``nworkers`` lanes); otherwise a fresh trace is
         created.  Each executed task's measured wall time is written back to
         ``task.seconds`` so a deferred graph can be replayed in the
-        simulator with real costs.
+        simulator with real costs; pre-traced tasks (``func=None``) keep
+        their explicit cost.
         """
         n = len(graph.tasks)
         if n == 0:
             return 0.0
         graph.validate()
+        sched = self.scheduler
+        sched.setup(self.nworkers)
         indegree = {t.id: len(t.deps) for t in graph.tasks}
         lock = threading.Condition()
-        ready: list = [t for t in graph.tasks if indegree[t.id] == 0]
-        # Sort sources by priority so high-priority work starts first.
-        ready.sort(key=lambda t: -t.priority)
+        # Source tasks are pushed in submission order with no worker hint,
+        # exactly as the simulator seeds its schedulers.
+        for t in graph.tasks:
+            if indegree[t.id] == 0:
+                sched.push(t, None)
         state = {"completed": 0, "error": None}
         if self.trace is None:
             self.trace = ExecutionTrace(nworkers=self.nworkers)
@@ -63,12 +82,14 @@ class ThreadedExecutor:
         def worker(widx: int) -> None:
             while True:
                 with lock:
-                    while not ready and state["completed"] < n and state["error"] is None:
+                    while True:
+                        if state["error"] is not None or state["completed"] >= n:
+                            lock.notify_all()
+                            return
+                        task = sched.pop(widx)
+                        if task is not None:
+                            break
                         lock.wait()
-                    if state["error"] is not None or state["completed"] >= n:
-                        lock.notify_all()
-                        return
-                    task = ready.pop(0)
                 try:
                     t0 = time.perf_counter() - t_start
                     if task.func is not None:
@@ -85,15 +106,12 @@ class ThreadedExecutor:
                 with lock:
                     self.trace.add(TraceEvent(task.id, task.kind, widx, t0, t1))
                     state["completed"] += 1
-                    for s in task.successors:
+                    for s in sorted(task.successors):
                         indegree[s] -= 1
                         if indegree[s] == 0:
-                            succ = graph.tasks[s]
-                            # Keep the ready list priority-ordered.
-                            pos = 0
-                            while pos < len(ready) and ready[pos].priority >= succ.priority:
-                                pos += 1
-                            ready.insert(pos, succ)
+                            # Push-to-releasing-worker: the freed task lands
+                            # on this worker's queue (ws/lws locality).
+                            sched.push(graph.tasks[s], widx)
                     lock.notify_all()
 
         threads = [

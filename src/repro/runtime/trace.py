@@ -62,7 +62,7 @@ class ExecutionTrace:
         return lanes
 
 
-_KIND_CHARS = {"getrf": "G", "trsm": "T", "gemm": "M"}
+_KIND_CHARS = {"getrf": "G", "potrf": "P", "trsm": "T", "gemm": "M", "assemble": "A"}
 
 
 def render_gantt(trace: ExecutionTrace, width: int = 80) -> str:
