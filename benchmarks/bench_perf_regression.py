@@ -28,6 +28,7 @@ import numpy as np
 
 from repro.core import TileHConfig, TileHMatrix
 from repro.geometry import cylinder_cloud, make_kernel, streamed_matvec
+from repro.obs import Instrumentation, build_run_report
 from repro.hmatrix import (
     AssemblyConfig,
     StrongAdmissibility,
@@ -58,7 +59,11 @@ def _time_lu(case: str, n: int, nb: int, precision: str, *, accumulate: bool = T
     kern = make_kernel("laplace" if precision == "d" else "helmholtz", pts)
     cfg = TileHConfig(nb=nb, eps=EPS, leaf_size=min(48, nb), accumulate=accumulate)
 
-    ref = TileHMatrix.build(kern, pts, cfg)
+    # The reference build doubles as the profiled run: the probe's H-memory
+    # gauge yields the assembled peak bytes without touching the timed reps.
+    with Instrumentation() as probe:
+        ref = TileHMatrix.build(kern, pts, cfg)
+    peak_h_bytes = int(probe.registry.gauge("h.peak_bytes"))
     rng = np.random.default_rng(0)
     x = rng.standard_normal(n)
     if precision == "z":
@@ -75,7 +80,8 @@ def _time_lu(case: str, n: int, nb: int, precision: str, *, accumulate: bool = T
         if fwd_error is None:
             xhat = a.solve(b)
             fwd_error = float(np.linalg.norm(xhat - x) / np.linalg.norm(x))
-    return {"case": case, "n": n, "nb": nb, "seconds": best, "fwd_error": fwd_error}
+    return {"case": case, "n": n, "nb": nb, "seconds": best, "fwd_error": fwd_error,
+            "peak_h_bytes": peak_h_bytes}
 
 
 def _time_aca(n: int) -> dict:
@@ -138,8 +144,19 @@ def _time_fused(n: int, nb: int) -> list[dict]:
                 b = streamed_matvec(kern, pts, x)
                 xhat = a.solve(b)
                 fwd_error = float(np.linalg.norm(xhat - x) / np.linalg.norm(x))
-        rows.append({"case": case, "n": n, "nb": nb, "seconds": best,
-                     "fwd_error": fwd_error})
+        row = {"case": case, "n": n, "nb": nb, "seconds": best,
+               "fwd_error": fwd_error}
+        # One extra profiled run (outside the timed reps) records the
+        # scheduler behaviour and peak H-matrix memory behind the wall time.
+        with Instrumentation() as probe:
+            _a, info = TileHMatrix.build_factorize(kern, pts, cfg)
+        report = build_run_report(probe=probe, trace=info.trace, graph=info.graph)
+        row["peak_h_bytes"] = int(report["hmatrix"].get("peak_bytes", 0))
+        if cfg.exec_mode == "threaded":
+            row["steals"] = report["scheduler"]["steals"]
+            row["steal_attempts"] = report["scheduler"]["steal_attempts"]
+            row["idle_fraction"] = round(1.0 - report["totals"]["utilization"], 4)
+        rows.append(row)
     return rows
 
 

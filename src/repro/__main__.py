@@ -9,6 +9,9 @@ and (simulated) parallel performance::
     python -m repro --n 3000 --format blr --scheduler ws
     python -m repro --n 2000 --exec threaded --nworkers 4 --scheduler lws \
         --priority-mode bottom-level
+    python -m repro --n 2000 --exec threaded --nworkers 4 --scheduler ws \
+        --profile run.json --chrome-trace run.trace.json
+    python -m repro report run.json
 """
 
 from __future__ import annotations
@@ -98,10 +101,56 @@ def build_parser() -> argparse.ArgumentParser:
         help="verify declared task access modes against actual memory effects "
         "(runtime race detector) and validate simulated schedules against the DAG",
     )
+    parser.add_argument(
+        "--profile",
+        metavar="PATH",
+        default=None,
+        help="profile the build/factorise/solve pipeline and write a "
+        "schema-valid run report (JSON) to PATH; view with 'repro report PATH'",
+    )
+    parser.add_argument(
+        "--chrome-trace",
+        metavar="PATH",
+        default=None,
+        help="export the threaded execution trace (with queue-depth and "
+        "H-memory counter tracks) as Chrome tracing JSON for Perfetto",
+    )
     return parser
 
 
+def report_main(argv: list[str]) -> int:
+    """The ``repro report`` subcommand: validate + render a run report."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro report",
+        description="Validate and pretty-print a run report written by --profile",
+    )
+    parser.add_argument("path", help="run-report JSON file")
+    args = parser.parse_args(argv)
+    from .obs import load_report, render_report, validate_report
+
+    try:
+        report = load_report(args.path)
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot read report {args.path}: {exc}", file=sys.stderr)
+        return 2
+    errors = validate_report(report)
+    if errors:
+        print(f"error: {args.path} is not a valid run report:", file=sys.stderr)
+        for e in errors[:10]:
+            print(f"  {e}", file=sys.stderr)
+        return 1
+    try:
+        print(render_report(report))
+    except BrokenPipeError:  # e.g. `repro report run.json | head`
+        sys.stderr.close()  # suppress the interpreter's shutdown warning
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "report":
+        return report_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.n < 2:
         print("error: --n must be at least 2", file=sys.stderr)
@@ -147,72 +196,122 @@ def main(argv: list[str] | None = None) -> int:
         x0 = x0 + 1j * rng.standard_normal(args.n)
     b = streamed_matvec(kernel, points, x0)
 
-    if args.format == "tile-h" and args.exec_mode == "threaded":
-        # Fused pipeline: one deferred graph holds both the per-tile assemble
-        # tasks and the factorisation tasks, so early panels factorise while
-        # late tiles are still assembling.
-        t0 = time.perf_counter()
-        solver, info = TileHMatrix.build_factorize(
-            kernel, points, tile_config, method=args.method
-        )
-        t_fused = time.perf_counter() - t0
-        print(f"assembly  : fused with factorisation, "
-              f"compression {solver.compression_ratio():.1%} of dense")
-        print(
-            f"factorise : {t_fused:.2f} s wall (fused build+factorise), "
-            f"{info.sequential_seconds():.2f} s kernel time, "
-            f"{info.n_tasks} tasks, {info.n_dependencies} dependencies"
-        )
-    else:
-        t0 = time.perf_counter()
-        if args.format == "tile-h":
-            solver = TileHMatrix.build(kernel, points, tile_config)
-            ratio = solver.compression_ratio()
-        elif args.format == "blr":
-            solver = BLRMatrix.build(kernel, points, tile_config)
-            ratio = solver.compression_ratio()
-        else:
-            solver = HMatSolver(
-                kernel, points, eps=args.eps, leaf_size=args.leaf_size,
-                racecheck=args.racecheck, exec_mode=args.exec_mode,
-                nworkers=args.nworkers,
-                scheduler=args.scheduler if args.exec_mode == "threaded" else "lws",
+    probe = None
+    if args.profile is not None or args.chrome_trace is not None:
+        from .obs import Instrumentation
+
+        probe = Instrumentation()
+
+    try:
+        if probe is not None:
+            probe.__enter__()
+        if args.format == "tile-h" and args.exec_mode == "threaded":
+            # Fused pipeline: one deferred graph holds both the per-tile
+            # assemble tasks and the factorisation tasks, so early panels
+            # factorise while late tiles are still assembling.
+            t0 = time.perf_counter()
+            solver, info = TileHMatrix.build_factorize(
+                kernel, points, tile_config, method=args.method
             )
-            ratio = solver.compression_ratio()
-        t_build = time.perf_counter() - t0
-        print(f"assembly  : {t_build:.2f} s, compression {ratio:.1%} of dense")
-
-        t0 = time.perf_counter()
-        if args.format == "tile-h":
-            info = solver.factorize(method=args.method)
+            t_fused = time.perf_counter() - t0
+            print(f"assembly  : fused with factorisation, "
+                  f"compression {solver.compression_ratio():.1%} of dense")
+            print(
+                f"factorise : {t_fused:.2f} s wall (fused build+factorise), "
+                f"{info.sequential_seconds():.2f} s kernel time, "
+                f"{info.n_tasks} tasks, {info.n_dependencies} dependencies"
+            )
         else:
-            info = solver.factorize()
-        t_fact = time.perf_counter() - t0
-        print(
-            f"factorise : {t_fact:.2f} s wall, {info.sequential_seconds():.2f} s kernel time, "
-            f"{info.n_tasks} tasks, {info.n_dependencies} dependencies"
-        )
+            t0 = time.perf_counter()
+            if args.format == "tile-h":
+                solver = TileHMatrix.build(kernel, points, tile_config)
+                ratio = solver.compression_ratio()
+            elif args.format == "blr":
+                solver = BLRMatrix.build(kernel, points, tile_config)
+                ratio = solver.compression_ratio()
+            else:
+                solver = HMatSolver(
+                    kernel, points, eps=args.eps, leaf_size=args.leaf_size,
+                    racecheck=args.racecheck, exec_mode=args.exec_mode,
+                    nworkers=args.nworkers,
+                    scheduler=args.scheduler if args.exec_mode == "threaded" else "lws",
+                )
+                ratio = solver.compression_ratio()
+            t_build = time.perf_counter() - t0
+            print(f"assembly  : {t_build:.2f} s, compression {ratio:.1%} of dense")
 
-    if args.exec_mode == "threaded":
-        threaded_trace = getattr(info, "trace", None)
-        threaded_graph = info.graph
-        if threaded_trace is None:
-            # hmat path: the threaded part is the leaf assembly.
-            threaded_trace = getattr(solver, "assembly_trace", None)
-            threaded_graph = getattr(solver, "assembly_graph", None)
-        if threaded_trace is not None:
-            violations = validate_trace(threaded_graph, threaded_trace, strict=False)
-            if violations:
-                print(f"error: threaded trace violates the DAG: {violations[:3]}",
-                      file=sys.stderr)
-                return 1
-            print(f"trace     : {len(threaded_trace.events)} threaded events "
-                  "validated as a linear extension of the DAG")
+            t0 = time.perf_counter()
+            if args.format == "tile-h":
+                info = solver.factorize(method=args.method)
+            else:
+                info = solver.factorize()
+            t_fact = time.perf_counter() - t0
+            print(
+                f"factorise : {t_fact:.2f} s wall, {info.sequential_seconds():.2f} s kernel time, "
+                f"{info.n_tasks} tasks, {info.n_dependencies} dependencies"
+            )
 
-    x = solver.solve(b)
-    print(f"solve     : forward error {forward_error(x, x0):.2e} (eps={args.eps:g})")
-    if args.racecheck and info.racecheck is not None:
-        print(f"racecheck : {info.racecheck.summary()}")
+        if args.exec_mode == "threaded":
+            threaded_trace = getattr(info, "trace", None)
+            threaded_graph = info.graph
+            if threaded_trace is None:
+                # hmat path: the threaded part is the leaf assembly.
+                threaded_trace = getattr(solver, "assembly_trace", None)
+                threaded_graph = getattr(solver, "assembly_graph", None)
+            if threaded_trace is not None:
+                violations = validate_trace(threaded_graph, threaded_trace, strict=False)
+                if violations:
+                    print(f"error: threaded trace violates the DAG: {violations[:3]}",
+                          file=sys.stderr)
+                    return 1
+                print(f"trace     : {len(threaded_trace.events)} threaded events "
+                      "validated as a linear extension of the DAG")
+
+        x = solver.solve(b)
+        print(f"solve     : forward error {forward_error(x, x0):.2e} (eps={args.eps:g})")
+        if args.racecheck and info.racecheck is not None:
+            print(f"racecheck : {info.racecheck.summary()}")
+    finally:
+        # Deactivate before the simulated replays below so their scheduler
+        # counters never pollute the measured run's report.
+        if probe is not None:
+            probe.__exit__(None, None, None)
+
+    if probe is not None:
+        from .obs import build_run_report, write_report
+        from .runtime import export_chrome_trace
+
+        run_trace = getattr(info, "trace", None)
+        if args.profile is not None:
+            report = build_run_report(
+                probe=probe,
+                trace=run_trace,
+                graph=info.graph,
+                meta={
+                    "n": args.n,
+                    "precision": args.precision,
+                    "format": args.format,
+                    "nb": nb,
+                    "eps": args.eps,
+                    "exec_mode": args.exec_mode,
+                    "scheduler": args.scheduler,
+                    "nworkers": args.nworkers if args.exec_mode == "threaded" else 1,
+                },
+            )
+            write_report(report, args.profile)
+            print(f"profile   : run report written to {args.profile}")
+        if args.chrome_trace is not None:
+            if run_trace is None:
+                print("warning: --chrome-trace needs a threaded run "
+                      "(--exec threaded); no trace written", file=sys.stderr)
+            else:
+                export_chrome_trace(
+                    run_trace,
+                    args.chrome_trace,
+                    counters=probe.series,
+                    metadata={"scheduler": args.scheduler},
+                )
+                print(f"trace     : Chrome trace written to {args.chrome_trace}")
 
     rows = []
     for p in args.threads:

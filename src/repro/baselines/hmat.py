@@ -204,6 +204,11 @@ class HMatSolver:
             self.assembly_graph = engine.graph
         else:
             self.matrix = assemble_hmatrix(kernel, self.points, block, cfg)
+        from ..obs.instrument import current as _current_probe
+
+        probe = _current_probe()
+        if probe is not None:
+            probe.h_bytes_delta(self.matrix.storage() * self.matrix.dtype.itemsize)
         self._factorized = False
 
     # -- queries -------------------------------------------------------------

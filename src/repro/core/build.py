@@ -25,6 +25,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..hmatrix import AssemblyConfig, assemble_hmatrix
+from ..obs.instrument import current as _current_probe
 from ..runtime import AccessMode, StfEngine
 from .clustering import TileHClustering, build_tile_h_clustering
 from .descriptor import Tile, TileDesc, TileHDesc
@@ -97,7 +98,11 @@ def build_tile_h(
             for j in range(nt):
                 bt = cl.block_tree(i, j)
                 h = assemble_hmatrix(kernel, pts, bt, cfg)
-                tiles.append(Tile.of(h))
+                tile = Tile.of(h)
+                probe = _current_probe()
+                if probe is not None:
+                    probe.h_bytes_delta(tile.storage_bytes())
+                tiles.append(tile)
     else:
         dtype = np.dtype(getattr(kernel, "dtype", np.float64))
         sizes = [c.stop - c.start for c in cl.tiles]
@@ -106,15 +111,19 @@ def build_tile_h(
             for i in range(nt)
             for j in range(nt)
         ]
+        def _assemble_tile(tile: Tile, bt) -> None:
+            tile.fill(assemble_hmatrix(kernel, pts, bt, cfg))
+            probe = _current_probe()
+            if probe is not None:
+                probe.h_bytes_delta(tile.storage_bytes())
+
         for i in range(nt):
             for j in range(nt):
                 tile = tiles[i * nt + j]
                 bt = cl.block_tree(i, j)
                 engine.insert_task(
                     "assemble",
-                    (lambda tile=tile, bt=bt: tile.fill(
-                        assemble_hmatrix(kernel, pts, bt, cfg)
-                    )),
+                    (lambda tile=tile, bt=bt: _assemble_tile(tile, bt)),
                     [(engine.handle(tile, f"A[{i},{j}]"), AccessMode.W)],
                     priority=assemble_priority(nt, i, j),
                     label=f"assemble({i},{j})",

@@ -108,6 +108,10 @@ class Tile:
         """Stored scalar count."""
         return self._require_assembled().storage()
 
+    def storage_bytes(self) -> int:
+        """Stored bytes (scalar count times the payload itemsize)."""
+        return self.storage() * self.dtype.itemsize
+
     def copy(self) -> "Tile":
         return Tile(self.format, self.m, self.n, self._require_assembled().copy())
 

@@ -13,6 +13,7 @@ from typing import Callable
 
 import numpy as np
 
+from ..obs.instrument import current as _current_probe
 from .rk import RkMatrix, compress_dense, compress_dense_rsvd
 
 __all__ = ["aca_partial", "aca_full", "compress_kernel_block"]
@@ -174,6 +175,9 @@ def aca_partial(
     rk = RkMatrix(np.ascontiguousarray(uu[:, :k]), np.ascontiguousarray(vv[:, :k]))
     if recompress:
         rk = rk.truncate(eps, max_rank)
+    probe = _current_probe()
+    if probe is not None:
+        probe.block_compressed(m, n, rk.rank, rk.u.dtype.itemsize)
     return rk
 
 

@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..obs.instrument import current as _current_probe
 from .rk import RkMatrix, compress_dense
 
 __all__ = ["UpdateAccumulator"]
@@ -119,6 +120,9 @@ class UpdateAccumulator:
         entry.scalars += rk.storage
         self._total_scalars += rk.storage
         self.n_deferred += 1
+        probe = _current_probe()
+        if probe is not None:
+            probe.accumulator_deferred()
         self._enforce_cap()
 
     def defer_dense(self, leaf, block: np.ndarray) -> None:
@@ -135,6 +139,9 @@ class UpdateAccumulator:
                 entry.dense = entry.dense.astype(dtype)
             entry.dense += block
         self.n_deferred += 1
+        probe = _current_probe()
+        if probe is not None:
+            probe.accumulator_deferred()
         self._enforce_cap()
 
     # -- flushing --------------------------------------------------------------
@@ -166,6 +173,10 @@ class UpdateAccumulator:
         for e in entries:
             self._apply(e)
         self.n_flushed_blocks += len(entries)
+        if entries:
+            probe = _current_probe()
+            if probe is not None:
+                probe.accumulator_flush(len(entries))
         return len(entries)
 
     # -- internals ---------------------------------------------------------------
@@ -195,3 +206,6 @@ class UpdateAccumulator:
             self._apply(entry)
             self.n_flushed_blocks += 1
             self.n_early_flushes += 1
+            probe = _current_probe()
+            if probe is not None:
+                probe.accumulator_flush(1, early=True)

@@ -18,6 +18,8 @@ from dataclasses import dataclass
 import numpy as np
 from scipy.linalg import qr, svd
 
+from ..obs.instrument import current as _current_probe
+
 __all__ = ["RkMatrix", "truncate_svd", "compress_dense", "compress_dense_rsvd"]
 
 
@@ -175,6 +177,9 @@ def _truncate_rk(rk: RkMatrix, eps: float, max_rank: int | None = None) -> RkMat
     if max_rank is not None:
         new_rank = min(new_rank, max_rank)
     new_rank = min(new_rank, limit)
+    probe = _current_probe()
+    if probe is not None:
+        probe.recompression(m, n, k, new_rank)
     # core = W S Zh, so A = (Qu W S) (Zh Qv^T): u = Qu W S, v = Qv Zh^T.
     u = qu @ (w[:, :new_rank] * s[:new_rank])
     v = qv @ zh[:new_rank].T

@@ -1,0 +1,48 @@
+"""Runtime observability: metrics registry, span probe, and run reports.
+
+The layer the paper's Figs. 6-7 analysis needs: per-task-kind time/flop
+breakdowns, per-worker idle time under each scheduling policy, steal/queue
+counters, and H-arithmetic compression behaviour — folded into one
+schema-validated :mod:`run report <repro.obs.report>` per profiled run.
+
+Profile any run by activating a probe around it::
+
+    from repro.obs import Instrumentation, build_run_report, render_report
+
+    with Instrumentation() as probe:
+        a, info = TileHMatrix.build_factorize(kern, pts, cfg)
+    report = build_run_report(probe=probe, trace=info.trace, graph=info.graph)
+    print(render_report(report))
+
+Instrumentation is nil-cost when no probe is active (one ``None`` test per
+event at every hook site).
+"""
+
+from .metrics import Histogram, MetricsRegistry, SchedulerStats
+from .instrument import Instrumentation, current
+from .report import (
+    REPORT_SCHEMA,
+    SCHEMA_ID,
+    build_run_report,
+    load_report,
+    nontiming_view,
+    render_report,
+    validate_report,
+    write_report,
+)
+
+__all__ = [
+    "Histogram",
+    "MetricsRegistry",
+    "SchedulerStats",
+    "Instrumentation",
+    "current",
+    "REPORT_SCHEMA",
+    "SCHEMA_ID",
+    "build_run_report",
+    "validate_report",
+    "render_report",
+    "write_report",
+    "load_report",
+    "nontiming_view",
+]

@@ -1,0 +1,150 @@
+"""The span/counter probe every runtime and H-arithmetic layer reports into.
+
+One :class:`Instrumentation` object observes one profiled run.  Components
+receive it two ways:
+
+* explicitly — ``StfEngine(instrument=...)``, ``ThreadedExecutor(...,
+  instrument=...)``, ``simulate(..., instrument=...)``;
+* ambiently — ``with Instrumentation() as probe:`` installs the probe as the
+  process-wide *active* probe that the H-kernels (ACA, Rk rounding, the
+  update accumulator, tile assembly) consult through :func:`current`, so the
+  numerical layers need no API churn to be observable.
+
+Disabled cost is one ``is None`` test per event: when no probe is active,
+:func:`current` returns ``None`` and every call site skips its hook.  Only
+one profiled run can be active at a time (the active slot is a module
+global, deliberately shared across worker threads).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import defaultdict
+
+from .metrics import MetricsRegistry, SchedulerStats
+
+__all__ = ["Instrumentation", "current"]
+
+_active: "Instrumentation | None" = None
+_active_lock = threading.Lock()
+
+
+def current() -> "Instrumentation | None":
+    """The active probe installed by ``Instrumentation.__enter__`` (or None)."""
+    return _active
+
+
+def _kind_zero() -> dict:
+    return {"submitted": 0, "count": 0, "seconds": 0.0, "flops": 0.0, "operand_bytes": 0}
+
+
+def _worker_zero() -> dict:
+    return {"tasks": 0, "busy_seconds": 0.0, "wait_seconds": 0.0}
+
+
+class Instrumentation:
+    """Per-run observability hub: registry + per-kind/worker aggregates +
+    scheduler counters + time series for Chrome counter tracks.
+
+    ``clock`` defaults to ``time.perf_counter``; series timestamps are
+    relative to construction time (virtual-time callers pass explicit ``t``).
+    """
+
+    def __init__(self, clock=time.perf_counter) -> None:
+        self.registry = MetricsRegistry()
+        self.sched = SchedulerStats()
+        self.kinds: dict[str, dict] = defaultdict(_kind_zero)
+        self.workers: dict[int, dict] = defaultdict(_worker_zero)
+        self.series: dict[str, list[tuple[float, float]]] = {}
+        self._clock = clock
+        self._t0 = clock()
+        self._lock = threading.Lock()
+
+    # -- activation ------------------------------------------------------------
+    def __enter__(self) -> "Instrumentation":
+        global _active
+        with _active_lock:
+            if _active is not None:
+                raise RuntimeError("another Instrumentation probe is already active")
+            _active = self
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        global _active
+        with _active_lock:
+            if _active is self:
+                _active = None
+
+    # -- clocks --------------------------------------------------------------
+    def now(self) -> float:
+        """Seconds since the probe was created (real-time series timestamps)."""
+        return self._clock() - self._t0
+
+    # -- runtime hooks -----------------------------------------------------------
+    def task_submitted(self, task, operand_bytes: int = 0, operand_max_rank: int = 0) -> None:
+        """One task entered the STF engine (tagged with flops + operand stats)."""
+        with self._lock:
+            k = self.kinds[task.kind]
+            k["submitted"] += 1
+            k["flops"] += task.flops
+            k["operand_bytes"] += operand_bytes
+        self.registry.inc("tasks.submitted")
+        if operand_max_rank:
+            self.registry.observe("tasks.operand_max_rank", operand_max_rank)
+
+    def task_span(self, kind: str, worker: int, start: float, end: float) -> None:
+        """One task executed on ``worker`` over ``[start, end]``."""
+        dur = end - start
+        with self._lock:
+            k = self.kinds[kind]
+            k["count"] += 1
+            k["seconds"] += dur
+            w = self.workers[worker]
+            w["tasks"] += 1
+            w["busy_seconds"] += dur
+        self.registry.observe(f"tasks.seconds.{kind}", dur)
+
+    def worker_wait(self, worker: int, seconds: float) -> None:
+        """Measured time ``worker`` spent parked waiting for ready work."""
+        with self._lock:
+            self.workers[worker]["wait_seconds"] += seconds
+
+    def sample(self, name: str, value: float, t: float | None = None) -> None:
+        """Append a (t, value) point to the named counter-track series."""
+        if t is None:
+            t = self.now()
+        with self._lock:
+            self.series.setdefault(name, []).append((t, float(value)))
+
+    # -- H-arithmetic hooks ---------------------------------------------------------
+    def recompression(self, m: int, n: int, rank_in: int, rank_out: int) -> None:
+        """One QR+QR+SVD rounding of an (m x n) Rk block."""
+        reg = self.registry
+        reg.inc("h.recompressions")
+        reg.observe("h.rank_in", rank_in)
+        reg.observe("h.rank_out", rank_out)
+        reg.observe("h.rank_drop", rank_in - rank_out)
+
+    def block_compressed(self, m: int, n: int, rank: int, itemsize: int) -> None:
+        """One admissible block compressed (ACA/SVD) during assembly."""
+        reg = self.registry
+        reg.inc("h.blocks_compressed")
+        reg.inc("h.compressed_bytes", float((m + n) * rank * itemsize))
+        reg.inc("h.dense_bytes", float(m * n * itemsize))
+        reg.observe("h.block_rank", rank)
+
+    def h_bytes_delta(self, delta: float, t: float | None = None) -> None:
+        """H-matrix storage grew/shrank by ``delta`` bytes (peak is tracked,
+        and the running level feeds the Chrome ``h_bytes`` counter track)."""
+        level = self.registry.add_gauge("h.bytes", float(delta))
+        self.registry.max_gauge("h.peak_bytes", level)
+        self.sample("h_bytes", level, t)
+
+    def accumulator_deferred(self) -> None:
+        self.registry.inc("h.accumulator.deferred")
+
+    def accumulator_flush(self, nblocks: int, early: bool = False) -> None:
+        self.registry.inc("h.accumulator.flushed_blocks", nblocks)
+        if early:
+            self.registry.inc("h.accumulator.early_flushes", nblocks)

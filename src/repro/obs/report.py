@@ -1,0 +1,503 @@
+"""Run reports: one JSON document per profiled run + schema + text renderer.
+
+A :func:`build_run_report` call folds everything a profiled run produced —
+the :class:`~repro.obs.instrument.Instrumentation` aggregates, the
+:class:`~repro.runtime.trace.ExecutionTrace`, and the task graph — into a
+single JSON-serialisable report answering the paper's Fig. 6/7 questions:
+where did the time go per kernel kind, how idle was each worker under the
+chosen policy, how many steals happened, and how the Tile-H blocks
+compressed.  The report validates against :data:`REPORT_SCHEMA` (a
+self-contained JSON-Schema subset — no external dependency) and renders to
+fixed-width tables with :func:`render_report` (the ``repro report`` CLI).
+
+This module deliberately imports nothing from the runtime/analysis layers at
+module level so the ambient-probe import chain stays acyclic.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+__all__ = [
+    "SCHEMA_ID",
+    "REPORT_SCHEMA",
+    "build_run_report",
+    "validate_report",
+    "render_report",
+    "write_report",
+    "load_report",
+    "nontiming_view",
+]
+
+SCHEMA_ID = "repro-run-report/v1"
+
+_HIST = {
+    "type": "object",
+    "required": ["count", "sum", "min", "max", "mean"],
+    "properties": {
+        "count": {"type": "integer", "minimum": 0},
+        "sum": {"type": "number"},
+        "min": {"type": "number"},
+        "max": {"type": "number"},
+        "mean": {"type": "number"},
+        "buckets": {"type": "object", "additionalProperties": {"type": "integer"}},
+    },
+}
+
+#: JSON schema (draft-subset: type/properties/required/items/additionalProperties/
+#: enum/minimum) of one run report.
+REPORT_SCHEMA = {
+    "type": "object",
+    "required": ["schema", "meta", "totals", "kinds", "workers", "scheduler", "hmatrix"],
+    "properties": {
+        "schema": {"type": "string", "enum": [SCHEMA_ID]},
+        "meta": {"type": "object"},
+        "totals": {
+            "type": "object",
+            "required": [
+                "makespan",
+                "busy_seconds",
+                "idle_seconds",
+                "utilization",
+                "n_tasks",
+                "n_dependencies",
+                "total_flops",
+            ],
+            "properties": {
+                "makespan": {"type": "number", "minimum": 0},
+                "busy_seconds": {"type": "number", "minimum": 0},
+                "idle_seconds": {"type": "number", "minimum": 0},
+                "utilization": {"type": "number", "minimum": 0},
+                "n_tasks": {"type": "integer", "minimum": 0},
+                "n_dependencies": {"type": "integer", "minimum": 0},
+                "total_flops": {"type": "number", "minimum": 0},
+                "flop_rate": {"type": "number", "minimum": 0},
+                "nworkers": {"type": "integer", "minimum": 0},
+            },
+        },
+        "kinds": {
+            "type": "object",
+            "additionalProperties": {
+                "type": "object",
+                "required": ["count", "seconds", "flops", "share_of_busy"],
+                "properties": {
+                    "submitted": {"type": "integer", "minimum": 0},
+                    "count": {"type": "integer", "minimum": 0},
+                    "seconds": {"type": "number", "minimum": 0},
+                    "flops": {"type": "number", "minimum": 0},
+                    "share_of_busy": {"type": "number", "minimum": 0},
+                    "operand_bytes": {"type": "integer", "minimum": 0},
+                },
+            },
+        },
+        "workers": {
+            "type": "array",
+            "items": {
+                "type": "object",
+                "required": ["worker", "tasks", "busy_seconds", "idle_seconds", "utilization"],
+                "properties": {
+                    "worker": {"type": "integer", "minimum": 0},
+                    "tasks": {"type": "integer", "minimum": 0},
+                    "busy_seconds": {"type": "number", "minimum": 0},
+                    "idle_seconds": {"type": "number", "minimum": 0},
+                    "wait_seconds": {"type": "number", "minimum": 0},
+                    "utilization": {"type": "number", "minimum": 0},
+                },
+            },
+        },
+        "scheduler": {
+            "type": "object",
+            "required": ["pushes", "pops_local", "steal_attempts", "steals"],
+            "properties": {
+                "pushes": {"type": "integer", "minimum": 0},
+                "pops_local": {"type": "integer", "minimum": 0},
+                "steal_attempts": {"type": "integer", "minimum": 0},
+                "steals": {"type": "integer", "minimum": 0},
+                "queue_depth_samples": {"type": "integer", "minimum": 0},
+                "queue_depth_max": {"type": "integer", "minimum": 0},
+                "queue_depth_mean": {"type": "number", "minimum": 0},
+            },
+        },
+        "hmatrix": {
+            "type": "object",
+            "required": ["recompressions", "blocks_compressed", "compressed_bytes", "dense_bytes"],
+            "properties": {
+                "recompressions": {"type": "integer", "minimum": 0},
+                "rank_in": _HIST,
+                "rank_out": _HIST,
+                "blocks_compressed": {"type": "integer", "minimum": 0},
+                "block_rank": _HIST,
+                "compressed_bytes": {"type": "number", "minimum": 0},
+                "dense_bytes": {"type": "number", "minimum": 0},
+                "peak_bytes": {"type": "number", "minimum": 0},
+                "accumulator": {
+                    "type": "object",
+                    "properties": {
+                        "deferred": {"type": "integer", "minimum": 0},
+                        "flushed_blocks": {"type": "integer", "minimum": 0},
+                        "early_flushes": {"type": "integer", "minimum": 0},
+                    },
+                },
+            },
+        },
+        "counters": {"type": "object"},
+    },
+}
+
+
+# -- construction -----------------------------------------------------------
+
+
+def build_run_report(*, probe=None, trace=None, graph=None, meta=None) -> dict:
+    """Fold probe aggregates + trace + graph into one schema-valid report.
+
+    ``trace`` (an :class:`~repro.runtime.trace.ExecutionTrace`) is the
+    preferred time source: per-kind and per-worker times are integrated from
+    its events, so the kind table sums exactly to total busy time.  Without a
+    trace (eager runs) the ``graph``'s measured task seconds are used and the
+    run is reported as a single worker lane.  ``probe`` contributes flop
+    tags, scheduler counters, and the H-arithmetic metrics; any subset of the
+    three sources may be omitted.
+    """
+    kinds: dict[str, dict] = {}
+
+    def kind_entry(kind: str) -> dict:
+        e = kinds.get(kind)
+        if e is None:
+            e = kinds[kind] = {
+                "submitted": 0,
+                "count": 0,
+                "seconds": 0.0,
+                "flops": 0.0,
+                "share_of_busy": 0.0,
+                "operand_bytes": 0,
+            }
+        return e
+
+    workers: list[dict] = []
+    makespan = 0.0
+    busy = 0.0
+    nworkers = 0
+
+    if trace is not None and trace.events:
+        makespan = trace.makespan
+        nworkers = trace.nworkers
+        for e in trace.events:
+            entry = kind_entry(e.kind)
+            entry["count"] += 1
+            entry["seconds"] += e.duration
+            busy += e.duration
+        for w, lane in enumerate(trace.worker_timelines()):
+            wbusy = sum(e.duration for e in lane)
+            workers.append(
+                {
+                    "worker": w,
+                    "tasks": len(lane),
+                    "busy_seconds": wbusy,
+                    "idle_seconds": max(0.0, makespan - wbusy),
+                    "utilization": wbusy / makespan if makespan > 0 else 0.0,
+                }
+            )
+    elif graph is not None and len(graph):
+        nworkers = 1
+        for t in graph:
+            entry = kind_entry(t.kind)
+            entry["count"] += 1
+            entry["seconds"] += t.seconds
+            busy += t.seconds
+        makespan = busy
+        workers.append(
+            {
+                "worker": 0,
+                "tasks": len(graph),
+                "busy_seconds": busy,
+                "idle_seconds": 0.0,
+                "utilization": 1.0 if busy > 0 else 0.0,
+            }
+        )
+
+    total_flops = 0.0
+    if probe is not None:
+        for kind, agg in probe.kinds.items():
+            entry = kind_entry(kind)
+            entry["submitted"] = agg["submitted"]
+            entry["flops"] = agg["flops"]
+            entry["operand_bytes"] = agg["operand_bytes"]
+            total_flops += agg["flops"]
+        for w in workers:
+            pw = probe.workers.get(w["worker"])
+            if pw is not None:
+                w["wait_seconds"] = pw["wait_seconds"]
+    elif graph is not None:
+        for t in graph:
+            kind_entry(t.kind)["flops"] += t.flops
+            total_flops += t.flops
+    if graph is not None and probe is not None:
+        # Submitted counts for graphs built without probe-aware engines.
+        seen = {k for k, v in kinds.items() if v["submitted"]}
+        for t in graph:
+            if t.kind not in seen:
+                kind_entry(t.kind)["submitted"] += 1
+    for entry in kinds.values():
+        entry["share_of_busy"] = entry["seconds"] / busy if busy > 0 else 0.0
+
+    sched = probe.sched.snapshot() if probe is not None else {
+        "pushes": 0,
+        "pops_local": 0,
+        "steal_attempts": 0,
+        "steals": 0,
+        "queue_depth_samples": 0,
+        "queue_depth_max": 0,
+        "queue_depth_mean": 0.0,
+    }
+
+    if probe is not None:
+        reg = probe.registry
+        hmatrix = {
+            "recompressions": int(reg.counter("h.recompressions")),
+            "rank_in": reg.histogram("h.rank_in"),
+            "rank_out": reg.histogram("h.rank_out"),
+            "blocks_compressed": int(reg.counter("h.blocks_compressed")),
+            "block_rank": reg.histogram("h.block_rank"),
+            "compressed_bytes": reg.counter("h.compressed_bytes"),
+            "dense_bytes": reg.counter("h.dense_bytes"),
+            "peak_bytes": reg.gauge("h.peak_bytes"),
+            "accumulator": {
+                "deferred": int(reg.counter("h.accumulator.deferred")),
+                "flushed_blocks": int(reg.counter("h.accumulator.flushed_blocks")),
+                "early_flushes": int(reg.counter("h.accumulator.early_flushes")),
+            },
+        }
+    else:
+        hmatrix = {
+            "recompressions": 0,
+            "blocks_compressed": 0,
+            "compressed_bytes": 0.0,
+            "dense_bytes": 0.0,
+        }
+
+    report = {
+        "schema": SCHEMA_ID,
+        "meta": dict(meta or {}),
+        "totals": {
+            "makespan": makespan,
+            "busy_seconds": busy,
+            "idle_seconds": max(0.0, makespan * nworkers - busy),
+            "utilization": busy / (makespan * nworkers) if makespan > 0 and nworkers else 0.0,
+            "n_tasks": len(graph) if graph is not None else sum(e["count"] for e in kinds.values()),
+            "n_dependencies": graph.n_edges() if graph is not None else 0,
+            "total_flops": total_flops,
+            "flop_rate": total_flops / busy if busy > 0 else 0.0,
+            "nworkers": nworkers,
+        },
+        "kinds": kinds,
+        "workers": workers,
+        "scheduler": sched,
+        "hmatrix": hmatrix,
+    }
+    if probe is not None:
+        report["counters"] = probe.registry.as_dict()
+    return report
+
+
+# -- validation --------------------------------------------------------------
+
+_TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "boolean": bool,
+    "null": type(None),
+}
+
+
+def _type_ok(value, tname: str) -> bool:
+    if tname == "number":
+        return isinstance(value, (int, float)) and not isinstance(value, bool)
+    if tname == "integer":
+        return isinstance(value, int) and not isinstance(value, bool)
+    return isinstance(value, _TYPES[tname])
+
+
+def _validate(value, schema: dict, path: str, errors: list[str]) -> None:
+    t = schema.get("type")
+    if t is not None:
+        names = t if isinstance(t, list) else [t]
+        if not any(_type_ok(value, n) for n in names):
+            errors.append(f"{path}: expected {t}, got {type(value).__name__}")
+            return
+    if "enum" in schema and value not in schema["enum"]:
+        errors.append(f"{path}: {value!r} not in {schema['enum']}")
+    if "minimum" in schema and isinstance(value, (int, float)) and not isinstance(value, bool):
+        if value < schema["minimum"]:
+            errors.append(f"{path}: {value} below minimum {schema['minimum']}")
+    if isinstance(value, dict):
+        for key in schema.get("required", []):
+            if key not in value:
+                errors.append(f"{path}: missing required key {key!r}")
+        props = schema.get("properties", {})
+        extra = schema.get("additionalProperties")
+        for key, sub in value.items():
+            if key in props:
+                _validate(sub, props[key], f"{path}.{key}", errors)
+            elif isinstance(extra, dict):
+                _validate(sub, extra, f"{path}.{key}", errors)
+            elif extra is False:
+                errors.append(f"{path}: unexpected key {key!r}")
+    if isinstance(value, list) and "items" in schema:
+        for i, item in enumerate(value):
+            _validate(item, schema["items"], f"{path}[{i}]", errors)
+
+
+def validate_report(report) -> list[str]:
+    """Validate against :data:`REPORT_SCHEMA`; returns a list of problems
+    (empty = valid)."""
+    errors: list[str] = []
+    _validate(report, REPORT_SCHEMA, "$", errors)
+    return errors
+
+
+# -- persistence -------------------------------------------------------------
+
+
+def write_report(report: dict, path) -> Path:
+    """Validate and write the report as JSON; raises on schema violations."""
+    errors = validate_report(report)
+    if errors:
+        raise ValueError("invalid run report: " + "; ".join(errors[:5]))
+    p = Path(path)
+    p.parent.mkdir(parents=True, exist_ok=True)
+    p.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return p
+
+
+def load_report(path) -> dict:
+    return json.loads(Path(path).read_text())
+
+
+# -- views -------------------------------------------------------------------
+
+
+def nontiming_view(report: dict) -> dict:
+    """The deterministic (timing-free) projection of a report.
+
+    Two profiled runs of the same *eager* computation must agree exactly on
+    this view — task/flop counts, scheduler counters (all zero eagerly), and
+    every H-arithmetic metric — while wall-clock fields are free to differ.
+    Used by the determinism tests and handy for diffing CI artifacts.
+    """
+    kinds = {
+        kind: {"submitted": e["submitted"], "count": e["count"], "flops": e["flops"],
+               "operand_bytes": e.get("operand_bytes", 0)}
+        for kind, e in sorted(report["kinds"].items())
+    }
+    sched = {
+        k: report["scheduler"][k]
+        for k in ("pushes", "pops_local", "steal_attempts", "steals")
+    }
+    return {
+        "n_tasks": report["totals"]["n_tasks"],
+        "n_dependencies": report["totals"]["n_dependencies"],
+        "total_flops": report["totals"]["total_flops"],
+        "kinds": kinds,
+        "scheduler": sched,
+        "hmatrix": report["hmatrix"],
+    }
+
+
+# -- rendering ---------------------------------------------------------------
+
+
+def _mb(nbytes: float) -> str:
+    return f"{nbytes / 1e6:.2f} MB"
+
+
+def render_report(report: dict) -> str:
+    """Fixed-width text rendering (the ``repro report`` output): a per-kind
+    time/flop table and a per-worker busy/idle table à la the paper's Fig. 6
+    breakdowns, plus scheduler and H-compression counter lines."""
+    from ..analysis.reporting import format_table  # lazy: keeps imports acyclic
+
+    t = report["totals"]
+    lines = [f"run report ({report['schema']})"]
+    meta = report.get("meta") or {}
+    if meta:
+        lines.append("meta      : " + " ".join(f"{k}={v}" for k, v in sorted(meta.items())))
+    lines.append(
+        f"totals    : makespan {t['makespan']:.4f} s on {t.get('nworkers', 0)} workers | "
+        f"busy {t['busy_seconds']:.4f} s | idle {t['idle_seconds']:.4f} s | "
+        f"utilization {t['utilization']:.0%}"
+    )
+    lines.append(
+        f"graph     : {t['n_tasks']} tasks, {t['n_dependencies']} dependencies, "
+        f"{t['total_flops'] / 1e9:.3f} Gflop"
+        + (f" @ {t.get('flop_rate', 0.0) / 1e9:.2f} Gflop/s" if t["busy_seconds"] else "")
+    )
+    lines.append("")
+    kind_rows = [
+        [
+            kind,
+            e["count"],
+            f"{e['seconds']:.4f}",
+            f"{e['share_of_busy']:.1%}",
+            f"{e['flops'] / 1e9:.3f}",
+        ]
+        for kind, e in sorted(
+            report["kinds"].items(), key=lambda kv: -kv[1]["seconds"]
+        )
+    ]
+    lines.append(
+        format_table(
+            ["kind", "count", "seconds", "% busy", "Gflop"],
+            kind_rows,
+            title="per-kind breakdown",
+        )
+    )
+    if report["workers"]:
+        lines.append("")
+        worker_rows = [
+            [
+                w["worker"],
+                w["tasks"],
+                f"{w['busy_seconds']:.4f}",
+                f"{w['idle_seconds']:.4f}",
+                f"{w['utilization']:.0%}",
+            ]
+            for w in report["workers"]
+        ]
+        lines.append(
+            format_table(
+                ["worker", "tasks", "busy s", "idle s", "util"],
+                worker_rows,
+                title="per-worker utilization",
+            )
+        )
+    s = report["scheduler"]
+    lines.append("")
+    lines.append(
+        f"scheduler : pushes={s['pushes']} pops_local={s['pops_local']} "
+        f"steal_attempts={s['steal_attempts']} steals={s['steals']} "
+        f"queue depth mean={s.get('queue_depth_mean', 0.0):.1f} "
+        f"max={s.get('queue_depth_max', 0)}"
+    )
+    h = report["hmatrix"]
+    rank_out = h.get("rank_out", {})
+    lines.append(
+        f"h-matrix  : {h['recompressions']} recompressions"
+        + (
+            f" (rank out mean {rank_out['mean']:.1f}, max {rank_out['max']:.0f})"
+            if rank_out.get("count")
+            else ""
+        )
+        + f", {h['blocks_compressed']} blocks compressed "
+        f"({_mb(h['compressed_bytes'])} vs {_mb(h['dense_bytes'])} dense)"
+        + (f", peak {_mb(h['peak_bytes'])}" if h.get("peak_bytes") else "")
+    )
+    acc = h.get("accumulator")
+    if acc and acc.get("deferred"):
+        lines.append(
+            f"accumulator: {acc['deferred']} deferred updates, "
+            f"{acc['flushed_blocks']} block flushes, {acc['early_flushes']} early"
+        )
+    return "\n".join(lines)

@@ -37,6 +37,7 @@ from .racecheck import (
 )
 from .threaded import ThreadedExecutor
 from .trace import ExecutionTrace, TraceEvent, render_gantt, export_chrome_trace
+from .kinds import KindStyle, KIND_STYLES, kind_letter, kind_color, register_kind
 from .bulksync import simulate_bulk_synchronous, depth_stages
 from .distributed import (
     DistributedMachine,
@@ -77,6 +78,11 @@ __all__ = [
     "TraceEvent",
     "render_gantt",
     "export_chrome_trace",
+    "KindStyle",
+    "KIND_STYLES",
+    "kind_letter",
+    "kind_color",
+    "register_kind",
     "DistributedMachine",
     "DistributedResult",
     "block_cyclic_1d",

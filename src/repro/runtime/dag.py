@@ -122,22 +122,13 @@ class TaskGraph:
 
     def to_dot(self, max_tasks: int = 500) -> str:
         """GraphViz DOT text (small graphs only; Figure 1 style)."""
+        from .kinds import kind_color
+
         if len(self.tasks) > max_tasks:
             raise ValueError(f"graph too large for DOT export ({len(self.tasks)} tasks)")
-        colors = {
-            "getrf": "firebrick",
-            "potrf": "indianred",
-            "trsm": "goldenrod",
-            "trsm-solve": "darkgoldenrod",
-            "gemm": "steelblue",
-            "assemble": "forestgreen",
-            "trsv": "darkorchid",
-            "gemv": "slateblue",
-            "compress": "darkcyan",
-        }
         lines = ["digraph tasks {", "  rankdir=TB;"]
         for t in self.tasks:
-            color = colors.get(t.kind, "gray")
+            color = kind_color(t.kind)
             label = t.label or f"{t.kind}#{t.id}"
             label = label.replace("\\", "\\\\").replace('"', '\\"')
             lines.append(f'  t{t.id} [label="{label}", color={color}];')

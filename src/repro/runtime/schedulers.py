@@ -40,9 +40,42 @@ __all__ = [
 
 
 class Scheduler:
-    """Virtual-time scheduler interface used by the simulator."""
+    """Virtual-time scheduler interface used by the simulator.
+
+    When a :class:`~repro.obs.SchedulerStats` object is attached (the
+    executor/simulator does this while an observability probe is active),
+    every policy counts pushes, local pops, steal attempts/successes, and
+    samples the ready-queue depth on each push.  Detached (the default) the
+    accounting costs one ``None`` test per call.
+    """
 
     name = "abstract"
+    stats = None
+
+    def attach_stats(self, stats) -> None:
+        """Install (or with ``None`` remove) a stats sink for this run."""
+        self.stats = stats
+
+    def _note_push(self) -> None:
+        st = self.stats
+        if st is not None:
+            st.pushes += 1
+            st.sample_depth(self.pending())
+
+    def _note_pop(self, task: Task | None, *, stolen: bool | None = None) -> None:
+        """Count a pop outcome: ``stolen=None`` = served from the caller's own
+        (or the central) queue; otherwise a steal attempt that found a victim
+        (``True``) or came up empty (``False``)."""
+        st = self.stats
+        if st is None:
+            return
+        if stolen is None:
+            if task is not None:
+                st.pops_local += 1
+        else:
+            st.steal_attempts += 1
+            if stolen:
+                st.steals += 1
 
     def setup(self, nworkers: int) -> None:
         """Reset internal state for a run on ``nworkers`` workers."""
@@ -71,9 +104,12 @@ class EagerScheduler(Scheduler):
 
     def push(self, task: Task, worker: int | None) -> None:
         self._queue.append(task)
+        self._note_push()
 
     def pop(self, worker: int) -> Task | None:
-        return self._queue.popleft() if self._queue else None
+        task = self._queue.popleft() if self._queue else None
+        self._note_pop(task)
+        return task
 
     def pending(self) -> int:
         return len(self._queue)
@@ -90,11 +126,15 @@ class PrioScheduler(Scheduler):
 
     def push(self, task: Task, worker: int | None) -> None:
         heapq.heappush(self._heap, (-task.priority, next(self._seq), task))
+        self._note_push()
 
     def pop(self, worker: int) -> Task | None:
         if not self._heap:
+            self._note_pop(None)
             return None
-        return heapq.heappop(self._heap)[2]
+        task = heapq.heappop(self._heap)[2]
+        self._note_pop(task)
+        return task
 
     def pending(self) -> int:
         return len(self._heap)
@@ -115,11 +155,14 @@ class WorkStealingScheduler(Scheduler):
     def push(self, task: Task, worker: int | None) -> None:
         w = worker if worker is not None else next(self._rr) % self.nworkers
         self._queues[w].append(task)
+        self._note_push()
 
     def pop(self, worker: int) -> Task | None:
         own = self._queues[worker]
         if own:
-            return own.popleft()
+            task = own.popleft()
+            self._note_pop(task)
+            return task
         # Steal from the most loaded *other* worker.  The idle caller's own
         # (empty) queue is excluded outright so it can never win a length
         # tie, and only workers with queued work are candidates; ties break
@@ -134,9 +177,12 @@ class WorkStealingScheduler(Scheduler):
                 best = load
                 victim = w
         if victim is None:
+            self._note_pop(None, stolen=False)
             return None
         # Steal from the opposite end to preserve the victim's locality.
-        return self._queues[victim].pop()
+        task = self._queues[victim].pop()
+        self._note_pop(task, stolen=True)
+        return task
 
     def pending(self) -> int:
         return sum(len(q) for q in self._queues)
@@ -158,15 +204,21 @@ class LocalityWorkStealingScheduler(Scheduler):
     def push(self, task: Task, worker: int | None) -> None:
         w = worker if worker is not None else next(self._rr) % self.nworkers
         heapq.heappush(self._heaps[w], (-task.priority, next(self._seq), task))
+        self._note_push()
 
     def pop(self, worker: int) -> Task | None:
         if self._heaps[worker]:
-            return heapq.heappop(self._heaps[worker])[2]
+            task = heapq.heappop(self._heaps[worker])[2]
+            self._note_pop(task)
+            return task
         # Visit neighbours in ring distance order: w+1, w-1, w+2, ...
         for dist in range(1, self.nworkers):
             for cand in ((worker + dist) % self.nworkers, (worker - dist) % self.nworkers):
                 if self._heaps[cand]:
-                    return heapq.heappop(self._heaps[cand])[2]
+                    task = heapq.heappop(self._heaps[cand])[2]
+                    self._note_pop(task, stolen=True)
+                    return task
+        self._note_pop(None, stolen=False)
         return None
 
     def pending(self) -> int:
@@ -196,11 +248,15 @@ class DequeModelScheduler(Scheduler):
             self._heap,
             (-task.cost(self.cost_attr), -task.priority, next(self._seq), task),
         )
+        self._note_push()
 
     def pop(self, worker: int) -> Task | None:
         if not self._heap:
+            self._note_pop(None)
             return None
-        return heapq.heappop(self._heap)[3]
+        task = heapq.heappop(self._heap)[3]
+        self._note_pop(task)
+        return task
 
     def pending(self) -> int:
         return len(self._heap)

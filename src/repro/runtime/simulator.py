@@ -18,6 +18,7 @@ from __future__ import annotations
 import heapq
 from dataclasses import dataclass, field
 
+from ..obs.instrument import current as _current_probe
 from .dag import TaskGraph
 from .schedulers import Scheduler, make_scheduler
 from .trace import ExecutionTrace, TraceEvent
@@ -98,6 +99,7 @@ def simulate(
     cost_scale: float = 1.0,
     keep_trace: bool = True,
     worker_speeds: list | None = None,
+    instrument=None,
 ) -> SimulationResult:
     """Replay ``graph`` on ``nworkers`` virtual workers.
 
@@ -116,6 +118,10 @@ def simulate(
         Optional per-worker speed factors (length ``nworkers``): a worker
         with speed 2.0 runs kernels twice as fast.  Models heterogeneous
         machines (StarPU's CPU+accelerator setups); default homogeneous.
+    instrument:
+        Optional :class:`~repro.obs.Instrumentation` probe; defaults to the
+        ambient active probe.  Records virtual-time task spans, scheduler
+        counters and the queue-depth series.
     """
     if nworkers < 1:
         raise ValueError(f"nworkers must be >= 1, got {nworkers}")
@@ -126,8 +132,10 @@ def simulate(
             )
         if any(s <= 0 for s in worker_speeds):
             raise ValueError("worker speeds must be positive")
+    probe = instrument if instrument is not None else _current_probe()
     sched = make_scheduler(scheduler) if isinstance(scheduler, str) else scheduler
     sched.setup(nworkers)
+    sched.attach_stats(probe.sched if probe is not None else None)
     ovh = overheads if overheads is not None else RuntimeOverheadModel()
 
     n = len(graph.tasks)
@@ -190,6 +198,9 @@ def simulate(
                 assigned = True
                 if trace is not None:
                     trace.add(TraceEvent(task.id, task.kind, w, now, finish))
+                if probe is not None:
+                    probe.task_span(task.kind, w, now, finish)
+                    probe.sample("queue_depth", sched.pending(), t=now)
         if not running and not waiting:
             raise RuntimeError(
                 "simulator deadlock: no running or waiting task but "

@@ -20,11 +20,45 @@ from __future__ import annotations
 import time
 from typing import Any, Callable
 
+from ..obs.instrument import current as _current_probe
 from .dag import TaskGraph
 from .racecheck import RaceChecker
 from .task import AccessMode, DataHandle, Task
 
 __all__ = ["StfEngine"]
+
+
+def _payload_footprint(payload: Any) -> tuple[int, int]:
+    """Best-effort ``(bytes, rank)`` estimate of one operand payload.
+
+    Dense arrays report ``nbytes`` and rank 0; H-matrix objects (``HMatrix``,
+    ``RkMatrix``, tile wrappers exposing ``.mat``) report their compressed
+    storage and maximum block rank.  Unknown payloads report ``(0, 0)``.
+    """
+    mat = getattr(payload, "mat", None)
+    if mat is not None:  # Tile-like wrapper around an H-matrix
+        payload = mat
+    nbytes = getattr(payload, "nbytes", None)
+    if nbytes is not None:  # ndarray-like
+        return int(nbytes), 0
+    storage = getattr(payload, "storage", None)
+    if callable(storage):
+        try:
+            entries = int(storage())
+        except Exception:
+            return 0, 0
+        itemsize = 8
+        rank = 0
+        max_rank = getattr(payload, "max_rank", None)
+        if callable(max_rank):
+            try:
+                rank = int(max_rank())
+            except Exception:
+                rank = 0
+        else:
+            rank = int(getattr(payload, "rank", 0) or 0)
+        return entries * itemsize, rank
+    return 0, 0
 
 
 class StfEngine:
@@ -92,6 +126,23 @@ class StfEngine:
             label=label,
         )
         self._infer_dependencies(task)
+        probe = _current_probe()
+        if probe is not None:
+            operand_bytes = 0
+            operand_max_rank = 0
+            for handle, _mode in task.accesses:
+                nbytes, rank = _payload_footprint(handle.payload)
+                operand_bytes += nbytes
+                operand_max_rank = max(operand_max_rank, rank)
+            task.meta = {
+                "operand_bytes": operand_bytes,
+                "operand_max_rank": operand_max_rank,
+            }
+            probe.task_submitted(
+                task,
+                operand_bytes=operand_bytes,
+                operand_max_rank=operand_max_rank,
+            )
         if self.mode == "eager":
             if func is not None:
                 checker = self.racecheck

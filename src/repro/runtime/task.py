@@ -83,6 +83,9 @@ class Task:
     func:
         The kernel closure; ``None`` once executed eagerly (STF mode) or for
         replayed/traced tasks.
+    meta:
+        Optional observability annotations (operand bytes/ranks) attached by
+        the STF engine when a probe is active; ``None`` otherwise.
     """
 
     id: int
@@ -95,6 +98,7 @@ class Task:
     deps: set = field(default_factory=set)
     successors: set = field(default_factory=set)
     label: str = ""
+    meta: dict | None = None
 
     @property
     def n_deps(self) -> int:

@@ -20,6 +20,7 @@ import threading
 import time
 from dataclasses import dataclass, field
 
+from ..obs.instrument import current as _current_probe
 from .dag import TaskGraph
 from .schedulers import Scheduler, make_scheduler
 from .trace import ExecutionTrace, TraceEvent
@@ -33,11 +34,16 @@ class ThreadedExecutor:
 
     ``scheduler`` accepts any :func:`~repro.runtime.schedulers.make_scheduler`
     name or a :class:`Scheduler` instance; it is reset (``setup``) per run.
+
+    When an :class:`~repro.obs.Instrumentation` probe is active (or passed
+    via ``instrument``), the run records per-task spans, per-worker wait
+    time, scheduler counters and a queue-depth time series into it.
     """
 
     nworkers: int
     scheduler: Scheduler | str = "lws"
     trace: ExecutionTrace | None = field(default=None)
+    instrument: object | None = field(default=None)
 
     def __post_init__(self) -> None:
         if self.nworkers < 1:
@@ -60,8 +66,10 @@ class ThreadedExecutor:
         if n == 0:
             return 0.0
         graph.validate()
+        probe = self.instrument if self.instrument is not None else _current_probe()
         sched = self.scheduler
         sched.setup(self.nworkers)
+        sched.attach_stats(probe.sched if probe is not None else None)
         indegree = {t.id: len(t.deps) for t in graph.tasks}
         lock = threading.Condition()
         # Source tasks are pushed in submission order with no worker hint,
@@ -80,39 +88,52 @@ class ThreadedExecutor:
         t_start = time.perf_counter()
 
         def worker(widx: int) -> None:
-            while True:
-                with lock:
-                    while True:
-                        if state["error"] is not None or state["completed"] >= n:
-                            lock.notify_all()
-                            return
-                        task = sched.pop(widx)
-                        if task is not None:
-                            break
-                        lock.wait()
-                try:
-                    t0 = time.perf_counter() - t_start
-                    if task.func is not None:
-                        task.func()
-                    t1 = time.perf_counter() - t_start
-                except BaseException as exc:  # propagate to the caller
+            wait_seconds = 0.0
+            try:
+                while True:
                     with lock:
-                        state["error"] = exc
+                        while True:
+                            if state["error"] is not None or state["completed"] >= n:
+                                lock.notify_all()
+                                return
+                            task = sched.pop(widx)
+                            if task is not None:
+                                break
+                            if probe is not None:
+                                w0 = time.perf_counter()
+                                lock.wait()
+                                wait_seconds += time.perf_counter() - w0
+                            else:
+                                lock.wait()
+                    try:
+                        t0 = time.perf_counter() - t_start
+                        if task.func is not None:
+                            task.func()
+                        t1 = time.perf_counter() - t_start
+                    except BaseException as exc:  # propagate to the caller
+                        with lock:
+                            state["error"] = exc
+                            lock.notify_all()
+                        return
+                    if task.func is not None:
+                        # Pre-traced tasks (func=None) keep their explicit cost.
+                        task.seconds = t1 - t0
+                    with lock:
+                        self.trace.add(TraceEvent(task.id, task.kind, widx, t0, t1))
+                        state["completed"] += 1
+                        for s in sorted(task.successors):
+                            indegree[s] -= 1
+                            if indegree[s] == 0:
+                                # Push-to-releasing-worker: the freed task lands
+                                # on this worker's queue (ws/lws locality).
+                                sched.push(graph.tasks[s], widx)
+                        if probe is not None:
+                            probe.task_span(task.kind, widx, t0, t1)
+                            probe.sample("queue_depth", sched.pending(), t=t1)
                         lock.notify_all()
-                    return
-                if task.func is not None:
-                    # Pre-traced tasks (func=None) keep their explicit cost.
-                    task.seconds = t1 - t0
-                with lock:
-                    self.trace.add(TraceEvent(task.id, task.kind, widx, t0, t1))
-                    state["completed"] += 1
-                    for s in sorted(task.successors):
-                        indegree[s] -= 1
-                        if indegree[s] == 0:
-                            # Push-to-releasing-worker: the freed task lands
-                            # on this worker's queue (ws/lws locality).
-                            sched.push(graph.tasks[s], widx)
-                    lock.notify_all()
+            finally:
+                if probe is not None and wait_seconds > 0.0:
+                    probe.worker_wait(widx, wait_seconds)
 
         threads = [
             threading.Thread(target=worker, args=(w,), name=f"repro-worker-{w}")

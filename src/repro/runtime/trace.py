@@ -6,6 +6,8 @@ import json
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from .kinds import kind_letter
+
 __all__ = ["TraceEvent", "ExecutionTrace", "render_gantt", "export_chrome_trace"]
 
 
@@ -62,15 +64,13 @@ class ExecutionTrace:
         return lanes
 
 
-_KIND_CHARS = {"getrf": "G", "potrf": "P", "trsm": "T", "gemm": "M", "assemble": "A"}
-
-
 def render_gantt(trace: ExecutionTrace, width: int = 80) -> str:
     """Text gantt chart: one row per worker, one char per time bucket.
 
-    Kernel kinds map to letters (G/T/M, ``?`` otherwise); idle time prints as
-    ``.``.  Useful to eyeball pipeline stalls that the paper attributes to
-    bulk-synchronous or contention effects.
+    Kernel kinds map to the letters of the shared
+    :mod:`kind registry <repro.runtime.kinds>` (``?`` for unregistered
+    kinds); idle time prints as ``.``.  Useful to eyeball pipeline stalls
+    that the paper attributes to bulk-synchronous or contention effects.
     """
     span = trace.makespan
     if span == 0.0 or not trace.events:
@@ -81,20 +81,46 @@ def render_gantt(trace: ExecutionTrace, width: int = 80) -> str:
         for e in lane:
             c0 = int(e.start / span * width)
             c1 = max(c0 + 1, int(e.end / span * width))
-            ch = _KIND_CHARS.get(e.kind, "?")
+            ch = kind_letter(e.kind)
             for c in range(c0, min(c1, width)):
                 row[c] = ch
         rows.append(f"w{w:02d} |" + "".join(row) + "|")
     return "\n".join(rows)
 
 
-def export_chrome_trace(trace: ExecutionTrace, path) -> "Path":
+def export_chrome_trace(trace: ExecutionTrace, path, *, counters=None, metadata=None) -> "Path":
     """Write the trace in Chrome tracing JSON (``chrome://tracing`` /
     Perfetto), the de-facto replacement for StarPU's Paje traces.
 
-    Workers map to thread ids; times are exported in microseconds.
+    Workers map to thread ids and are named via ``"ph": "M"`` metadata
+    events, so Perfetto lanes read "worker 0..n-1" in execution order
+    instead of bare tids.  ``counters`` adds counter tracks (``"ph": "C"``):
+    a mapping of series name to ``[(t_seconds, value), ...]`` samples, e.g.
+    the scheduler queue depth and H-matrix memory series collected by an
+    :class:`~repro.obs.Instrumentation` probe.  ``metadata`` entries are
+    merged into the metadata block next to ``nworkers`` / ``makespan`` /
+    ``utilization``.  Times are exported in microseconds.
     """
     events = []
+    for w in range(trace.nworkers):
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 0,
+                "tid": w,
+                "args": {"name": f"worker {w}"},
+            }
+        )
+        events.append(
+            {
+                "name": "thread_sort_index",
+                "ph": "M",
+                "pid": 0,
+                "tid": w,
+                "args": {"sort_index": w},
+            }
+        )
     for e in trace.events:
         events.append(
             {
@@ -107,10 +133,27 @@ def export_chrome_trace(trace: ExecutionTrace, path) -> "Path":
                 "tid": e.worker,
             }
         )
+    for name, samples in (counters or {}).items():
+        for t, value in samples:
+            events.append(
+                {
+                    "name": name,
+                    "ph": "C",
+                    "ts": t * 1e6,
+                    "pid": 0,
+                    "args": {name: value},
+                }
+            )
+    meta = {
+        "nworkers": trace.nworkers,
+        "makespan": trace.makespan,
+        "utilization": trace.utilization(),
+    }
+    meta.update(metadata or {})
     payload = {
         "traceEvents": events,
         "displayTimeUnit": "ms",
-        "metadata": {"nworkers": trace.nworkers},
+        "metadata": meta,
     }
     p = Path(path)
     p.parent.mkdir(parents=True, exist_ok=True)

@@ -1,0 +1,150 @@
+"""Unit tests for the metric primitives and the instrumentation probe."""
+
+import threading
+
+import pytest
+
+from repro.obs import Histogram, Instrumentation, MetricsRegistry, SchedulerStats, current
+
+
+class TestHistogram:
+    def test_empty_snapshot(self):
+        snap = Histogram().snapshot()
+        assert snap == {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0, "buckets": {}}
+
+    def test_observe_stats(self):
+        h = Histogram()
+        for v in (1.0, 3.0, 5.0):
+            h.observe(v)
+        assert h.count == 3
+        assert h.total == 9.0
+        assert h.min == 1.0 and h.max == 5.0
+        assert h.mean == pytest.approx(3.0)
+
+    def test_decade_buckets(self):
+        h = Histogram()
+        h.observe(2e-6)   # 1e-6 decade
+        h.observe(5e-3)   # 1e-3 decade
+        h.observe(5e-3)
+        h.observe(0.0)    # <=0 bucket
+        snap = h.snapshot()
+        assert snap["buckets"]["1e-6"] == 1
+        assert snap["buckets"]["1e-3"] == 2
+        assert snap["buckets"]["<=0"] == 1
+
+    def test_extreme_decades_clamped(self):
+        h = Histogram()
+        h.observe(1e-30)
+        h.observe(1e30)
+        assert h.buckets == {"1e-9": 1, "1e9": 1}
+
+
+class TestMetricsRegistry:
+    def test_counter_semantics(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x") == 0.0
+        reg.inc("x")
+        reg.inc("x", 2.5)
+        assert reg.counter("x") == 3.5
+
+    def test_gauge_semantics(self):
+        reg = MetricsRegistry()
+        assert reg.gauge("g") == 0.0
+        reg.set_gauge("g", 4.0)
+        assert reg.add_gauge("g", -1.0) == 3.0
+        reg.max_gauge("peak", 3.0)
+        reg.max_gauge("peak", 1.0)  # lower value must not win
+        assert reg.gauge("peak") == 3.0
+
+    def test_histogram_access(self):
+        reg = MetricsRegistry()
+        assert reg.histogram("h")["count"] == 0
+        reg.observe("h", 2.0)
+        reg.observe("h", 4.0)
+        snap = reg.histogram("h")
+        assert snap["count"] == 2 and snap["mean"] == pytest.approx(3.0)
+
+    def test_as_dict_is_json_shaped(self):
+        import json
+
+        reg = MetricsRegistry()
+        reg.inc("c")
+        reg.set_gauge("g", 1.0)
+        reg.observe("h", 0.5)
+        d = reg.as_dict()
+        assert set(d) == {"counters", "gauges", "histograms"}
+        json.dumps(d)  # must be serialisable as-is
+
+    def test_thread_safety(self):
+        reg = MetricsRegistry()
+
+        def work():
+            for _ in range(1000):
+                reg.inc("n")
+                reg.add_gauge("g", 1.0)
+                reg.observe("h", 1.0)
+
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert reg.counter("n") == 4000
+        assert reg.gauge("g") == 4000
+        assert reg.histogram("h")["count"] == 4000
+
+
+class TestSchedulerStats:
+    def test_depth_sampling(self):
+        st = SchedulerStats()
+        for d in (1, 5, 3):
+            st.sample_depth(d)
+        snap = st.snapshot()
+        assert snap["queue_depth_samples"] == 3
+        assert snap["queue_depth_max"] == 5
+        assert snap["queue_depth_mean"] == pytest.approx(3.0)
+
+    def test_empty_snapshot(self):
+        snap = SchedulerStats().snapshot()
+        assert snap["pushes"] == 0 and snap["queue_depth_mean"] == 0.0
+
+
+class TestInstrumentation:
+    def test_inactive_by_default(self):
+        assert current() is None
+
+    def test_activation_scope(self):
+        with Instrumentation() as probe:
+            assert current() is probe
+        assert current() is None
+
+    def test_double_activation_rejected(self):
+        with Instrumentation():
+            with pytest.raises(RuntimeError, match="already active"):
+                Instrumentation().__enter__()
+        assert current() is None
+
+    def test_task_span_aggregates(self):
+        probe = Instrumentation()
+        probe.task_span("gemm", 0, 0.0, 1.0)
+        probe.task_span("gemm", 1, 1.0, 1.5)
+        probe.task_span("trsm", 0, 1.0, 2.0)
+        assert probe.kinds["gemm"]["count"] == 2
+        assert probe.kinds["gemm"]["seconds"] == pytest.approx(1.5)
+        assert probe.workers[0]["busy_seconds"] == pytest.approx(2.0)
+        assert probe.workers[1]["tasks"] == 1
+
+    def test_h_bytes_peak_and_series(self):
+        probe = Instrumentation()
+        probe.h_bytes_delta(100.0, t=0.0)
+        probe.h_bytes_delta(50.0, t=1.0)
+        probe.h_bytes_delta(-80.0, t=2.0)
+        assert probe.registry.gauge("h.bytes") == 70.0
+        assert probe.registry.gauge("h.peak_bytes") == 150.0
+        assert [v for _, v in probe.series["h_bytes"]] == [100.0, 150.0, 70.0]
+
+    def test_block_compressed_byte_accounting(self):
+        probe = Instrumentation()
+        probe.block_compressed(100, 50, 4, 8)
+        assert probe.registry.counter("h.compressed_bytes") == (100 + 50) * 4 * 8
+        assert probe.registry.counter("h.dense_bytes") == 100 * 50 * 8

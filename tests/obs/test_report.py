@@ -1,0 +1,224 @@
+"""Run-report tests: schema, accounting invariants, determinism, overhead."""
+
+import json
+import time
+
+import numpy as np
+import pytest
+
+from repro.baselines import DenseTiledLU
+from repro.core import TileHConfig, TileHMatrix
+from repro.dense import flops_gemm, flops_getrf, flops_trsm
+from repro.geometry import cylinder_cloud, make_kernel
+from repro.obs import (
+    Instrumentation,
+    build_run_report,
+    load_report,
+    nontiming_view,
+    render_report,
+    validate_report,
+    write_report,
+)
+from repro.runtime import AccessMode, StfEngine, ThreadedExecutor
+
+
+def _profiled_threaded_lu(n=400, nb=100, scheduler="ws", nworkers=2):
+    pts = cylinder_cloud(n)
+    kern = make_kernel("laplace", pts)
+    cfg = TileHConfig(
+        nb=nb, eps=1e-4, leaf_size=48, accumulate=False,
+        exec_mode="threaded", nworkers=nworkers, scheduler=scheduler,
+    )
+    with Instrumentation() as probe:
+        _a, info = TileHMatrix.build_factorize(kern, pts, cfg)
+    return build_run_report(
+        probe=probe, trace=info.trace, graph=info.graph,
+        meta={"n": n, "nb": nb, "scheduler": scheduler},
+    ), info
+
+
+class TestThreadedRunReport:
+    @pytest.fixture(scope="class")
+    def report_info(self):
+        return _profiled_threaded_lu()
+
+    def test_schema_valid(self, report_info):
+        report, _ = report_info
+        assert validate_report(report) == []
+
+    def test_kind_times_sum_to_busy(self, report_info):
+        # The per-kind table is integrated from the same trace as the busy
+        # total, so the sums must agree to well within the 1% acceptance bar.
+        report, _ = report_info
+        busy = report["totals"]["busy_seconds"]
+        kind_sum = sum(e["seconds"] for e in report["kinds"].values())
+        assert kind_sum == pytest.approx(busy, rel=0.01)
+        share_sum = sum(e["share_of_busy"] for e in report["kinds"].values())
+        assert share_sum == pytest.approx(1.0, rel=1e-6)
+
+    def test_worker_accounting(self, report_info):
+        report, info = report_info
+        assert len(report["workers"]) == 2
+        worker_busy = sum(w["busy_seconds"] for w in report["workers"])
+        assert worker_busy == pytest.approx(report["totals"]["busy_seconds"], rel=1e-9)
+        for w in report["workers"]:
+            assert w["busy_seconds"] + w["idle_seconds"] == pytest.approx(
+                report["totals"]["makespan"], rel=1e-9
+            )
+        assert report["totals"]["n_tasks"] == info.n_tasks
+
+    def test_steal_and_idle_counters_nonzero_under_ws(self, report_info):
+        # ISSUE acceptance: ws with >= 2 workers must show stealing activity
+        # and nonzero idle time.
+        report, _ = report_info
+        sched = report["scheduler"]
+        assert sched["pushes"] > 0
+        assert sched["steal_attempts"] > 0
+        assert report["totals"]["idle_seconds"] > 0.0
+        assert sched["queue_depth_samples"] >= sched["pushes"]
+
+    def test_hmatrix_section_populated(self, report_info):
+        report, _ = report_info
+        h = report["hmatrix"]
+        assert h["blocks_compressed"] > 0
+        assert h["recompressions"] > 0
+        assert 0 < h["compressed_bytes"] < h["dense_bytes"]
+        assert h["peak_bytes"] > 0
+
+    def test_render_and_roundtrip(self, report_info, tmp_path):
+        report, _ = report_info
+        text = render_report(report)
+        assert "per-kind breakdown" in text
+        assert "per-worker utilization" in text
+        assert "steal_attempts" in text
+        p = write_report(report, tmp_path / "run.json")
+        assert load_report(p) == json.loads(json.dumps(report))
+
+
+class TestDenseTiledFlops:
+    def test_flop_totals_match_analytic_model(self):
+        # ISSUE acceptance: the report's flop totals for the dense-tiled
+        # baseline must equal the dense/flops.py estimates exactly (same
+        # formulas, summed per kind over the LU loop nest).
+        n, nb = 192, 48
+        nt = n // nb
+        rng = np.random.default_rng(0)
+        a = rng.standard_normal((n, n)) + n * np.eye(n)
+        with Instrumentation() as probe:
+            lu = DenseTiledLU(a.copy(), nb)
+            info = lu.factorize()
+        report = build_run_report(probe=probe, graph=info.graph)
+        assert validate_report(report) == []
+        exp_getrf = nt * flops_getrf(nb)
+        n_trsm = nt * (nt - 1)  # (nt-1-k) left + right panels per step k
+        exp_trsm = n_trsm * flops_trsm(nb, nb)
+        n_gemm = sum((nt - 1 - k) ** 2 for k in range(nt))
+        exp_gemm = n_gemm * flops_gemm(nb, nb, nb)
+        kinds = report["kinds"]
+        assert kinds["getrf"]["flops"] == pytest.approx(exp_getrf, rel=1e-12)
+        assert kinds["trsm"]["flops"] == pytest.approx(exp_trsm, rel=1e-12)
+        assert kinds["gemm"]["flops"] == pytest.approx(exp_gemm, rel=1e-12)
+        assert report["totals"]["total_flops"] == pytest.approx(
+            exp_getrf + exp_trsm + exp_gemm, rel=1e-12
+        )
+
+    def test_operand_bytes_tagged(self):
+        n, nb = 128, 64
+        a = np.eye(n) * n
+        with Instrumentation() as probe:
+            DenseTiledLU(a, nb).factorize()
+        # Every dense-tiled task touches nb x nb float64 tiles.
+        for kind, agg in probe.kinds.items():
+            assert agg["operand_bytes"] > 0, kind
+        assert probe.registry.counter("tasks.submitted") > 0
+
+
+class TestDeterminism:
+    def test_eager_profiled_runs_agree_on_nontiming_view(self):
+        # Two eager runs of the same computation: wall-clock differs, every
+        # counter/flop/structure metric must match exactly.
+        views = []
+        pts = cylinder_cloud(300)
+        kern = make_kernel("laplace", pts)
+        cfg = TileHConfig(nb=75, eps=1e-4, leaf_size=48)
+        for _ in range(2):
+            with Instrumentation() as probe:
+                mat = TileHMatrix.build(kern, pts, cfg)
+                info = mat.factorize()
+            report = build_run_report(probe=probe, graph=info.graph)
+            assert validate_report(report) == []
+            views.append(nontiming_view(report))
+        assert views[0] == views[1]
+
+
+class TestSchemaValidation:
+    def test_rejects_missing_sections(self):
+        errors = validate_report({"schema": "repro-run-report/v1"})
+        assert any("totals" in e for e in errors)
+        assert any("hmatrix" in e for e in errors)
+
+    def test_rejects_wrong_schema_id(self):
+        report = build_run_report()
+        report["schema"] = "bogus/v0"
+        assert any("bogus" in e for e in validate_report(report))
+
+    def test_rejects_negative_and_wrong_types(self):
+        report = build_run_report()
+        report["totals"]["busy_seconds"] = -1.0
+        report["totals"]["n_tasks"] = "three"
+        errors = validate_report(report)
+        assert any("below minimum" in e for e in errors)
+        assert any("n_tasks" in e for e in errors)
+
+    def test_write_report_refuses_invalid(self, tmp_path):
+        report = build_run_report()
+        del report["scheduler"]
+        with pytest.raises(ValueError, match="invalid run report"):
+            write_report(report, tmp_path / "bad.json")
+
+    def test_empty_report_is_valid(self):
+        report = build_run_report()
+        assert validate_report(report) == []
+        assert report["totals"]["n_tasks"] == 0
+
+
+def _spin_chain_graph(ntasks: int, spin_seconds: float):
+    eng = StfEngine(mode="deferred")
+    h = eng.handle(object())
+
+    def spin():
+        t_end = time.perf_counter() + spin_seconds
+        while time.perf_counter() < t_end:
+            pass
+
+    for _ in range(ntasks):
+        eng.insert_task("k", spin, [(h, AccessMode.RW)])
+    return eng.wait_all()
+
+
+class TestOverhead:
+    NTASKS = 20
+    SPIN = 0.004
+
+    def _best_run(self, instrumented: bool) -> float:
+        ideal = self.NTASKS * self.SPIN
+        best = float("inf")
+        for _ in range(3):
+            graph = _spin_chain_graph(self.NTASKS, self.SPIN)
+            if instrumented:
+                with Instrumentation() as probe:
+                    ex = ThreadedExecutor(1, scheduler="ws", instrument=probe)
+                    best = min(best, ex.run(graph))
+            else:
+                best = min(best, ThreadedExecutor(1, scheduler="ws").run(graph))
+        return best / ideal
+
+    def test_disabled_instrumentation_overhead_under_5_percent(self):
+        # ISSUE acceptance: with no probe active the hook sites cost one None
+        # test each — the executor must stay within 5% of pure spin time.
+        assert self._best_run(instrumented=False) <= 1.05
+
+    def test_profiled_run_overhead_bounded(self):
+        # The profiled path does real work per task (span + counters) but
+        # must stay within a small constant factor of the spin time.
+        assert self._best_run(instrumented=True) <= 1.25

@@ -1,0 +1,125 @@
+"""Edge-case tests for ExecutionTrace accounting, the shared kind registry,
+and the Chrome-trace counter/metadata extensions."""
+
+import json
+
+import pytest
+
+from repro.runtime import (
+    KIND_STYLES,
+    ExecutionTrace,
+    TraceEvent,
+    export_chrome_trace,
+    kind_color,
+    kind_letter,
+    register_kind,
+    render_gantt,
+)
+
+
+class TestTraceEdgeCases:
+    def test_empty_trace(self):
+        tr = ExecutionTrace(nworkers=3)
+        assert tr.makespan == 0.0
+        assert tr.utilization() == 0.0
+        assert tr.busy_time(0) == 0.0
+        assert tr.worker_timelines() == [[], [], []]
+
+    def test_zero_duration_events(self):
+        tr = ExecutionTrace(nworkers=1)
+        tr.add(TraceEvent(0, "k", 0, 1.0, 1.0))
+        assert tr.events[0].duration == 0.0
+        assert tr.makespan == 1.0
+        assert tr.busy_time(0) == 0.0
+        assert tr.utilization() == 0.0
+
+    def test_multi_lane_utilization(self):
+        tr = ExecutionTrace(nworkers=3)
+        tr.add(TraceEvent(0, "k", 0, 0.0, 2.0))
+        tr.add(TraceEvent(1, "k", 1, 0.0, 1.0))
+        # worker 2 fully idle: busy 3 over 3 lanes x makespan 2.
+        assert tr.utilization() == pytest.approx(0.5)
+        assert tr.busy_time(2) == 0.0
+
+    def test_gantt_zero_duration_event_still_marks_a_cell(self):
+        tr = ExecutionTrace(nworkers=1)
+        tr.add(TraceEvent(0, "gemm", 0, 0.0, 2.0))
+        tr.add(TraceEvent(1, "getrf", 0, 1.0, 1.0))
+        art = render_gantt(tr, width=10)
+        assert "G" in art  # c1 = max(c0 + 1, ...) guarantees one cell
+
+
+class TestKindRegistry:
+    def test_known_kinds(self):
+        assert kind_letter("getrf") == "G"
+        assert kind_color("getrf") == "firebrick"
+        assert kind_letter("trsm-solve") == "S"  # the kind the gantt used to drop
+
+    def test_unknown_kind_fallback(self):
+        assert kind_letter("frobnicate") == "?"
+        assert kind_color("frobnicate") == "gray"
+
+    def test_every_style_is_complete(self):
+        for kind, style in KIND_STYLES.items():
+            assert len(style.letter) == 1, kind
+            assert style.color, kind
+
+    def test_register_kind(self):
+        register_kind("mytask", "X", "black")
+        try:
+            assert kind_letter("mytask") == "X"
+            assert kind_color("mytask") == "black"
+        finally:
+            del KIND_STYLES["mytask"]
+
+    def test_register_kind_rejects_long_letter(self):
+        with pytest.raises(ValueError, match="one character"):
+            register_kind("bad", "XY", "black")
+
+    def test_dot_export_uses_registry(self):
+        from repro.runtime import TaskGraph
+
+        g = TaskGraph()
+        g.new_task("getrf")
+        g.new_task("never-registered")
+        dot = g.to_dot()
+        assert "color=firebrick" in dot
+        assert "color=gray" in dot
+
+
+class TestChromeTraceCounters:
+    def _trace(self):
+        tr = ExecutionTrace(nworkers=2)
+        tr.add(TraceEvent(0, "gemm", 0, 0.0, 1.0))
+        tr.add(TraceEvent(1, "trsm", 1, 0.5, 2.0))
+        return tr
+
+    def test_counter_tracks(self, tmp_path):
+        p = export_chrome_trace(
+            self._trace(),
+            tmp_path / "t.json",
+            counters={"queue_depth": [(0.0, 3), (1.0, 1)], "h_bytes": [(0.5, 1024.0)]},
+        )
+        data = json.loads(p.read_text())
+        cs = [e for e in data["traceEvents"] if e["ph"] == "C"]
+        assert len(cs) == 3
+        qd = [e for e in cs if e["name"] == "queue_depth"]
+        assert [e["args"]["queue_depth"] for e in qd] == [3, 1]
+        assert qd[0]["ts"] == 0.0 and qd[1]["ts"] == pytest.approx(1e6)
+
+    def test_metadata_block(self, tmp_path):
+        p = export_chrome_trace(
+            self._trace(), tmp_path / "t.json", metadata={"scheduler": "ws"}
+        )
+        data = json.loads(p.read_text())
+        meta = data["metadata"]
+        assert meta["nworkers"] == 2
+        assert meta["makespan"] == pytest.approx(2.0)
+        assert meta["utilization"] == pytest.approx(2.5 / 4.0)
+        assert meta["scheduler"] == "ws"
+
+    def test_thread_sort_indices(self, tmp_path):
+        p = export_chrome_trace(self._trace(), tmp_path / "t.json")
+        data = json.loads(p.read_text())
+        sorts = [e for e in data["traceEvents"] if e["name"] == "thread_sort_index"]
+        assert [e["args"]["sort_index"] for e in sorts] == [0, 1]

@@ -67,9 +67,18 @@ class TestRenderGantt:
         assert "G" in art and "M" in art and "." in art
         assert art.count("\n") == 1  # two worker rows
 
+    def test_registered_kind_from_shared_registry(self):
+        # "compress" and "trsm-solve" used to render "?" because the gantt
+        # kept its own kind table; both now come from the shared registry.
+        tr = ExecutionTrace(nworkers=2)
+        tr.add(TraceEvent(0, "compress", 0, 0.0, 1.0))
+        tr.add(TraceEvent(1, "trsm-solve", 1, 0.0, 1.0))
+        art = render_gantt(tr, width=10)
+        assert "C" in art and "S" in art and "?" not in art
+
     def test_unknown_kind(self):
         tr = ExecutionTrace(nworkers=1)
-        tr.add(TraceEvent(0, "compress", 0, 0.0, 1.0))
+        tr.add(TraceEvent(0, "no-such-kernel", 0, 0.0, 1.0))
         assert "?" in render_gantt(tr, width=10)
 
 
@@ -183,10 +192,14 @@ class TestChromeTraceExport:
         p = export_chrome_trace(tr, tmp_path / "sub" / "trace.json")
         data = json.loads(p.read_text())
         assert data["metadata"]["nworkers"] == 2
-        assert len(data["traceEvents"]) == 2
-        ev = data["traceEvents"][0]
-        assert ev["ph"] == "X" and ev["tid"] == 0
+        xs = [e for e in data["traceEvents"] if e["ph"] == "X"]
+        assert len(xs) == 2
+        ev = xs[0]
+        assert ev["tid"] == 0
         assert ev["dur"] == pytest.approx(1.5e6)
+        # Thread-name metadata events precede the duration events.
+        names = [e for e in data["traceEvents"] if e["ph"] == "M" and e["name"] == "thread_name"]
+        assert [e["args"]["name"] for e in names] == ["worker 0", "worker 1"]
 
     def test_export_empty(self, tmp_path):
         import json
@@ -194,4 +207,7 @@ class TestChromeTraceExport:
         from repro.runtime import export_chrome_trace
 
         p = export_chrome_trace(ExecutionTrace(nworkers=1), tmp_path / "t.json")
-        assert json.loads(p.read_text())["traceEvents"] == []
+        data = json.loads(p.read_text())
+        # Only the per-worker metadata events remain for an empty trace.
+        assert all(e["ph"] == "M" for e in data["traceEvents"])
+        assert data["metadata"]["makespan"] == 0.0
