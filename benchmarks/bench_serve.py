@@ -1,0 +1,158 @@
+"""Serving benchmark: micro-batched throughput and cold-vs-warm latency.
+
+Drives a real :class:`~repro.service.SolveService` in-process (no HTTP — the
+wire adds constant cost; the quantity under test is the pipeline) and writes
+``BENCH_serve.json`` at the repository root:
+
+* ``serve_batch`` rows — ``requests`` identical-fingerprint solves pushed
+  through the service at micro-batch widths {1, 4, 8, 16} and 1/2 workers.
+  ``batch=1`` is the one-at-a-time baseline; the paper-economics claim under
+  test is that panel sweeps amortize the per-sweep tile/leaf traversal, so
+  batched throughput at width >= 8 must be >= 2x the baseline.
+* ``serve_cold`` / ``serve_warm`` rows — first request against an empty
+  store (pays assembly + factorization) vs a repeat request against the
+  warm store (pays only the panel solve): the factorization store's value
+  in one number.
+
+Smoke mode (``REPRO_BENCH_SMOKE=1``, used by CI) shrinks the problem so the
+bench runs in seconds.  Run standalone
+(``python benchmarks/bench_serve.py``) or through pytest.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.service import FactorizationStore, ProblemSpec, SolveService, build_solver
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUT_PATH = REPO_ROOT / "BENCH_serve.json"
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "0") == "1"
+REPS = int(os.environ.get("REPRO_BENCH_REPS", "1" if SMOKE else "3"))
+
+_N, _NB = (512, 128) if SMOKE else (2000, 256)
+_REQUESTS = 32 if SMOKE else 64
+_BATCHES = [1, 4, 8, 16]
+_WORKERS = [1, 2]
+
+SPEC = ProblemSpec(kernel="laplace", n=_N, nb=_NB, eps=1e-6, leaf_size=64)
+
+
+def _run_round(solver, rhs, *, batch: int, workers: int) -> dict:
+    """Push all requests through one service configuration; min over REPS."""
+    best = None
+    for _ in range(REPS):
+        svc = SolveService(
+            FactorizationStore(),
+            workers=workers,
+            max_queue=len(rhs) + 1,
+            max_batch=batch,
+            # Generous coalescing window: submissions are microseconds apart,
+            # so full batches form whenever batch > 1.
+            max_delay=0.05 if batch > 1 else 0.0,
+            solver_provider=lambda k, s: solver,
+        )
+        t0 = time.perf_counter()
+        tickets = [svc.submit(SPEC, b) for b in rhs]
+        for t in tickets:
+            t.result(timeout=600)
+        seconds = time.perf_counter() - t0
+        stats = svc.stats()
+        svc.close()
+        if best is None or seconds < best[0]:
+            best = (seconds, stats)
+    seconds, stats = best
+    lat = stats["latency_seconds"]
+    return {
+        "case": "serve_batch",
+        "n": _N,
+        "nb": _NB,
+        "batch": batch,
+        "workers": workers,
+        "requests": len(rhs),
+        "seconds": seconds,
+        "throughput_rps": len(rhs) / seconds,
+        "p50_ms": lat.get("p50", lat["mean"]) * 1e3,
+        "p95_ms": lat.get("p95", lat["max"]) * 1e3,
+        "mean_batch_width": stats["batch_size"]["mean"],
+        "sweeps": stats["batch_size"]["count"],
+    }
+
+
+def _cold_vs_warm(tmp_store: Path, rhs0: np.ndarray) -> list[dict]:
+    store = FactorizationStore(tmp_store)
+    svc = SolveService(store, workers=1)
+    t0 = time.perf_counter()
+    svc.solve(SPEC, rhs0)
+    cold = time.perf_counter() - t0
+    warm = np.inf
+    for _ in range(max(3, REPS)):
+        t0 = time.perf_counter()
+        svc.solve(SPEC, rhs0)
+        warm = min(warm, time.perf_counter() - t0)
+    stats = svc.stats()
+    svc.close()
+    return [
+        {"case": "serve_cold", "n": _N, "nb": _NB, "seconds": cold,
+         "store_misses": stats["store"]["misses"]},
+        {"case": "serve_warm", "n": _N, "nb": _NB, "seconds": warm,
+         "store_hits": stats["store"]["hits"],
+         "speedup_vs_cold": cold / warm},
+    ]
+
+
+def run() -> list[dict]:
+    rng = np.random.default_rng(0)
+    rhs = [rng.standard_normal(_N) for _ in range(_REQUESTS)]
+    solver = build_solver(SPEC)  # factorize once; rounds measure serving only
+
+    rows = []
+    for workers in _WORKERS:
+        for batch in _BATCHES:
+            rows.append(_run_round(solver, rhs, batch=batch, workers=workers))
+
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as d:
+        rows.extend(_cold_vs_warm(Path(d), rhs[0]))
+    OUT_PATH.write_text(json.dumps(rows, indent=2) + "\n")
+    return rows
+
+
+def test_bench_serve():
+    rows = run()
+    assert OUT_PATH.exists()
+    by = {(r["case"], r.get("batch"), r.get("workers")): r for r in rows}
+    base = by[("serve_batch", 1, 1)]
+    batched = by[("serve_batch", 8, 1)]
+    # The acceptance criterion: micro-batching at width >= 8 at least
+    # doubles one-at-a-time throughput.
+    ratio = batched["throughput_rps"] / base["throughput_rps"]
+    assert ratio >= 2.0, f"batch-8 throughput only {ratio:.2f}x baseline"
+    # Batches actually formed (otherwise the row measures nothing).
+    assert batched["mean_batch_width"] > 4.0, batched
+    cold = by[("serve_cold", None, None)]
+    warm = by[("serve_warm", None, None)]
+    # A warm store must skip the factorization entirely.
+    assert warm["store_hits"] >= 1 and cold["store_misses"] == 1
+    assert warm["seconds"] < cold["seconds"], (warm, cold)
+
+
+if __name__ == "__main__":
+    for r in run():
+        if r["case"] == "serve_batch":
+            print(
+                f"batch={r['batch']:>2} workers={r['workers']}  "
+                f"{r['throughput_rps']:8.1f} req/s  "
+                f"p50 {r['p50_ms']:7.2f} ms  p95 {r['p95_ms']:7.2f} ms  "
+                f"(width {r['mean_batch_width']:.1f}, {r['sweeps']} sweeps)"
+            )
+        else:
+            print(f"{r['case']:>11}  {r['seconds'] * 1e3:9.2f} ms")
+    print(f"\nwrote {OUT_PATH}")

@@ -12,6 +12,8 @@ and (simulated) parallel performance::
     python -m repro --n 2000 --exec threaded --nworkers 4 --scheduler ws \
         --profile run.json --chrome-trace run.trace.json
     python -m repro report run.json
+    python -m repro serve --port 8750 --store /tmp/factors
+    python -m repro request --url http://127.0.0.1:8750 --n 2000 --check
 """
 
 from __future__ import annotations
@@ -151,6 +153,14 @@ def main(argv: list[str] | None = None) -> int:
         argv = sys.argv[1:]
     if argv and argv[0] == "report":
         return report_main(argv[1:])
+    if argv and argv[0] == "serve":
+        from .service.cli import serve_main
+
+        return serve_main(argv[1:])
+    if argv and argv[0] == "request":
+        from .service.cli import request_main
+
+        return request_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.n < 2:
         print("error: --n must be at least 2", file=sys.stderr)

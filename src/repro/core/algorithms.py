@@ -20,7 +20,8 @@ from ..dense import flops_gemm, flops_getrf, flops_potrf, flops_trsm
 from ..hmatrix import UpdateAccumulator, hgemm, hgemm_transb, hgetrf, hpotrf, htrsm
 from ..hmatrix.arithmetic import (
     _htrsm_right_lower_transpose,
-    h_rmatvec,
+    panel_matvec,
+    panel_rmatvec,
     solve_lower_panel,
     solve_lower_transpose_panel,
     solve_upper_panel,
@@ -39,6 +40,23 @@ __all__ = [
 ]
 
 R, RW = AccessMode.R, AccessMode.RW
+
+
+def _as_panel(b: np.ndarray, n: int) -> tuple[np.ndarray, bool]:
+    """Validate a right-hand side and view it as a 2-D panel.
+
+    Accepts a vector (returned squeezed) or a 2-D multi-RHS panel; anything
+    else — higher-rank arrays, wrong leading dimension — raises a clear
+    ``ValueError`` instead of failing deep inside the substitution loops.
+    """
+    b = np.asarray(b)
+    if b.ndim not in (1, 2):
+        raise ValueError(f"b must be a vector or a 2-D RHS panel, got ndim={b.ndim}")
+    squeeze = b.ndim == 1
+    x = b[:, None] if squeeze else b
+    if x.shape[0] != n:
+        raise ValueError(f"rhs leading dim {x.shape[0]} != {n}")
+    return x, squeeze
 
 
 def apply_bottom_level_priorities(graph: TaskGraph, cost_attr: str = "flops") -> None:
@@ -248,13 +266,11 @@ def tiled_potrf_tasks(
 def tiled_chol_solve(desc: TileHDesc, b: np.ndarray) -> np.ndarray:
     """Solve ``A x = b`` after :func:`tiled_potrf_tasks` (``A = L L^T``).
 
-    Original ordering in and out, vector or panel.
+    Original ordering in and out, vector or panel.  Multi-column panels are
+    solved column-stably: every column matches a standalone single-RHS solve
+    bit-for-bit (see :func:`~repro.hmatrix.arithmetic.panel_matvec`).
     """
-    b = np.asarray(b)
-    squeeze = b.ndim == 1
-    x = b[:, None] if squeeze else b
-    if x.shape[0] != desc.n:
-        raise ValueError(f"rhs leading dim {x.shape[0]} != {desc.n}")
+    x, squeeze = _as_panel(b, desc.n)
     nt = desc.nt
     grid = desc.super
     work = np.array(x[desc.perm], dtype=np.promote_types(grid.dtype, x.dtype), copy=True)
@@ -263,15 +279,17 @@ def tiled_chol_solve(desc: TileHDesc, b: np.ndarray) -> np.ndarray:
     for k in range(nt):
         sk = desc.tile_slice(k)
         for j in range(k):
-            work[sk] -= grid.get_blktile(k, j).matvec(work[desc.tile_slice(j)])
-        work[sk] = solve_lower_panel(grid.get_blktile(k, k).mat, work[sk], unit_diagonal=False)
+            work[sk] -= panel_matvec(grid.get_blktile(k, j).mat, work[desc.tile_slice(j)])
+        work[sk] = solve_lower_panel(
+            grid.get_blktile(k, k).mat, work[sk], unit_diagonal=False, column_stable=True
+        )
     # Backward: L^T x = y, using the lower tiles transposed.
     for k in reversed(range(nt)):
         sk = desc.tile_slice(k)
         for j in range(k + 1, nt):
-            work[sk] -= h_rmatvec(grid.get_blktile(j, k).mat, work[desc.tile_slice(j)])
+            work[sk] -= panel_rmatvec(grid.get_blktile(j, k).mat, work[desc.tile_slice(j)])
         work[sk] = solve_lower_transpose_panel(
-            grid.get_blktile(k, k).mat, work[sk], unit_diagonal=False
+            grid.get_blktile(k, k).mat, work[sk], unit_diagonal=False, column_stable=True
         )
 
     out = np.empty_like(work)
@@ -301,12 +319,11 @@ def tiled_solve_tasks(
     section closes, so an ``executor`` (typically a
     :class:`~repro.runtime.ThreadedExecutor`) is required and is run on the
     graph before the solution is gathered.
+
+    Multi-column panels are solved column-stably (each column bit-identical
+    to its standalone single-RHS solve), matching :func:`tiled_solve`.
     """
-    b = np.asarray(b)
-    squeeze = b.ndim == 1
-    x = b[:, None] if squeeze else b
-    if x.shape[0] != desc.n:
-        raise ValueError(f"rhs leading dim {x.shape[0]} != {desc.n}")
+    x, squeeze = _as_panel(b, desc.n)
     eng = engine or StfEngine(mode="eager", racecheck=racecheck)
     nt = desc.nt
     grid = desc.super
@@ -323,15 +340,17 @@ def tiled_solve_tasks(
     nrhs = work.shape[1]
 
     def gemv(k, j):
-        segments[k][...] -= grid.get_blktile(k, j).matvec(segments[j])
+        segments[k][...] -= panel_matvec(grid.get_blktile(k, j).mat, segments[j])
 
     def trsv_lower(k):
         segments[k][...] = solve_lower_panel(
-            grid.get_blktile(k, k).mat, segments[k], unit_diagonal=True
+            grid.get_blktile(k, k).mat, segments[k], unit_diagonal=True, column_stable=True
         )
 
     def trsv_upper(k):
-        segments[k][...] = solve_upper_panel(grid.get_blktile(k, k).mat, segments[k])
+        segments[k][...] = solve_upper_panel(
+            grid.get_blktile(k, k).mat, segments[k], column_stable=True
+        )
 
     # Forward substitution: L y = b.
     for k in range(nt):
@@ -392,12 +411,14 @@ def tiled_solve(desc: TileHDesc, b: np.ndarray) -> np.ndarray:
     clustering permutation is applied internally.  The substitution runs
     tile-wise: its cost is a lower-order term, so it is executed directly
     rather than through the runtime.
+
+    Multi-column panels amortize the tile/leaf traversal across columns while
+    staying column-stable: column ``c`` of the panel solution is bit-identical
+    to ``tiled_solve(desc, b[:, c])`` — the batch a request lands in can never
+    change its answer (the property the solve service's micro-batcher relies
+    on).
     """
-    b = np.asarray(b)
-    squeeze = b.ndim == 1
-    x = b[:, None] if squeeze else b
-    if x.shape[0] != desc.n:
-        raise ValueError(f"rhs leading dim {x.shape[0]} != {desc.n}")
+    x, squeeze = _as_panel(b, desc.n)
     nt = desc.nt
     grid = desc.super
     work = np.array(x[desc.perm], dtype=np.promote_types(grid.dtype, x.dtype), copy=True)
@@ -406,14 +427,18 @@ def tiled_solve(desc: TileHDesc, b: np.ndarray) -> np.ndarray:
     for k in range(nt):
         sk = desc.tile_slice(k)
         for j in range(k):
-            work[sk] -= grid.get_blktile(k, j).matvec(work[desc.tile_slice(j)])
-        work[sk] = solve_lower_panel(grid.get_blktile(k, k).mat, work[sk], unit_diagonal=True)
+            work[sk] -= panel_matvec(grid.get_blktile(k, j).mat, work[desc.tile_slice(j)])
+        work[sk] = solve_lower_panel(
+            grid.get_blktile(k, k).mat, work[sk], unit_diagonal=True, column_stable=True
+        )
     # Backward substitution: U x = y.
     for k in reversed(range(nt)):
         sk = desc.tile_slice(k)
         for j in range(k + 1, nt):
-            work[sk] -= grid.get_blktile(k, j).matvec(work[desc.tile_slice(j)])
-        work[sk] = solve_upper_panel(grid.get_blktile(k, k).mat, work[sk])
+            work[sk] -= panel_matvec(grid.get_blktile(k, j).mat, work[desc.tile_slice(j)])
+        work[sk] = solve_upper_panel(
+            grid.get_blktile(k, k).mat, work[sk], column_stable=True
+        )
 
     out = np.empty_like(work)
     out[desc.perm] = work

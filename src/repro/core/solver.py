@@ -447,26 +447,52 @@ class TileHMatrix:
 
     # -- persistence ----------------------------------------------------------
     def save(self, path):
-        """Persist the assembled (unfactorised) matrix to an ``.npz`` file.
+        """Persist the matrix — assembled or factorised — to an ``.npz`` file.
 
-        Assembly is the expensive step; a saved matrix reloads in seconds
-        with :meth:`load`.  Factorised matrices are not saveable (factors
-        overwrite the content in place).
+        Assembly and factorisation are the expensive steps; a saved matrix
+        reloads in seconds with :meth:`load`.  For a factorised matrix the
+        tile payloads *are* the factor content (factorisation overwrites in
+        place), so the archive records the factorisation state (``method``,
+        solver config, packed-triangle cache flags) and :meth:`load` restores
+        a matrix that is immediately solvable — bit-identically to the
+        in-memory one — with no new factorisation.
         """
-        if self._factorized:
-            raise RuntimeError("cannot save a factorised matrix")
         from ..hmatrix.io import save_tile_h
 
-        return save_tile_h(self.desc, path)
+        return save_tile_h(
+            self.desc,
+            path,
+            factorized=self._factorized,
+            method=self._method if self._factorized else None,
+            config=self.config,
+        )
 
     @classmethod
     def load(cls, path, config: TileHConfig | None = None) -> "TileHMatrix":
-        """Reload a matrix saved with :meth:`save`."""
-        from ..hmatrix.io import load_tile_h
+        """Reload a matrix saved with :meth:`save`.
 
+        Restores the factorisation state: a matrix saved after
+        :meth:`factorize` loads ready to :meth:`solve`.  When ``config`` is
+        not given, the saved solver config is restored (v1 archives fall back
+        to the descriptor's ``nb``/``eps``).
+        """
+        from dataclasses import fields
+
+        from ..hmatrix.io import load_tile_h, load_tile_h_meta
+
+        meta = load_tile_h_meta(path)
         desc = load_tile_h(path)
-        cfg = config or TileHConfig(nb=desc.nb, eps=desc.eps)
-        return cls(desc, cfg)
+        if config is None:
+            allowed = {f.name for f in fields(TileHConfig)}
+            kwargs = {k: v for k, v in meta["config"].items() if k in allowed}
+            kwargs.setdefault("nb", desc.nb)
+            kwargs.setdefault("eps", desc.eps)
+            config = TileHConfig(**kwargs)
+        solver = cls(desc, config)
+        if meta["factorized"]:
+            solver._factorized = True
+            solver._method = meta["method"]
+        return solver
 
     def solve_refined(
         self, b: np.ndarray, matvec, *, max_iter: int = 10, rtol: float = 1e-12

@@ -32,7 +32,7 @@ from .hmatrix import (
     assemble_hmatrix_tasks,
     AssemblyConfig,
 )
-from .io import save_hmatrix, load_hmatrix, save_tile_h, load_tile_h
+from .io import save_hmatrix, load_hmatrix, save_tile_h, load_tile_h, load_tile_h_meta
 from .arithmetic import (
     hgetrf,
     hgeadd,
@@ -89,4 +89,5 @@ __all__ = [
     "load_hmatrix",
     "save_tile_h",
     "load_tile_h",
+    "load_tile_h_meta",
 ]

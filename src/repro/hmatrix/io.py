@@ -12,10 +12,19 @@ it on disk.  The format is a single compressed ``.npz``:
 The same node-indexing works for one global H-matrix and for the ``nt x nt``
 tiles of a Tile-H descriptor (whose row/col clusters are subtrees of the one
 root tree).
+
+Format v2 additionally records *factorisation state*: a ``factorized`` flag,
+the factorisation ``method``, the solver config (JSON), and one flag per
+H-node marking packed-triangle caches (``packed_lu``), which are recomputed
+on load exactly as the factorisation created them (``to_dense()`` of the
+factor content) so a loaded factor solves bit-identically to the in-memory
+one.  v1 archives load fine and report ``factorized=False``.
 """
 
 from __future__ import annotations
 
+import json
+from dataclasses import asdict, is_dataclass
 from pathlib import Path
 
 import numpy as np
@@ -24,9 +33,19 @@ from .cluster import BoundingBox, ClusterTree
 from .hmatrix import HMatrix
 from .rk import RkMatrix
 
-__all__ = ["save_hmatrix", "load_hmatrix", "save_tile_h", "load_tile_h"]
+__all__ = [
+    "save_hmatrix",
+    "load_hmatrix",
+    "save_tile_h",
+    "load_tile_h",
+    "load_tile_h_meta",
+]
 
 _KIND_CODE = {"full": 0, "rk": 1, "h": 2}
+
+#: Current Tile-H archive format.  v2 added factorisation metadata and
+#: per-node packed-triangle flags; v1 archives are still readable.
+TILE_H_FORMAT_VERSION = 2
 
 
 # ---------------------------------------------------------------------------
@@ -100,7 +119,7 @@ def _deserialize_tree(data, points: np.ndarray, perm: np.ndarray) -> list[Cluste
 # ---------------------------------------------------------------------------
 
 def _serialize_hmatrix(h: HMatrix, idx: dict[int, int], payloads: dict, prefix: str) -> dict:
-    kinds, rows_i, cols_i, nrc, ncc = [], [], [], [], []
+    kinds, rows_i, cols_i, nrc, ncc, plu = [], [], [], [], [], []
 
     def visit(node: HMatrix) -> None:
         k = len(kinds)
@@ -109,6 +128,7 @@ def _serialize_hmatrix(h: HMatrix, idx: dict[int, int], payloads: dict, prefix: 
         cols_i.append(idx[id(node.cols)])
         nrc.append(node.nrow_children)
         ncc.append(node.ncol_children)
+        plu.append(1 if node.packed_lu is not None else 0)
         if node.full is not None:
             payloads[f"{prefix}full_{k}"] = node.full
         elif node.rk is not None:
@@ -124,7 +144,20 @@ def _serialize_hmatrix(h: HMatrix, idx: dict[int, int], payloads: dict, prefix: 
         f"{prefix}cols": np.asarray(cols_i, dtype=np.int64),
         f"{prefix}nrc": np.asarray(nrc, dtype=np.int64),
         f"{prefix}ncc": np.asarray(ncc, dtype=np.int64),
+        f"{prefix}plu": np.asarray(plu, dtype=np.int8),
     }
+
+
+def _payload(data, key: str) -> np.ndarray:
+    if key not in data:
+        raise ValueError(
+            f"corrupt H-matrix archive: missing payload {key!r} (truncated file?)"
+        )
+    # npy preserves C-vs-Fortran order, and BLAS dispatch (hence the low-order
+    # bits of every downstream product) depends on it: return the array as
+    # stored, don't force contiguity — bit-identical solves need the factor
+    # operands in their original layout.
+    return data[key]
 
 
 def _deserialize_hmatrix(data, nodes: list[ClusterTree], prefix: str) -> HMatrix:
@@ -133,29 +166,74 @@ def _deserialize_hmatrix(data, nodes: list[ClusterTree], prefix: str) -> HMatrix
     cols_i = data[f"{prefix}cols"]
     nrc = data[f"{prefix}nrc"]
     ncc = data[f"{prefix}ncc"]
+    # v1 archives predate the packed-triangle flags.
+    plu = data[f"{prefix}plu"] if f"{prefix}plu" in data else None
+    n_nodes = len(kinds)
+    for name, arr in (("rows", rows_i), ("cols", cols_i), ("nrc", nrc), ("ncc", ncc)):
+        if len(arr) != n_nodes:
+            raise ValueError(
+                f"corrupt H-matrix archive: {prefix}{name} has {len(arr)} entries "
+                f"for {n_nodes} nodes"
+            )
     pos = {"i": 0}
 
     def build() -> HMatrix:
         k = pos["i"]
         pos["i"] += 1
-        rows = nodes[int(rows_i[k])]
-        cols = nodes[int(cols_i[k])]
+        if k >= n_nodes:
+            raise ValueError(
+                f"corrupt H-matrix archive: node structure {prefix!r} references "
+                f"more than its {n_nodes} serialized nodes"
+            )
+        ri, ci = int(rows_i[k]), int(cols_i[k])
+        if not (0 <= ri < len(nodes) and 0 <= ci < len(nodes)):
+            raise ValueError(
+                f"corrupt H-matrix archive: node {prefix}{k} references cluster "
+                f"({ri}, {ci}) outside the {len(nodes)}-node tree"
+            )
+        rows = nodes[ri]
+        cols = nodes[ci]
         code = int(kinds[k])
         if code == 0:
-            return HMatrix(rows, cols, full=np.ascontiguousarray(data[f"{prefix}full_{k}"]))
-        if code == 1:
-            rk = RkMatrix(
-                np.ascontiguousarray(data[f"{prefix}rku_{k}"]),
-                np.ascontiguousarray(data[f"{prefix}rkv_{k}"]),
+            full = _payload(data, f"{prefix}full_{k}")
+            if full.shape != (rows.size, cols.size):
+                raise ValueError(
+                    f"corrupt H-matrix archive: payload {prefix}full_{k} has shape "
+                    f"{full.shape}, clusters say {(rows.size, cols.size)}"
+                )
+            node = HMatrix(rows, cols, full=full)
+        elif code == 1:
+            u = _payload(data, f"{prefix}rku_{k}")
+            v = _payload(data, f"{prefix}rkv_{k}")
+            if u.shape[0] != rows.size or v.shape[0] != cols.size or u.shape[1] != v.shape[1]:
+                raise ValueError(
+                    f"corrupt H-matrix archive: Rk payload {prefix}rk*_{k} has shapes "
+                    f"{u.shape}/{v.shape}, clusters say {(rows.size, cols.size)}"
+                )
+            node = HMatrix(rows, cols, rk=RkMatrix(u, v))
+        elif code == 2:
+            n_children = int(nrc[k]) * int(ncc[k])
+            kids = [build() for _ in range(n_children)]
+            node = HMatrix(
+                rows, cols, children=kids, nrow_children=int(nrc[k]), ncol_children=int(ncc[k])
             )
-            return HMatrix(rows, cols, rk=rk)
-        n_children = int(nrc[k]) * int(ncc[k])
-        kids = [build() for _ in range(n_children)]
-        return HMatrix(
-            rows, cols, children=kids, nrow_children=int(nrc[k]), ncol_children=int(ncc[k])
-        )
+        else:
+            raise ValueError(
+                f"corrupt H-matrix archive: node {prefix}{k} has unknown kind code {code}"
+            )
+        if plu is not None and int(plu[k]):
+            # Recompute the packed-triangle cache exactly as the factorisation
+            # created it (``to_dense()`` of the factor content, F-ordered) so
+            # loaded factors solve bit-identically to in-memory ones.
+            node.packed_lu = np.asfortranarray(node.to_dense())
+        return node
 
     h = build()
+    if pos["i"] != n_nodes:
+        raise ValueError(
+            f"corrupt H-matrix archive: structure {prefix!r} used {pos['i']} of "
+            f"{n_nodes} serialized nodes"
+        )
     return h
 
 
@@ -197,8 +275,23 @@ def load_hmatrix(path) -> tuple[HMatrix, ClusterTree]:
 # Public API — Tile-H descriptors
 # ---------------------------------------------------------------------------
 
-def save_tile_h(desc, path) -> Path:
-    """Save a :class:`~repro.core.descriptor.TileHDesc` to ``path`` (.npz)."""
+def _config_dict(config) -> dict:
+    if config is None:
+        return {}
+    if is_dataclass(config) and not isinstance(config, type):
+        return asdict(config)
+    return dict(config)
+
+
+def save_tile_h(desc, path, *, factorized: bool = False, method: str | None = None,
+                config=None) -> Path:
+    """Save a :class:`~repro.core.descriptor.TileHDesc` to ``path`` (.npz).
+
+    ``factorized``/``method`` record the factorisation state of the tiles
+    (the payloads are the L/U or Cholesky factor content when set) and
+    ``config`` (a dataclass or mapping) is stored as JSON so a loaded matrix
+    can solve under the configuration that produced the factors.
+    """
     root = desc.root
     idx = _tree_index(root)
     nt = desc.nt
@@ -206,9 +299,13 @@ def save_tile_h(desc, path) -> Path:
     arrays = {
         "points": root.points,
         "perm": root.perm,
+        "format_version": np.asarray([TILE_H_FORMAT_VERSION], dtype=np.int64),
         "nt": np.asarray([nt], dtype=np.int64),
         "nb": np.asarray([desc.nb], dtype=np.int64),
         "eps": np.asarray([desc.eps], dtype=np.float64),
+        "factorized": np.asarray([1 if factorized else 0], dtype=np.int8),
+        "method": np.asarray([method or ""]),
+        "config_json": np.asarray([json.dumps(_config_dict(config), sort_keys=True)]),
         "tile_cluster_idx": np.asarray(
             [idx[id(c)] for c in desc.clusters], dtype=np.int64
         ),
@@ -226,12 +323,76 @@ def save_tile_h(desc, path) -> Path:
     return p
 
 
+_TILE_H_REQUIRED = (
+    "points", "perm", "nt", "nb", "eps", "tile_cluster_idx",
+    "tree_start", "tree_stop", "tree_level", "tree_nkids",
+)
+
+
+def _open_archive(path):
+    p = Path(path)
+    try:
+        return np.load(p, allow_pickle=False)
+    except FileNotFoundError:
+        raise
+    except Exception as exc:  # zipfile.BadZipFile, OSError, pickle refusals, ...
+        raise ValueError(f"cannot read Tile-H archive {p}: {exc}") from exc
+
+
+def _validate_tile_h(data, path) -> None:
+    missing = [k for k in _TILE_H_REQUIRED if k not in data]
+    if missing:
+        raise ValueError(
+            f"invalid Tile-H archive {path}: missing keys {missing} "
+            "(truncated file or not a Tile-H save?)"
+        )
+    n_tree = len(data["tree_start"])
+    for k in ("tree_stop", "tree_level", "tree_nkids"):
+        if len(data[k]) != n_tree:
+            raise ValueError(
+                f"invalid Tile-H archive {path}: cluster-tree arrays disagree "
+                f"({k} has {len(data[k])} entries, tree_start has {n_tree})"
+            )
+    nt = int(data["nt"][0])
+    if nt < 1:
+        raise ValueError(f"invalid Tile-H archive {path}: nt={nt}")
+    idx = data["tile_cluster_idx"]
+    if len(idx) != nt:
+        raise ValueError(
+            f"invalid Tile-H archive {path}: {len(idx)} tile clusters for nt={nt}"
+        )
+    if len(idx) and (int(idx.min()) < 0 or int(idx.max()) >= n_tree):
+        raise ValueError(
+            f"invalid Tile-H archive {path}: tile cluster index out of range "
+            f"(tree has {n_tree} nodes)"
+        )
+    n = data["points"].shape[0]
+    if data["perm"].shape[0] != n:
+        raise ValueError(
+            f"invalid Tile-H archive {path}: permutation length "
+            f"{data['perm'].shape[0]} != {n} points"
+        )
+    for i in range(nt):
+        for j in range(nt):
+            if f"t{i}_{j}_kind" not in data:
+                raise ValueError(
+                    f"invalid Tile-H archive {path}: tile ({i}, {j}) missing "
+                    f"(truncated file?)"
+                )
+
+
 def load_tile_h(path):
-    """Load a Tile-H descriptor saved by :func:`save_tile_h`."""
+    """Load a Tile-H descriptor saved by :func:`save_tile_h`.
+
+    The archive is validated up front (required keys, consistent tree/tile
+    arrays, payload shapes) and a :class:`ValueError` naming the problem is
+    raised on truncated or mismatched files.
+    """
     from ..core.descriptor import Tile, TileDesc, TileHDesc
     from .block import StrongAdmissibility
 
-    with np.load(Path(path)) as data:
+    with _open_archive(path) as data:
+        _validate_tile_h(data, path)
         points = np.ascontiguousarray(data["points"])
         perm = np.ascontiguousarray(data["perm"])
         nodes = _deserialize_tree(data, points, perm)
@@ -239,10 +400,22 @@ def load_tile_h(path):
         nb = int(data["nb"][0])
         eps = float(data["eps"][0])
         clusters = [nodes[int(k)] for k in data["tile_cluster_idx"]]
+        n = points.shape[0]
+        if sum(c.size for c in clusters) != n:
+            raise ValueError(
+                f"invalid Tile-H archive {path}: tile clusters cover "
+                f"{sum(c.size for c in clusters)} of {n} points"
+            )
         tiles = []
         for i in range(nt):
             for j in range(nt):
                 h = _deserialize_hmatrix(data, nodes, f"t{i}_{j}_")
+                if h.shape != (clusters[i].size, clusters[j].size):
+                    raise ValueError(
+                        f"invalid Tile-H archive {path}: tile ({i}, {j}) has shape "
+                        f"{h.shape}, clusters say "
+                        f"{(clusters[i].size, clusters[j].size)}"
+                    )
                 tiles.append(Tile.of(h))
     desc = TileDesc(n=points.shape[0], nb=nb, nt=nt, tiles=tiles)
     return TileHDesc(
@@ -253,3 +426,42 @@ def load_tile_h(path):
         perm=perm,
         eps=eps,
     )
+
+
+def load_tile_h_meta(path) -> dict:
+    """Read a Tile-H archive's metadata without deserializing any payloads.
+
+    Returns a dict with ``n``, ``nt``, ``nb``, ``eps``, ``factorized``,
+    ``method`` (``None`` when unfactorised), ``config`` (the saved solver
+    config as a dict, ``{}`` for v1 archives) and ``format_version``.
+    """
+    with _open_archive(path) as data:
+        missing = [k for k in ("points", "nt", "nb", "eps") if k not in data]
+        if missing:
+            raise ValueError(
+                f"invalid Tile-H archive {path}: missing keys {missing} "
+                "(truncated file or not a Tile-H save?)"
+            )
+        meta = {
+            "n": int(data["points"].shape[0]),
+            "nt": int(data["nt"][0]),
+            "nb": int(data["nb"][0]),
+            "eps": float(data["eps"][0]),
+            "format_version": int(data["format_version"][0])
+            if "format_version" in data else 1,
+            "factorized": bool(int(data["factorized"][0]))
+            if "factorized" in data else False,
+            "method": None,
+            "config": {},
+        }
+        if "method" in data:
+            m = str(data["method"][0])
+            meta["method"] = m or None
+        if "config_json" in data:
+            try:
+                meta["config"] = json.loads(str(data["config_json"][0]))
+            except json.JSONDecodeError as exc:
+                raise ValueError(
+                    f"invalid Tile-H archive {path}: corrupt config JSON: {exc}"
+                ) from exc
+    return meta

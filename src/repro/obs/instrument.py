@@ -148,3 +148,57 @@ class Instrumentation:
         self.registry.inc("h.accumulator.flushed_blocks", nblocks)
         if early:
             self.registry.inc("h.accumulator.early_flushes", nblocks)
+
+    # -- solve-service hooks --------------------------------------------------
+    def service_admitted(self) -> None:
+        """One request accepted into the solve service's admission queue."""
+        self.registry.inc("service.requests.admitted")
+
+    def service_rejected(self, reason: str) -> None:
+        """One request rejected (``reason``: "queue_full", "closed",
+        "deadline", ...) — the backpressure signal."""
+        self.registry.inc("service.requests.rejected")
+        self.registry.inc(f"service.requests.rejected.{reason}")
+
+    def service_completed(self, latency_seconds: float) -> None:
+        """One admitted request finished successfully; records the
+        admission-to-reply latency decade histogram."""
+        self.registry.inc("service.requests.completed")
+        self.registry.observe("service.latency_seconds", latency_seconds)
+
+    def service_failed(self, reason: str) -> None:
+        """One admitted request failed terminally (after retries)."""
+        self.registry.inc("service.requests.failed")
+        self.registry.inc(f"service.requests.failed.{reason}")
+
+    def service_retry(self) -> None:
+        """One transient failure retried."""
+        self.registry.inc("service.requests.retries")
+
+    def service_batch(self, size: int) -> None:
+        """One micro-batch dispatched as a multi-RHS panel solve."""
+        self.registry.inc("service.batches")
+        self.registry.observe("service.batch_size", size)
+
+    def service_queue_depth(self, depth: int, t: float | None = None) -> None:
+        """Admission-queue depth after an enqueue/dequeue (gauge + peak +
+        Chrome counter-track series)."""
+        self.registry.set_gauge("service.queue_depth", depth)
+        self.registry.max_gauge("service.queue_depth_peak", depth)
+        self.sample("service_queue_depth", depth, t)
+
+    def store_lookup(self, hit: bool) -> None:
+        """One FactorizationStore key lookup."""
+        self.registry.inc("service.store.hits" if hit else "service.store.misses")
+
+    def store_eviction(self) -> None:
+        """One cached factorization evicted to respect the byte budget."""
+        self.registry.inc("service.store.evictions")
+
+    def store_bytes_delta(self, delta: float, t: float | None = None) -> None:
+        """Store cache residency grew/shrank by ``delta`` bytes; feeds the
+        same H-memory accounting as :meth:`h_bytes_delta` plus a dedicated
+        store gauge."""
+        level = self.registry.add_gauge("service.store.bytes", float(delta))
+        self.registry.max_gauge("service.store.peak_bytes", level)
+        self.h_bytes_delta(delta, t)

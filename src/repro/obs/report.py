@@ -142,6 +142,47 @@ REPORT_SCHEMA = {
             },
         },
         "counters": {"type": "object"},
+        "service": {
+            "type": "object",
+            "required": ["requests", "latency_seconds", "batch_size", "store"],
+            "properties": {
+                "requests": {
+                    "type": "object",
+                    "required": ["admitted", "rejected", "completed", "failed"],
+                    "properties": {
+                        "admitted": {"type": "integer", "minimum": 0},
+                        "rejected": {"type": "integer", "minimum": 0},
+                        "completed": {"type": "integer", "minimum": 0},
+                        "failed": {"type": "integer", "minimum": 0},
+                        "expired": {"type": "integer", "minimum": 0},
+                        "retries": {"type": "integer", "minimum": 0},
+                    },
+                },
+                "latency_seconds": _HIST,
+                "batch_size": _HIST,
+                "queue": {
+                    "type": "object",
+                    "properties": {
+                        "depth_peak": {"type": "integer", "minimum": 0},
+                        "capacity": {"type": "integer", "minimum": 0},
+                    },
+                },
+                "store": {
+                    "type": "object",
+                    "required": ["hits", "misses"],
+                    "properties": {
+                        "hits": {"type": "integer", "minimum": 0},
+                        "misses": {"type": "integer", "minimum": 0},
+                        "evictions": {"type": "integer", "minimum": 0},
+                        "entries": {"type": "integer", "minimum": 0},
+                        "bytes": {"type": "number", "minimum": 0},
+                        "peak_bytes": {"type": "number", "minimum": 0},
+                        "budget_bytes": {"type": ["number", "null"]},
+                    },
+                },
+                "workers": {"type": "integer", "minimum": 0},
+            },
+        },
     },
 }
 
@@ -149,7 +190,31 @@ REPORT_SCHEMA = {
 # -- construction -----------------------------------------------------------
 
 
-def build_run_report(*, probe=None, trace=None, graph=None, meta=None) -> dict:
+def _service_section(reg) -> dict:
+    """Fold the probe's ``service.*`` metrics into the report's ``service``
+    section (used when the caller has no richer stats dict to contribute)."""
+    return {
+        "requests": {
+            "admitted": int(reg.counter("service.requests.admitted")),
+            "rejected": int(reg.counter("service.requests.rejected")),
+            "completed": int(reg.counter("service.requests.completed")),
+            "failed": int(reg.counter("service.requests.failed")),
+            "retries": int(reg.counter("service.requests.retries")),
+        },
+        "latency_seconds": reg.histogram("service.latency_seconds"),
+        "batch_size": reg.histogram("service.batch_size"),
+        "queue": {"depth_peak": int(reg.gauge("service.queue_depth_peak"))},
+        "store": {
+            "hits": int(reg.counter("service.store.hits")),
+            "misses": int(reg.counter("service.store.misses")),
+            "evictions": int(reg.counter("service.store.evictions")),
+            "bytes": reg.gauge("service.store.bytes"),
+            "peak_bytes": reg.gauge("service.store.peak_bytes"),
+        },
+    }
+
+
+def build_run_report(*, probe=None, trace=None, graph=None, meta=None, service=None) -> dict:
     """Fold probe aggregates + trace + graph into one schema-valid report.
 
     ``trace`` (an :class:`~repro.runtime.trace.ExecutionTrace`) is the
@@ -159,6 +224,10 @@ def build_run_report(*, probe=None, trace=None, graph=None, meta=None) -> dict:
     run is reported as a single worker lane.  ``probe`` contributes flop
     tags, scheduler counters, and the H-arithmetic metrics; any subset of the
     three sources may be omitted.
+
+    ``service`` attaches a solve-service section (see
+    ``repro.service.SolveService.stats``); when omitted, a section is folded
+    from the probe's ``service.*`` metrics if any request was observed.
     """
     kinds: dict[str, dict] = {}
 
@@ -298,6 +367,10 @@ def build_run_report(*, probe=None, trace=None, graph=None, meta=None) -> dict:
     }
     if probe is not None:
         report["counters"] = probe.registry.as_dict()
+    if service is not None:
+        report["service"] = service
+    elif probe is not None and probe.registry.counter("service.requests.admitted"):
+        report["service"] = _service_section(probe.registry)
     return report
 
 
@@ -500,4 +573,42 @@ def render_report(report: dict) -> str:
             f"accumulator: {acc['deferred']} deferred updates, "
             f"{acc['flushed_blocks']} block flushes, {acc['early_flushes']} early"
         )
+    svc = report.get("service")
+    if svc:
+        req = svc["requests"]
+        lat = svc.get("latency_seconds", {})
+        batch = svc.get("batch_size", {})
+        store = svc.get("store", {})
+        lines.append("")
+        lines.append(
+            f"service   : {req['admitted']} admitted | {req['completed']} completed | "
+            f"{req['rejected']} rejected | {req['failed']} failed"
+            + (f" | {req['retries']} retries" if req.get("retries") else "")
+        )
+        if lat.get("count"):
+            pct = ""
+            if "p50" in lat:
+                pct = f" p50 {lat['p50'] * 1e3:.2f} ms, p95 {lat.get('p95', 0.0) * 1e3:.2f} ms,"
+            lines.append(
+                f"latency   :{pct} mean {lat['mean'] * 1e3:.2f} ms, "
+                f"max {lat['max'] * 1e3:.2f} ms over {lat['count']} requests"
+            )
+        if batch.get("count"):
+            lines.append(
+                f"batching  : {batch['count']} panel sweeps, mean width "
+                f"{batch['mean']:.2f}, max {batch['max']:.0f}"
+                + (
+                    f", queue depth peak {svc['queue'].get('depth_peak', 0)}"
+                    if svc.get("queue")
+                    else ""
+                )
+            )
+        if store:
+            total = store.get("hits", 0) + store.get("misses", 0)
+            rate = store.get("hits", 0) / total if total else 0.0
+            lines.append(
+                f"store     : {store.get('hits', 0)} hits / {store.get('misses', 0)} misses "
+                f"({rate:.0%} hit rate), {store.get('evictions', 0)} evictions"
+                + (f", {_mb(store['bytes'])} resident" if store.get("bytes") else "")
+            )
     return "\n".join(lines)

@@ -1,0 +1,50 @@
+"""Solve service: factorization store, micro-batched serving, backpressure.
+
+The serving layer over the Tile-H solver (see :doc:`docs/service`):
+
+* :class:`FactorizationStore` — content-addressed persistence + LRU cache of
+  factorized matrices, so each problem fingerprint is factorized once;
+* :class:`MicroBatcher` — coalesces concurrent requests against one
+  factorization into a single multi-RHS panel sweep (bit-identical to
+  solving each request alone: the panel kernels are column-stable);
+* :class:`SolveService` — bounded admission with explicit
+  :class:`QueueFullError` backpressure, per-request deadlines, retries on
+  :class:`TransientSolveError`, worker pool, graceful drain on close;
+* :func:`make_server` / :class:`SolveClient` — a stdlib JSON/HTTP boundary
+  (``repro serve`` / ``repro request`` on the CLI).
+"""
+
+from .batcher import MicroBatcher
+from .errors import (
+    BadRequestError,
+    DeadlineExceededError,
+    QueueFullError,
+    ServiceClosedError,
+    ServiceError,
+    TransientSolveError,
+)
+from .http import SolveClient, decode_vector, encode_vector, make_server
+from .pipeline import SolveService, SolveTicket
+from .problems import ProblemSpec, build_solver, rhs_dtype, spec_fingerprint
+from .store import FactorizationStore
+
+__all__ = [
+    "BadRequestError",
+    "DeadlineExceededError",
+    "FactorizationStore",
+    "MicroBatcher",
+    "ProblemSpec",
+    "QueueFullError",
+    "ServiceClosedError",
+    "ServiceError",
+    "SolveClient",
+    "SolveService",
+    "SolveTicket",
+    "TransientSolveError",
+    "build_solver",
+    "decode_vector",
+    "encode_vector",
+    "make_server",
+    "rhs_dtype",
+    "spec_fingerprint",
+]

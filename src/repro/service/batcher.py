@@ -1,0 +1,143 @@
+"""MicroBatcher: coalesce concurrent solves into multi-RHS panel sweeps.
+
+The paper's economics (and the H-Chameleon vs HMAT overhead gap of its
+Sec. V) say a triangular solve is cheap *per column* but carries a fixed
+per-sweep overhead: the tile loop, the leaf walks, the Python dispatch.  A
+panel of k right-hand sides pays that overhead once, so k concurrent
+requests against the same factorization should ride one sweep.  The batcher
+implements exactly that: items are bucketed by fingerprint, and a bucket is
+dispatched when it reaches ``max_batch`` columns or its oldest item has
+waited ``max_delay`` seconds — bounded extra latency in exchange for
+amortization.  Batch composition never changes the answer: the panel solve
+is column-stable (see :func:`~repro.hmatrix.arithmetic.panel_matvec`), so a
+request's solution is bit-identical whether it rode alone or in a batch of
+16.
+
+The batcher is a passive, thread-safe data structure: producers ``add``,
+consumers (the pipeline's workers) ``take``; it never spawns threads.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+
+__all__ = ["MicroBatcher"]
+
+
+class _Bucket:
+    __slots__ = ("items", "oldest")
+
+    def __init__(self, now: float) -> None:
+        self.items: list = []
+        self.oldest = now
+
+
+class MicroBatcher:
+    """Group items by key into (key, [items]) batches of bounded size/age.
+
+    Parameters
+    ----------
+    max_batch:
+        Dispatch a bucket as soon as it holds this many items (also the
+        panel width cap of the downstream multi-RHS solve).
+    max_delay:
+        Dispatch a non-empty bucket once its *oldest* item has waited this
+        long, even if under-full.  ``0`` degenerates to one-item batches
+        (no coalescing latency, no amortization).
+    clock:
+        Injectable time source (tests pass a virtual clock).
+    """
+
+    def __init__(self, *, max_batch: int = 8, max_delay: float = 0.002,
+                 clock=time.monotonic) -> None:
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if max_delay < 0:
+            raise ValueError(f"max_delay must be >= 0, got {max_delay}")
+        self.max_batch = max_batch
+        self.max_delay = max_delay
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._ready = threading.Condition(self._lock)
+        self._buckets: "OrderedDict[str, _Bucket]" = OrderedDict()
+        self._count = 0
+        self._draining = False
+
+    def __len__(self) -> int:
+        with self._lock:
+            return self._count
+
+    def add(self, key: str, item) -> None:
+        """Queue ``item`` under ``key`` and wake a waiting consumer."""
+        with self._lock:
+            bucket = self._buckets.get(key)
+            if bucket is None:
+                bucket = self._buckets[key] = _Bucket(self._clock())
+            bucket.items.append(item)
+            self._count += 1
+            self._ready.notify()
+
+    def drain(self) -> None:
+        """Flush mode: every non-empty bucket is immediately takeable and
+        blocked ``take`` calls return (with a final batch or ``None``)."""
+        with self._lock:
+            self._draining = True
+            self._ready.notify_all()
+
+    def _pop_ready_locked(self, now: float) -> tuple[str, list] | None:
+        """The first dispatchable bucket under the size/age/drain rules."""
+        for key, bucket in self._buckets.items():
+            if (
+                len(bucket.items) >= self.max_batch
+                or self._draining
+                or now - bucket.oldest >= self.max_delay
+            ):
+                items = bucket.items[: self.max_batch]
+                rest = bucket.items[self.max_batch:]
+                if rest:
+                    nb = _Bucket(now)
+                    nb.items = rest
+                    self._buckets[key] = nb
+                    self._buckets.move_to_end(key)
+                else:
+                    del self._buckets[key]
+                self._count -= len(items)
+                return key, items
+        return None
+
+    def _next_deadline_locked(self, now: float) -> float | None:
+        """Seconds until the oldest bucket matures, or None when empty."""
+        if not self._buckets:
+            return None
+        oldest = min(b.oldest for b in self._buckets.values())
+        return max(0.0, self.max_delay - (now - oldest))
+
+    def take(self, timeout: float | None = None) -> tuple[str, list] | None:
+        """Block for the next ``(key, items)`` batch.
+
+        Returns ``None`` when ``timeout`` elapses with nothing dispatchable,
+        or immediately when draining and empty.  An under-full bucket is
+        held back until ``max_delay`` so stragglers can join; a full bucket
+        is handed out at once.
+        """
+        deadline = None if timeout is None else self._clock() + timeout
+        with self._lock:
+            while True:
+                now = self._clock()
+                batch = self._pop_ready_locked(now)
+                if batch is not None:
+                    return batch
+                if self._draining and self._count == 0:
+                    return None
+                waits = [
+                    w for w in (
+                        self._next_deadline_locked(now),
+                        None if deadline is None else deadline - now,
+                    )
+                    if w is not None
+                ]
+                if deadline is not None and deadline - now <= 0:
+                    return None
+                self._ready.wait(timeout=min(waits) if waits else None)

@@ -1,0 +1,207 @@
+"""``repro serve`` / ``repro request`` — the solve service on the command line.
+
+Serve a factorization store over HTTP::
+
+    python -m repro serve --port 8750 --store /tmp/factors --workers 2
+    python -m repro serve --port 8750 --budget-mb 256 --profile serve.json
+
+Issue requests against it (and optionally verify against a manufactured
+solution computed locally with the streamed dense operator)::
+
+    python -m repro request --url http://127.0.0.1:8750 --kernel laplace \
+        --n 2000 --count 8 --check
+    python -m repro request --url http://127.0.0.1:8750 --stats
+    python -m repro request --url http://127.0.0.1:8750 --shutdown
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import threading
+import time
+
+import numpy as np
+
+__all__ = ["serve_main", "request_main"]
+
+
+def serve_main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro serve",
+        description="Serve Tile-H solves over HTTP with a factorization store",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8750)
+    parser.add_argument("--store", metavar="DIR", default=None,
+                        help="directory for persisted factorizations (default: in-memory only)")
+    parser.add_argument("--budget-mb", type=float, default=None,
+                        help="in-memory cache budget in MiB (default: unbounded)")
+    parser.add_argument("--workers", type=int, default=2, help="solve worker threads")
+    parser.add_argument("--max-queue", type=int, default=64,
+                        help="admission capacity before requests are rejected (429)")
+    parser.add_argument("--max-batch", type=int, default=8,
+                        help="micro-batch panel width")
+    parser.add_argument("--max-delay", type=float, default=0.002,
+                        help="max seconds a request waits for batch-mates")
+    parser.add_argument("--max-retries", type=int, default=2,
+                        help="retries of a batch after a transient failure")
+    parser.add_argument("--profile", metavar="PATH", default=None,
+                        help="write a run report (JSON, with the service section) on shutdown")
+    args = parser.parse_args(argv)
+
+    from ..obs import Instrumentation
+    from .http import make_server
+    from .pipeline import SolveService
+    from .store import FactorizationStore
+
+    budget = None if args.budget_mb is None else int(args.budget_mb * (1 << 20))
+    store = FactorizationStore(args.store, budget_bytes=budget)
+    probe = Instrumentation() if args.profile is not None else None
+    if probe is not None:
+        probe.__enter__()
+    try:
+        service = SolveService(
+            store,
+            workers=args.workers,
+            max_queue=args.max_queue,
+            max_batch=args.max_batch,
+            max_delay=args.max_delay,
+            max_retries=args.max_retries,
+        )
+        server = make_server(service, args.host, args.port)
+        host, port = server.server_address[:2]
+        print(f"serving   : http://{host}:{port} "
+              f"({args.workers} workers, queue {args.max_queue}, batch {args.max_batch})")
+        print(f"store     : {args.store or 'in-memory only'}"
+              + (f", budget {args.budget_mb:g} MiB" if budget is not None else ""))
+        if store.keys():
+            print(f"warm keys : {len(store.keys())} factorization(s) on disk")
+
+        # POST /v1/shutdown drains the service; watch for that and stop the
+        # HTTP loop so the process exits cleanly.
+        def _watch():
+            while not service.closed:
+                time.sleep(0.2)
+            server.shutdown()
+
+        threading.Thread(target=_watch, daemon=True).start()
+        try:
+            server.serve_forever(poll_interval=0.2)
+        except KeyboardInterrupt:
+            print("\ndraining  : completing admitted requests...")
+        finally:
+            server.shutdown()
+            server.server_close()
+            service.close()
+        stats = service.stats()
+        req = stats["requests"]
+        print(f"served    : {req['completed']} completed | {req['rejected']} rejected "
+              f"| {req['failed']} failed")
+    finally:
+        if probe is not None:
+            probe.__exit__(None, None, None)
+    if args.profile is not None:
+        from ..obs import build_run_report, write_report
+
+        report = build_run_report(
+            probe=probe,
+            meta={"mode": "serve", "workers": args.workers,
+                  "max_batch": args.max_batch, "max_queue": args.max_queue},
+            service=service.stats(),
+        )
+        write_report(report, args.profile)
+        print(f"profile   : run report written to {args.profile}")
+    return 0
+
+
+def request_main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro request",
+        description="Send solve requests to a running `repro serve` endpoint",
+    )
+    parser.add_argument("--url", default="http://127.0.0.1:8750")
+    parser.add_argument("--kernel", choices=["laplace", "helmholtz", "gravity", "exponential"],
+                        default="laplace")
+    parser.add_argument("--n", type=int, default=2000)
+    parser.add_argument("--geometry", choices=["cylinder", "sphere", "plate"],
+                        default="cylinder")
+    parser.add_argument("--nb", type=int, default=None)
+    parser.add_argument("--eps", type=float, default=1e-6)
+    parser.add_argument("--leaf-size", type=int, default=64)
+    parser.add_argument("--method", choices=["lu", "cholesky"], default="lu")
+    parser.add_argument("--count", type=int, default=1, help="number of requests to send")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--timeout", type=float, default=None,
+                        help="per-request deadline in seconds (server-side)")
+    parser.add_argument("--check", action="store_true",
+                        help="manufacture the solution locally (streamed dense matvec) "
+                        "and report the forward error of each reply")
+    parser.add_argument("--stats", action="store_true",
+                        help="print the server's stats (no solve unless --count given too)")
+    parser.add_argument("--shutdown", action="store_true",
+                        help="ask the server to drain and exit")
+    args = parser.parse_args(argv)
+
+    from .errors import ServiceError
+    from .http import SolveClient
+
+    client = SolveClient(args.url)
+    try:
+        if args.shutdown:
+            print(client.shutdown())
+            return 0
+        if args.stats and args.count < 1:
+            print(json.dumps(client.stats(), indent=2))
+            return 0
+
+        spec = {"kernel": args.kernel, "n": args.n, "geometry": args.geometry,
+                "eps": args.eps, "leaf_size": args.leaf_size, "method": args.method}
+        if args.nb is not None:
+            spec["nb"] = args.nb
+        rng = np.random.default_rng(args.seed)
+        complex_rhs = args.kernel == "helmholtz"
+
+        x0s, rhs = [], []
+        if args.check:
+            from ..geometry import (cylinder_cloud, make_kernel, plate_cloud,
+                                    sphere_cloud, streamed_matvec)
+
+            clouds = {"cylinder": cylinder_cloud, "sphere": sphere_cloud,
+                      "plate": plate_cloud}
+            points = clouds[args.geometry](args.n)
+            kernel = make_kernel(args.kernel, points)
+        for _ in range(args.count):
+            x0 = rng.standard_normal(args.n)
+            if complex_rhs:
+                x0 = x0 + 1j * rng.standard_normal(args.n)
+            if args.check:
+                x0s.append(x0)
+                rhs.append(streamed_matvec(kernel, points, x0))
+            else:
+                rhs.append(x0)
+
+        latencies = []
+        for i, b in enumerate(rhs):
+            t0 = time.perf_counter()
+            x = client.solve(spec, b, timeout=args.timeout)
+            dt = time.perf_counter() - t0
+            latencies.append(dt)
+            line = f"request {i:3d}: {dt * 1e3:8.2f} ms, |x| = {np.linalg.norm(x):.6g}"
+            if args.check:
+                err = np.linalg.norm(x - x0s[i]) / np.linalg.norm(x0s[i])
+                line += f", forward error {err:.2e}"
+            print(line)
+        if latencies:
+            print(f"latency   : mean {np.mean(latencies) * 1e3:.2f} ms, "
+                  f"max {np.max(latencies) * 1e3:.2f} ms over {len(latencies)} requests")
+        if args.stats:
+            print(json.dumps(client.stats(), indent=2))
+        return 0
+    except ServiceError as exc:
+        print(f"error [{exc.code}]: {exc}", file=sys.stderr)
+        return 1
+    except OSError as exc:
+        print(f"error: cannot reach {args.url}: {exc}", file=sys.stderr)
+        return 2

@@ -1,0 +1,72 @@
+"""Typed errors of the solve service.
+
+Every failure mode a caller can act on gets its own type (and a stable
+``code`` string that the HTTP layer maps to a status): backpressure is
+:class:`QueueFullError` — an *immediate, explicit* rejection, never a silent
+block — deadlines are :class:`DeadlineExceededError`, shutdown is
+:class:`ServiceClosedError`, and :class:`TransientSolveError` marks failures
+the pipeline may retry before giving up.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ServiceError",
+    "BadRequestError",
+    "QueueFullError",
+    "DeadlineExceededError",
+    "ServiceClosedError",
+    "TransientSolveError",
+]
+
+
+class ServiceError(Exception):
+    """Base class of all solve-service errors."""
+
+    #: Stable machine-readable identifier (HTTP payloads, logs, tests).
+    code = "service_error"
+
+    #: HTTP status the endpoint maps this error to.
+    http_status = 500
+
+
+class BadRequestError(ServiceError):
+    """The request is malformed (unknown problem spec, wrong RHS length...)."""
+
+    code = "bad_request"
+    http_status = 400
+
+
+class QueueFullError(ServiceError):
+    """The admission queue is at capacity — backpressure.
+
+    Raised *synchronously at submission*: an overloaded service rejects new
+    work instead of queueing unboundedly or deadlocking; already-admitted
+    requests are unaffected.
+    """
+
+    code = "queue_full"
+    http_status = 429
+
+
+class DeadlineExceededError(ServiceError):
+    """The request's deadline passed before its solve completed."""
+
+    code = "deadline_exceeded"
+    http_status = 504
+
+
+class ServiceClosedError(ServiceError):
+    """The service is shutting down (or closed) and admits no new work."""
+
+    code = "service_closed"
+    http_status = 503
+
+
+class TransientSolveError(ServiceError):
+    """A retryable failure while executing a batch (e.g. a store read that
+    lost a race with an eviction).  The pipeline retries these up to its
+    ``max_retries`` before failing the affected requests."""
+
+    code = "transient"
+    http_status = 500

@@ -1,0 +1,229 @@
+"""Stdlib HTTP endpoint + client for the solve service.
+
+A thin JSON boundary over :class:`~repro.service.pipeline.SolveService`:
+``http.server.ThreadingHTTPServer`` on the serving side (one handler thread
+per connection, all funnelling into the service's bounded admission queue),
+``urllib.request`` on the client side — no third-party dependencies.
+
+Routes::
+
+    POST /v1/solve     {"problem": {...}, "rhs": [...], "timeout"?: s}
+                       -> {"key", "latency_seconds", "solution"}
+    GET  /v1/healthz   -> {"status": "ok"|"draining"}
+    GET  /v1/stats     -> the service stats dict (report `service` section)
+    GET  /v1/keys      -> {"keys": [fingerprints...]}
+    POST /v1/shutdown  -> {"status": "draining"}   (drain starts in background)
+
+Typed service errors travel as ``{"error": {"code", "message"}}`` with the
+error's ``http_status``; the client re-raises them as the same exception
+classes, so ``QueueFullError`` backpressure is visible end-to-end.
+
+Complex vectors (helmholtz) are encoded entrywise as ``[re, im]`` pairs.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+import numpy as np
+
+from .errors import (
+    BadRequestError,
+    DeadlineExceededError,
+    QueueFullError,
+    ServiceClosedError,
+    ServiceError,
+    TransientSolveError,
+)
+from .pipeline import SolveService
+
+__all__ = ["encode_vector", "decode_vector", "make_server", "SolveClient"]
+
+_ERROR_TYPES = {
+    cls.code: cls
+    for cls in (
+        ServiceError,
+        BadRequestError,
+        QueueFullError,
+        DeadlineExceededError,
+        ServiceClosedError,
+        TransientSolveError,
+    )
+}
+
+#: Request body size cap — a solve payload is one vector, not a matrix.
+_MAX_BODY = 64 * 1024 * 1024
+
+
+def encode_vector(x: np.ndarray) -> list:
+    """JSON-able form of a solution/rhs vector (``[re, im]`` pairs if complex)."""
+    x = np.asarray(x)
+    if np.iscomplexobj(x):
+        return [[float(v.real), float(v.imag)] for v in x]
+    return [float(v) for v in x]
+
+
+def decode_vector(data) -> np.ndarray:
+    """Inverse of :func:`encode_vector`; rejects malformed payloads."""
+    if not isinstance(data, list) or not data:
+        raise BadRequestError("rhs must be a non-empty JSON array")
+    first = data[0]
+    if isinstance(first, list):
+        try:
+            return np.array([complex(v[0], v[1]) for v in data], dtype=np.complex128)
+        except (TypeError, IndexError) as exc:
+            raise BadRequestError(f"malformed complex rhs entry: {exc}") from exc
+    try:
+        return np.array([float(v) for v in data], dtype=np.float64)
+    except (TypeError, ValueError) as exc:
+        raise BadRequestError(f"malformed rhs entry: {exc}") from exc
+
+
+class _Handler(BaseHTTPRequestHandler):
+    service: SolveService  # bound by make_server
+    server_version = "repro-solve/1"
+    protocol_version = "HTTP/1.1"
+
+    def log_message(self, fmt, *args):  # quiet by default; obs covers metrics
+        pass
+
+    # -- plumbing -------------------------------------------------------------
+    def _reply(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _reply_error(self, exc: ServiceError) -> None:
+        self._reply(exc.http_status, {"error": {"code": exc.code, "message": str(exc)}})
+
+    def _read_json(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0:
+            raise BadRequestError("request body required")
+        if length > _MAX_BODY:
+            raise BadRequestError(f"request body too large ({length} bytes)")
+        try:
+            payload = json.loads(self.rfile.read(length))
+        except json.JSONDecodeError as exc:
+            raise BadRequestError(f"invalid JSON body: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise BadRequestError("request body must be a JSON object")
+        return payload
+
+    # -- routes ---------------------------------------------------------------
+    def do_GET(self) -> None:
+        if self.path == "/v1/healthz":
+            self._reply(200, {"status": "draining" if self.service.closed else "ok"})
+        elif self.path == "/v1/stats":
+            self._reply(200, self.service.stats())
+        elif self.path == "/v1/keys":
+            self._reply(200, {"keys": self.service.store.keys()})
+        else:
+            self._reply(404, {"error": {"code": "not_found", "message": self.path}})
+
+    def do_POST(self) -> None:
+        try:
+            if self.path == "/v1/solve":
+                self._solve()
+            elif self.path == "/v1/shutdown":
+                # Drain in the background: this handler thread must not join
+                # workers while holding the connection open.
+                threading.Thread(target=self.service.close, daemon=True).start()
+                self._reply(200, {"status": "draining"})
+            else:
+                self._reply(404, {"error": {"code": "not_found", "message": self.path}})
+        except ServiceError as exc:
+            self._reply_error(exc)
+        except Exception as exc:  # noqa: BLE001 - boundary: never drop the reply
+            self._reply(500, {"error": {"code": "internal", "message": str(exc)}})
+
+    def _solve(self) -> None:
+        payload = self._read_json()
+        problem = payload.get("problem")
+        if problem is None:
+            raise BadRequestError("missing 'problem' object")
+        rhs = decode_vector(payload.get("rhs"))
+        timeout = payload.get("timeout")
+        if timeout is not None and (
+            not isinstance(timeout, (int, float)) or isinstance(timeout, bool) or timeout <= 0
+        ):
+            raise BadRequestError(f"timeout must be a positive number, got {timeout!r}")
+        ticket = self.service.submit(problem, rhs, timeout=timeout)
+        x = ticket.result()
+        self._reply(
+            200,
+            {
+                "key": ticket.key,
+                "latency_seconds": ticket.finished_at - ticket.submitted_at,
+                "solution": encode_vector(x),
+            },
+        )
+
+
+def make_server(service: SolveService, host: str = "127.0.0.1", port: int = 0):
+    """A ready-to-run ``ThreadingHTTPServer`` bound to ``service``.
+
+    ``port=0`` picks a free port (read it back from ``server.server_address``).
+    The caller owns the lifecycle: ``serve_forever()`` to run,
+    ``shutdown()`` + ``service.close()`` to stop.
+    """
+    handler = type("BoundHandler", (_Handler,), {"service": service})
+    server = ThreadingHTTPServer((host, port), handler)
+    server.daemon_threads = True
+    return server
+
+
+class SolveClient:
+    """Minimal urllib client speaking the endpoint's JSON protocol.
+
+    Server-side typed errors are re-raised as the same
+    :mod:`repro.service.errors` classes (matched on the wire ``code``), so a
+    remote ``QueueFullError`` is catchable exactly like a local one.
+    """
+
+    def __init__(self, base_url: str, *, timeout: float = 60.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    def _request(self, method: str, path: str, payload: dict | None = None) -> dict:
+        req = urllib.request.Request(
+            self.base_url + path,
+            method=method,
+            data=None if payload is None else json.dumps(payload).encode(),
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout) as resp:
+                return json.loads(resp.read())
+        except urllib.error.HTTPError as exc:
+            try:
+                err = json.loads(exc.read()).get("error", {})
+            except Exception:
+                err = {}
+            cls = _ERROR_TYPES.get(err.get("code"), ServiceError)
+            raise cls(err.get("message", f"HTTP {exc.code}")) from None
+
+    def solve(self, problem: dict, rhs, *, timeout: float | None = None) -> np.ndarray:
+        payload = {"problem": problem, "rhs": encode_vector(np.asarray(rhs))}
+        if timeout is not None:
+            payload["timeout"] = timeout
+        return decode_vector(self._request("POST", "/v1/solve", payload)["solution"])
+
+    def healthz(self) -> dict:
+        return self._request("GET", "/v1/healthz")
+
+    def stats(self) -> dict:
+        return self._request("GET", "/v1/stats")
+
+    def keys(self) -> list[str]:
+        return self._request("GET", "/v1/keys")["keys"]
+
+    def shutdown(self) -> dict:
+        return self._request("POST", "/v1/shutdown")

@@ -1,0 +1,394 @@
+"""SolveService: the backpressured request pipeline.
+
+Request lifecycle::
+
+    submit ──admission──▶ micro-batcher ──take──▶ worker ──▶ store ──▶ panel solve
+       │        │                                   │
+       │   QueueFullError                      retry (transient)
+       │   ServiceClosedError                  DeadlineExceededError
+       ▼
+    SolveTicket ◀─────────── result / typed error ──┘
+
+Design rules, in order of priority:
+
+* **Reject, never deadlock.**  Admission is a bounded counter checked
+  synchronously in :meth:`SolveService.submit`; an overloaded service raises
+  :class:`~repro.service.errors.QueueFullError` immediately instead of
+  blocking the caller or growing an unbounded queue.
+* **Admitted work finishes.**  :meth:`SolveService.close` stops admission,
+  flushes the batcher, and joins the workers — every ticket handed out
+  resolves (with a result or a typed error) before ``close`` returns.
+* **Deadlines are checked where time is spent.**  A request carries an
+  absolute deadline; a worker drops it with
+  :class:`~repro.service.errors.DeadlineExceededError` when the deadline
+  passed while it waited in the batcher (the solve itself is never
+  interrupted mid-flight — tiles are shared state).
+* **Transient failures retry, others don't.**
+  :class:`~repro.service.errors.TransientSolveError` from the solver
+  provider or the solve is retried up to ``max_retries`` times for the whole
+  batch; any other exception fails the batch's requests at once.
+
+Everything is observable twice: through the ambient
+:class:`~repro.obs.Instrumentation` probe (``service.*`` metrics, folded into
+run reports) and through the service's own :meth:`SolveService.stats` —
+which also carries exact p50/p95 latencies from a bounded reservoir, since
+decade buckets are too coarse for tail-latency reporting.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+
+import numpy as np
+
+from ..obs import current as obs_current
+from ..obs.metrics import Histogram
+from .batcher import MicroBatcher
+from .errors import (
+    BadRequestError,
+    DeadlineExceededError,
+    QueueFullError,
+    ServiceClosedError,
+    TransientSolveError,
+)
+from .problems import ProblemSpec, build_solver, rhs_dtype, spec_fingerprint
+from .store import FactorizationStore
+
+__all__ = ["SolveTicket", "SolveService"]
+
+#: Exact latencies kept for percentile reporting (oldest dropped first).
+_RESERVOIR = 4096
+
+
+class SolveTicket:
+    """Handle to one admitted request; resolves to a solution or a typed error."""
+
+    __slots__ = ("key", "submitted_at", "finished_at", "_event", "_result", "_error")
+
+    def __init__(self, key: str, submitted_at: float) -> None:
+        self.key = key
+        self.submitted_at = submitted_at
+        self.finished_at: float | None = None
+        self._event = threading.Event()
+        self._result: np.ndarray | None = None
+        self._error: BaseException | None = None
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def wait(self, timeout: float | None = None) -> bool:
+        return self._event.wait(timeout)
+
+    def exception(self, timeout: float | None = None) -> BaseException | None:
+        if not self._event.wait(timeout):
+            raise TimeoutError("ticket not resolved within timeout")
+        return self._error
+
+    def result(self, timeout: float | None = None) -> np.ndarray:
+        """Block for the solution; re-raises the request's typed error."""
+        if not self._event.wait(timeout):
+            raise TimeoutError("ticket not resolved within timeout")
+        if self._error is not None:
+            raise self._error
+        return self._result
+
+    def _resolve(self, result=None, error=None, *, t: float) -> None:
+        self._result = result
+        self._error = error
+        self.finished_at = t
+        self._event.set()
+
+
+class _Request:
+    __slots__ = ("spec", "rhs", "deadline", "ticket")
+
+    def __init__(self, spec, rhs, deadline, ticket) -> None:
+        self.spec = spec
+        self.rhs = rhs
+        self.deadline = deadline
+        self.ticket = ticket
+
+
+class SolveService:
+    """Bounded-admission, micro-batched, multi-worker solve pipeline.
+
+    Parameters
+    ----------
+    store:
+        The :class:`~repro.service.store.FactorizationStore` backing solves
+        (a fresh in-memory store when omitted).
+    workers:
+        Worker threads consuming batches.  Batches for distinct fingerprints
+        execute concurrently; one fingerprint's panel solve is single-sweep.
+    max_queue:
+        Admission capacity: requests admitted but not yet resolved.  Hitting
+        it raises :class:`QueueFullError` at submit time — the backpressure
+        contract.
+    max_batch / max_delay:
+        Micro-batching knobs (see :class:`~repro.service.batcher.MicroBatcher`).
+        ``max_batch`` is also the panel width of the fused solve.
+    max_retries:
+        Re-executions of a batch after a
+        :class:`~repro.service.errors.TransientSolveError` before its
+        requests fail.
+    solver_provider:
+        ``(key, spec) -> TileHMatrix`` seam; defaults to
+        ``store.get_or_build(key, lambda: build_solver(spec))``.  Tests
+        inject failures here.
+    """
+
+    def __init__(
+        self,
+        store: FactorizationStore | None = None,
+        *,
+        workers: int = 2,
+        max_queue: int = 64,
+        max_batch: int = 8,
+        max_delay: float = 0.002,
+        max_retries: int = 2,
+        solver_provider=None,
+        clock=time.monotonic,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if max_queue < 1:
+            raise ValueError(f"max_queue must be >= 1, got {max_queue}")
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        self.store = store if store is not None else FactorizationStore()
+        self.max_queue = max_queue
+        self.max_retries = max_retries
+        self._provider = solver_provider or self._default_provider
+        self._clock = clock
+        self._batcher = MicroBatcher(max_batch=max_batch, max_delay=max_delay, clock=clock)
+
+        self._lock = threading.Lock()
+        self._inflight = 0
+        self._depth_peak = 0
+        self._closed = False
+        self._admitted = 0
+        self._rejected = 0
+        self._completed = 0
+        self._failed = 0
+        self._expired = 0
+        self._retries = 0
+        self._latency = Histogram()
+        self._batch_hist = Histogram()
+        self._reservoir: deque = deque(maxlen=_RESERVOIR)
+
+        self._threads = [
+            threading.Thread(target=self._worker_loop, name=f"solve-worker-{i}", daemon=True)
+            for i in range(workers)
+        ]
+        for t in self._threads:
+            t.start()
+
+    # -- admission ------------------------------------------------------------
+    def submit(self, spec, rhs, *, timeout: float | None = None) -> SolveTicket:
+        """Admit one solve request; returns a :class:`SolveTicket`.
+
+        Raises :class:`ServiceClosedError` after :meth:`close`,
+        :class:`QueueFullError` at capacity, and :class:`BadRequestError` for
+        malformed specs or right-hand sides — all synchronously, so rejected
+        work never occupies a queue slot.
+        """
+        if not isinstance(spec, ProblemSpec):
+            spec = ProblemSpec.from_dict(spec)
+        rhs = self._check_rhs(spec, rhs)
+        key = spec_fingerprint(spec)
+        now = self._clock()
+        deadline = None if timeout is None else now + timeout
+        probe = obs_current()
+        with self._lock:
+            if self._closed:
+                self._rejected += 1
+                if probe is not None:
+                    probe.service_rejected("closed")
+                raise ServiceClosedError("service is shutting down; request rejected")
+            if self._inflight >= self.max_queue:
+                self._rejected += 1
+                if probe is not None:
+                    probe.service_rejected("queue_full")
+                raise QueueFullError(
+                    f"admission queue full ({self._inflight}/{self.max_queue}); retry later"
+                )
+            self._inflight += 1
+            self._admitted += 1
+            depth = self._inflight
+            if depth > self._depth_peak:
+                self._depth_peak = depth
+        if probe is not None:
+            probe.service_admitted()
+            probe.service_queue_depth(depth)
+        ticket = SolveTicket(key, now)
+        self._batcher.add(key, _Request(spec, rhs, deadline, ticket))
+        return ticket
+
+    def solve(self, spec, rhs, *, timeout: float | None = None) -> np.ndarray:
+        """Synchronous convenience: :meth:`submit` and wait for the result."""
+        return self.submit(spec, rhs, timeout=timeout).result()
+
+    def _check_rhs(self, spec: ProblemSpec, rhs) -> np.ndarray:
+        b = np.asarray(rhs)
+        if b.ndim != 1:
+            raise BadRequestError(f"rhs must be 1-D, got shape {b.shape}")
+        if b.shape[0] != spec.n:
+            raise BadRequestError(f"rhs has length {b.shape[0]}, expected n={spec.n}")
+        dtype = rhs_dtype(spec)
+        if not np.can_cast(b.dtype, dtype):
+            raise BadRequestError(f"rhs dtype {b.dtype} not castable to {dtype}")
+        b = b.astype(dtype, copy=False)
+        if not np.all(np.isfinite(b.view(np.float64) if dtype.kind == "c" else b)):
+            raise BadRequestError("rhs contains non-finite entries")
+        return b
+
+    # -- execution ------------------------------------------------------------
+    def _default_provider(self, key: str, spec: ProblemSpec):
+        return self.store.get_or_build(key, lambda: build_solver(spec))
+
+    def _worker_loop(self) -> None:
+        while True:
+            batch = self._batcher.take(timeout=0.1)
+            if batch is not None:
+                self._run_batch(*batch)
+                continue
+            if self._batcher._draining:
+                # A timeout-None can race drain(): drain the batcher dry
+                # before exiting so no admitted request is stranded.
+                while True:
+                    batch = self._batcher.take(timeout=0)
+                    if batch is None:
+                        return
+                    self._run_batch(*batch)
+
+    def _run_batch(self, key: str, requests: list) -> None:
+        now = self._clock()
+        live = []
+        for r in requests:
+            if r.deadline is not None and now > r.deadline:
+                self._finish(
+                    r,
+                    error=DeadlineExceededError(
+                        f"deadline passed {now - r.deadline:.3f}s before the solve started"
+                    ),
+                    expired=True,
+                )
+            else:
+                live.append(r)
+        if not live:
+            return
+
+        probe = obs_current()
+        with self._lock:
+            self._batch_hist.observe(len(live))
+        if probe is not None:
+            probe.service_batch(len(live))
+
+        # One multi-RHS panel sweep for the whole batch.  Batch composition
+        # cannot change any request's bits: the panel solve is column-stable.
+        panel = np.stack([r.rhs for r in live], axis=1)
+        error: BaseException | None = None
+        x = None
+        for attempt in range(self.max_retries + 1):
+            try:
+                solver = self._provider(key, live[0].spec)
+                x = solver.solve(panel)
+                error = None
+                break
+            except TransientSolveError as exc:
+                error = exc
+                if attempt < self.max_retries:
+                    with self._lock:
+                        self._retries += 1
+                    if probe is not None:
+                        probe.service_retry()
+            except Exception as exc:  # non-retryable: fail the batch at once
+                error = exc
+                break
+
+        if error is not None:
+            for r in live:
+                self._finish(r, error=error)
+            return
+        for j, r in enumerate(live):
+            self._finish(r, result=np.ascontiguousarray(x[:, j]))
+
+    def _finish(self, r: _Request, *, result=None, error=None, expired=False) -> None:
+        now = self._clock()
+        probe = obs_current()
+        with self._lock:
+            self._inflight -= 1
+            depth = self._inflight
+            if error is None:
+                self._completed += 1
+                latency = now - r.ticket.submitted_at
+                self._latency.observe(latency)
+                self._reservoir.append(latency)
+            else:
+                self._failed += 1
+                if expired:
+                    self._expired += 1
+        if probe is not None:
+            probe.service_queue_depth(depth)
+            if error is None:
+                probe.service_completed(now - r.ticket.submitted_at)
+            else:
+                probe.service_failed(getattr(error, "code", type(error).__name__))
+        r.ticket._resolve(result=result, error=error, t=now)
+
+    # -- shutdown -------------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._closed
+
+    def close(self, timeout: float | None = None) -> None:
+        """Graceful drain: stop admission, finish every admitted request,
+        stop the workers.  Idempotent."""
+        with self._lock:
+            self._closed = True
+        self._batcher.drain()
+        deadline = None if timeout is None else time.monotonic() + timeout
+        for t in self._threads:
+            t.join(None if deadline is None else max(0.0, deadline - time.monotonic()))
+
+    def __enter__(self) -> "SolveService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- reporting ------------------------------------------------------------
+    def queue_depth(self) -> int:
+        with self._lock:
+            return self._inflight
+
+    def stats(self) -> dict:
+        """The ``service`` section of a ``repro-run-report/v1`` (schema-valid),
+        with exact p50/p95 latencies added from the reservoir."""
+        with self._lock:
+            latency = self._latency.snapshot()
+            sample = sorted(self._reservoir)
+            counts = {
+                "admitted": self._admitted,
+                "rejected": self._rejected,
+                "completed": self._completed,
+                "failed": self._failed,
+                "expired": self._expired,
+                "retries": self._retries,
+            }
+            batch = self._batch_hist.snapshot()
+            depth_peak = self._depth_peak
+        if sample:
+            latency["p50"] = sample[int(0.50 * (len(sample) - 1))]
+            latency["p95"] = sample[int(0.95 * (len(sample) - 1))]
+        return {
+            "requests": counts,
+            "latency_seconds": latency,
+            "batch_size": batch,
+            "queue": {"depth_peak": depth_peak, "capacity": self.max_queue},
+            "store": self.store.stats(),
+            "workers": len(self._threads),
+        }

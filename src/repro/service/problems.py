@@ -1,0 +1,134 @@
+"""Problem specs: the deterministic request -> operator mapping.
+
+A service request does not ship a matrix — it names a *problem spec*: the
+geometry, kernel, and solver configuration that deterministically reconstruct
+the operator on any replica (the same construction the CLI test harness
+uses).  The spec's canonical JSON is hashed into the content-addressed
+**fingerprint** that keys the :class:`~repro.service.store.FactorizationStore`:
+two requests agree on the fingerprint iff they solve against the same
+factorization, which is exactly the coalescing condition of the
+micro-batcher.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core import TileHConfig, TileHMatrix
+from ..geometry import cylinder_cloud, make_kernel, plate_cloud, sphere_cloud
+
+__all__ = ["ProblemSpec", "spec_fingerprint", "build_solver", "rhs_dtype"]
+
+from .errors import BadRequestError
+
+_GEOMETRIES = {
+    "cylinder": cylinder_cloud,
+    "sphere": sphere_cloud,
+    "plate": plate_cloud,
+}
+
+_KERNELS = ("laplace", "helmholtz", "gravity", "exponential")
+
+_METHODS = ("lu", "cholesky")
+
+
+@dataclass(frozen=True)
+class ProblemSpec:
+    """One solvable problem, reproducible from scalars only.
+
+    ``geometry``/``n`` fix the point cloud, ``kernel`` the interaction, and
+    ``nb``/``eps``/``leaf_size``/``method`` the Tile-H solver that factors
+    it.  Everything is validated eagerly so malformed requests fail at the
+    admission boundary, not inside a worker.
+    """
+
+    kernel: str
+    n: int
+    geometry: str = "cylinder"
+    nb: int | None = None
+    eps: float = 1e-6
+    leaf_size: int = 64
+    method: str = "lu"
+
+    def __post_init__(self) -> None:
+        if self.kernel not in _KERNELS:
+            raise BadRequestError(f"unknown kernel {self.kernel!r}; choose from {_KERNELS}")
+        if self.geometry not in _GEOMETRIES:
+            raise BadRequestError(
+                f"unknown geometry {self.geometry!r}; choose from {tuple(_GEOMETRIES)}"
+            )
+        if self.method not in _METHODS:
+            raise BadRequestError(f"unknown method {self.method!r}; choose from {_METHODS}")
+        if not isinstance(self.n, int) or self.n < 2:
+            raise BadRequestError(f"n must be an integer >= 2, got {self.n!r}")
+        if self.nb is not None and (not isinstance(self.nb, int) or self.nb < 1):
+            raise BadRequestError(f"nb must be a positive integer, got {self.nb!r}")
+        if not self.eps > 0:
+            raise BadRequestError(f"eps must be positive, got {self.eps!r}")
+        if not isinstance(self.leaf_size, int) or self.leaf_size < 1:
+            raise BadRequestError(f"leaf_size must be a positive integer, got {self.leaf_size!r}")
+
+    @property
+    def effective_nb(self) -> int:
+        return self.nb if self.nb is not None else max(64, self.n // 16)
+
+    def canonical(self) -> dict:
+        """The canonical JSON-able form that is hashed into the fingerprint."""
+        return {
+            "geometry": self.geometry,
+            "kernel": self.kernel,
+            "n": self.n,
+            "nb": self.effective_nb,
+            "eps": self.eps,
+            "leaf_size": self.leaf_size,
+            "method": self.method,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ProblemSpec":
+        if not isinstance(data, dict):
+            raise BadRequestError(f"problem spec must be an object, got {type(data).__name__}")
+        allowed = {"kernel", "n", "geometry", "nb", "eps", "leaf_size", "method"}
+        extra = set(data) - allowed
+        if extra:
+            raise BadRequestError(f"unknown problem-spec fields {sorted(extra)}")
+        if "kernel" not in data or "n" not in data:
+            raise BadRequestError("problem spec needs at least 'kernel' and 'n'")
+        return cls(**data)
+
+
+def spec_fingerprint(spec: ProblemSpec) -> str:
+    """Content-addressed key: SHA-256 of the spec's canonical JSON.
+
+    Stable across processes and replicas — the factorization store and the
+    micro-batcher both key on it.
+    """
+    blob = json.dumps(spec.canonical(), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def build_solver(spec: ProblemSpec) -> TileHMatrix:
+    """Deterministically build *and factorize* the spec's Tile-H solver.
+
+    This is the expensive cold-start path; the factorization store exists to
+    make it run once per fingerprint.
+    """
+    points = _GEOMETRIES[spec.geometry](spec.n)
+    kernel = make_kernel(spec.kernel, points)
+    config = TileHConfig(
+        nb=spec.effective_nb,
+        eps=spec.eps,
+        leaf_size=spec.leaf_size,
+    )
+    solver = TileHMatrix.build(kernel, points, config)
+    solver.factorize(method=spec.method)
+    return solver
+
+
+def rhs_dtype(spec: ProblemSpec) -> np.dtype:
+    """The dtype solutions come back in (complex for oscillatory kernels)."""
+    return np.dtype(np.complex128 if spec.kernel == "helmholtz" else np.float64)

@@ -1,0 +1,223 @@
+"""FactorizationStore: content-addressed persistence + LRU cache of factors.
+
+The store maps a **fingerprint** (see
+:func:`~repro.service.problems.spec_fingerprint`) to a *factorized*
+:class:`~repro.core.TileHMatrix`.  Entries live in two tiers:
+
+* **disk** — one ``<fingerprint>.npz`` per factorization under the store
+  directory, written with the v2 archive format (factor payloads + method +
+  config), so factors survive restarts and can be shipped between replicas;
+* **memory** — an LRU cache of loaded solvers under a configurable byte
+  budget (``storage_bytes`` of each factorization, the same accounting the
+  obs layer charges to ``h.bytes``), so hot fingerprints solve without
+  touching disk and cold ones do not accumulate without bound.
+
+A ``get`` that finds the fingerprint in either tier is a **hit** (the
+expensive factorization is skipped); only a fingerprint absent from both is
+a **miss**, and :meth:`FactorizationStore.get_or_build` then runs the
+supplied builder exactly once — concurrent requests for the same missing
+fingerprint wait on the first builder instead of factorizing redundantly.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from pathlib import Path
+
+from ..core import TileHMatrix
+from ..obs import current as obs_current
+
+__all__ = ["FactorizationStore"]
+
+
+class _Entry:
+    __slots__ = ("solver", "nbytes")
+
+    def __init__(self, solver: TileHMatrix, nbytes: int) -> None:
+        self.solver = solver
+        self.nbytes = nbytes
+
+
+class FactorizationStore:
+    """Two-tier (memory LRU over disk) store of factorized Tile-H matrices.
+
+    Parameters
+    ----------
+    root:
+        Directory for the ``.npz`` archives (created on demand).  ``None``
+        disables the disk tier — useful for pure in-memory serving/tests.
+    budget_bytes:
+        Byte budget of the in-memory tier.  Inserting past the budget evicts
+        least-recently-used entries (disk copies are kept, so an evicted
+        fingerprint is still a hit — just a slower one).  ``None`` means
+        unbounded.
+    """
+
+    def __init__(self, root=None, *, budget_bytes: int | None = None) -> None:
+        self.root = Path(root) if root is not None else None
+        self.budget_bytes = budget_bytes
+        self._lock = threading.RLock()
+        self._cache: OrderedDict[str, _Entry] = OrderedDict()
+        self._bytes = 0
+        # Per-key build locks: concurrent get_or_build on one missing key
+        # runs the builder once, not once per caller.
+        self._building: dict[str, threading.Lock] = {}
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # -- paths ---------------------------------------------------------------
+    def path_for(self, key: str) -> Path:
+        if self.root is None:
+            raise ValueError("store has no disk tier (root=None)")
+        return self.root / f"{key}.npz"
+
+    # -- inspection ----------------------------------------------------------
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            if key in self._cache:
+                return True
+        return self.root is not None and self.path_for(key).exists()
+
+    def keys(self) -> list[str]:
+        """Every fingerprint available in either tier (sorted)."""
+        with self._lock:
+            out = set(self._cache)
+        if self.root is not None and self.root.is_dir():
+            out.update(p.stem for p in self.root.glob("*.npz"))
+        return sorted(out)
+
+    @property
+    def resident_bytes(self) -> int:
+        with self._lock:
+            return self._bytes
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "entries": len(self._cache),
+                "bytes": float(self._bytes),
+                "budget_bytes": (
+                    float(self.budget_bytes) if self.budget_bytes is not None else None
+                ),
+            }
+
+    # -- core operations -------------------------------------------------------
+    def put(self, key: str, solver: TileHMatrix, *, persist: bool = True) -> None:
+        """Insert a factorized solver under ``key`` (memory, and disk when
+        ``persist`` and the store has a disk tier)."""
+        if persist and self.root is not None:
+            solver.save(self.path_for(key))
+        self._insert(key, solver)
+
+    def get(self, key: str) -> TileHMatrix | None:
+        """The solver for ``key``, or ``None`` (a recorded miss) when absent.
+
+        Memory hits are O(1); disk hits load the archive and re-insert it
+        into the memory tier (possibly evicting colder entries).
+        """
+        with self._lock:
+            entry = self._cache.get(key)
+            if entry is not None:
+                self._cache.move_to_end(key)
+                self.hits += 1
+                self._observe_lookup(True)
+                return entry.solver
+        if self.root is not None:
+            path = self.path_for(key)
+            if path.exists():
+                solver = TileHMatrix.load(path)
+                with self._lock:
+                    self.hits += 1
+                self._observe_lookup(True)
+                self._insert(key, solver)
+                return solver
+        with self._lock:
+            self.misses += 1
+        self._observe_lookup(False)
+        return None
+
+    def get_or_build(self, key: str, builder) -> TileHMatrix:
+        """``get(key)``, running ``builder()`` on a miss and storing its result.
+
+        Concurrent callers of one missing ``key`` serialize on a per-key
+        build lock: the first runs ``builder``, the rest hit its result.
+        """
+        solver = self.get(key)
+        if solver is not None:
+            return solver
+        with self._lock:
+            build_lock = self._building.setdefault(key, threading.Lock())
+        with build_lock:
+            # Double-check: another thread may have built while we waited.
+            with self._lock:
+                entry = self._cache.get(key)
+                if entry is not None:
+                    self._cache.move_to_end(key)
+                    return entry.solver
+            solver = builder()
+            if not solver.factorized:
+                raise ValueError("builder must return a *factorized* solver")
+            self.put(key, solver)
+        with self._lock:
+            self._building.pop(key, None)
+        return solver
+
+    def evict(self, key: str) -> bool:
+        """Drop ``key`` from the memory tier (the disk copy, if any, stays)."""
+        with self._lock:
+            entry = self._cache.pop(key, None)
+            if entry is None:
+                return False
+            self._bytes -= entry.nbytes
+        self._observe_bytes(-entry.nbytes, evicted=True)
+        return True
+
+    def clear_memory(self) -> None:
+        """Empty the memory tier (disk archives are untouched)."""
+        with self._lock:
+            keys = list(self._cache)
+        for k in keys:
+            self.evict(k)
+
+    # -- internals -------------------------------------------------------------
+    def _insert(self, key: str, solver: TileHMatrix) -> None:
+        nbytes = int(solver.storage_bytes())
+        evicted: list[tuple[str, int]] = []
+        with self._lock:
+            old = self._cache.pop(key, None)
+            if old is not None:
+                self._bytes -= old.nbytes
+            self._cache[key] = _Entry(solver, nbytes)
+            self._bytes += nbytes
+            if self.budget_bytes is not None:
+                # Evict cold entries, never the one just inserted: a single
+                # over-budget factorization must still be servable.
+                while self._bytes > self.budget_bytes and len(self._cache) > 1:
+                    k, e = self._cache.popitem(last=False)
+                    self._bytes -= e.nbytes
+                    evicted.append((k, e.nbytes))
+        delta = nbytes - (old.nbytes if old is not None else 0)
+        if delta:
+            self._observe_bytes(delta)
+        for _, nb in evicted:
+            self._observe_bytes(-nb, evicted=True)
+
+    def _observe_lookup(self, hit: bool) -> None:
+        probe = obs_current()
+        if probe is not None:
+            probe.store_lookup(hit)
+
+    def _observe_bytes(self, delta: int, *, evicted: bool = False) -> None:
+        if evicted:
+            with self._lock:
+                self.evictions += 1
+        probe = obs_current()
+        if probe is not None:
+            probe.store_bytes_delta(delta)
+            if evicted:
+                probe.store_eviction()

@@ -4,7 +4,13 @@ import numpy as np
 import pytest
 
 from repro.core import TileHConfig, TileHMatrix, tiled_getrf_tasks, tiled_solve
-from repro.geometry import assemble_dense, cylinder_cloud, helmholtz_kernel, laplace_kernel
+from repro.geometry import (
+    assemble_dense,
+    cylinder_cloud,
+    helmholtz_kernel,
+    laplace_kernel,
+    make_kernel,
+)
 from repro.hmatrix import (
     AssemblyConfig,
     StrongAdmissibility,
@@ -109,3 +115,144 @@ class TestSaveLoadTileH:
         desc2 = load_tile_h(save_tile_h(a.desc, tmp_path / "t.npz"))
         for i in range(a.nt):
             assert desc2.tile_slice(i) == a.desc.tile_slice(i)
+
+
+class TestFactorizedPersistence:
+    """Factorized archives reload to a bit-identically solvable matrix."""
+
+    def _build(self, kernel_name, method="lu", n=N):
+        pts = cylinder_cloud(n)
+        kern = make_kernel(kernel_name, pts)
+        a = TileHMatrix.build(kern, pts, TileHConfig(nb=100, eps=1e-7, leaf_size=32))
+        a.factorize(method=method)
+        return a
+
+    @pytest.mark.parametrize("kernel_name", ["laplace", "helmholtz"])
+    def test_lu_roundtrip_bitexact_solve(self, kernel_name, tmp_path):
+        a = self._build(kernel_name)
+        a.save(tmp_path / "f.npz")
+        a2 = TileHMatrix.load(tmp_path / "f.npz")
+        assert a2.factorized
+        rng = np.random.default_rng(0)
+        b = rng.standard_normal(N)
+        if kernel_name == "helmholtz":
+            b = b + 1j * rng.standard_normal(N)
+        assert np.array_equal(a2.solve(b), a.solve(b))
+
+    def test_cholesky_roundtrip_bitexact_solve(self, tmp_path):
+        from repro.geometry import exponential_kernel
+
+        pts = cylinder_cloud(N)
+        a = TileHMatrix.build(
+            exponential_kernel(pts), pts, TileHConfig(nb=100, eps=1e-8, leaf_size=32)
+        )
+        a.factorize(method="cholesky")
+        a.save(tmp_path / "c.npz")
+        a2 = TileHMatrix.load(tmp_path / "c.npz")
+        b = np.random.default_rng(1).standard_normal(N)
+        assert np.array_equal(a2.solve(b), a.solve(b))
+
+    def test_panel_solve_bitexact_after_load(self, tmp_path):
+        a = self._build("laplace")
+        a.save(tmp_path / "f.npz")
+        a2 = TileHMatrix.load(tmp_path / "f.npz")
+        b = np.random.default_rng(2).standard_normal((N, 6))
+        assert np.array_equal(a2.solve(b), a.solve(b))
+
+    def test_meta_records_factorization(self, tmp_path):
+        from repro.hmatrix import load_tile_h_meta
+
+        a = self._build("laplace")
+        a.save(tmp_path / "f.npz")
+        meta = load_tile_h_meta(tmp_path / "f.npz")
+        assert meta["factorized"] is True
+        assert meta["method"] == "lu"
+        assert meta["n"] == N
+        assert meta["config"]["nb"] == 100
+
+    def test_unfactorized_meta(self, tmp_path):
+        pts = cylinder_cloud(N)
+        a = TileHMatrix.build(
+            laplace_kernel(pts), pts, TileHConfig(nb=100, eps=1e-7, leaf_size=32)
+        )
+        a.save(tmp_path / "u.npz")
+        from repro.hmatrix import load_tile_h_meta
+
+        meta = load_tile_h_meta(tmp_path / "u.npz")
+        assert meta["factorized"] is False
+        assert meta["method"] is None
+        a2 = TileHMatrix.load(tmp_path / "u.npz")
+        assert not a2.factorized
+        a2.factorize()
+        a.factorize()
+        b = np.random.default_rng(3).standard_normal(N)
+        assert np.array_equal(a2.solve(b), a.solve(b))
+
+    def test_config_restored(self, tmp_path):
+        a = self._build("laplace")
+        a.save(tmp_path / "f.npz")
+        a2 = TileHMatrix.load(tmp_path / "f.npz")
+        assert a2.config.nb == a.config.nb
+        assert a2.config.eps == a.config.eps
+        assert a2.config.leaf_size == a.config.leaf_size
+
+
+class TestArchiveValidation:
+    """Corrupt or mismatched archives fail loudly, not with numpy tracebacks."""
+
+    def _archive(self, tmp_path):
+        pts = cylinder_cloud(N)
+        a = TileHMatrix.build(
+            laplace_kernel(pts), pts, TileHConfig(nb=100, eps=1e-7, leaf_size=32)
+        )
+        p = tmp_path / "t.npz"
+        save_tile_h(a.desc, p)
+        return p
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_tile_h(tmp_path / "nope.npz")
+
+    def test_truncated_file(self, tmp_path):
+        p = self._archive(tmp_path)
+        data = p.read_bytes()
+        p.write_bytes(data[: len(data) // 2])
+        with pytest.raises(ValueError, match="cannot read Tile-H archive"):
+            load_tile_h(p)
+
+    def test_not_an_archive(self, tmp_path):
+        p = tmp_path / "junk.npz"
+        p.write_bytes(b"this is not a zip file")
+        with pytest.raises(ValueError, match="cannot read Tile-H archive"):
+            load_tile_h(p)
+
+    def test_missing_keys(self, tmp_path):
+        p = tmp_path / "partial.npz"
+        np.savez(p, n=np.int64(N))
+        with pytest.raises(ValueError, match="missing keys"):
+            load_tile_h(p)
+
+    def test_missing_tile_payload(self, tmp_path):
+        p = self._archive(tmp_path)
+        data = dict(np.load(p, allow_pickle=False))
+        victim = next(k for k in data if k.startswith("t0_0_"))
+        del data[victim]
+        np.savez(p, **data)
+        with pytest.raises(ValueError):
+            load_tile_h(p)
+
+    def test_inconsistent_sizes(self, tmp_path):
+        p = self._archive(tmp_path)
+        data = dict(np.load(p, allow_pickle=False))
+        data["perm"] = data["perm"][: len(data["perm"]) // 2]
+        np.savez(p, **data)
+        with pytest.raises(ValueError):
+            load_tile_h(p)
+
+    def test_wrong_meta_file(self, tmp_path):
+        from repro.hmatrix import load_tile_h_meta
+
+        p = tmp_path / "junk.npz"
+        p.write_bytes(b"x" * 40)
+        with pytest.raises(ValueError):
+            load_tile_h_meta(p)

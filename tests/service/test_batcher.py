@@ -1,0 +1,103 @@
+"""MicroBatcher: size/age dispatch rules, keyed coalescing, drain semantics."""
+
+import threading
+
+import pytest
+
+from repro.service import MicroBatcher
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+
+@pytest.fixture()
+def clock():
+    return FakeClock()
+
+
+class TestDispatchRules:
+    def test_full_bucket_dispatches_immediately(self, clock):
+        b = MicroBatcher(max_batch=3, max_delay=10.0, clock=clock)
+        for i in range(3):
+            b.add("k", i)
+        assert b.take(timeout=0) == ("k", [0, 1, 2])
+        assert len(b) == 0
+
+    def test_underfull_bucket_held_until_max_delay(self, clock):
+        b = MicroBatcher(max_batch=8, max_delay=1.0, clock=clock)
+        b.add("k", "x")
+        assert b.take(timeout=0) is None  # immature
+        clock.t = 1.0
+        assert b.take(timeout=0) == ("k", ["x"])
+
+    def test_zero_delay_means_singleton_batches(self, clock):
+        b = MicroBatcher(max_batch=8, max_delay=0.0, clock=clock)
+        b.add("k", 1)
+        b.add("k", 2)
+        assert b.take(timeout=0) == ("k", [1, 2])
+
+    def test_oversized_bucket_splits(self, clock):
+        b = MicroBatcher(max_batch=2, max_delay=0.0, clock=clock)
+        for i in range(5):
+            b.add("k", i)
+        sizes = []
+        while True:
+            got = b.take(timeout=0)
+            if got is None:
+                break
+            sizes.append(len(got[1]))
+        assert sizes == [2, 2, 1]
+
+    def test_keys_do_not_mix(self, clock):
+        b = MicroBatcher(max_batch=4, max_delay=0.0, clock=clock)
+        b.add("a", 1)
+        b.add("b", 2)
+        b.add("a", 3)
+        batches = {b.take(timeout=0)[0]: None for _ in range(2)}
+        assert set(batches) == {"a", "b"}
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            MicroBatcher(max_batch=0)
+        with pytest.raises(ValueError):
+            MicroBatcher(max_delay=-1)
+
+
+class TestBlockingTake:
+    def test_take_wakes_on_full_batch(self):
+        b = MicroBatcher(max_batch=2, max_delay=30.0)
+        out = []
+        t = threading.Thread(target=lambda: out.append(b.take(timeout=5)))
+        t.start()
+        b.add("k", 1)
+        b.add("k", 2)
+        t.join(5)
+        assert out == [("k", [1, 2])]
+
+    def test_take_times_out_empty(self):
+        b = MicroBatcher(max_batch=2, max_delay=30.0)
+        assert b.take(timeout=0.05) is None
+
+
+class TestDrain:
+    def test_drain_flushes_underfull_buckets(self, clock):
+        b = MicroBatcher(max_batch=8, max_delay=100.0, clock=clock)
+        b.add("k", 1)
+        assert b.take(timeout=0) is None
+        b.drain()
+        assert b.take(timeout=0) == ("k", [1])
+        assert b.take(timeout=0) is None  # drained + empty -> immediate None
+
+    def test_drain_unblocks_waiting_consumer(self):
+        b = MicroBatcher(max_batch=8, max_delay=100.0)
+        out = []
+        t = threading.Thread(target=lambda: out.append(b.take(timeout=10)))
+        t.start()
+        b.drain()
+        t.join(5)
+        assert out == [None]

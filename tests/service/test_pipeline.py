@@ -1,0 +1,280 @@
+"""SolveService: batching correctness, backpressure, deadlines, retries, drain."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.obs import Instrumentation
+from repro.obs.report import build_run_report, validate_report
+from repro.service import (
+    BadRequestError,
+    DeadlineExceededError,
+    FactorizationStore,
+    QueueFullError,
+    ServiceClosedError,
+    SolveService,
+    TransientSolveError,
+)
+
+
+@pytest.fixture()
+def warm_service(solver, key):
+    """A service whose provider returns the prebuilt solver instantly."""
+    svc = SolveService(
+        FactorizationStore(), workers=2, max_batch=8, max_delay=0.005,
+        solver_provider=lambda k, s: solver,
+    )
+    yield svc
+    svc.close()
+
+
+class TestBatchedCorrectness:
+    def test_concurrent_requests_bit_identical(self, warm_service, solver, spec):
+        rng = np.random.default_rng(1)
+        rhs = [rng.standard_normal(spec.n) for _ in range(10)]
+        refs = [solver.solve(b) for b in rhs]
+        tickets = [warm_service.submit(spec, b) for b in rhs]
+        for t, r in zip(tickets, refs):
+            assert np.array_equal(t.result(timeout=30), r)
+        st = warm_service.stats()
+        assert st["requests"]["completed"] == 10
+        assert st["batch_size"]["count"] >= 1
+
+    def test_sync_solve(self, warm_service, solver, spec, rhs):
+        assert np.array_equal(warm_service.solve(spec, rhs), solver.solve(rhs))
+
+    def test_bad_rhs_rejected_synchronously(self, warm_service, spec):
+        with pytest.raises(BadRequestError):
+            warm_service.submit(spec, np.ones(spec.n + 1))
+        with pytest.raises(BadRequestError):
+            warm_service.submit(spec, np.ones((spec.n, 2)))
+        with pytest.raises(BadRequestError):
+            warm_service.submit(spec, np.full(spec.n, np.nan))
+        assert warm_service.stats()["requests"]["admitted"] == 0
+
+    def test_bad_spec_rejected(self, warm_service, rhs):
+        with pytest.raises(BadRequestError):
+            warm_service.submit({"kernel": "nope", "n": 300}, rhs)
+
+
+class TestBackpressure:
+    def test_queue_full_rejects_not_blocks(self, solver, spec, rhs):
+        gate = threading.Event()
+
+        def blocked_provider(k, s):
+            gate.wait(30)
+            return solver
+
+        svc = SolveService(
+            FactorizationStore(), workers=1, max_queue=2, max_batch=1,
+            max_delay=0.0, solver_provider=blocked_provider,
+        )
+        try:
+            t1 = svc.submit(spec, rhs)
+            t2 = svc.submit(spec, rhs)
+            t0 = time.monotonic()
+            with pytest.raises(QueueFullError):
+                svc.submit(spec, rhs)
+            # the rejection is immediate backpressure, not a timeout
+            assert time.monotonic() - t0 < 0.5
+            st = svc.stats()
+            assert st["requests"]["rejected"] == 1
+            gate.set()
+            assert t1.result(timeout=30) is not None
+            assert t2.result(timeout=30) is not None
+        finally:
+            gate.set()
+            svc.close()
+        # admitted work was never dropped
+        final = svc.stats()
+        assert final["requests"]["completed"] == 2
+        assert final["queue"]["capacity"] == 2
+
+    def test_capacity_frees_after_completion(self, warm_service, spec, rhs):
+        small = SolveService(
+            FactorizationStore(), workers=1, max_queue=1, max_batch=1,
+            max_delay=0.0, solver_provider=warm_service._provider,
+        )
+        try:
+            small.submit(spec, rhs).result(timeout=30)
+            small.submit(spec, rhs).result(timeout=30)  # slot was released
+        finally:
+            small.close()
+
+
+class TestDeadlines:
+    def test_expired_request_gets_typed_error(self, solver, spec, rhs):
+        gate = threading.Event()
+        first_taken = threading.Event()
+
+        def slow_provider(k, s):
+            first_taken.set()
+            gate.wait(30)
+            return solver
+
+        svc = SolveService(
+            FactorizationStore(), workers=1, max_batch=1, max_delay=0.0,
+            solver_provider=slow_provider,
+        )
+        try:
+            t1 = svc.submit(spec, rhs)  # occupies the only worker
+            assert first_taken.wait(10)
+            t2 = svc.submit(spec, rhs, timeout=0.01)  # will expire in the queue
+            time.sleep(0.1)
+            gate.set()
+            assert t1.result(timeout=30) is not None
+            with pytest.raises(DeadlineExceededError):
+                t2.result(timeout=30)
+            st = svc.stats()
+            assert st["requests"]["expired"] == 1
+            assert st["requests"]["failed"] == 1
+        finally:
+            gate.set()
+            svc.close()
+
+
+class TestRetries:
+    def test_transient_failures_retried(self, solver, spec, rhs):
+        attempts = []
+
+        def flaky(k, s):
+            attempts.append(1)
+            if len(attempts) <= 2:
+                raise TransientSolveError("simulated store race")
+            return solver
+
+        svc = SolveService(
+            FactorizationStore(), workers=1, max_retries=2, max_batch=1,
+            max_delay=0.0, solver_provider=flaky,
+        )
+        try:
+            x = svc.submit(spec, rhs).result(timeout=30)
+            assert np.array_equal(x, solver.solve(rhs))
+            st = svc.stats()
+            assert st["requests"]["retries"] == 2
+            assert st["requests"]["completed"] == 1
+            assert st["requests"]["failed"] == 0
+        finally:
+            svc.close()
+
+    def test_retries_exhausted_fails_typed(self, spec, rhs):
+        def always_transient(k, s):
+            raise TransientSolveError("never recovers")
+
+        svc = SolveService(
+            FactorizationStore(), workers=1, max_retries=1, max_batch=1,
+            max_delay=0.0, solver_provider=always_transient,
+        )
+        try:
+            with pytest.raises(TransientSolveError):
+                svc.submit(spec, rhs).result(timeout=30)
+            st = svc.stats()
+            assert st["requests"]["retries"] == 1
+            assert st["requests"]["failed"] == 1
+        finally:
+            svc.close()
+
+    def test_nontransient_fails_without_retry(self, spec, rhs):
+        calls = []
+
+        def broken(k, s):
+            calls.append(1)
+            raise RuntimeError("permanent")
+
+        svc = SolveService(
+            FactorizationStore(), workers=1, max_retries=3, max_batch=1,
+            max_delay=0.0, solver_provider=broken,
+        )
+        try:
+            with pytest.raises(RuntimeError):
+                svc.submit(spec, rhs).result(timeout=30)
+            assert len(calls) == 1
+            assert svc.stats()["requests"]["retries"] == 0
+        finally:
+            svc.close()
+
+
+class TestDrain:
+    def test_close_completes_all_admitted(self, solver, spec):
+        svc = SolveService(
+            FactorizationStore(), workers=2, max_batch=4, max_delay=0.05,
+            solver_provider=lambda k, s: solver,
+        )
+        rng = np.random.default_rng(2)
+        tickets = [svc.submit(spec, rng.standard_normal(spec.n)) for _ in range(9)]
+        svc.close()  # graceful drain: every admitted request resolves
+        assert all(t.done() for t in tickets)
+        assert all(t.result() is not None for t in tickets)
+        assert svc.stats()["requests"]["completed"] == 9
+
+    def test_closed_service_rejects(self, warm_service, spec, rhs):
+        warm_service.close()
+        with pytest.raises(ServiceClosedError):
+            warm_service.submit(spec, rhs)
+
+    def test_close_idempotent(self, warm_service):
+        warm_service.close()
+        warm_service.close()
+
+    def test_context_manager(self, solver, spec, rhs):
+        with SolveService(
+            FactorizationStore(), workers=1, solver_provider=lambda k, s: solver
+        ) as svc:
+            t = svc.submit(spec, rhs)
+        assert t.done()
+
+
+class TestWarmStoreSkipsFactorization:
+    def test_store_hit_skips_build(self, solver, spec, key, rhs, tmp_path):
+        # Prime the disk store, then serve from a cold process-equivalent:
+        # the request must be a store *hit* with zero misses -> the expensive
+        # factorization never ran.
+        FactorizationStore(tmp_path).put(key, solver)
+        with Instrumentation() as probe:
+            svc = SolveService(FactorizationStore(tmp_path), workers=1)
+            x = svc.solve(spec, rhs)
+            svc.close()
+        assert np.array_equal(x, solver.solve(rhs))
+        assert probe.registry.counter("service.store.hits") == 1
+        assert probe.registry.counter("service.store.misses") == 0
+
+    def test_cold_start_is_a_miss(self, spec, rhs, tmp_path):
+        with Instrumentation() as probe:
+            svc = SolveService(FactorizationStore(tmp_path), workers=1)
+            svc.solve(spec, rhs)
+            svc.close()
+        assert probe.registry.counter("service.store.misses") == 1
+
+
+class TestStatsAndReport:
+    def test_stats_shape(self, warm_service, spec, rhs):
+        warm_service.solve(spec, rhs)
+        st = warm_service.stats()
+        assert st["workers"] == 2
+        assert st["latency_seconds"]["count"] == 1
+        assert "p50" in st["latency_seconds"] and "p95" in st["latency_seconds"]
+        assert st["queue"]["depth_peak"] >= 1
+
+    def test_report_integration(self, solver, spec, rhs):
+        with Instrumentation() as probe:
+            svc = SolveService(
+                FactorizationStore(), workers=1, solver_provider=lambda k, s: solver
+            )
+            svc.solve(spec, rhs)
+            svc.close()
+        report = build_run_report(probe=probe, meta={"t": "svc"}, service=svc.stats())
+        assert validate_report(report) == []
+        assert report["service"]["requests"]["completed"] == 1
+
+    def test_report_autoderives_from_probe(self, solver, spec, rhs):
+        with Instrumentation() as probe:
+            svc = SolveService(
+                FactorizationStore(), workers=1, solver_provider=lambda k, s: solver
+            )
+            svc.solve(spec, rhs)
+            svc.close()
+        report = build_run_report(probe=probe, meta={})
+        assert validate_report(report) == []
+        assert report["service"]["requests"]["admitted"] == 1

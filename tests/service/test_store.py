@@ -1,0 +1,147 @@
+"""FactorizationStore: two-tier caching, budget eviction, build deduplication."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.obs import Instrumentation
+from repro.service import FactorizationStore
+
+
+class TestTiers:
+    def test_memory_roundtrip(self, solver, key):
+        store = FactorizationStore()
+        store.put(key, solver)
+        assert key in store
+        assert store.get(key) is solver
+        assert store.stats()["hits"] == 1
+
+    def test_miss_recorded(self, key):
+        store = FactorizationStore()
+        assert store.get(key) is None
+        assert store.stats()["misses"] == 1
+
+    def test_disk_survives_memory_eviction(self, solver, key, rhs, tmp_path):
+        store = FactorizationStore(tmp_path)
+        store.put(key, solver)
+        ref = solver.solve(rhs)
+        store.clear_memory()
+        assert store.stats()["entries"] == 0
+        assert key in store  # still on disk
+        reloaded = store.get(key)
+        assert reloaded is not None and reloaded is not solver
+        assert np.array_equal(reloaded.solve(rhs), ref)
+
+    def test_fresh_store_reads_disk(self, solver, key, rhs, tmp_path):
+        FactorizationStore(tmp_path).put(key, solver)
+        store2 = FactorizationStore(tmp_path)
+        got = store2.get(key)
+        assert got is not None
+        assert np.array_equal(got.solve(rhs), solver.solve(rhs))
+        assert store2.stats()["hits"] == 1 and store2.stats()["misses"] == 0
+
+    def test_keys_unions_tiers(self, solver, key, tmp_path):
+        store = FactorizationStore(tmp_path)
+        store.put(key, solver)
+        store.put("other", solver, persist=False)
+        store.evict(key)  # memory only; disk copy remains
+        assert sorted(store.keys()) == sorted([key, "other"])
+
+    def test_no_disk_tier(self, key):
+        store = FactorizationStore()
+        with pytest.raises(ValueError):
+            store.path_for(key)
+
+
+class TestBudget:
+    def test_lru_eviction(self, solver, key):
+        nbytes = solver.storage_bytes()
+        store = FactorizationStore(budget_bytes=int(1.5 * nbytes))
+        store.put("a", solver, persist=False)
+        store.put("b", solver, persist=False)
+        st = store.stats()
+        assert st["entries"] == 1 and st["evictions"] == 1
+        assert store.get("a") is None  # the cold one went
+        assert store.get("b") is solver
+
+    def test_lru_order_respects_access(self, solver):
+        nbytes = solver.storage_bytes()
+        store = FactorizationStore(budget_bytes=int(2.5 * nbytes))
+        store.put("a", solver, persist=False)
+        store.put("b", solver, persist=False)
+        store.get("a")  # refresh a; b is now coldest
+        store.put("c", solver, persist=False)
+        assert store.get("b") is None
+        assert store.get("a") is solver and store.get("c") is solver
+
+    def test_single_oversized_entry_stays(self, solver):
+        store = FactorizationStore(budget_bytes=1)  # smaller than any factorization
+        store.put("big", solver, persist=False)
+        assert store.get("big") is solver  # never evict the only entry
+
+    def test_resident_bytes_accounting(self, solver):
+        store = FactorizationStore()
+        store.put("a", solver, persist=False)
+        assert store.resident_bytes == solver.storage_bytes()
+        store.evict("a")
+        assert store.resident_bytes == 0
+
+
+class TestGetOrBuild:
+    def test_builds_once_across_threads(self, solver, key):
+        store = FactorizationStore()
+        calls = []
+        gate = threading.Event()
+
+        def builder():
+            calls.append(1)
+            gate.wait(5)
+            return solver
+
+        results = []
+        threads = [
+            threading.Thread(target=lambda: results.append(store.get_or_build(key, builder)))
+            for _ in range(4)
+        ]
+        for t in threads:
+            t.start()
+        gate.set()
+        for t in threads:
+            t.join(10)
+        assert len(calls) == 1
+        assert all(r is solver for r in results)
+
+    def test_rejects_unfactorized(self, spec, key):
+        from repro.service import ProblemSpec
+        from repro.core import TileHConfig, TileHMatrix
+        from repro.geometry import cylinder_cloud, laplace_kernel
+
+        pts = cylinder_cloud(spec.n)
+        raw = TileHMatrix.build(
+            laplace_kernel(pts), pts, TileHConfig(nb=100, eps=1e-7, leaf_size=32)
+        )
+        store = FactorizationStore()
+        with pytest.raises(ValueError, match="factorized"):
+            store.get_or_build(key, lambda: raw)
+
+
+class TestObsIntegration:
+    def test_lookup_counters(self, solver, key):
+        with Instrumentation() as probe:
+            store = FactorizationStore()
+            store.get(key)
+            store.put(key, solver, persist=False)
+            store.get(key)
+        assert probe.registry.counter("service.store.misses") == 1
+        assert probe.registry.counter("service.store.hits") == 1
+
+    def test_bytes_and_eviction_counters(self, solver):
+        nbytes = solver.storage_bytes()
+        with Instrumentation() as probe:
+            store = FactorizationStore(budget_bytes=int(1.5 * nbytes))
+            store.put("a", solver, persist=False)
+            store.put("b", solver, persist=False)
+        assert probe.registry.counter("service.store.evictions") == 1
+        assert probe.registry.gauge("service.store.bytes") == nbytes
+        assert probe.registry.gauge("service.store.peak_bytes") >= nbytes

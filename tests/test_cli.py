@@ -71,3 +71,47 @@ class TestMain:
         args = build_parser().parse_args(["--racecheck"])
         assert args.racecheck is True
         assert build_parser().parse_args([]).racecheck is False
+
+
+class TestServeCLI:
+    def test_serve_and_request_end_to_end(self, tmp_path, capsys):
+        """Boot a real server in-thread, drive it with `repro request`."""
+        import threading
+        import time
+
+        from repro.service import FactorizationStore, SolveService, make_server
+        from repro.service.cli import request_main
+
+        svc = SolveService(FactorizationStore(tmp_path / "store"), workers=1)
+        server = make_server(svc)
+        threading.Thread(target=server.serve_forever, daemon=True).start()
+        host, port = server.server_address[:2]
+        url = f"http://{host}:{port}"
+        try:
+            rc = request_main([
+                "--url", url, "--kernel", "laplace", "--n", "300",
+                "--nb", "100", "--count", "2", "--check",
+            ])
+            assert rc == 0
+            out = capsys.readouterr().out
+            assert "forward error" in out
+            rc = request_main(["--url", url, "--stats", "--count", "0"])
+            assert rc == 0
+            assert '"completed": 2' in capsys.readouterr().out
+        finally:
+            server.shutdown()
+            server.server_close()
+            svc.close()
+
+    def test_request_unreachable_server(self, capsys):
+        from repro.service.cli import request_main
+
+        rc = request_main(["--url", "http://127.0.0.1:9", "--n", "300"])
+        assert rc == 2
+        assert "cannot reach" in capsys.readouterr().err
+
+    def test_request_rejects_bad_args(self):
+        from repro.service.cli import request_main
+
+        with pytest.raises(SystemExit):
+            request_main(["--kernel", "nope"])
