@@ -52,6 +52,9 @@ _LU_CASES = (
 )
 _ACA_N = 512 if SMOKE else 2048
 _FUSED_N, _FUSED_NB = (512, 128) if SMOKE else (1536, 192)
+#: (n, nb) x worker counts for the process-executor rows.
+_PROCESS_CASES = [(512, 128)] if SMOKE else [(512, 128), (1024, 128)]
+_PROCESS_WORKERS = [1, 2] if SMOKE else [1, 2, 4]
 
 
 def _time_lu(case: str, n: int, nb: int, precision: str, *, accumulate: bool = True) -> dict:
@@ -160,10 +163,58 @@ def _time_fused(n: int, nb: int) -> list[dict]:
     return rows
 
 
+def _time_fused_process() -> list[dict]:
+    """Fused assembly+LU on the process executor, swept over worker counts.
+
+    Every row records its eager reference error alongside (``fwd_error_eager``)
+    — with ``accumulate=False`` the two must agree to machine identity at any
+    worker count, which the test asserts.  ``steals``/``idle_fraction`` come
+    from a profiled extra run and ``ipc_bytes`` counts the pickled skeleton
+    traffic over the worker pipes (tile payloads travel via shared memory and
+    are charged to ``process.shm_bytes``, not here).  Wall-clock speedup is
+    informational: on a single-core host the extra workers only add overhead.
+    """
+    rows = []
+    for n, nb in _PROCESS_CASES:
+        pts = cylinder_cloud(n)
+        kern = make_kernel("laplace", pts)
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal(n)
+        b = streamed_matvec(kern, pts, x)
+        cfg_eager = TileHConfig(nb=nb, eps=EPS, leaf_size=min(48, nb), accumulate=False)
+        ref, _ = TileHMatrix.build_factorize(kern, pts, cfg_eager)
+        fwd_eager = float(np.linalg.norm(ref.solve(b) - x) / np.linalg.norm(x))
+        for nw in _PROCESS_WORKERS:
+            cfg = TileHConfig(nb=nb, eps=EPS, leaf_size=min(48, nb), accumulate=False,
+                              exec_mode="process", nworkers=nw, scheduler="lws")
+            best = np.inf
+            fwd_error = None
+            for _ in range(REPS):
+                t0 = time.perf_counter()
+                a, _info = TileHMatrix.build_factorize(kern, pts, cfg)
+                best = min(best, time.perf_counter() - t0)
+                if fwd_error is None:
+                    xhat = a.solve(b)
+                    fwd_error = float(np.linalg.norm(xhat - x) / np.linalg.norm(x))
+            with Instrumentation() as probe:
+                _a, info = TileHMatrix.build_factorize(kern, pts, cfg)
+            report = build_run_report(probe=probe, trace=info.trace, graph=info.graph)
+            rows.append({
+                "case": "fused_process", "n": n, "nb": nb, "nworkers": nw,
+                "seconds": best, "fwd_error": fwd_error, "fwd_error_eager": fwd_eager,
+                "steals": report["scheduler"]["steals"],
+                "steal_attempts": report["scheduler"]["steal_attempts"],
+                "idle_fraction": round(1.0 - report["totals"]["utilization"], 4),
+                "ipc_bytes": int(report.get("process", {}).get("ipc_bytes", 0)),
+            })
+    return rows
+
+
 def run() -> list[dict]:
     rows = [_time_lu(case, n, nb, precision) for case, n, nb, precision in _LU_CASES]
     rows.append(_time_aca(_ACA_N))
     rows.extend(_time_fused(_FUSED_N, _FUSED_NB))
+    rows.extend(_time_fused_process())
     OUT_PATH.write_text(json.dumps(rows, indent=2) + "\n")
     return rows
 
@@ -188,6 +239,13 @@ def test_perf_regression():
         by_case["fused_threaded"]["fwd_error"],
         rtol=1e-9, atol=0.0,
     ), (by_case["fused_eager"], by_case["fused_threaded"])
+    # Process-executor runs are bit-identical to eager at every worker count
+    # (accumulate=False serialises all per-tile updates in submission order).
+    process_rows = [r for r in rows if r["case"] == "fused_process"]
+    assert process_rows, "no fused_process rows produced"
+    for r in process_rows:
+        assert np.isclose(r["fwd_error"], r["fwd_error_eager"], rtol=1e-12, atol=0.0), r
+        assert r["ipc_bytes"] > 0, r
 
 
 if __name__ == "__main__":

@@ -40,6 +40,9 @@ _N, _NB = (512, 128) if SMOKE else (2000, 256)
 _REQUESTS = 32 if SMOKE else 64
 _BATCHES = [1, 4, 8, 16]
 _WORKERS = [1, 2]
+#: Executor for cold-start factorizations (every row records it): override
+#: with REPRO_BENCH_EXEC=threaded/process to bench multicore cold builds.
+_EXEC_MODE = os.environ.get("REPRO_BENCH_EXEC", "eager")
 
 SPEC = ProblemSpec(kernel="laplace", n=_N, nb=_NB, eps=1e-6, leaf_size=64)
 
@@ -57,6 +60,7 @@ def _run_round(solver, rhs, *, batch: int, workers: int) -> dict:
             # so full batches form whenever batch > 1.
             max_delay=0.05 if batch > 1 else 0.0,
             solver_provider=lambda k, s: solver,
+            exec_mode=_EXEC_MODE,
         )
         t0 = time.perf_counter()
         tickets = [svc.submit(SPEC, b) for b in rhs]
@@ -75,6 +79,8 @@ def _run_round(solver, rhs, *, batch: int, workers: int) -> dict:
         "nb": _NB,
         "batch": batch,
         "workers": workers,
+        "exec_mode": stats["executor"]["mode"],
+        "exec_workers": stats["executor"]["nworkers"],
         "requests": len(rhs),
         "seconds": seconds,
         "throughput_rps": len(rhs) / seconds,
@@ -87,7 +93,7 @@ def _run_round(solver, rhs, *, batch: int, workers: int) -> dict:
 
 def _cold_vs_warm(tmp_store: Path, rhs0: np.ndarray) -> list[dict]:
     store = FactorizationStore(tmp_store)
-    svc = SolveService(store, workers=1)
+    svc = SolveService(store, workers=1, exec_mode=_EXEC_MODE)
     t0 = time.perf_counter()
     svc.solve(SPEC, rhs0)
     cold = time.perf_counter() - t0
@@ -98,12 +104,14 @@ def _cold_vs_warm(tmp_store: Path, rhs0: np.ndarray) -> list[dict]:
         warm = min(warm, time.perf_counter() - t0)
     stats = svc.stats()
     svc.close()
+    executor = {"exec_mode": stats["executor"]["mode"],
+                "exec_workers": stats["executor"]["nworkers"]}
     return [
         {"case": "serve_cold", "n": _N, "nb": _NB, "seconds": cold,
-         "store_misses": stats["store"]["misses"]},
+         "store_misses": stats["store"]["misses"], **executor},
         {"case": "serve_warm", "n": _N, "nb": _NB, "seconds": warm,
          "store_hits": stats["store"]["hits"],
-         "speedup_vs_cold": cold / warm},
+         "speedup_vs_cold": cold / warm, **executor},
     ]
 
 

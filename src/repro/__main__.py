@@ -77,17 +77,18 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--exec",
         dest="exec_mode",
-        choices=["eager", "threaded"],
+        choices=["eager", "threaded", "process"],
         default="eager",
-        help="task execution: eager (run at submission) or threaded "
-        "(real worker threads driving --scheduler; fuses Tile-H assembly "
-        "with factorisation)",
+        help="task execution: eager (run at submission), threaded (worker "
+        "threads driving --scheduler; fuses Tile-H assembly with "
+        "factorisation) or process (worker processes over shared-memory "
+        "tiles — no GIL, true multicore scaling)",
     )
     parser.add_argument(
         "--nworkers",
         type=int,
         default=2,
-        help="worker threads for --exec threaded",
+        help="workers for --exec threaded/process",
     )
     parser.add_argument(
         "--priority-mode",
@@ -166,14 +167,18 @@ def main(argv: list[str] | None = None) -> int:
         print("error: --n must be at least 2", file=sys.stderr)
         return 2
 
-    if args.exec_mode == "threaded":
+    if args.exec_mode in ("threaded", "process"):
         if args.racecheck:
             print("error: --racecheck is eager-only (per-task fingerprints need "
-                  "kernels to run at submission); drop --exec threaded",
+                  f"kernels to run at submission); drop --exec {args.exec_mode}",
                   file=sys.stderr)
             return 2
         if args.format == "blr":
             print("error: --exec threaded supports --format tile-h and hmat only",
+                  file=sys.stderr)
+            return 2
+        if args.exec_mode == "process" and args.format != "tile-h":
+            print("error: --exec process supports --format tile-h only",
                   file=sys.stderr)
             return 2
         if args.nworkers < 1:
@@ -186,8 +191,9 @@ def main(argv: list[str] | None = None) -> int:
 
     print(f"test case : cylinder, n={args.n}, precision={args.precision}")
     print(f"format    : {args.format} (nb={nb}, eps={args.eps:g}, leaf={args.leaf_size})")
-    if args.exec_mode == "threaded":
-        print(f"executor  : threaded, {args.nworkers} workers, "
+    if args.exec_mode in ("threaded", "process"):
+        kind = "worker threads" if args.exec_mode == "threaded" else "worker processes"
+        print(f"executor  : {args.exec_mode}, {args.nworkers} {kind}, "
               f"scheduler={args.scheduler}, priorities={args.priority_mode}")
 
     tile_config = TileHConfig(
@@ -215,7 +221,7 @@ def main(argv: list[str] | None = None) -> int:
     try:
         if probe is not None:
             probe.__enter__()
-        if args.format == "tile-h" and args.exec_mode == "threaded":
+        if args.format == "tile-h" and args.exec_mode in ("threaded", "process"):
             # Fused pipeline: one deferred graph holds both the per-tile
             # assemble tasks and the factorisation tasks, so early panels
             # factorise while late tiles are still assembling.
@@ -261,7 +267,7 @@ def main(argv: list[str] | None = None) -> int:
                 f"{info.n_tasks} tasks, {info.n_dependencies} dependencies"
             )
 
-        if args.exec_mode == "threaded":
+        if args.exec_mode in ("threaded", "process"):
             threaded_trace = getattr(info, "trace", None)
             threaded_graph = info.graph
             if threaded_trace is None:
@@ -274,8 +280,8 @@ def main(argv: list[str] | None = None) -> int:
                     print(f"error: threaded trace violates the DAG: {violations[:3]}",
                           file=sys.stderr)
                     return 1
-                print(f"trace     : {len(threaded_trace.events)} threaded events "
-                      "validated as a linear extension of the DAG")
+                print(f"trace     : {len(threaded_trace.events)} {args.exec_mode} "
+                      "events validated as a linear extension of the DAG")
 
         x = solver.solve(b)
         print(f"solve     : forward error {forward_error(x, x0):.2e} (eps={args.eps:g})")
@@ -305,7 +311,7 @@ def main(argv: list[str] | None = None) -> int:
                     "eps": args.eps,
                     "exec_mode": args.exec_mode,
                     "scheduler": args.scheduler,
-                    "nworkers": args.nworkers if args.exec_mode == "threaded" else 1,
+                    "nworkers": args.nworkers if args.exec_mode != "eager" else 1,
                 },
             )
             write_report(report, args.profile)

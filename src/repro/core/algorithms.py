@@ -26,7 +26,7 @@ from ..hmatrix.arithmetic import (
     solve_lower_transpose_panel,
     solve_upper_panel,
 )
-from ..runtime import AccessMode, StfEngine, TaskGraph
+from ..runtime import AccessMode, StfEngine, TaskGraph, TaskSpec
 from .descriptor import TileHDesc
 
 __all__ = [
@@ -40,6 +40,64 @@ __all__ = [
 ]
 
 R, RW = AccessMode.R, AccessMode.RW
+
+
+# -- process-executor ops ------------------------------------------------------
+# Declarative worker-side kernels (module level so spawn children import
+# them): each receives the task's access-list payloads in declared order and
+# mutates the written payloads in place.  The update accumulator is never
+# engaged here — process runs are accumulate=False by construction, which is
+# also what makes them bit-identical to eager runs: successive updates of one
+# tile are RW on the same handle, so STF serializes them in submission order.
+def _op_getrf(payloads, eps):
+    hgetrf(payloads[0].mat, eps, None)
+
+
+def _op_trsm_left_lower(payloads, eps):
+    htrsm("left", "lower", payloads[0].mat, payloads[1].mat, eps,
+          unit_diagonal=True, acc=None)
+
+
+def _op_trsm_right_upper(payloads, eps):
+    htrsm("right", "upper", payloads[0].mat, payloads[1].mat, eps, acc=None)
+
+
+def _op_gemm(payloads, eps):
+    hgemm(payloads[2].mat, payloads[0].mat, payloads[1].mat, eps,
+          alpha=-1.0, acc=None)
+
+
+def _op_potrf(payloads, eps):
+    hpotrf(payloads[0].mat, eps, None)
+
+
+def _op_trsm_right_lower_t(payloads, eps):
+    _htrsm_right_lower_transpose(payloads[0].mat, payloads[1].mat, eps, None)
+
+
+def _op_gemm_transb(payloads, eps):
+    hgemm_transb(payloads[2].mat, payloads[0].mat, payloads[1].mat, eps,
+                 alpha=-1.0, acc=None)
+
+
+def _op_solve_gemv(payloads):
+    payloads[2][...] -= panel_matvec(payloads[0].mat, payloads[1])
+
+
+def _op_trsv_lower(payloads):
+    payloads[1][...] = solve_lower_panel(
+        payloads[0].mat, payloads[1], unit_diagonal=True, column_stable=True
+    )
+
+
+def _op_trsv_upper(payloads):
+    payloads[1][...] = solve_upper_panel(
+        payloads[0].mat, payloads[1], column_stable=True
+    )
+
+
+def _spec(op: str, *args, **kwargs) -> TaskSpec:
+    return TaskSpec(f"repro.core.algorithms:{op}", args=args, kwargs=kwargs)
 
 
 def _as_panel(b: np.ndarray, n: int) -> tuple[np.ndarray, bool]:
@@ -155,6 +213,7 @@ def tiled_getrf_tasks(
             priority=lu_priorities(nt, k, "getrf"),
             flops=flops_getrf(mk, is_complex=is_c),
             label=f"getrf({k})",
+            spec=_spec("_op_getrf", eps_),
         )
         for j in range(k + 1, nt):
             eng.insert_task(
@@ -164,6 +223,7 @@ def tiled_getrf_tasks(
                 priority=lu_priorities(nt, k, "trsm"),
                 flops=flops_trsm(mk, grid.tile_rows(j), is_complex=is_c),
                 label=f"trsm_u({k},{j})",
+                spec=_spec("_op_trsm_left_lower", eps_),
             )
         for i in range(k + 1, nt):
             eng.insert_task(
@@ -173,6 +233,7 @@ def tiled_getrf_tasks(
                 priority=lu_priorities(nt, k, "trsm"),
                 flops=flops_trsm(mk, grid.tile_rows(i), is_complex=is_c),
                 label=f"trsm_l({i},{k})",
+                spec=_spec("_op_trsm_right_upper", eps_),
             )
         for i in range(k + 1, nt):
             for j in range(k + 1, nt):
@@ -185,6 +246,7 @@ def tiled_getrf_tasks(
                         grid.tile_rows(i), grid.tile_rows(j), mk, is_complex=is_c
                     ),
                     label=f"gemm({i},{j},{k})",
+                    spec=_spec("_op_gemm", eps_),
                 )
     if acc is not None:
         # Every tile's last pending update is flushed by its own panel step,
@@ -236,6 +298,7 @@ def tiled_potrf_tasks(
             priority=lu_priorities(nt, k, "getrf"),
             flops=flops_potrf(mk, is_complex=is_c),
             label=f"potrf({k})",
+            spec=_spec("_op_potrf", eps_),
         )
         for i in range(k + 1, nt):
             eng.insert_task(
@@ -245,6 +308,7 @@ def tiled_potrf_tasks(
                 priority=lu_priorities(nt, k, "trsm"),
                 flops=flops_trsm(mk, grid.tile_rows(i), is_complex=is_c),
                 label=f"trsm({i},{k})",
+                spec=_spec("_op_trsm_right_lower_t", eps_),
             )
         for i in range(k + 1, nt):
             for j in range(k + 1, i + 1):
@@ -257,6 +321,7 @@ def tiled_potrf_tasks(
                         grid.tile_rows(i), grid.tile_rows(j), mk, is_complex=is_c
                     ),
                     label=f"syrk({i},{j},{k})" if i == j else f"gemm({i},{j},{k})",
+                    spec=_spec("_op_gemm_transb", eps_),
                 )
     if acc is not None:
         acc.flush()
@@ -362,6 +427,7 @@ def tiled_solve_tasks(
                 priority=lu_priorities(nt, min(j, nt - 1), "gemm", k, j),
                 flops=flops_gemm(grid.tile_rows(k), nrhs, grid.tile_rows(j), is_complex=is_c),
                 label=f"fwd_gemv({k},{j})",
+                spec=_spec("_op_solve_gemv"),
             )
         eng.insert_task(
             "trsm",
@@ -370,6 +436,7 @@ def tiled_solve_tasks(
             priority=lu_priorities(nt, k, "trsm"),
             flops=flops_trsm(grid.tile_rows(k), nrhs, is_complex=is_c),
             label=f"fwd_trsv({k})",
+            spec=_spec("_op_trsv_lower"),
         )
     # Backward substitution: U x = y.
     for k in reversed(range(nt)):
@@ -381,6 +448,7 @@ def tiled_solve_tasks(
                 priority=lu_priorities(nt, min(nt - 1 - j, nt - 1), "gemm", k, j),
                 flops=flops_gemm(grid.tile_rows(k), nrhs, grid.tile_rows(j), is_complex=is_c),
                 label=f"bwd_gemv({k},{j})",
+                spec=_spec("_op_solve_gemv"),
             )
         eng.insert_task(
             "trsm",
@@ -389,6 +457,7 @@ def tiled_solve_tasks(
             priority=lu_priorities(nt, nt - 1 - k, "trsm"),
             flops=flops_trsm(grid.tile_rows(k), nrhs, is_complex=is_c),
             label=f"bwd_trsv({k})",
+            spec=_spec("_op_trsv_upper"),
         )
     graph = eng.wait_all()
     if eng.mode == "deferred":

@@ -26,11 +26,29 @@ import numpy as np
 
 from ..hmatrix import AssemblyConfig, assemble_hmatrix
 from ..obs.instrument import current as _current_probe
-from ..runtime import AccessMode, StfEngine
+from ..runtime import AccessMode, StfEngine, TaskSpec
 from .clustering import TileHClustering, build_tile_h_clustering
 from .descriptor import Tile, TileDesc, TileHDesc
 
 __all__ = ["build_tile_h", "assemble_priority"]
+
+
+def _op_assemble(payloads, i, j, *, context):
+    """Process-executor op: assemble tile (i, j) from the shipped context.
+
+    ``context`` is the executor-level assembly context (kernel, points,
+    clustering, assembly config) shipped once per worker — the per-task
+    message carries only the tile indices.
+    """
+    tile = payloads[0]
+    h = assemble_hmatrix(
+        context["kernel"], context["points"],
+        context["clustering"].block_tree(i, j), context["assembly"],
+    )
+    tile.fill(h)
+    probe = _current_probe()
+    if probe is not None:  # pragma: no cover - workers run unprobed
+        probe.h_bytes_delta(tile.storage_bytes())
 
 
 def assemble_priority(nt: int, i: int, j: int) -> int:
@@ -127,6 +145,11 @@ def build_tile_h(
                     [(engine.handle(tile, f"A[{i},{j}]"), AccessMode.W)],
                     priority=assemble_priority(nt, i, j),
                     label=f"assemble({i},{j})",
+                    spec=TaskSpec(
+                        "repro.core.build:_op_assemble",
+                        args=(i, j),
+                        needs_context=True,
+                    ),
                 )
     desc = TileDesc(n=pts.shape[0], nb=nb, nt=nt, tiles=tiles)
     return TileHDesc(

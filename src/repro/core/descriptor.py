@@ -234,3 +234,38 @@ class TileHDesc:
         if out["pending"] == 0:
             del out["pending"]
         return out
+
+    def relink_clusters(self) -> None:
+        """Re-anchor every tile's H-matrix nodes onto this descriptor's
+        canonical cluster tree.
+
+        Tiles harvested from worker processes arrive with unpickled *copies*
+        of the cluster nodes they were assembled against.  Archive
+        serialization keys cluster references by identity, and each copy
+        drags along its own ``points``/``perm`` arrays, so re-linking both
+        restores the identity invariant and lets the nt^2 duplicated
+        subtrees be collected.  Nodes are matched by their (start, stop,
+        level) span, which is unique in the bisection tree.
+        """
+        canon: dict = {}
+
+        def index(node) -> None:
+            canon[(node.start, node.stop, node.level)] = node
+            for c in node.children:
+                index(c)
+
+        index(self.root)
+
+        def relink(h) -> None:
+            r = canon.get((h.rows.start, h.rows.stop, h.rows.level))
+            c = canon.get((h.cols.start, h.cols.stop, h.cols.level))
+            if r is not None:
+                h.rows = r
+            if c is not None:
+                h.cols = c
+            for child in h.children:
+                relink(child)
+
+        for t in self.super.tiles:
+            if t.mat is not None:
+                relink(t.mat)

@@ -22,6 +22,7 @@ import numpy as np
 from ..runtime import (
     SCHEDULER_NAMES,
     ExecutionTrace,
+    ProcessExecutor,
     RaceChecker,
     RuntimeOverheadModel,
     SimulationResult,
@@ -119,11 +120,16 @@ class TileHConfig:
         the historical bit-identical path; "threaded" — assembly,
         factorisation and the LU solve are submitted to a deferred engine
         and executed by a :class:`~repro.runtime.ThreadedExecutor` on
-        ``nworkers`` real threads under ``scheduler``.  The accumulator is
-        engaged only on the eager path (its buffer is not thread-safe), so
-        threaded runs use plain one-rounding-per-update arithmetic.
+        ``nworkers`` real threads under ``scheduler``; "process" — the same
+        deferred graphs run on ``nworkers`` worker *processes* via a
+        :class:`~repro.runtime.ProcessExecutor` with tile payloads in
+        shared memory — the GIL-free path that scales wall clock on
+        multicore hosts.  The accumulator is engaged only on the eager path
+        (its buffer is not thread-safe), so threaded/process runs use plain
+        one-rounding-per-update arithmetic — which also makes process
+        results bit-identical to ``accumulate=False`` eager runs.
     nworkers:
-        Worker-thread count for ``exec_mode="threaded"``.
+        Worker thread/process count for ``exec_mode="threaded"/"process"``.
     scheduler:
         Scheduling policy driving the threaded executor ("ws", "lws",
         "prio", "eager", "dm" — Section V-C's StarPU policies).
@@ -153,9 +159,10 @@ class TileHConfig:
             raise ValueError(f"eps must be non-negative, got {self.eps}")
         if self.leaf_size < 1:
             raise ValueError(f"leaf_size must be positive, got {self.leaf_size}")
-        if self.exec_mode not in ("eager", "threaded"):
+        if self.exec_mode not in ("eager", "threaded", "process"):
             raise ValueError(
-                f"exec_mode must be 'eager' or 'threaded', got {self.exec_mode!r}"
+                "exec_mode must be 'eager', 'threaded' or 'process', "
+                f"got {self.exec_mode!r}"
             )
         if self.nworkers < 1:
             raise ValueError(f"nworkers must be >= 1, got {self.nworkers}")
@@ -168,11 +175,11 @@ class TileHConfig:
                 "priority_mode must be 'static' or 'bottom-level', "
                 f"got {self.priority_mode!r}"
             )
-        if self.racecheck and self.exec_mode == "threaded":
+        if self.racecheck and self.exec_mode != "eager":
             raise ValueError(
                 "racecheck is eager-only: the detector fingerprints payloads "
                 "around each eagerly executed kernel; use validate_trace on "
-                "the threaded trace instead"
+                f"the {self.exec_mode} trace instead"
             )
 
 
@@ -240,7 +247,9 @@ class TileHMatrix:
 
     # -- construction ------------------------------------------------------
     @staticmethod
-    def _build_desc(kernel, points, cfg: TileHConfig, engine: StfEngine | None) -> TileHDesc:
+    def _build_desc(
+        kernel, points, cfg: TileHConfig, engine: StfEngine | None, clustering=None
+    ) -> TileHDesc:
         from ..hmatrix import StrongAdmissibility
 
         return build_tile_h(
@@ -251,11 +260,39 @@ class TileHMatrix:
             leaf_size=cfg.leaf_size,
             admissibility=StrongAdmissibility(eta=cfg.eta),
             method=cfg.method,
+            clustering=clustering,
             engine=engine,
         )
 
-    def _executor(self) -> ThreadedExecutor:
+    @staticmethod
+    def _assembly_context(kernel, points, cfg: TileHConfig):
+        """Picklable assembly state shipped once per worker process.
+
+        Returns ``(clustering, context)``: the clustering is reused by the
+        parent's :meth:`_build_desc` so both sides agree on tile geometry.
+        """
+        from ..hmatrix import AssemblyConfig, StrongAdmissibility
+        from .clustering import build_tile_h_clustering
+
+        pts = np.ascontiguousarray(points, dtype=np.float64)
+        clustering = build_tile_h_clustering(
+            pts, cfg.nb, leaf_size=cfg.leaf_size,
+            admissibility=StrongAdmissibility(eta=cfg.eta),
+        )
+        context = {
+            "kernel": kernel,
+            "points": pts,
+            "clustering": clustering,
+            "assembly": AssemblyConfig(eps=cfg.eps, method=cfg.method),
+        }
+        return clustering, context
+
+    def _executor(self, context=None) -> ThreadedExecutor | ProcessExecutor:
         cfg = self.config
+        if cfg.exec_mode == "process":
+            return ProcessExecutor(
+                cfg.nworkers, scheduler=cfg.scheduler, context=context
+            )
         return ThreadedExecutor(cfg.nworkers, scheduler=cfg.scheduler)
 
     @classmethod
@@ -268,11 +305,16 @@ class TileHMatrix:
         with factorisation, use :meth:`build_factorize` instead.
         """
         cfg = config or TileHConfig()
-        if cfg.exec_mode == "threaded":
+        if cfg.exec_mode in ("threaded", "process"):
+            clustering = context = None
+            if cfg.exec_mode == "process":
+                clustering, context = cls._assembly_context(kernel, points, cfg)
             engine = StfEngine(mode="deferred")
-            desc = cls._build_desc(kernel, points, cfg, engine)
+            desc = cls._build_desc(kernel, points, cfg, engine, clustering)
             mat = cls(desc, cfg)
-            mat._executor().run(engine.wait_all())
+            mat._executor(context).run(engine.wait_all())
+            if cfg.exec_mode == "process":
+                desc.relink_clusters()
             return mat
         desc = cls._build_desc(kernel, points, cfg, None)
         return cls(desc, cfg)
@@ -301,11 +343,14 @@ class TileHMatrix:
         ``factorize()`` (bit-identical to the two-step path).
         """
         cfg = config or TileHConfig()
-        if cfg.exec_mode != "threaded":
+        if cfg.exec_mode not in ("threaded", "process"):
             mat = cls.build(kernel, points, cfg)
             return mat, mat.factorize(method=method)
+        clustering = context = None
+        if cfg.exec_mode == "process":
+            clustering, context = cls._assembly_context(kernel, points, cfg)
         engine = StfEngine(mode="deferred")
-        desc = cls._build_desc(kernel, points, cfg, engine)
+        desc = cls._build_desc(kernel, points, cfg, engine, clustering)
         mat = cls(desc, cfg)
         if method == "lu":
             graph = tiled_getrf_tasks(desc, engine, accumulate=cfg.accumulate)
@@ -315,8 +360,10 @@ class TileHMatrix:
             raise ValueError(f"method must be 'lu' or 'cholesky', got {method!r}")
         if cfg.priority_mode == "bottom-level":
             apply_bottom_level_priorities(graph, "flops")
-        executor = mat._executor()
+        executor = mat._executor(context)
         wall = executor.run(graph)
+        if cfg.exec_mode == "process":
+            desc.relink_clusters()
         mat._factorized = True
         mat._method = method
         info = FactorizationInfo(
@@ -378,7 +425,7 @@ class TileHMatrix:
         if self._factorized:
             raise RuntimeError("factorize() called twice on the same matrix")
         accumulate = self.config.accumulate
-        threaded = self.config.exec_mode == "threaded"
+        threaded = self.config.exec_mode in ("threaded", "process")
         if engine is None:
             if threaded:
                 engine = StfEngine(mode="deferred")
@@ -398,6 +445,8 @@ class TileHMatrix:
             executor = self._executor()
             wall = executor.run(graph)
             trace = executor.trace
+            if self.config.exec_mode == "process":
+                self.desc.relink_clusters()
         self._factorized = True
         self._method = method
         return FactorizationInfo(
@@ -422,7 +471,7 @@ class TileHMatrix:
             raise RuntimeError("call factorize() before solve()")
         if self._method == "cholesky":
             return tiled_chol_solve(self.desc, b)
-        if self.config.exec_mode == "threaded":
+        if self.config.exec_mode in ("threaded", "process"):
             from .algorithms import tiled_solve_tasks
 
             x, _ = tiled_solve_tasks(
@@ -446,7 +495,7 @@ class TileHMatrix:
         return self.solve(b)
 
     # -- persistence ----------------------------------------------------------
-    def save(self, path):
+    def save(self, path, *, compress: bool = True):
         """Persist the matrix — assembled or factorised — to an ``.npz`` file.
 
         Assembly and factorisation are the expensive steps; a saved matrix
@@ -456,6 +505,9 @@ class TileHMatrix:
         solver config, packed-triangle cache flags) and :meth:`load` restores
         a matrix that is immediately solvable — bit-identically to the
         in-memory one — with no new factorisation.
+
+        ``compress=False`` writes an uncompressed archive whose payloads can
+        be memory-mapped on load (``load(path, mmap=True)``).
         """
         from ..hmatrix.io import save_tile_h
 
@@ -465,23 +517,30 @@ class TileHMatrix:
             factorized=self._factorized,
             method=self._method if self._factorized else None,
             config=self.config,
+            compress=compress,
         )
 
     @classmethod
-    def load(cls, path, config: TileHConfig | None = None) -> "TileHMatrix":
+    def load(
+        cls, path, config: TileHConfig | None = None, *, mmap: bool = False
+    ) -> "TileHMatrix":
         """Reload a matrix saved with :meth:`save`.
 
         Restores the factorisation state: a matrix saved after
         :meth:`factorize` loads ready to :meth:`solve`.  When ``config`` is
         not given, the saved solver config is restored (v1 archives fall back
         to the descriptor's ``nb``/``eps``).
+
+        ``mmap=True`` memory-maps payloads of uncompressed archives instead
+        of copying them into RAM (zero-copy warm starts; compressed members
+        fall back to a normal read).
         """
         from dataclasses import fields
 
         from ..hmatrix.io import load_tile_h, load_tile_h_meta
 
         meta = load_tile_h_meta(path)
-        desc = load_tile_h(path)
+        desc = load_tile_h(path, mmap=mmap)
         if config is None:
             allowed = {f.name for f in fields(TileHConfig)}
             kwargs = {k: v for k, v in meta["config"].items() if k in allowed}

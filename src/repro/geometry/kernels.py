@@ -97,6 +97,42 @@ class KernelFunction:
         return np.ascontiguousarray(self.radial(d), dtype=self.dtype)
 
 
+# Radial maps are module-level frozen dataclasses (not nested closures) so
+# KernelFunction objects pickle — the process executor ships kernels to
+# spawned workers for tile assembly.
+@dataclass(frozen=True)
+class _ScaledInverse:
+    scale: float
+
+    def __call__(self, d: np.ndarray) -> np.ndarray:
+        return self.scale / d
+
+
+@dataclass(frozen=True)
+class _OscillatoryInverse:
+    wavenumber: float
+
+    def __call__(self, d: np.ndarray) -> np.ndarray:
+        return np.exp(1j * self.wavenumber * d) / d
+
+
+@dataclass(frozen=True)
+class _PlummerSoftened:
+    softening: float
+
+    def __call__(self, d: np.ndarray) -> np.ndarray:
+        eps = self.softening
+        return 1.0 / np.sqrt(d * d + eps * eps)
+
+
+@dataclass(frozen=True)
+class _ExponentialDecay:
+    length: float
+
+    def __call__(self, d: np.ndarray) -> np.ndarray:
+        return np.exp(-d / self.length)
+
+
 def rule_of_thumb_wavenumber(points: np.ndarray, points_per_wavelength: float = 10.0) -> float:
     """Wave number chosen with the paper's "rule of thumb".
 
@@ -118,13 +154,10 @@ def laplace_kernel(points: np.ndarray, *, scale: float = 1.0) -> KernelFunction:
     """
     h = mesh_step(points)
 
-    def radial(d: np.ndarray) -> np.ndarray:
-        return scale / d
-
     return KernelFunction(
         name="laplace",
         dtype=np.dtype(np.float64),
-        radial=radial,
+        radial=_ScaledInverse(scale),
         d_min=0.5 * h,
         params={"scale": scale, "mesh_step": h},
     )
@@ -149,13 +182,10 @@ def helmholtz_kernel(
         raise ValueError("wavenumber must be non-negative")
     k = float(wavenumber)
 
-    def radial(d: np.ndarray) -> np.ndarray:
-        return np.exp(1j * k * d) / d
-
     return KernelFunction(
         name="helmholtz",
         dtype=np.dtype(np.complex128),
-        radial=radial,
+        radial=_OscillatoryInverse(k),
         d_min=0.5 * h,
         params={"wavenumber": k, "mesh_step": h},
     )
@@ -172,14 +202,11 @@ def gravity_kernel(points: np.ndarray, *, softening: float | None = None) -> Ker
     if eps <= 0:
         raise ValueError("softening must be positive")
 
-    def radial(d: np.ndarray) -> np.ndarray:
-        return 1.0 / np.sqrt(d * d + eps * eps)
-
     # Plummer softening removes the singularity, so no distance clamp.
     return KernelFunction(
         name="gravity",
         dtype=np.dtype(np.float64),
-        radial=radial,
+        radial=_PlummerSoftened(eps),
         d_min=0.0,
         params={"softening": eps, "mesh_step": h},
     )
@@ -195,15 +222,12 @@ def exponential_kernel(points: np.ndarray, *, length: float = 1.0) -> KernelFunc
         raise ValueError("length must be positive")
     h = mesh_step(points)
 
-    def radial(d: np.ndarray) -> np.ndarray:
-        return np.exp(-d / length)
-
     # Smooth covariance: no clamp, so the diagonal is exactly K(0) = 1 and
     # the matrix stays symmetric positive definite.
     return KernelFunction(
         name="exponential",
         dtype=np.dtype(np.float64),
-        radial=radial,
+        radial=_ExponentialDecay(length),
         d_min=0.0,
         params={"length": length, "mesh_step": h},
     )

@@ -117,6 +117,19 @@ class HMatrix:
         if self.children and len(self.children) != nrow_children * ncol_children:
             raise ValueError("children grid size mismatch")
 
+    # -- pickling -----------------------------------------------------------
+    # __slots__ classes need explicit state hooks; the cached leaf index is
+    # dropped (rebuilt lazily on the other side) so shipped trees stay lean.
+    def __getstate__(self) -> dict:
+        return {
+            s: getattr(self, s) for s in self.__slots__ if s != "_leaf_index"
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        for s, v in state.items():
+            object.__setattr__(self, s, v)
+        self._leaf_index = None
+
     # -- structure ----------------------------------------------------------
     @property
     def is_leaf(self) -> bool:

@@ -24,6 +24,7 @@ one.  v1 archives load fine and report ``factorized=False``.
 from __future__ import annotations
 
 import json
+import zipfile
 from dataclasses import asdict, is_dataclass
 from pathlib import Path
 
@@ -284,13 +285,17 @@ def _config_dict(config) -> dict:
 
 
 def save_tile_h(desc, path, *, factorized: bool = False, method: str | None = None,
-                config=None) -> Path:
+                config=None, compress: bool = True) -> Path:
     """Save a :class:`~repro.core.descriptor.TileHDesc` to ``path`` (.npz).
 
     ``factorized``/``method`` record the factorisation state of the tiles
     (the payloads are the L/U or Cholesky factor content when set) and
     ``config`` (a dataclass or mapping) is stored as JSON so a loaded matrix
     can solve under the configuration that produced the factors.
+
+    ``compress=False`` writes a *stored* (uncompressed) zip whose members
+    :func:`load_tile_h` can map with ``mmap=True`` — larger on disk, but
+    loads page in lazily with zero deserialization copies.
     """
     root = desc.root
     idx = _tree_index(root)
@@ -319,8 +324,88 @@ def save_tile_h(desc, path, *, factorized: bool = False, method: str | None = No
             )
     p = Path(path)
     p.parent.mkdir(parents=True, exist_ok=True)
-    np.savez_compressed(p, **arrays, **payloads)
+    savez = np.savez_compressed if compress else np.savez
+    savez(p, **arrays, **payloads)
     return p
+
+
+class _MmapArchive:
+    """Dict-like view of an ``.npz`` whose members load as read-only memmaps.
+
+    ``np.savez`` stores members with ``ZIP_STORED`` (no compression), so each
+    ``.npy`` member's data sits contiguously in the archive file: seek past
+    the zip local-file header and the npy header, then ``np.memmap`` the raw
+    buffer in its stored C/Fortran order.  Deflated members (from
+    ``np.savez_compressed``) and exotic npy versions fall back to an ordinary
+    in-memory read, so mixed archives still load — just without the zero-copy
+    benefit for those members.
+    """
+
+    def __init__(self, path) -> None:
+        self._path = Path(path)
+        self._zip = zipfile.ZipFile(self._path, "r")
+        self._infos: dict[str, zipfile.ZipInfo] = {}
+        for info in self._zip.infolist():
+            name = info.filename
+            key = name[:-4] if name.endswith(".npy") else name
+            self._infos[key] = info
+
+    def __contains__(self, key) -> bool:
+        return key in self._infos
+
+    def keys(self):
+        return self._infos.keys()
+
+    def __enter__(self) -> "_MmapArchive":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def close(self) -> None:
+        self._zip.close()
+
+    def _read_copy(self, info: zipfile.ZipInfo) -> np.ndarray:
+        with self._zip.open(info.filename) as f:
+            return np.lib.format.read_array(f, allow_pickle=False)
+
+    def __getitem__(self, key: str) -> np.ndarray:
+        info = self._infos.get(key)
+        if info is None:
+            raise KeyError(key)
+        if info.compress_type != zipfile.ZIP_STORED:
+            return self._read_copy(info)
+        with open(self._path, "rb") as f:
+            # The central directory's name/extra lengths can differ from the
+            # local header's (zip64, unicode extras): parse the local header.
+            f.seek(info.header_offset)
+            local = f.read(30)
+            if len(local) < 30 or local[:4] != b"PK\x03\x04":
+                return self._read_copy(info)
+            fnlen = int.from_bytes(local[26:28], "little")
+            extralen = int.from_bytes(local[28:30], "little")
+            f.seek(info.header_offset + 30 + fnlen + extralen)
+            try:
+                version = np.lib.format.read_magic(f)
+                if version == (1, 0):
+                    shape, fortran, dtype = np.lib.format.read_array_header_1_0(f)
+                elif version == (2, 0):
+                    shape, fortran, dtype = np.lib.format.read_array_header_2_0(f)
+                else:
+                    return self._read_copy(info)
+            except ValueError:
+                return self._read_copy(info)
+            if dtype.hasobject:
+                return self._read_copy(info)  # raises: pickled payloads refused
+            order = "F" if fortran else "C"
+            if int(np.prod(shape)) == 0:
+                # np.memmap rejects zero-length maps; rank-0 Rk factors and
+                # empty index arrays are shape metadata only.
+                return np.empty(shape, dtype=dtype, order=order)
+            offset = f.tell()
+        return np.memmap(
+            self._path, mode="r", dtype=dtype, shape=shape, offset=offset, order=order
+        )
 
 
 _TILE_H_REQUIRED = (
@@ -329,9 +414,11 @@ _TILE_H_REQUIRED = (
 )
 
 
-def _open_archive(path):
+def _open_archive(path, *, mmap: bool = False):
     p = Path(path)
     try:
+        if mmap:
+            return _MmapArchive(p)
         return np.load(p, allow_pickle=False)
     except FileNotFoundError:
         raise
@@ -381,17 +468,25 @@ def _validate_tile_h(data, path) -> None:
                 )
 
 
-def load_tile_h(path):
+def load_tile_h(path, *, mmap: bool = False):
     """Load a Tile-H descriptor saved by :func:`save_tile_h`.
 
     The archive is validated up front (required keys, consistent tree/tile
     arrays, payload shapes) and a :class:`ValueError` naming the problem is
     raised on truncated or mismatched files.
+
+    ``mmap=True`` maps uncompressed payloads (``save_tile_h(...,
+    compress=False)``) as *read-only* ``np.memmap`` views: loading touches no
+    payload bytes, pages fault in on first kernel access, and the page cache
+    is shared across processes serving the same archive.  Read-only is right
+    for the serve path (solves read the factors); re-factorising a
+    mmap-loaded matrix in place is not supported.  Compressed archives load
+    with ``mmap=True`` too, falling back to in-memory copies per member.
     """
     from ..core.descriptor import Tile, TileDesc, TileHDesc
     from .block import StrongAdmissibility
 
-    with _open_archive(path) as data:
+    with _open_archive(path, mmap=mmap) as data:
         _validate_tile_h(data, path)
         points = np.ascontiguousarray(data["points"])
         perm = np.ascontiguousarray(data["perm"])

@@ -202,3 +202,27 @@ class Instrumentation:
         level = self.registry.add_gauge("service.store.bytes", float(delta))
         self.registry.max_gauge("service.store.peak_bytes", level)
         self.h_bytes_delta(delta, t)
+
+    # -- process-executor hooks -----------------------------------------------
+    def process_workers(self, count: int) -> None:
+        """A process executor started ``count`` worker processes."""
+        self.registry.max_gauge("process.workers", count)
+
+    def process_dispatch(self, nbytes: int) -> None:
+        """One task shipped to a worker (``nbytes`` of skeleton pickles)."""
+        self.registry.inc("process.dispatches")
+        if nbytes:
+            self.registry.inc("process.ipc_bytes", float(nbytes))
+
+    def process_result_bytes(self, nbytes: int) -> None:
+        """Result skeletons reshipped from a worker."""
+        self.registry.inc("process.ipc_bytes", float(nbytes))
+
+    def process_shm_bytes(self, nbytes: int) -> None:
+        """Bytes copied into shared-memory segments over the run."""
+        if nbytes:
+            self.registry.inc("process.shm_bytes", float(nbytes))
+
+    def process_segments(self, count: int) -> None:
+        """Shared-memory segments created (and unlinked) by the run."""
+        self.registry.max_gauge("process.segments", count)

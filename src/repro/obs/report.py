@@ -181,6 +181,24 @@ REPORT_SCHEMA = {
                     },
                 },
                 "workers": {"type": "integer", "minimum": 0},
+                "executor": {
+                    "type": "object",
+                    "properties": {
+                        "mode": {"type": "string"},
+                        "nworkers": {"type": "integer", "minimum": 0},
+                    },
+                },
+            },
+        },
+        "process": {
+            "type": "object",
+            "required": ["workers", "dispatches", "ipc_bytes", "shm_bytes", "segments"],
+            "properties": {
+                "workers": {"type": "integer", "minimum": 0},
+                "dispatches": {"type": "integer", "minimum": 0},
+                "ipc_bytes": {"type": "number", "minimum": 0},
+                "shm_bytes": {"type": "number", "minimum": 0},
+                "segments": {"type": "integer", "minimum": 0},
             },
         },
     },
@@ -367,6 +385,15 @@ def build_run_report(*, probe=None, trace=None, graph=None, meta=None, service=N
     }
     if probe is not None:
         report["counters"] = probe.registry.as_dict()
+    if probe is not None and probe.registry.counter("process.dispatches"):
+        reg = probe.registry
+        report["process"] = {
+            "workers": int(reg.gauge("process.workers")),
+            "dispatches": int(reg.counter("process.dispatches")),
+            "ipc_bytes": reg.counter("process.ipc_bytes"),
+            "shm_bytes": reg.counter("process.shm_bytes"),
+            "segments": int(reg.gauge("process.segments")),
+        }
     if service is not None:
         report["service"] = service
     elif probe is not None and probe.registry.counter("service.requests.admitted"):
@@ -572,6 +599,13 @@ def render_report(report: dict) -> str:
         lines.append(
             f"accumulator: {acc['deferred']} deferred updates, "
             f"{acc['flushed_blocks']} block flushes, {acc['early_flushes']} early"
+        )
+    proc = report.get("process")
+    if proc:
+        lines.append(
+            f"process   : {proc['workers']} worker processes | "
+            f"{proc['dispatches']} dispatches, {_mb(proc['ipc_bytes'])} over pipes | "
+            f"{_mb(proc['shm_bytes'])} into {proc['segments']} shm segment(s)"
         )
     svc = report.get("service")
     if svc:

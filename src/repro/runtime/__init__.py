@@ -36,6 +36,8 @@ from .racecheck import (
     validate_trace,
 )
 from .threaded import ThreadedExecutor
+from .process import ProcessExecutor, TaskSpec
+from .shmem import SharedTileArena, orphaned_segments
 from .trace import ExecutionTrace, TraceEvent, render_gantt, export_chrome_trace
 from .kinds import KindStyle, KIND_STYLES, kind_letter, kind_color, register_kind
 from .bulksync import simulate_bulk_synchronous, depth_stages
@@ -74,6 +76,10 @@ __all__ = [
     "simulate_bulk_synchronous",
     "depth_stages",
     "ThreadedExecutor",
+    "ProcessExecutor",
+    "TaskSpec",
+    "SharedTileArena",
+    "orphaned_segments",
     "ExecutionTrace",
     "TraceEvent",
     "render_gantt",

@@ -1,0 +1,455 @@
+"""Scheduler-backed *process*-pool execution of a deferred task graph.
+
+The threaded executor only overlaps tasks while kernels hold BLAS (the GIL
+serialises everything else), so small-tile Tile-H factorizations see no real
+wall-clock scaling on CPython.  This executor runs the same task graphs on
+worker **processes**: tile payloads are placed in shared-memory segments by a
+:class:`~repro.runtime.shmem.SharedTileArena`, workers rebuild zero-copy numpy
+views and call LAPACK on shared pages, and only skeleton pickles (object
+shells holding :class:`~repro.runtime.shmem.ArenaRef` pointers) cross pipes.
+
+Tasks must carry a :class:`TaskSpec` — a declarative, picklable description
+(``"module:callable"`` plus scalar args) — because closures built by a
+deferred :class:`~repro.runtime.stf.StfEngine` capture live objects in the
+parent.  The worker-side convention is ``fn(payloads, *args, **kwargs)`` where
+``payloads`` holds the task's access-list payloads in declared order; ops with
+``needs_context=True`` additionally receive the executor's ``context`` (shipped
+once per worker) as a ``context=`` kwarg.
+
+Scheduling semantics mirror :class:`~repro.runtime.threaded.ThreadedExecutor`
+exactly: the parent drives the shared scheduler object, seeds sources in
+submission order, dispatches to idle workers in ascending index, and pushes
+freed successors to the completing worker (push-to-releasing-worker
+locality).  With one worker the pull order is bit-for-bit the virtual-time
+simulator's; with any worker count, results are bit-identical to eager
+execution for ``accumulate=False`` paths because successive updates of one
+tile are serialized by the STF writer-after-writer dependencies.
+"""
+
+from __future__ import annotations
+
+import importlib
+import itertools
+import os
+import pickle
+import time
+import traceback
+from dataclasses import dataclass, field
+from multiprocessing import connection, get_context
+
+import numpy as np
+
+from ..obs.instrument import current as _current_probe
+from .dag import TaskGraph
+from .schedulers import Scheduler, make_scheduler
+from .shmem import SEGMENT_PREFIX, SharedTileArena, orphaned_segments, unlink_segment
+from .trace import ExecutionTrace, TraceEvent
+
+__all__ = ["ProcessExecutor", "TaskSpec"]
+
+_run_counter = itertools.count()
+
+_BLAS_ENV = ("OPENBLAS_NUM_THREADS", "OMP_NUM_THREADS", "MKL_NUM_THREADS")
+
+
+@dataclass(frozen=True)
+class TaskSpec:
+    """Declarative kernel description a worker process can execute.
+
+    ``op`` names a module-level callable as ``"package.module:callable"``;
+    ``args``/``kwargs`` must be picklable scalars/metadata (never payloads —
+    those travel through shared memory via the task's access list).
+    """
+
+    op: str
+    args: tuple = ()
+    kwargs: dict = field(default_factory=dict)
+    needs_context: bool = False
+
+
+def _resolve_op(op: str):
+    mod, _, attr = op.partition(":")
+    if not mod or not attr:
+        raise ValueError(f"op must be 'module.path:callable', got {op!r}")
+    return getattr(importlib.import_module(mod), attr)
+
+
+# -- tiny ops used by the executor's own tests (must be importable in spawn
+# children, hence module level) ------------------------------------------------
+def _noop_for_tests(payloads):
+    return None
+
+
+def _incr_for_tests(payloads, delta=1.0):
+    payloads[0][...] += delta
+
+
+def _crash_for_tests(payloads):  # pragma: no cover - runs in a worker
+    os._exit(3)
+
+
+def _raise_for_tests(payloads, message="boom"):  # pragma: no cover - in worker
+    raise ValueError(message)
+
+
+def _worker_main(widx: int, task_conn, res_conn, arena_tag: str, ctx_blob) -> None:
+    """Worker loop: receive task messages, run ops on shared views, reply.
+
+    The worker's own arena is ``untrack=True``: the parent owns unlinking of
+    every segment (workers announce names of segments they create).
+    """
+    arena = SharedTileArena(arena_tag, untrack=True)
+    context = pickle.loads(ctx_blob) if ctx_blob is not None else None
+    local: dict[int, object] = {}
+    ops: dict[str, object] = {}
+    try:
+        while True:
+            try:
+                msg = task_conn.recv()
+            except (EOFError, OSError):
+                break
+            if msg[0] == "stop":
+                try:
+                    res_conn.send(("bye", widx))
+                except (OSError, BrokenPipeError):
+                    pass
+                break
+            _, tid, spec, hids, writes, updates = msg
+            for hid, blob in updates:
+                local[hid] = arena.loads(blob)
+            try:
+                if spec is None:
+                    # Pre-traced task: a no-op round-trip that still occupies
+                    # this worker, so the pull order matches the simulator.
+                    t0 = time.perf_counter()
+                    t1 = t0
+                    reships = []
+                else:
+                    fn = ops.get(spec.op)
+                    if fn is None:
+                        fn = _resolve_op(spec.op)
+                        ops[spec.op] = fn
+                    payloads = [local[h] for h in hids]
+                    kwargs = dict(spec.kwargs)
+                    if spec.needs_context:
+                        kwargs["context"] = context
+                    t0 = time.perf_counter()
+                    fn(payloads, *spec.args, **kwargs)
+                    t1 = time.perf_counter()
+                    # Always reship written skeletons: in-place mutations keep
+                    # their ArenaRefs (cheap), replaced arrays land in fresh
+                    # worker segments announced below.
+                    reships = [(hid, arena.dumps(local[hid])) for hid in writes]
+            except BaseException as exc:
+                try:
+                    pickle.dumps(exc)
+                    payload = exc
+                except Exception:
+                    payload = RuntimeError(
+                        f"task #{tid} failed in worker {widx}:\n{traceback.format_exc()}"
+                    )
+                arena.take_copied_bytes()
+                res_conn.send(("error", widx, tid, payload, arena.take_new_segments()))
+                continue
+            res_conn.send(
+                ("done", widx, tid, t0, t1, reships,
+                 arena.take_new_segments(), arena.take_copied_bytes())
+            )
+    finally:
+        arena.close()
+
+
+def _install(handle, final) -> None:
+    """Adopt a harvested result into the parent's original payload.
+
+    Dense segments/tiles are written *in place* (callers hold views — e.g.
+    the triangular solve gathers RHS segments out of one work vector); tile
+    wrappers adopt the new ``mat``; anything else replaces the payload.
+    """
+    original = handle.payload
+    if (
+        isinstance(original, np.ndarray)
+        and isinstance(final, np.ndarray)
+        and original.shape == final.shape
+        and original.dtype == final.dtype
+    ):
+        original[...] = final
+    elif hasattr(original, "fill") and hasattr(original, "mat") and hasattr(final, "mat"):
+        original.mat = final.mat
+        original.format = final.format
+    else:
+        handle.payload = final
+
+
+@dataclass
+class ProcessExecutor:
+    """Execute a deferred :class:`TaskGraph` on worker processes.
+
+    Drop-in for :class:`~repro.runtime.threaded.ThreadedExecutor` (same
+    scheduler policies, trace, probe hooks), but every task needs a
+    :class:`TaskSpec` (``task.spec``) unless it is pre-traced (``func=None``).
+
+    ``context`` is an arbitrary picklable object shipped once per worker and
+    passed to ops with ``needs_context=True`` (the Tile-H assembly closure
+    state: kernel, points, clustering).  ``blas_threads`` pins the BLAS
+    thread-count env vars around worker spawn (default 1: one BLAS stream per
+    worker process — oversubscription kills scaling) — ``None`` leaves the
+    environment alone.
+
+    After ``run()``, ``ipc_bytes`` (pickled bytes across pipes) and
+    ``shm_bytes`` (bytes copied into shared segments) hold the run's
+    serialization/IPC accounting.
+    """
+
+    nworkers: int
+    scheduler: Scheduler | str = "lws"
+    trace: ExecutionTrace | None = field(default=None)
+    instrument: object | None = field(default=None)
+    context: object | None = field(default=None)
+    blas_threads: int | None = 1
+
+    def __post_init__(self) -> None:
+        if self.nworkers < 1:
+            raise ValueError(f"nworkers must be >= 1, got {self.nworkers}")
+        if isinstance(self.scheduler, str):
+            self.scheduler = make_scheduler(self.scheduler)
+        self.ipc_bytes = 0
+        self.shm_bytes = 0
+
+    def run(self, graph: TaskGraph) -> float:
+        """Run all tasks respecting dependencies; returns elapsed seconds.
+
+        Every shared-memory segment created by the run (parent- or
+        worker-side) is unlinked before returning, including on worker
+        crashes and errors — a run never leaks ``/dev/shm`` entries.
+        """
+        n = len(graph.tasks)
+        if n == 0:
+            return 0.0
+        graph.validate()
+        for t in graph.tasks:
+            if t.func is not None and t.spec is None:
+                raise ValueError(
+                    f"task #{t.id} ({t.kind}) has a closure but no TaskSpec; "
+                    "the process executor cannot ship closures to workers — "
+                    "submit tasks with insert_task(..., spec=TaskSpec(...))"
+                )
+        probe = self.instrument if self.instrument is not None else _current_probe()
+        sched = self.scheduler
+        sched.setup(self.nworkers)
+        sched.attach_stats(probe.sched if probe is not None else None)
+        indegree = {t.id: len(t.deps) for t in graph.tasks}
+        for t in graph.tasks:
+            if indegree[t.id] == 0:
+                sched.push(t, None)
+        if self.trace is None:
+            self.trace = ExecutionTrace(nworkers=self.nworkers)
+        elif self.trace.nworkers < self.nworkers:
+            raise ValueError(
+                f"supplied trace covers {self.trace.nworkers} workers, "
+                f"executor has {self.nworkers}"
+            )
+        handles = {}
+        for t in graph.tasks:
+            for h, _mode in t.accesses:
+                handles[h.id] = h
+
+        run_tag = f"{SEGMENT_PREFIX}{os.getpid():x}r{next(_run_counter):x}"
+        arena = SharedTileArena(run_tag + "p")
+        segments: set[str] = set()
+        ctx_blob = None
+        if self.context is not None:
+            ctx_blob = pickle.dumps(self.context, protocol=pickle.HIGHEST_PROTOCOL)
+        self.ipc_bytes = 0
+        self.shm_bytes = 0
+        if ctx_blob is not None:
+            self.ipc_bytes += len(ctx_blob) * self.nworkers
+
+        mp = get_context("spawn")
+        procs: list = []
+        task_conns: list = []
+        res_conns: list = []
+        # Pin BLAS threading in the environment *before* spawn: OpenBLAS
+        # reads these at import time in the child.
+        saved_env = {}
+        if self.blas_threads is not None:
+            for var in _BLAS_ENV:
+                saved_env[var] = os.environ.get(var)
+                os.environ[var] = str(self.blas_threads)
+        try:
+            for w in range(self.nworkers):
+                t_recv, t_send = mp.Pipe(duplex=False)
+                r_recv, r_send = mp.Pipe(duplex=False)
+                p = mp.Process(
+                    target=_worker_main,
+                    args=(w, t_recv, r_send, f"{run_tag}w{w}", ctx_blob),
+                    daemon=True,
+                    name=f"repro-pworker-{w}",
+                )
+                p.start()
+                t_recv.close()
+                r_send.close()
+                procs.append(p)
+                task_conns.append(t_send)
+                res_conns.append(r_recv)
+        finally:
+            for var, old in saved_env.items():
+                if old is None:
+                    os.environ.pop(var, None)
+                else:
+                    os.environ[var] = old
+
+        if probe is not None:
+            probe.process_workers(self.nworkers)
+
+        blob: dict[int, bytes] = {}
+        version: dict[int, int] = {}
+        known: list[dict[int, int]] = [dict() for _ in range(self.nworkers)]
+        written: set[int] = set()
+        idle = set(range(self.nworkers))
+        running: dict[int, object] = {}
+        completed = 0
+        error: BaseException | None = None
+        elapsed = 0.0
+        t_start = time.perf_counter()
+        try:
+            while completed < n and error is None:
+                # Dispatch to idle workers in ascending index: with one
+                # worker this is exactly the simulator's pull order.
+                for w in sorted(idle):
+                    task = sched.pop(w)
+                    if task is None:
+                        continue
+                    hids: list[int] = []
+                    writes: list[int] = []
+                    updates: list[tuple[int, bytes]] = []
+                    if task.spec is not None:
+                        for h, mode in task.accesses:
+                            if h.id not in blob:
+                                blob[h.id] = arena.dumps(h.payload)
+                                version[h.id] = 0
+                            hids.append(h.id)
+                            if mode.writes and h.id not in writes:
+                                writes.append(h.id)
+                        for hid in hids:
+                            if known[w].get(hid) != version[hid]:
+                                updates.append((hid, blob[hid]))
+                                known[w][hid] = version[hid]
+                    task_conns[w].send(("task", task.id, task.spec, hids, writes, updates))
+                    sent = sum(len(b) for _, b in updates)
+                    self.ipc_bytes += sent
+                    self.shm_bytes += arena.take_copied_bytes()
+                    segments.update(arena.take_new_segments())
+                    running[w] = task
+                    idle.discard(w)
+                    if probe is not None:
+                        probe.process_dispatch(sent)
+                if not running:
+                    raise RuntimeError(
+                        f"scheduler stalled with {n - completed} tasks left"
+                    )
+                connection.wait(
+                    [res_conns[w] for w in running]
+                    + [procs[w].sentinel for w in running]
+                )
+                progressed = False
+                for w in list(running):
+                    conn = res_conns[w]
+                    try:
+                        while conn.poll():
+                            msg = conn.recv()
+                            progressed = True
+                            if msg[0] == "done":
+                                (_, _, _tid, t0_abs, t1_abs, reships,
+                                 new_segs, copied) = msg
+                                task = running.pop(w)
+                                idle.add(w)
+                                segments.update(new_segs)
+                                self.shm_bytes += copied
+                                got = 0
+                                for hid, b in reships:
+                                    blob[hid] = b
+                                    version[hid] = version.get(hid, 0) + 1
+                                    known[w][hid] = version[hid]
+                                    written.add(hid)
+                                    got += len(b)
+                                self.ipc_bytes += got
+                                # perf_counter is CLOCK_MONOTONIC: one clock
+                                # across processes on Linux.
+                                t0 = t0_abs - t_start
+                                t1 = t1_abs - t_start
+                                if task.func is not None or task.spec is not None:
+                                    task.seconds = t1 - t0
+                                self.trace.add(
+                                    TraceEvent(task.id, task.kind, w, t0, t1)
+                                )
+                                completed += 1
+                                for s in sorted(task.successors):
+                                    indegree[s] -= 1
+                                    if indegree[s] == 0:
+                                        sched.push(graph.tasks[s], w)
+                                if probe is not None:
+                                    probe.task_span(task.kind, w, t0, t1)
+                                    probe.sample(
+                                        "queue_depth", sched.pending(), t=t1
+                                    )
+                                    if got:
+                                        probe.process_result_bytes(got)
+                            elif msg[0] == "error":
+                                _, _, _tid, exc, new_segs = msg
+                                segments.update(new_segs)
+                                task = running.pop(w)
+                                error = exc
+                                break
+                    except (EOFError, OSError):
+                        pass
+                    if error is not None:
+                        break
+                if progressed or error is not None:
+                    continue
+                for w in list(running):
+                    if not procs[w].is_alive():
+                        task = running.pop(w)
+                        error = RuntimeError(
+                            f"worker {w} died (exit code {procs[w].exitcode}) "
+                            f"while running task #{task.id} ({task.kind})"
+                        )
+                        break
+            if error is None:
+                # Harvest: privatize every written payload back into the
+                # parent's originals.  One cache across handles so payloads
+                # that share an array keep sharing it.
+                cache: dict = {}
+                for hid in sorted(written):
+                    _install(handles[hid], arena.loads_private(blob[hid], cache))
+            elapsed = time.perf_counter() - t_start
+        finally:
+            for c in task_conns:
+                try:
+                    c.send(("stop",))
+                except (OSError, BrokenPipeError):
+                    pass
+            deadline = time.monotonic() + 10.0
+            for p in procs:
+                p.join(max(0.1, deadline - time.monotonic()))
+                if p.is_alive():  # pragma: no cover - stuck worker
+                    p.terminate()
+                    p.join(5.0)
+            for c in task_conns + res_conns:
+                try:
+                    c.close()
+                except OSError:  # pragma: no cover
+                    pass
+            segments.update(arena.segment_names())
+            arena.close()
+            for name in sorted(segments):
+                unlink_segment(name)
+            # Sweep anything a crashed worker created but never announced.
+            for name in orphaned_segments(run_tag):
+                unlink_segment(name)
+            if probe is not None:
+                probe.process_segments(len(segments))
+                probe.process_shm_bytes(self.shm_bytes)
+        if error is not None:
+            raise error
+        return elapsed

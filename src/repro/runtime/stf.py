@@ -111,12 +111,14 @@ class StfEngine:
         seconds: float | None = None,
         flops: float = 0.0,
         label: str = "",
+        spec=None,
     ) -> Task:
         """Submit one task; returns the created graph node.
 
         In eager mode ``func`` runs now and its measured time becomes the
         task cost unless an explicit ``seconds`` is given (pre-traced tasks
-        pass ``func=None`` with explicit costs).
+        pass ``func=None`` with explicit costs).  ``spec`` optionally attaches
+        a declarative, picklable kernel description for process executors.
         """
         task = self.graph.new_task(
             kind,
@@ -125,6 +127,7 @@ class StfEngine:
             flops=flops,
             label=label,
         )
+        task.spec = spec
         self._infer_dependencies(task)
         probe = _current_probe()
         if probe is not None:

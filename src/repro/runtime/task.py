@@ -86,6 +86,11 @@ class Task:
     meta:
         Optional observability annotations (operand bytes/ranks) attached by
         the STF engine when a probe is active; ``None`` otherwise.
+    spec:
+        Optional declarative kernel description (a
+        :class:`~repro.runtime.process.TaskSpec`) that a process executor can
+        ship to a worker; ``None`` when the task only has an in-process
+        closure.
     """
 
     id: int
@@ -99,6 +104,7 @@ class Task:
     successors: set = field(default_factory=set)
     label: str = ""
     meta: dict | None = None
+    spec: Any | None = None
 
     @property
     def n_deps(self) -> int:

@@ -47,6 +47,15 @@ def serve_main(argv: list[str]) -> int:
                         help="max seconds a request waits for batch-mates")
     parser.add_argument("--max-retries", type=int, default=2,
                         help="retries of a batch after a transient failure")
+    parser.add_argument("--exec", dest="exec_mode",
+                        choices=["eager", "threaded", "process"], default="eager",
+                        help="executor for cold-start factorizations")
+    parser.add_argument("--exec-workers", type=int, default=None,
+                        help="executor workers for cold builds "
+                        "(default: min(cores, 4) for threaded/process)")
+    parser.add_argument("--mmap", action="store_true",
+                        help="memory-map persisted factorizations on load "
+                        "(store writes become uncompressed)")
     parser.add_argument("--profile", metavar="PATH", default=None,
                         help="write a run report (JSON, with the service section) on shutdown")
     args = parser.parse_args(argv)
@@ -57,7 +66,7 @@ def serve_main(argv: list[str]) -> int:
     from .store import FactorizationStore
 
     budget = None if args.budget_mb is None else int(args.budget_mb * (1 << 20))
-    store = FactorizationStore(args.store, budget_bytes=budget)
+    store = FactorizationStore(args.store, budget_bytes=budget, mmap=args.mmap)
     probe = Instrumentation() if args.profile is not None else None
     if probe is not None:
         probe.__enter__()
@@ -69,11 +78,15 @@ def serve_main(argv: list[str]) -> int:
             max_batch=args.max_batch,
             max_delay=args.max_delay,
             max_retries=args.max_retries,
+            exec_mode=args.exec_mode,
+            exec_workers=args.exec_workers,
         )
         server = make_server(service, args.host, args.port)
         host, port = server.server_address[:2]
         print(f"serving   : http://{host}:{port} "
               f"({args.workers} workers, queue {args.max_queue}, batch {args.max_batch})")
+        if args.exec_mode != "eager":
+            print(f"executor  : {args.exec_mode} x {service.exec_workers} for cold builds")
         print(f"store     : {args.store or 'in-memory only'}"
               + (f", budget {args.budget_mb:g} MiB" if budget is not None else ""))
         if store.keys():
@@ -108,7 +121,8 @@ def serve_main(argv: list[str]) -> int:
         report = build_run_report(
             probe=probe,
             meta={"mode": "serve", "workers": args.workers,
-                  "max_batch": args.max_batch, "max_queue": args.max_queue},
+                  "max_batch": args.max_batch, "max_queue": args.max_queue,
+                  "exec_mode": args.exec_mode, "exec_workers": service.exec_workers},
             service=service.stats(),
         )
         write_report(report, args.profile)

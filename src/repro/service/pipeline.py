@@ -37,6 +37,7 @@ decade buckets are too coarse for tail-latency reporting.
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 from collections import deque
@@ -137,6 +138,11 @@ class SolveService:
         ``(key, spec) -> TileHMatrix`` seam; defaults to
         ``store.get_or_build(key, lambda: build_solver(spec))``.  Tests
         inject failures here.
+    exec_mode / exec_workers:
+        Executor for cold-start factorizations (``"eager"``, ``"threaded"``
+        or ``"process"``) and its worker count (defaults to the machine's
+        core count, capped at 4, for the non-eager modes).  Warm solves are
+        unaffected: panel sweeps always run on the eager executor.
     """
 
     def __init__(
@@ -149,6 +155,8 @@ class SolveService:
         max_delay: float = 0.002,
         max_retries: int = 2,
         solver_provider=None,
+        exec_mode: str = "eager",
+        exec_workers: int | None = None,
         clock=time.monotonic,
     ) -> None:
         if workers < 1:
@@ -157,6 +165,19 @@ class SolveService:
             raise ValueError(f"max_queue must be >= 1, got {max_queue}")
         if max_retries < 0:
             raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        if exec_mode not in ("eager", "threaded", "process"):
+            raise ValueError(
+                f"exec_mode must be 'eager', 'threaded' or 'process', got {exec_mode!r}"
+            )
+        if exec_workers is not None and exec_workers < 1:
+            raise ValueError(f"exec_workers must be >= 1, got {exec_workers}")
+        self.exec_mode = exec_mode
+        if exec_workers is not None:
+            self.exec_workers = exec_workers
+        else:
+            self.exec_workers = (
+                1 if exec_mode == "eager" else max(1, min(4, os.cpu_count() or 1))
+            )
         self.store = store if store is not None else FactorizationStore()
         self.max_queue = max_queue
         self.max_retries = max_retries
@@ -246,7 +267,12 @@ class SolveService:
 
     # -- execution ------------------------------------------------------------
     def _default_provider(self, key: str, spec: ProblemSpec):
-        return self.store.get_or_build(key, lambda: build_solver(spec))
+        return self.store.get_or_build(
+            key,
+            lambda: build_solver(
+                spec, exec_mode=self.exec_mode, nworkers=self.exec_workers
+            ),
+        )
 
     def _worker_loop(self) -> None:
         while True:
@@ -391,4 +417,5 @@ class SolveService:
             "queue": {"depth_peak": depth_peak, "capacity": self.max_queue},
             "store": self.store.stats(),
             "workers": len(self._threads),
+            "executor": {"mode": self.exec_mode, "nworkers": self.exec_workers},
         }

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import hashlib
 import json
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 import numpy as np
 
@@ -111,11 +111,20 @@ def spec_fingerprint(spec: ProblemSpec) -> str:
     return hashlib.sha256(blob.encode()).hexdigest()
 
 
-def build_solver(spec: ProblemSpec) -> TileHMatrix:
+def build_solver(
+    spec: ProblemSpec, *, exec_mode: str = "eager", nworkers: int = 1
+) -> TileHMatrix:
     """Deterministically build *and factorize* the spec's Tile-H solver.
 
     This is the expensive cold-start path; the factorization store exists to
-    make it run once per fingerprint.
+    make it run once per fingerprint.  ``exec_mode``/``nworkers`` pick the
+    executor for that cold build (``"threaded"`` and ``"process"`` fuse
+    assembly with the factorisation).  The factors agree across executors to
+    accumulator rounding only — the rounding accumulator is eager-only, so a
+    threaded/process build matches an ``accumulate=False`` eager build bit
+    for bit but differs from the default eager build in the last ulps.  The
+    returned solver's config is normalised back to the eager executor so warm
+    panel solves and saved archives carry no build-time detail.
     """
     points = _GEOMETRIES[spec.geometry](spec.n)
     kernel = make_kernel(spec.kernel, points)
@@ -123,9 +132,15 @@ def build_solver(spec: ProblemSpec) -> TileHMatrix:
         nb=spec.effective_nb,
         eps=spec.eps,
         leaf_size=spec.leaf_size,
+        exec_mode=exec_mode,
+        nworkers=nworkers,
     )
-    solver = TileHMatrix.build(kernel, points, config)
-    solver.factorize(method=spec.method)
+    if exec_mode == "eager":
+        solver = TileHMatrix.build(kernel, points, config)
+        solver.factorize(method=spec.method)
+    else:
+        solver, _ = TileHMatrix.build_factorize(kernel, points, config, method=spec.method)
+        solver.config = replace(config, exec_mode="eager", nworkers=1)
     return solver
 
 

@@ -52,11 +52,27 @@ class FactorizationStore:
         least-recently-used entries (disk copies are kept, so an evicted
         fingerprint is still a hit — just a slower one).  ``None`` means
         unbounded.
+    mmap:
+        Load disk-tier archives with ``mmap=True`` (zero-copy ``np.memmap``
+        payloads, lazily paged, page cache shared across serving processes).
+    compress:
+        Compression of archives the store *writes*.  Defaults to ``not
+        mmap`` — a store that maps archives writes them uncompressed so its
+        own writes stay mappable.
     """
 
-    def __init__(self, root=None, *, budget_bytes: int | None = None) -> None:
+    def __init__(
+        self,
+        root=None,
+        *,
+        budget_bytes: int | None = None,
+        mmap: bool = False,
+        compress: bool | None = None,
+    ) -> None:
         self.root = Path(root) if root is not None else None
         self.budget_bytes = budget_bytes
+        self.mmap = mmap
+        self.compress = compress if compress is not None else not mmap
         self._lock = threading.RLock()
         self._cache: OrderedDict[str, _Entry] = OrderedDict()
         self._bytes = 0
@@ -111,7 +127,7 @@ class FactorizationStore:
         """Insert a factorized solver under ``key`` (memory, and disk when
         ``persist`` and the store has a disk tier)."""
         if persist and self.root is not None:
-            solver.save(self.path_for(key))
+            solver.save(self.path_for(key), compress=self.compress)
         self._insert(key, solver)
 
     def get(self, key: str) -> TileHMatrix | None:
@@ -130,7 +146,7 @@ class FactorizationStore:
         if self.root is not None:
             path = self.path_for(key)
             if path.exists():
-                solver = TileHMatrix.load(path)
+                solver = TileHMatrix.load(path, mmap=self.mmap)
                 with self._lock:
                     self.hits += 1
                 self._observe_lookup(True)

@@ -1,0 +1,118 @@
+"""Eager vs process-executor numerical equivalence.
+
+With ``accumulate=False`` every update of a tile is an RW task on that
+tile's handle, so the STF writer-after-writer dependencies serialize them in
+submission order no matter which worker runs them — the process executor
+must therefore reproduce the eager results *bit for bit* at any worker
+count, for real and complex LU and for Cholesky, on both the fused
+build+factorize path and the phase-separated one.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import TileHConfig, TileHMatrix
+from repro.geometry import cylinder_cloud, make_kernel, streamed_matvec
+from repro.runtime import orphaned_segments, validate_trace
+
+N, NB = 256, 64
+
+CASES = [
+    ("laplace", "lu"),       # real double
+    ("helmholtz", "lu"),     # complex double
+    ("exponential", "cholesky"),  # SPD kernel
+]
+
+
+@pytest.fixture(autouse=True)
+def _no_shm_leaks():
+    before = set(orphaned_segments())
+    yield
+    leaked = sorted(set(orphaned_segments()) - before)
+    assert leaked == [], f"leaked shared-memory segments: {leaked}"
+
+
+def _problem(kernel_name):
+    pts = cylinder_cloud(N)
+    kern = make_kernel(kernel_name, pts)
+    rng = np.random.default_rng(0)
+    x0 = rng.standard_normal(N)
+    if kernel_name == "helmholtz":
+        x0 = x0 + 1j * rng.standard_normal(N)
+    b = streamed_matvec(kern, pts, x0)
+    return pts, kern, b
+
+
+def _cfg(**kw):
+    return TileHConfig(nb=NB, eps=1e-6, leaf_size=48, accumulate=False, **kw)
+
+
+@pytest.mark.parametrize("kernel_name,method", CASES)
+def test_fused_build_factorize_bit_identical_to_eager(kernel_name, method):
+    pts, kern, b = _problem(kernel_name)
+    a_e, _ = TileHMatrix.build_factorize(kern, pts, _cfg(), method=method)
+    xe = a_e.solve(b)
+
+    cfg = _cfg(exec_mode="process", nworkers=2, scheduler="lws")
+    a_p, info = TileHMatrix.build_factorize(kern, pts, cfg, method=method)
+    xp = a_p.solve(b)
+
+    assert np.array_equal(xp, xe), (
+        f"max|dx| = {np.max(np.abs(xp - xe))}"
+    )
+    assert validate_trace(info.graph, info.trace) == []
+
+
+def test_separate_phases_bit_identical_to_eager():
+    """Assembly, factorization and solve as three separate process runs."""
+    pts, kern, b = _problem("laplace")
+    a_e = TileHMatrix.build(kern, pts, _cfg())
+    a_e.factorize(method="lu")
+    xe = a_e.solve(b)
+
+    cfg = _cfg(exec_mode="process", nworkers=2, scheduler="lws")
+    a_p = TileHMatrix.build(kern, pts, cfg)
+    a_p.factorize(method="lu")
+    xp = a_p.solve(b)
+    assert np.array_equal(xp, xe)
+
+
+def test_process_built_solver_saves_and_round_trips(tmp_path):
+    """Tiles harvested from workers arrive with unpickled cluster-node
+    copies; the solver must re-anchor them on the canonical tree so the
+    identity-keyed archive serialization still works (regression: KeyError
+    in save_tile_h after a process build)."""
+    pts, kern, b = _problem("laplace")
+    cfg = _cfg(exec_mode="process", nworkers=2, scheduler="lws")
+    a_p, _ = TileHMatrix.build_factorize(kern, pts, cfg, method="lu")
+    xp = a_p.solve(b)
+    path = tmp_path / "factor.npz"
+    a_p.save(path)
+    loaded = TileHMatrix.load(path)
+    assert np.array_equal(loaded.solve(b), xp)
+
+
+def test_process_factorize_after_eager_build_saves(tmp_path):
+    """Same invariant on the phase-separated path: factorize tasks ship the
+    whole tile back, so the harvested mats need re-linking too."""
+    pts, kern, b = _problem("laplace")
+    a = TileHMatrix.build(kern, pts, _cfg(exec_mode="process", nworkers=2))
+    a.factorize(method="lu")
+    x = a.solve(b)
+    path = tmp_path / "factor.npz"
+    a.save(path)
+    assert np.array_equal(TileHMatrix.load(path).solve(b), x)
+
+
+class TestConfigValidation:
+    def test_process_mode_accepted(self):
+        cfg = TileHConfig(nb=64, exec_mode="process", nworkers=2)
+        assert cfg.exec_mode == "process"
+
+    def test_racecheck_process_rejected(self):
+        with pytest.raises(ValueError):
+            TileHConfig(nb=64, exec_mode="process", racecheck=True)
+
+    def test_unknown_exec_mode_still_rejected(self):
+        with pytest.raises(ValueError):
+            TileHConfig(nb=64, exec_mode="gpu")

@@ -1,0 +1,104 @@
+"""Zero-copy mmap loading of Tile-H archives.
+
+``save_tile_h(..., compress=False)`` writes a *stored* zip whose ``.npy``
+members ``load_tile_h(..., mmap=True)`` maps as read-only ``np.memmap``
+views — the loaded payload bytes must equal the in-memory load exactly.
+Solves on mapped factors agree to the last few ulps (BLAS picks
+alignment-dependent SIMD paths on mapped pages, so strict bit-identity is
+not guaranteed — byte-identical *payloads* are).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import TileHConfig, TileHMatrix
+from repro.geometry import cylinder_cloud, make_kernel, streamed_matvec
+
+N, NB = 256, 64
+
+
+def _leaves(h):
+    if h.children:
+        for c in h.children:
+            yield from _leaves(c)
+    else:
+        yield h
+
+
+def _leaf_arrays(solver):
+    nt = solver.desc.nt
+    for i in range(nt):
+        for j in range(nt):
+            for leaf in _leaves(solver.desc.super.get_blktile(i, j).mat):
+                if leaf.full is not None:
+                    yield leaf.full
+                elif leaf.rk is not None:
+                    yield leaf.rk.u
+                    yield leaf.rk.v
+
+
+@pytest.fixture(scope="module")
+def factorized(tmp_path_factory):
+    pts = cylinder_cloud(N)
+    kern = make_kernel("laplace", pts)
+    solver, _ = TileHMatrix.build_factorize(
+        kern, pts, TileHConfig(nb=NB, eps=1e-6, leaf_size=48), method="lu"
+    )
+    rng = np.random.default_rng(0)
+    x0 = rng.standard_normal(N)
+    b = streamed_matvec(kern, pts, x0)
+    d = tmp_path_factory.mktemp("tileh")
+    raw = d / "factor_raw.npz"
+    comp = d / "factor_comp.npz"
+    solver.save(raw, compress=False)
+    solver.save(comp)  # compressed default
+    return solver, b, raw, comp
+
+
+def test_uncompressed_archive_is_smaller_to_load_not_store(factorized):
+    _, _, raw, comp = factorized
+    assert raw.stat().st_size >= comp.stat().st_size
+
+
+def test_mmap_load_payloads_bit_identical(factorized):
+    _, _, raw, _ = factorized
+    mem = TileHMatrix.load(raw)
+    mapped = TileHMatrix.load(raw, mmap=True)
+    mem_arrays = list(_leaf_arrays(mem))
+    map_arrays = list(_leaf_arrays(mapped))
+    assert len(mem_arrays) == len(map_arrays) > 0
+    for a, m in zip(mem_arrays, map_arrays):
+        assert np.array_equal(a, np.asarray(m))
+        # Stored order must be preserved so BLAS dispatch matches.
+        assert a.flags.f_contiguous == m.flags.f_contiguous
+        assert a.flags.c_contiguous == m.flags.c_contiguous
+
+
+def test_mmap_load_payloads_are_memmaps(factorized):
+    _, _, raw, _ = factorized
+    mapped = TileHMatrix.load(raw, mmap=True)
+    kinds = {type(a) for a in _leaf_arrays(mapped)}
+    assert np.memmap in kinds
+
+
+def test_mmap_solve_matches_in_memory_solve(factorized):
+    solver, b, raw, _ = factorized
+    xe = solver.solve(b)
+    xm = TileHMatrix.load(raw, mmap=True).solve(b)
+    # Same factor bytes; only alignment-dependent BLAS rounding may differ.
+    np.testing.assert_allclose(xm, xe, rtol=1e-12, atol=1e-12)
+
+
+def test_mmap_on_compressed_archive_falls_back(factorized):
+    solver, b, _, comp = factorized
+    loaded = TileHMatrix.load(comp, mmap=True)
+    assert np.memmap not in {type(a) for a in _leaf_arrays(loaded)}
+    # The fallback read is a plain in-memory load: bit-identical solve.
+    assert np.array_equal(loaded.solve(b), TileHMatrix.load(comp).solve(b))
+
+
+def test_compress_round_trip_identical(factorized):
+    _, b, raw, comp = factorized
+    x_raw = TileHMatrix.load(raw).solve(b)
+    x_comp = TileHMatrix.load(comp).solve(b)
+    assert np.array_equal(x_raw, x_comp)

@@ -1,0 +1,160 @@
+"""ProcessExecutor: scheduler fidelity, shared-memory hygiene, crash safety.
+
+The process executor must be indistinguishable from the threaded executor at
+the scheduling level (same policies, same single-worker pull order as the
+virtual-time simulator, traces that are linear extensions of the DAG) while
+moving payloads through shared-memory segments instead of a shared heap.
+These tests pin both halves down, plus the cleanup contract: **no run ever
+leaves a segment in /dev/shm**, not even when a worker raises or dies.
+"""
+
+import numpy as np
+import pytest
+
+from repro.runtime import (
+    SCHEDULER_NAMES,
+    AccessMode,
+    ProcessExecutor,
+    RuntimeOverheadModel,
+    StfEngine,
+    TaskSpec,
+    orphaned_segments,
+    simulate,
+    validate_trace,
+)
+from repro.runtime.dag import TaskGraph
+
+R, W, RW = AccessMode.R, AccessMode.W, AccessMode.RW
+ZERO = RuntimeOverheadModel.zero()
+
+INCR = TaskSpec("repro.runtime.process:_incr_for_tests")
+NOOP = TaskSpec("repro.runtime.process:_noop_for_tests")
+
+
+def _pretraced_graph(seed, n=24):
+    """Random DAG of ``func=None`` tasks with explicit costs (simulator fuel)."""
+    rng = np.random.default_rng(seed)
+    g = TaskGraph()
+    ts = [
+        g.new_task("k", seconds=float(rng.uniform(0.01, 1.0)),
+                   priority=int(rng.integers(0, 5)))
+        for _ in range(n)
+    ]
+    for i in range(1, n):
+        k = int(rng.integers(0, min(3, i) + 1))
+        for d in rng.choice(i, size=k, replace=False):
+            g.add_dependency(ts[int(d)], ts[i])
+    return g
+
+
+def _incr_graph(n_arrays=4, chain=5):
+    """Deferred graph of RW increment chains over shared ndarray payloads."""
+    eng = StfEngine(mode="deferred")
+    arrays = [np.zeros(8) for _ in range(n_arrays)]
+    for step in range(chain):
+        for i, a in enumerate(arrays):
+            eng.insert_task(
+                "incr",
+                lambda a=a: None,  # placeholder closure; spec is what runs
+                [(eng.handle(a, f"a{i}"), RW)],
+                spec=TaskSpec("repro.runtime.process:_incr_for_tests",
+                              kwargs={"delta": float(step + 1)}),
+            )
+    return eng.wait_all(), arrays
+
+
+@pytest.fixture(autouse=True)
+def _no_shm_leaks():
+    """Every test must leave /dev/shm exactly as it found it."""
+    before = set(orphaned_segments())
+    yield
+    leaked = sorted(set(orphaned_segments()) - before)
+    assert leaked == [], f"leaked shared-memory segments: {leaked}"
+
+
+@pytest.mark.parametrize("policy", SCHEDULER_NAMES)
+def test_single_worker_process_matches_simulator_order(policy):
+    """At nworkers=1 the process executor pulls tasks in exactly the order
+    the virtual-time simulator schedules them, for every policy."""
+    g_sim = _pretraced_graph(seed=7)
+    r = simulate(g_sim, 1, policy, overheads=ZERO)
+    sim_order = [e.task_id for e in r.trace.events]
+
+    g_proc = _pretraced_graph(seed=7)
+    ex = ProcessExecutor(1, scheduler=policy)
+    ex.run(g_proc)
+    proc_order = [e.task_id for e in sorted(ex.trace.events, key=lambda e: e.start)]
+    assert proc_order == sim_order
+
+
+@pytest.mark.parametrize("policy", SCHEDULER_NAMES)
+def test_multi_worker_process_trace_is_linear_extension(policy):
+    g, arrays = _incr_graph()
+    ex = ProcessExecutor(2, scheduler=policy)
+    ex.run(g)
+    assert validate_trace(g, ex.trace) == []
+    # 5 serialized RW increments of 1..5 on every array.
+    for a in arrays:
+        np.testing.assert_array_equal(a, np.full(8, 15.0))
+
+
+def test_payload_mutations_round_trip_into_parent_arrays():
+    """Worker-side in-place writes land back in the parent's original arrays
+    (the executor installs harvested results in place, preserving aliases)."""
+    g, arrays = _incr_graph(n_arrays=2, chain=3)
+    originals = list(arrays)
+    ex = ProcessExecutor(2)
+    ex.run(g)
+    for orig, a in zip(originals, arrays):
+        assert orig is a
+        np.testing.assert_array_equal(orig, np.full(8, 6.0))
+    assert ex.ipc_bytes > 0
+    assert ex.shm_bytes > 0
+
+
+def test_closure_without_spec_is_rejected():
+    eng = StfEngine(mode="deferred")
+    a = np.zeros(4)
+    eng.insert_task("k", lambda: None, [(eng.handle(a, "a"), RW)])
+    g = eng.wait_all()
+    with pytest.raises(ValueError, match="TaskSpec"):
+        ProcessExecutor(1).run(g)
+
+
+def test_worker_exception_propagates_and_cleans_up():
+    eng = StfEngine(mode="deferred")
+    a = np.zeros(4)
+    h = eng.handle(a, "a")
+    eng.insert_task("k", lambda: None, [(h, RW)], spec=INCR)
+    eng.insert_task(
+        "k", lambda: None, [(h, RW)],
+        spec=TaskSpec("repro.runtime.process:_raise_for_tests",
+                      kwargs={"message": "kaboom"}),
+    )
+    g = eng.wait_all()
+    with pytest.raises(ValueError, match="kaboom"):
+        ProcessExecutor(2).run(g)
+    # Segment cleanup is asserted by the autouse fixture.
+
+
+def test_worker_crash_raises_and_cleans_up():
+    """A worker that dies mid-task (os._exit) must surface a RuntimeError in
+    the parent and still unlink every shared segment."""
+    eng = StfEngine(mode="deferred")
+    a = np.zeros(4)
+    h = eng.handle(a, "a")
+    eng.insert_task("k", lambda: None, [(h, RW)], spec=INCR)
+    eng.insert_task("k", lambda: None, [(h, RW)],
+                    spec=TaskSpec("repro.runtime.process:_crash_for_tests"))
+    g = eng.wait_all()
+    with pytest.raises(RuntimeError, match="died"):
+        ProcessExecutor(1).run(g)
+
+
+def test_empty_graph_returns_zero():
+    assert ProcessExecutor(2).run(TaskGraph()) == 0.0
+
+
+def test_bad_nworkers_rejected():
+    with pytest.raises(ValueError, match="nworkers"):
+        ProcessExecutor(0)
