@@ -38,10 +38,17 @@ from repro.hmatrix import (
 )
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
-OUT_PATH = REPO_ROOT / "BENCH_lu.json"
 
 EPS = 1e-4
 SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "0") == "1"
+# Smoke runs (CI) write to the untracked benchmarks/out/ scratch path: the
+# tracked BENCH_lu.json holds full-mode numbers and a smoke run must never
+# clobber them (CI asserts the tracked file stays byte-identical).
+OUT_PATH = (
+    REPO_ROOT / "benchmarks" / "out" / "BENCH_lu.json"
+    if SMOKE
+    else REPO_ROOT / "BENCH_lu.json"
+)
 REPS = int(os.environ.get("REPRO_BENCH_REPS", "1" if SMOKE else "3"))
 
 #: (case, n, nb, precision) — smoke mode shrinks n, keeping nt >= 4.
@@ -215,6 +222,7 @@ def run() -> list[dict]:
     rows.append(_time_aca(_ACA_N))
     rows.extend(_time_fused(_FUSED_N, _FUSED_NB))
     rows.extend(_time_fused_process())
+    OUT_PATH.parent.mkdir(parents=True, exist_ok=True)
     OUT_PATH.write_text(json.dumps(rows, indent=2) + "\n")
     return rows
 

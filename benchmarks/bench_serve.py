@@ -13,6 +13,11 @@ wire adds constant cost; the quantity under test is the pipeline) and writes
   store (pays assembly + factorization) vs a repeat request against the
   warm store (pays only the panel solve): the factorization store's value
   in one number.
+* ``serve_fleet`` rows — a closed-loop load generator (client threads with
+  Poisson or bursty think times, Zipf-skewed hot/cold fingerprints, an
+  80/20 interactive/batch lane mix with tight interactive deadlines)
+  against a :class:`~repro.service.ServeFleet`: per-lane p50/p95 latency,
+  shed rate, routing balance, and crash-requeue counts per arrival process.
 
 Smoke mode (``REPRO_BENCH_SMOKE=1``, used by CI) shrinks the problem so the
 bench runs in seconds.  Run standalone
@@ -23,23 +28,48 @@ from __future__ import annotations
 
 import json
 import os
+import threading
 import time
 from pathlib import Path
 
 import numpy as np
 
-from repro.service import FactorizationStore, ProblemSpec, SolveService, build_solver
+from repro.service import (
+    DeadlineExceededError,
+    FactorizationStore,
+    ProblemSpec,
+    QueueFullError,
+    ServeFleet,
+    SolveService,
+    build_solver,
+)
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
-OUT_PATH = REPO_ROOT / "BENCH_serve.json"
 
 SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "0") == "1"
+# Smoke runs (CI) write to the untracked benchmarks/out/ scratch path: the
+# tracked BENCH_serve.json holds full-mode numbers and a smoke run must never
+# clobber them (CI asserts the tracked file stays byte-identical).
+OUT_PATH = (
+    REPO_ROOT / "benchmarks" / "out" / "BENCH_serve.json"
+    if SMOKE
+    else REPO_ROOT / "BENCH_serve.json"
+)
 REPS = int(os.environ.get("REPRO_BENCH_REPS", "1" if SMOKE else "3"))
 
 _N, _NB = (512, 128) if SMOKE else (2000, 256)
 _REQUESTS = 32 if SMOKE else 64
 _BATCHES = [1, 4, 8, 16]
 _WORKERS = [1, 2]
+#: Fleet load-generator shape.  Problems are deliberately smaller than the
+#: single-service rows: the quantity under test is routing/admission
+#: behaviour under load, not solve scale.
+_FLEET_N, _FLEET_NB = (384, 96) if SMOKE else (800, 160)
+_FLEET_SPECS = 3 if SMOKE else 5
+_FLEET_REQUESTS = 48 if SMOKE else 240
+_FLEET_CLIENTS = 4 if SMOKE else 8
+_FLEET_WORKERS = 2
+_ZIPF_S = 1.2  # key-popularity skew: rank-r spec drawn with p ~ r^-s
 #: Executor for cold-start factorizations (every row records it): override
 #: with REPRO_BENCH_EXEC=threaded/process to bench multicore cold builds.
 _EXEC_MODE = os.environ.get("REPRO_BENCH_EXEC", "eager")
@@ -115,6 +145,130 @@ def _cold_vs_warm(tmp_store: Path, rhs0: np.ndarray) -> list[dict]:
     ]
 
 
+def _fleet_round(store_root: Path, *, arrivals: str) -> dict:
+    """Closed-loop load generation against a 2-worker fleet.
+
+    ``_FLEET_CLIENTS`` client threads each issue requests back to back:
+    draw a spec by Zipf(``_ZIPF_S``) popularity, draw a lane (80%%
+    interactive with a tight deadline, 20%% batch without), submit, wait,
+    think, repeat.  ``arrivals`` shapes the think time: ``"poisson"`` is
+    exponential think between requests; ``"burst"`` fires runs of 8
+    back-to-back requests separated by long gaps (the worst case for
+    deadline shedding — queueing delay spikes inside a burst).
+    """
+    specs = [
+        ProblemSpec(kernel="laplace", n=_FLEET_N, nb=_FLEET_NB,
+                    eps=1e-6 * (1.0 + 0.01 * i), leaf_size=48)
+        for i in range(_FLEET_SPECS)
+    ]
+    ranks = np.arange(1, len(specs) + 1, dtype=float)
+    probs = ranks ** -_ZIPF_S
+    probs /= probs.sum()
+
+    fleet = ServeFleet(
+        _FLEET_WORKERS,
+        store_root=store_root,
+        max_delay=0.002,
+        replicate_hot_after=max(4, _FLEET_REQUESTS // 16),
+        exec_mode=_EXEC_MODE,
+    )
+    rng0 = np.random.default_rng(0)
+    rhs = {i: rng0.standard_normal(_FLEET_N) for i in range(len(specs))}
+    # Prewarm every fingerprint (cold builds are the store's business, not
+    # the load generator's) and measure the warm service time to place the
+    # interactive deadline: tight enough that burst backlogs shed, loose
+    # enough that an unloaded fleet never does.
+    warm = []
+    for i, spec in enumerate(specs):
+        fleet.solve(spec, rhs[i], lane="batch")
+        t0 = time.perf_counter()
+        fleet.solve(spec, rhs[i], lane="batch")
+        warm.append(time.perf_counter() - t0)
+    deadline_s = max(0.05, 6.0 * float(np.median(warm)))
+
+    counter = threading.Lock()
+    remaining = [_FLEET_REQUESTS]
+    client_errors: list[BaseException] = []
+
+    def client(cid: int) -> None:
+        rng = np.random.default_rng(1000 + cid)
+        burst_left = 0
+        while True:
+            with counter:
+                if remaining[0] <= 0:
+                    return
+                remaining[0] -= 1
+            i = int(rng.choice(len(specs), p=probs))
+            interactive = rng.random() < 0.8
+            try:
+                ticket = fleet.submit(
+                    specs[i], rhs[i],
+                    lane="interactive" if interactive else "batch",
+                    timeout=deadline_s if interactive else None,
+                )
+                ticket.wait(timeout=60.0)
+            except (DeadlineExceededError, QueueFullError):
+                pass  # typed shedding/backpressure: counted by fleet.stats()
+            except BaseException as exc:  # noqa: BLE001 - surface in the parent
+                with counter:
+                    client_errors.append(exc)
+                return
+            if arrivals == "poisson":
+                time.sleep(float(rng.exponential(0.2 * deadline_s)))
+            else:  # burst: 8 back-to-back, then a long gap
+                if burst_left > 0:
+                    burst_left -= 1
+                else:
+                    burst_left = 7
+                    time.sleep(float(rng.exponential(2.0 * deadline_s)))
+
+    t0 = time.perf_counter()
+    threads = [threading.Thread(target=client, args=(c,)) for c in range(_FLEET_CLIENTS)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    seconds = time.perf_counter() - t0
+    stats = fleet.stats()
+    fleet.close()
+    if client_errors:
+        raise client_errors[0]
+
+    lanes = stats["lanes"]
+    admitted = sum(l["admitted"] for l in lanes.values())
+    shed = sum(l["shed"] for l in lanes.values())
+    rejected = sum(l["rejected"] for l in lanes.values())
+    offered = admitted + shed + rejected
+    row = {
+        "case": "serve_fleet",
+        "arrivals": arrivals,
+        "n": _FLEET_N,
+        "nb": _FLEET_NB,
+        "fleet_workers": _FLEET_WORKERS,
+        "clients": _FLEET_CLIENTS,
+        "specs": len(specs),
+        "zipf_s": _ZIPF_S,
+        "deadline_ms": deadline_s * 1e3,
+        "requests": _FLEET_REQUESTS,
+        "seconds": seconds,
+        "throughput_rps": admitted / seconds if seconds > 0 else 0.0,
+        "shed_rate": shed / offered if offered else 0.0,
+        "rejected": rejected,
+        "requeues": stats["requeues"],
+        "routing_balance": stats["routing"]["balance_ratio"],
+        "routing_keys": stats["routing"]["keys"],
+        "hot_keys": stats["replication"]["hot_keys"],
+        "exec_mode": _EXEC_MODE,
+    }
+    for name, lane in lanes.items():
+        row[f"{name}_completed"] = lane["completed"]
+        row[f"{name}_shed"] = lane["shed"]
+        if "p50_ms" in lane:
+            row[f"{name}_p50_ms"] = lane["p50_ms"]
+            row[f"{name}_p95_ms"] = lane["p95_ms"]
+    return row
+
+
 def run() -> list[dict]:
     rng = np.random.default_rng(0)
     rhs = [rng.standard_normal(_N) for _ in range(_REQUESTS)]
@@ -129,6 +283,10 @@ def run() -> list[dict]:
 
     with tempfile.TemporaryDirectory() as d:
         rows.extend(_cold_vs_warm(Path(d), rhs[0]))
+    for arrivals in ("poisson", "burst"):
+        with tempfile.TemporaryDirectory() as d:
+            rows.append(_fleet_round(Path(d), arrivals=arrivals))
+    OUT_PATH.parent.mkdir(parents=True, exist_ok=True)
     OUT_PATH.write_text(json.dumps(rows, indent=2) + "\n")
     return rows
 
@@ -150,6 +308,15 @@ def test_bench_serve():
     # A warm store must skip the factorization entirely.
     assert warm["store_hits"] >= 1 and cold["store_misses"] == 1
     assert warm["seconds"] < cold["seconds"], (warm, cold)
+    # Fleet rows: one per arrival process, every request accounted for
+    # (completed + shed + rejected + expired == offered) and routing spread
+    # over the fingerprints.  Shed rates are workload-dependent — recorded,
+    # not asserted.
+    fleet_rows = [r for r in rows if r["case"] == "serve_fleet"]
+    assert {r["arrivals"] for r in fleet_rows} == {"poisson", "burst"}
+    for r in fleet_rows:
+        assert r["routing_keys"] >= 1
+        assert r["interactive_completed"] + r["batch_completed"] > 0, r
 
 
 if __name__ == "__main__":
@@ -160,6 +327,12 @@ if __name__ == "__main__":
                 f"{r['throughput_rps']:8.1f} req/s  "
                 f"p50 {r['p50_ms']:7.2f} ms  p95 {r['p95_ms']:7.2f} ms  "
                 f"(width {r['mean_batch_width']:.1f}, {r['sweeps']} sweeps)"
+            )
+        elif r["case"] == "serve_fleet":
+            print(
+                f"fleet {r['arrivals']:>7}  {r['throughput_rps']:8.1f} req/s  "
+                f"interactive p95 {r.get('interactive_p95_ms', float('nan')):7.2f} ms  "
+                f"shed {r['shed_rate']:.1%}  balance {r['routing_balance']:.2f}x"
             )
         else:
             print(f"{r['case']:>11}  {r['seconds'] * 1e3:9.2f} ms")

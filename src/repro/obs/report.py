@@ -201,6 +201,57 @@ REPORT_SCHEMA = {
                 "segments": {"type": "integer", "minimum": 0},
             },
         },
+        "fleet": {
+            "type": "object",
+            "required": ["workers", "healthy_workers", "lanes", "routing"],
+            "properties": {
+                "workers": {"type": "integer", "minimum": 0},
+                "healthy_workers": {"type": "integer", "minimum": 0},
+                "failed_workers": {"type": "integer", "minimum": 0},
+                "requeues": {"type": "integer", "minimum": 0},
+                "lanes": {
+                    "type": "object",
+                    "additionalProperties": {
+                        "type": "object",
+                        "required": ["admitted", "completed", "failed", "shed", "rejected"],
+                        "properties": {
+                            "admitted": {"type": "integer", "minimum": 0},
+                            "completed": {"type": "integer", "minimum": 0},
+                            "failed": {"type": "integer", "minimum": 0},
+                            "expired": {"type": "integer", "minimum": 0},
+                            "shed": {"type": "integer", "minimum": 0},
+                            "rejected": {"type": "integer", "minimum": 0},
+                            "inflight": {"type": "integer", "minimum": 0},
+                            "inflight_peak": {"type": "integer", "minimum": 0},
+                            "max_inflight": {"type": "integer", "minimum": 0},
+                            "est_service_seconds": {"type": "number", "minimum": 0},
+                            "p50_ms": {"type": "number", "minimum": 0},
+                            "p95_ms": {"type": "number", "minimum": 0},
+                        },
+                    },
+                },
+                "routing": {
+                    "type": "object",
+                    "required": ["keys", "per_worker", "balance_ratio"],
+                    "properties": {
+                        "keys": {"type": "integer", "minimum": 0},
+                        "per_worker": {
+                            "type": "object",
+                            "additionalProperties": {"type": "integer", "minimum": 0},
+                        },
+                        "balance_ratio": {"type": "number", "minimum": 0},
+                    },
+                },
+                "replication": {
+                    "type": "object",
+                    "properties": {
+                        "hot_keys": {"type": "integer", "minimum": 0},
+                        "replicated_loads": {"type": "integer", "minimum": 0},
+                        "hot_after": {"type": "integer", "minimum": 0},
+                    },
+                },
+            },
+        },
     },
 }
 
@@ -232,7 +283,9 @@ def _service_section(reg) -> dict:
     }
 
 
-def build_run_report(*, probe=None, trace=None, graph=None, meta=None, service=None) -> dict:
+def build_run_report(
+    *, probe=None, trace=None, graph=None, meta=None, service=None, fleet=None
+) -> dict:
     """Fold probe aggregates + trace + graph into one schema-valid report.
 
     ``trace`` (an :class:`~repro.runtime.trace.ExecutionTrace`) is the
@@ -246,6 +299,9 @@ def build_run_report(*, probe=None, trace=None, graph=None, meta=None, service=N
     ``service`` attaches a solve-service section (see
     ``repro.service.SolveService.stats``); when omitted, a section is folded
     from the probe's ``service.*`` metrics if any request was observed.
+    ``fleet`` attaches a serve-fleet section
+    (``repro.service.ServeFleet.stats``): per-lane admission/shedding
+    counters and latency percentiles, routing balance, and replication.
     """
     kinds: dict[str, dict] = {}
 
@@ -398,6 +454,8 @@ def build_run_report(*, probe=None, trace=None, graph=None, meta=None, service=N
         report["service"] = service
     elif probe is not None and probe.registry.counter("service.requests.admitted"):
         report["service"] = _service_section(probe.registry)
+    if fleet is not None:
+        report["fleet"] = fleet
     return report
 
 
@@ -644,5 +702,33 @@ def render_report(report: dict) -> str:
                 f"store     : {store.get('hits', 0)} hits / {store.get('misses', 0)} misses "
                 f"({rate:.0%} hit rate), {store.get('evictions', 0)} evictions"
                 + (f", {_mb(store['bytes'])} resident" if store.get("bytes") else "")
+            )
+    fleet = report.get("fleet")
+    if fleet:
+        lines.append("")
+        ratio = fleet["routing"]["balance_ratio"]
+        # 0.0 is the sentinel for "fewer keys than workers" (some worker owns
+        # nothing, so max/min is undefined).
+        balance = f"{ratio:.2f}x" if ratio else "n/a"
+        lines.append(
+            f"fleet     : {fleet['healthy_workers']}/{fleet['workers']} workers healthy | "
+            f"{fleet['routing']['keys']} fingerprints, routing balance "
+            f"{balance} | "
+            f"{fleet.get('requeues', 0)} crash requeues"
+        )
+        for name, lane in sorted(fleet["lanes"].items()):
+            pct = ""
+            if "p50_ms" in lane:
+                pct = f" | p50 {lane['p50_ms']:.2f} ms, p95 {lane.get('p95_ms', 0.0):.2f} ms"
+            lines.append(
+                f"lane {name:<9}: {lane['admitted']} admitted | {lane['completed']} completed "
+                f"| {lane['shed']} shed | {lane['rejected']} rejected{pct}"
+            )
+        rep = fleet.get("replication") or {}
+        if rep.get("hot_keys"):
+            lines.append(
+                f"replicas  : {rep['hot_keys']} hot fingerprint(s), "
+                f"{rep['replicated_loads']} warm loads "
+                f"(hot after {rep.get('hot_after', 0)} requests)"
             )
     return "\n".join(lines)

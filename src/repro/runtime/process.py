@@ -32,6 +32,7 @@ import importlib
 import itertools
 import os
 import pickle
+import sys
 import time
 import traceback
 from dataclasses import dataclass, field
@@ -74,6 +75,35 @@ def _resolve_op(op: str):
     return getattr(importlib.import_module(mod), attr)
 
 
+def _check_spawnable() -> None:
+    """Fail fast, in the parent, when spawn cannot re-import ``__main__``.
+
+    The spawn start method re-runs the parent's ``__main__`` in every child.
+    A parent whose ``__main__`` came down a pipe — a heredoc, ``python -``,
+    a deleted script — has no importable path, so each child would die at
+    startup with an opaque ``FileNotFoundError`` deep inside
+    ``multiprocessing.spawn`` and the run would only report "worker died".
+    Catching it here turns that into one clear, actionable error before any
+    process is spawned.
+    """
+    main = sys.modules.get("__main__")
+    if main is None:
+        return
+    if getattr(main, "__spec__", None) is not None:
+        return  # `python -m pkg`: children re-import by module name
+    path = getattr(main, "__file__", None)
+    if path is None:
+        return  # interactive/embedded: spawn skips the main re-import
+    if not os.path.exists(path):
+        raise RuntimeError(
+            "cannot start worker processes: the spawn start method re-imports "
+            f"__main__ in each child, but __main__ came from {path!r}, which "
+            "is not a file on disk. Scripts fed via stdin (heredocs, "
+            "'python -') cannot use ProcessExecutor — run the script from a "
+            "real file, or use exec_mode='threaded'."
+        )
+
+
 # -- tiny ops used by the executor's own tests (must be importable in spawn
 # children, hence module level) ------------------------------------------------
 def _noop_for_tests(payloads):
@@ -92,7 +122,38 @@ def _raise_for_tests(payloads, message="boom"):  # pragma: no cover - in worker
     raise ValueError(message)
 
 
+def _explode_for_tests():  # pragma: no cover - runs in a worker
+    raise RuntimeError("exploding context (test helper)")
+
+
+class _ExplodingContext:
+    """Test helper: pickles fine in the parent, raises when a child unpickles
+    it — the minimal reproducible 'worker dies during startup' failure."""
+
+    def __reduce__(self):
+        return (_explode_for_tests, ())
+
+
 def _worker_main(widx: int, task_conn, res_conn, arena_tag: str, ctx_blob) -> None:
+    """Fatal-error shim around :func:`_worker_loop`.
+
+    Any exception that escapes the loop — including startup failures like a
+    context blob that will not unpickle or an arena that will not attach —
+    is reported to the parent as a ``("fatal", widx, traceback)`` message
+    before the worker dies, so "worker died" errors carry the child's actual
+    traceback instead of just an exit code.
+    """
+    try:
+        _worker_loop(widx, task_conn, res_conn, arena_tag, ctx_blob)
+    except BaseException:
+        try:
+            res_conn.send(("fatal", widx, traceback.format_exc()))
+        except (OSError, BrokenPipeError, pickle.PicklingError):
+            pass
+        raise
+
+
+def _worker_loop(widx: int, task_conn, res_conn, arena_tag: str, ctx_blob) -> None:
     """Worker loop: receive task messages, run ops on shared views, reply.
 
     The worker's own arena is ``untrack=True``: the parent owns unlinking of
@@ -157,6 +218,25 @@ def _worker_main(widx: int, task_conn, res_conn, arena_tag: str, ctx_blob) -> No
             )
     finally:
         arena.close()
+
+
+def _dead_worker_error(w: int, proc, res_conn, task) -> RuntimeError:
+    """Build the 'worker died' error, draining the worker's result pipe for
+    a buffered ``fatal`` traceback so the child's actual failure — not just
+    an exit code — reaches the caller."""
+    tb = None
+    try:
+        while res_conn.poll():
+            msg = res_conn.recv()
+            if msg[0] == "fatal":
+                tb = msg[2]
+    except (EOFError, OSError):
+        pass
+    detail = f"; child traceback:\n{tb}" if tb else ""
+    return RuntimeError(
+        f"worker {w} died (exit code {proc.exitcode}) "
+        f"while running task #{task.id} ({task.kind}){detail}"
+    )
 
 
 def _install(handle, final) -> None:
@@ -227,6 +307,7 @@ class ProcessExecutor:
         if n == 0:
             return 0.0
         graph.validate()
+        _check_spawnable()
         for t in graph.tasks:
             if t.func is not None and t.spec is None:
                 raise ValueError(
@@ -335,7 +416,16 @@ class ProcessExecutor:
                             if known[w].get(hid) != version[hid]:
                                 updates.append((hid, blob[hid]))
                                 known[w][hid] = version[hid]
-                    task_conns[w].send(("task", task.id, task.spec, hids, writes, updates))
+                    try:
+                        task_conns[w].send(
+                            ("task", task.id, task.spec, hids, writes, updates)
+                        )
+                    except (OSError, BrokenPipeError):
+                        # The worker died before this dispatch; surface its
+                        # traceback (if it managed to send one) instead of a
+                        # bare BrokenPipeError.
+                        error = _dead_worker_error(w, procs[w], res_conns[w], task)
+                        break
                     sent = sum(len(b) for _, b in updates)
                     self.ipc_bytes += sent
                     self.shm_bytes += arena.take_copied_bytes()
@@ -344,6 +434,8 @@ class ProcessExecutor:
                     idle.discard(w)
                     if probe is not None:
                         probe.process_dispatch(sent)
+                if error is not None:
+                    break
                 if not running:
                     raise RuntimeError(
                         f"scheduler stalled with {n - completed} tasks left"
@@ -401,6 +493,15 @@ class ProcessExecutor:
                                 task = running.pop(w)
                                 error = exc
                                 break
+                            elif msg[0] == "fatal":
+                                _, _, tb = msg
+                                task = running.pop(w)
+                                error = RuntimeError(
+                                    f"worker {w} died while running task "
+                                    f"#{task.id} ({task.kind}); child "
+                                    f"traceback:\n{tb}"
+                                )
+                                break
                     except (EOFError, OSError):
                         pass
                     if error is not None:
@@ -410,10 +511,7 @@ class ProcessExecutor:
                 for w in list(running):
                     if not procs[w].is_alive():
                         task = running.pop(w)
-                        error = RuntimeError(
-                            f"worker {w} died (exit code {procs[w].exitcode}) "
-                            f"while running task #{task.id} ({task.kind})"
-                        )
+                        error = _dead_worker_error(w, procs[w], res_conns[w], task)
                         break
             if error is None:
                 # Harvest: privatize every written payload back into the

@@ -10,6 +10,10 @@ The serving layer over the Tile-H solver (see :doc:`docs/service`):
 * :class:`SolveService` — bounded admission with explicit
   :class:`QueueFullError` backpressure, per-request deadlines, retries on
   :class:`TransientSolveError`, worker pool, graceful drain on close;
+* :class:`ServeFleet` — N sharded services behind a
+  :class:`ConsistentHashRouter` with per-lane SLO admission
+  (:class:`DeadlineUnmeetableError` shedding), warm replication of hot
+  fingerprints, and crash re-routing (:class:`WorkerCrashedError`);
 * :func:`make_server` / :class:`SolveClient` — a stdlib JSON/HTTP boundary
   (``repro serve`` / ``repro request`` on the CLI).
 """
@@ -18,30 +22,40 @@ from .batcher import MicroBatcher
 from .errors import (
     BadRequestError,
     DeadlineExceededError,
+    DeadlineUnmeetableError,
     QueueFullError,
     ServiceClosedError,
     ServiceError,
     TransientSolveError,
+    WorkerCrashedError,
 )
+from .fleet import ConsistentHashRouter, FleetTicket, LaneConfig, ServeFleet
 from .http import SolveClient, decode_vector, encode_vector, make_server
 from .pipeline import SolveService, SolveTicket
-from .problems import ProblemSpec, build_solver, rhs_dtype, spec_fingerprint
+from .problems import ProblemSpec, build_solver, check_rhs, rhs_dtype, spec_fingerprint
 from .store import FactorizationStore
 
 __all__ = [
     "BadRequestError",
+    "ConsistentHashRouter",
     "DeadlineExceededError",
+    "DeadlineUnmeetableError",
     "FactorizationStore",
+    "FleetTicket",
+    "LaneConfig",
     "MicroBatcher",
     "ProblemSpec",
     "QueueFullError",
+    "ServeFleet",
     "ServiceClosedError",
     "ServiceError",
     "SolveClient",
     "SolveService",
     "SolveTicket",
     "TransientSolveError",
+    "WorkerCrashedError",
     "build_solver",
+    "check_rhs",
     "decode_vector",
     "encode_vector",
     "make_server",

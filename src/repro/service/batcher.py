@@ -48,16 +48,29 @@ class MicroBatcher:
         (no coalescing latency, no amortization).
     clock:
         Injectable time source (tests pass a virtual clock).
+    shed / on_shed:
+        Batch-formation-time shedding.  ``shed(item, now)`` marks an item
+        dead (e.g. its deadline already passed); dead items are removed
+        *while the batch is formed* — before they can occupy one of the
+        ``max_batch`` panel slots — and handed to ``on_shed(key, item)`` so
+        the owner can resolve them with a typed error.  Without this, an
+        expired request still consumes a batch slot and a live straggler is
+        pushed into the next sweep.  ``on_shed`` runs under the batcher lock
+        and must not call back into the batcher.
     """
 
     def __init__(self, *, max_batch: int = 8, max_delay: float = 0.002,
-                 clock=time.monotonic) -> None:
+                 clock=time.monotonic, shed=None, on_shed=None) -> None:
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
         if max_delay < 0:
             raise ValueError(f"max_delay must be >= 0, got {max_delay}")
+        if shed is not None and on_shed is None:
+            raise ValueError("shed without on_shed would drop items silently")
         self.max_batch = max_batch
         self.max_delay = max_delay
+        self._shed = shed
+        self._on_shed = on_shed
         self._clock = clock
         self._lock = threading.Lock()
         self._ready = threading.Condition(self._lock)
@@ -87,24 +100,42 @@ class MicroBatcher:
             self._ready.notify_all()
 
     def _pop_ready_locked(self, now: float) -> tuple[str, list] | None:
-        """The first dispatchable bucket under the size/age/drain rules."""
-        for key, bucket in self._buckets.items():
-            if (
+        """The first dispatchable bucket under the size/age/drain rules.
+
+        Dead items (``shed``) are dropped at formation time: the batch is
+        cut from the *live* items only, so a panel is never padded with
+        requests that already missed their deadline.  A bucket that turns
+        out to be all-dead is discarded and the scan continues.
+        """
+        for key, bucket in list(self._buckets.items()):
+            if not (
                 len(bucket.items) >= self.max_batch
                 or self._draining
                 or now - bucket.oldest >= self.max_delay
             ):
-                items = bucket.items[: self.max_batch]
-                rest = bucket.items[self.max_batch:]
-                if rest:
-                    nb = _Bucket(now)
-                    nb.items = rest
-                    self._buckets[key] = nb
-                    self._buckets.move_to_end(key)
-                else:
-                    del self._buckets[key]
-                self._count -= len(items)
-                return key, items
+                continue
+            live = bucket.items
+            if self._shed is not None:
+                live = []
+                for item in bucket.items:
+                    if self._shed(item, now):
+                        self._count -= 1
+                        self._on_shed(key, item)
+                    else:
+                        live.append(item)
+            items = live[: self.max_batch]
+            rest = live[self.max_batch:]
+            if rest:
+                nb = _Bucket(now)
+                nb.items = rest
+                self._buckets[key] = nb
+                self._buckets.move_to_end(key)
+            else:
+                del self._buckets[key]
+            if not items:
+                continue  # everything in the bucket had expired
+            self._count -= len(items)
+            return key, items
         return None
 
     def _next_deadline_locked(self, now: float) -> float | None:

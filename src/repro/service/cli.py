@@ -4,6 +4,7 @@ Serve a factorization store over HTTP::
 
     python -m repro serve --port 8750 --store /tmp/factors --workers 2
     python -m repro serve --port 8750 --budget-mb 256 --profile serve.json
+    python -m repro serve --port 8750 --store /tmp/factors --fleet 4
 
 Issue requests against it (and optionally verify against a manufactured
 solution computed locally with the streamed dense operator)::
@@ -38,7 +39,21 @@ def serve_main(argv: list[str]) -> int:
                         help="directory for persisted factorizations (default: in-memory only)")
     parser.add_argument("--budget-mb", type=float, default=None,
                         help="in-memory cache budget in MiB (default: unbounded)")
-    parser.add_argument("--workers", type=int, default=2, help="solve worker threads")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="solve worker threads (per fleet worker with --fleet)")
+    parser.add_argument("--fleet", type=int, default=0, metavar="N",
+                        help="run N sharded services behind consistent-hash "
+                        "routing with SLO lanes (interactive/batch) instead of "
+                        "one service (0 = single service)")
+    parser.add_argument("--hot-after", type=int, default=16, metavar="K",
+                        help="fleet: replicate a fingerprint's factors to other "
+                        "workers after K requests (needs --store)")
+    parser.add_argument("--replicas", type=int, default=2,
+                        help="fleet: total copies of a hot fingerprint")
+    parser.add_argument("--interactive-inflight", type=int, default=64,
+                        help="fleet: in-flight budget of the interactive lane")
+    parser.add_argument("--batch-inflight", type=int, default=256,
+                        help="fleet: in-flight budget of the batch lane")
     parser.add_argument("--max-queue", type=int, default=64,
                         help="admission capacity before requests are rejected (429)")
     parser.add_argument("--max-batch", type=int, default=8,
@@ -61,36 +76,64 @@ def serve_main(argv: list[str]) -> int:
     args = parser.parse_args(argv)
 
     from ..obs import Instrumentation
+    from .fleet import LaneConfig, ServeFleet
     from .http import make_server
     from .pipeline import SolveService
     from .store import FactorizationStore
 
     budget = None if args.budget_mb is None else int(args.budget_mb * (1 << 20))
-    store = FactorizationStore(args.store, budget_bytes=budget, mmap=args.mmap)
     probe = Instrumentation() if args.profile is not None else None
     if probe is not None:
         probe.__enter__()
     try:
-        service = SolveService(
-            store,
-            workers=args.workers,
-            max_queue=args.max_queue,
-            max_batch=args.max_batch,
-            max_delay=args.max_delay,
-            max_retries=args.max_retries,
-            exec_mode=args.exec_mode,
-            exec_workers=args.exec_workers,
-        )
+        if args.fleet > 0:
+            service = ServeFleet(
+                args.fleet,
+                store_root=args.store,
+                budget_bytes=budget,
+                lanes=(
+                    LaneConfig("interactive", max_inflight=args.interactive_inflight),
+                    LaneConfig("batch", max_inflight=args.batch_inflight),
+                ),
+                replicate_hot_after=args.hot_after,
+                replicas=args.replicas,
+                service_threads=args.workers,
+                max_queue=args.max_queue,
+                max_batch=args.max_batch,
+                max_delay=args.max_delay,
+                max_retries=args.max_retries,
+                exec_mode=args.exec_mode,
+                exec_workers=args.exec_workers,
+            )
+        else:
+            store = FactorizationStore(args.store, budget_bytes=budget, mmap=args.mmap)
+            service = SolveService(
+                store,
+                workers=args.workers,
+                max_queue=args.max_queue,
+                max_batch=args.max_batch,
+                max_delay=args.max_delay,
+                max_retries=args.max_retries,
+                exec_mode=args.exec_mode,
+                exec_workers=args.exec_workers,
+            )
         server = make_server(service, args.host, args.port)
         host, port = server.server_address[:2]
-        print(f"serving   : http://{host}:{port} "
-              f"({args.workers} workers, queue {args.max_queue}, batch {args.max_batch})")
+        if args.fleet > 0:
+            print(f"serving   : http://{host}:{port} "
+                  f"(fleet of {args.fleet}, queue {args.max_queue}/worker, "
+                  f"batch {args.max_batch}, lanes interactive/"
+                  f"{args.interactive_inflight} batch/{args.batch_inflight})")
+        else:
+            print(f"serving   : http://{host}:{port} "
+                  f"({args.workers} workers, queue {args.max_queue}, batch {args.max_batch})")
         if args.exec_mode != "eager":
-            print(f"executor  : {args.exec_mode} x {service.exec_workers} for cold builds")
+            exec_workers = args.exec_workers or "auto"
+            print(f"executor  : {args.exec_mode} x {exec_workers} for cold builds")
         print(f"store     : {args.store or 'in-memory only'}"
               + (f", budget {args.budget_mb:g} MiB" if budget is not None else ""))
-        if store.keys():
-            print(f"warm keys : {len(store.keys())} factorization(s) on disk")
+        if service.keys():
+            print(f"warm keys : {len(service.keys())} factorization(s) on disk")
 
         # POST /v1/shutdown drains the service; watch for that and stop the
         # HTTP loop so the process exits cleanly.
@@ -109,22 +152,33 @@ def serve_main(argv: list[str]) -> int:
             server.server_close()
             service.close()
         stats = service.stats()
-        req = stats["requests"]
-        print(f"served    : {req['completed']} completed | {req['rejected']} rejected "
-              f"| {req['failed']} failed")
+        if args.fleet > 0:
+            for name, lane in sorted(stats["lanes"].items()):
+                print(f"lane {name:<11}: {lane['completed']} completed "
+                      f"| {lane['shed']} shed | {lane['rejected']} rejected "
+                      f"| {lane['failed']} failed")
+            print(f"routing   : {stats['routing']['keys']} keys over "
+                  f"{stats['healthy_workers']}/{stats['workers']} workers, "
+                  f"{stats['requeues']} requeues")
+        else:
+            req = stats["requests"]
+            print(f"served    : {req['completed']} completed | {req['rejected']} rejected "
+                  f"| {req['failed']} failed")
     finally:
         if probe is not None:
             probe.__exit__(None, None, None)
     if args.profile is not None:
         from ..obs import build_run_report, write_report
 
-        report = build_run_report(
-            probe=probe,
-            meta={"mode": "serve", "workers": args.workers,
-                  "max_batch": args.max_batch, "max_queue": args.max_queue,
-                  "exec_mode": args.exec_mode, "exec_workers": service.exec_workers},
-            service=service.stats(),
-        )
+        meta = {"mode": "serve", "workers": args.workers,
+                "max_batch": args.max_batch, "max_queue": args.max_queue,
+                "exec_mode": args.exec_mode}
+        if args.fleet > 0:
+            meta["fleet"] = args.fleet
+            report = build_run_report(probe=probe, meta=meta, fleet=service.stats())
+        else:
+            meta["exec_workers"] = service.exec_workers
+            report = build_run_report(probe=probe, meta=meta, service=service.stats())
         write_report(report, args.profile)
         print(f"profile   : run report written to {args.profile}")
     return 0
@@ -149,6 +203,9 @@ def request_main(argv: list[str]) -> int:
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--timeout", type=float, default=None,
                         help="per-request deadline in seconds (server-side)")
+    parser.add_argument("--lane", default=None,
+                        help="admission lane (fleet servers only: "
+                        "'interactive' or 'batch')")
     parser.add_argument("--check", action="store_true",
                         help="manufacture the solution locally (streamed dense matvec) "
                         "and report the forward error of each reply")
@@ -199,7 +256,7 @@ def request_main(argv: list[str]) -> int:
         latencies = []
         for i, b in enumerate(rhs):
             t0 = time.perf_counter()
-            x = client.solve(spec, b, timeout=args.timeout)
+            x = client.solve(spec, b, timeout=args.timeout, lane=args.lane)
             dt = time.perf_counter() - t0
             latencies.append(dt)
             line = f"request {i:3d}: {dt * 1e3:8.2f} ms, |x| = {np.linalg.norm(x):.6g}"

@@ -15,8 +15,10 @@ __all__ = [
     "BadRequestError",
     "QueueFullError",
     "DeadlineExceededError",
+    "DeadlineUnmeetableError",
     "ServiceClosedError",
     "TransientSolveError",
+    "WorkerCrashedError",
 ]
 
 
@@ -56,6 +58,22 @@ class DeadlineExceededError(ServiceError):
     http_status = 504
 
 
+class DeadlineUnmeetableError(DeadlineExceededError):
+    """Admission-time shedding: the deadline cannot be met.
+
+    Raised *synchronously at submission* by SLO-aware admission (the serve
+    fleet's lanes) when the request's deadline is closer than the lane's
+    observed service time — doing the work would only burn capacity on an
+    answer the caller has already given up on.  Subclasses
+    :class:`DeadlineExceededError` so callers handling deadline failures
+    catch both; the distinct code lets them tell "shed up front, retry
+    elsewhere now" (429) from "expired in flight" (504).
+    """
+
+    code = "deadline_unmeetable"
+    http_status = 429
+
+
 class ServiceClosedError(ServiceError):
     """The service is shutting down (or closed) and admits no new work."""
 
@@ -70,3 +88,14 @@ class TransientSolveError(ServiceError):
 
     code = "transient"
     http_status = 500
+
+
+class WorkerCrashedError(ServiceError):
+    """A fleet worker died with requests in flight.
+
+    The fleet re-routes a crashed worker's queued requests to the surviving
+    workers; this error only reaches a caller when every re-dispatch attempt
+    was exhausted (or no healthy worker remains)."""
+
+    code = "worker_crashed"
+    http_status = 503

@@ -34,11 +34,14 @@ import numpy as np
 from .errors import (
     BadRequestError,
     DeadlineExceededError,
+    DeadlineUnmeetableError,
     QueueFullError,
     ServiceClosedError,
     ServiceError,
     TransientSolveError,
+    WorkerCrashedError,
 )
+from .fleet import ServeFleet
 from .pipeline import SolveService
 
 __all__ = ["encode_vector", "decode_vector", "make_server", "SolveClient"]
@@ -50,8 +53,10 @@ _ERROR_TYPES = {
         BadRequestError,
         QueueFullError,
         DeadlineExceededError,
+        DeadlineUnmeetableError,
         ServiceClosedError,
         TransientSolveError,
+        WorkerCrashedError,
     )
 }
 
@@ -84,7 +89,7 @@ def decode_vector(data) -> np.ndarray:
 
 
 class _Handler(BaseHTTPRequestHandler):
-    service: SolveService  # bound by make_server
+    service: SolveService | ServeFleet  # bound by make_server
     server_version = "repro-solve/1"
     protocol_version = "HTTP/1.1"
 
@@ -124,7 +129,7 @@ class _Handler(BaseHTTPRequestHandler):
         elif self.path == "/v1/stats":
             self._reply(200, self.service.stats())
         elif self.path == "/v1/keys":
-            self._reply(200, {"keys": self.service.store.keys()})
+            self._reply(200, {"keys": self.service.keys()})
         else:
             self._reply(404, {"error": {"code": "not_found", "message": self.path}})
 
@@ -155,7 +160,18 @@ class _Handler(BaseHTTPRequestHandler):
             not isinstance(timeout, (int, float)) or isinstance(timeout, bool) or timeout <= 0
         ):
             raise BadRequestError(f"timeout must be a positive number, got {timeout!r}")
-        ticket = self.service.submit(problem, rhs, timeout=timeout)
+        kwargs = {"timeout": timeout}
+        lane = payload.get("lane")
+        if lane is not None:
+            if not isinstance(lane, str):
+                raise BadRequestError(f"lane must be a string, got {lane!r}")
+            if not isinstance(self.service, ServeFleet):
+                raise BadRequestError(
+                    "this server runs a single service; 'lane' needs a fleet "
+                    "(repro serve --fleet N)"
+                )
+            kwargs["lane"] = lane
+        ticket = self.service.submit(problem, rhs, **kwargs)
         x = ticket.result()
         self._reply(
             200,
@@ -167,8 +183,11 @@ class _Handler(BaseHTTPRequestHandler):
         )
 
 
-def make_server(service: SolveService, host: str = "127.0.0.1", port: int = 0):
-    """A ready-to-run ``ThreadingHTTPServer`` bound to ``service``.
+def make_server(service: SolveService | ServeFleet, host: str = "127.0.0.1", port: int = 0):
+    """A ready-to-run ``ThreadingHTTPServer`` bound to ``service`` (a single
+    :class:`SolveService` or a :class:`~repro.service.fleet.ServeFleet` —
+    the routes are identical; a fleet additionally accepts ``"lane"`` in the
+    solve payload and reports fleet-shaped ``/v1/stats``).
 
     ``port=0`` picks a free port (read it back from ``server.server_address``).
     The caller owns the lifecycle: ``serve_forever()`` to run,
@@ -210,10 +229,15 @@ class SolveClient:
             cls = _ERROR_TYPES.get(err.get("code"), ServiceError)
             raise cls(err.get("message", f"HTTP {exc.code}")) from None
 
-    def solve(self, problem: dict, rhs, *, timeout: float | None = None) -> np.ndarray:
+    def solve(
+        self, problem: dict, rhs, *, timeout: float | None = None,
+        lane: str | None = None,
+    ) -> np.ndarray:
         payload = {"problem": problem, "rhs": encode_vector(np.asarray(rhs))}
         if timeout is not None:
             payload["timeout"] = timeout
+        if lane is not None:
+            payload["lane"] = lane
         return decode_vector(self._request("POST", "/v1/solve", payload)["solution"])
 
     def healthz(self) -> dict:

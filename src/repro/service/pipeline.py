@@ -48,13 +48,12 @@ from ..obs import current as obs_current
 from ..obs.metrics import Histogram
 from .batcher import MicroBatcher
 from .errors import (
-    BadRequestError,
     DeadlineExceededError,
     QueueFullError,
     ServiceClosedError,
     TransientSolveError,
 )
-from .problems import ProblemSpec, build_solver, rhs_dtype, spec_fingerprint
+from .problems import ProblemSpec, build_solver, check_rhs, spec_fingerprint
 from .store import FactorizationStore
 
 __all__ = ["SolveTicket", "SolveService"]
@@ -66,7 +65,10 @@ _RESERVOIR = 4096
 class SolveTicket:
     """Handle to one admitted request; resolves to a solution or a typed error."""
 
-    __slots__ = ("key", "submitted_at", "finished_at", "_event", "_result", "_error")
+    __slots__ = (
+        "key", "submitted_at", "finished_at", "_event", "_result", "_error",
+        "_cb_lock", "_callbacks",
+    )
 
     def __init__(self, key: str, submitted_at: float) -> None:
         self.key = key
@@ -75,6 +77,8 @@ class SolveTicket:
         self._event = threading.Event()
         self._result: np.ndarray | None = None
         self._error: BaseException | None = None
+        self._cb_lock = threading.Lock()
+        self._callbacks: list = []
 
     def done(self) -> bool:
         return self._event.is_set()
@@ -95,11 +99,25 @@ class SolveTicket:
             raise self._error
         return self._result
 
+    def add_done_callback(self, fn) -> None:
+        """Run ``fn(ticket)`` once the ticket resolves (immediately if it
+        already has).  Callbacks run on the resolving thread — keep them
+        short and never block in one.  The fleet's re-routing rides this."""
+        with self._cb_lock:
+            if not self._event.is_set():
+                self._callbacks.append(fn)
+                return
+        fn(self)
+
     def _resolve(self, result=None, error=None, *, t: float) -> None:
         self._result = result
         self._error = error
         self.finished_at = t
         self._event.set()
+        with self._cb_lock:
+            callbacks, self._callbacks = self._callbacks, []
+        for fn in callbacks:
+            fn(self)
 
 
 class _Request:
@@ -183,7 +201,14 @@ class SolveService:
         self.max_retries = max_retries
         self._provider = solver_provider or self._default_provider
         self._clock = clock
-        self._batcher = MicroBatcher(max_batch=max_batch, max_delay=max_delay, clock=clock)
+        # Expired requests are shed while a batch forms, not when the worker
+        # dequeues it: a dead request must never occupy one of the max_batch
+        # panel slots that a live straggler could have ridden.
+        self._batcher = MicroBatcher(
+            max_batch=max_batch, max_delay=max_delay, clock=clock,
+            shed=lambda r, now: r.deadline is not None and now > r.deadline,
+            on_shed=self._shed_expired,
+        )
 
         self._lock = threading.Lock()
         self._inflight = 0
@@ -252,18 +277,11 @@ class SolveService:
         return self.submit(spec, rhs, timeout=timeout).result()
 
     def _check_rhs(self, spec: ProblemSpec, rhs) -> np.ndarray:
-        b = np.asarray(rhs)
-        if b.ndim != 1:
-            raise BadRequestError(f"rhs must be 1-D, got shape {b.shape}")
-        if b.shape[0] != spec.n:
-            raise BadRequestError(f"rhs has length {b.shape[0]}, expected n={spec.n}")
-        dtype = rhs_dtype(spec)
-        if not np.can_cast(b.dtype, dtype):
-            raise BadRequestError(f"rhs dtype {b.dtype} not castable to {dtype}")
-        b = b.astype(dtype, copy=False)
-        if not np.all(np.isfinite(b.view(np.float64) if dtype.kind == "c" else b)):
-            raise BadRequestError("rhs contains non-finite entries")
-        return b
+        return check_rhs(spec, rhs)
+
+    def keys(self) -> list[str]:
+        """Fingerprints available in the backing store (either tier)."""
+        return self.store.keys()
 
     # -- execution ------------------------------------------------------------
     def _default_provider(self, key: str, spec: ProblemSpec):
@@ -289,7 +307,21 @@ class SolveService:
                         return
                     self._run_batch(*batch)
 
+    def _shed_expired(self, key: str, r: "_Request") -> None:
+        """Batch-formation shed (from the batcher): typed error, no slot used."""
+        now = self._clock()
+        self._finish(
+            r,
+            error=DeadlineExceededError(
+                f"deadline passed {now - r.deadline:.3f}s while waiting to batch"
+            ),
+            expired=True,
+        )
+
     def _run_batch(self, key: str, requests: list) -> None:
+        # Formation-time shedding already filtered expired requests; this
+        # re-check only catches a deadline that passed between the batcher's
+        # pop and this worker picking the batch up.
         now = self._clock()
         live = []
         for r in requests:

@@ -21,7 +21,7 @@ import numpy as np
 from ..core import TileHConfig, TileHMatrix
 from ..geometry import cylinder_cloud, make_kernel, plate_cloud, sphere_cloud
 
-__all__ = ["ProblemSpec", "spec_fingerprint", "build_solver", "rhs_dtype"]
+__all__ = ["ProblemSpec", "spec_fingerprint", "build_solver", "rhs_dtype", "check_rhs"]
 
 from .errors import BadRequestError
 
@@ -147,3 +147,24 @@ def build_solver(
 def rhs_dtype(spec: ProblemSpec) -> np.dtype:
     """The dtype solutions come back in (complex for oscillatory kernels)."""
     return np.dtype(np.complex128 if spec.kernel == "helmholtz" else np.float64)
+
+
+def check_rhs(spec: ProblemSpec, rhs) -> np.ndarray:
+    """Validate one right-hand side against ``spec``; returns the cast array.
+
+    Shared by every admission boundary (service, fleet, HTTP) so malformed
+    requests fail synchronously with :class:`BadRequestError` before they
+    can occupy a queue slot anywhere.
+    """
+    b = np.asarray(rhs)
+    if b.ndim != 1:
+        raise BadRequestError(f"rhs must be 1-D, got shape {b.shape}")
+    if b.shape[0] != spec.n:
+        raise BadRequestError(f"rhs has length {b.shape[0]}, expected n={spec.n}")
+    dtype = rhs_dtype(spec)
+    if not np.can_cast(b.dtype, dtype):
+        raise BadRequestError(f"rhs dtype {b.dtype} not castable to {dtype}")
+    b = b.astype(dtype, copy=False)
+    if not np.all(np.isfinite(b.view(np.float64) if dtype.kind == "c" else b)):
+        raise BadRequestError("rhs contains non-finite entries")
+    return b

@@ -179,6 +179,15 @@ class FactorizationStore:
             if not solver.factorized:
                 raise ValueError("builder must return a *factorized* solver")
             self.put(key, solver)
+            if self.root is not None and self.mmap:
+                # Serve from the archive, not the freshly built instance: a
+                # memmap-backed solve can differ from the in-memory one in
+                # the last ulp (BLAS picks alignment-dependent kernels), so
+                # the archive is the canonical serving copy — every replica
+                # that mmap-loads this key answers bit-identically to the
+                # builder node.
+                solver = TileHMatrix.load(self.path_for(key), mmap=True)
+                self._insert(key, solver)
         with self._lock:
             self._building.pop(key, None)
         return solver

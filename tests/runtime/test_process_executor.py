@@ -151,6 +151,87 @@ def test_worker_crash_raises_and_cleans_up():
         ProcessExecutor(1).run(g)
 
 
+def test_crash_error_names_worker_task_and_exit_code():
+    """The 'worker died' error must say which worker, which task, and the
+    exit code — not just raise a bare BrokenPipeError."""
+    eng = StfEngine(mode="deferred")
+    a = np.zeros(4)
+    h = eng.handle(a, "a")
+    eng.insert_task("k", lambda: None, [(h, RW)],
+                    spec=TaskSpec("repro.runtime.process:_crash_for_tests"))
+    g = eng.wait_all()
+    with pytest.raises(RuntimeError, match=r"worker 0 died \(exit code 3\).*task #0"):
+        ProcessExecutor(1).run(g)
+
+
+def test_startup_death_carries_child_traceback():
+    """A worker that dies during startup (here: a context blob that raises on
+    unpickle) must surface the child's traceback in the parent error, and the
+    run must still unlink every segment."""
+    from repro.runtime.process import _ExplodingContext
+
+    eng = StfEngine(mode="deferred")
+    a = np.zeros(4)
+    eng.insert_task("k", lambda: None, [(eng.handle(a, "a"), RW)], spec=INCR)
+    g = eng.wait_all()
+    ex = ProcessExecutor(1, context=_ExplodingContext())
+    with pytest.raises(RuntimeError, match="exploding context \\(test helper\\)"):
+        ex.run(g)
+
+
+class TestSpawnableCheck:
+    """_check_spawnable: fail fast when spawn cannot re-import __main__."""
+
+    @staticmethod
+    def _fake_main(**attrs):
+        import types
+
+        mod = types.ModuleType("__main__")
+        mod.__spec__ = None
+        for k, v in attrs.items():
+            setattr(mod, k, v)
+        return mod
+
+    def test_stdin_main_is_rejected_before_spawn(self, monkeypatch):
+        import sys
+
+        from repro.runtime.process import _check_spawnable
+
+        monkeypatch.setitem(sys.modules, "__main__",
+                            self._fake_main(__file__="<stdin>"))
+        with pytest.raises(RuntimeError, match="stdin"):
+            _check_spawnable()
+
+    def test_real_file_main_is_accepted(self, monkeypatch):
+        import sys
+
+        from repro.runtime.process import _check_spawnable
+
+        monkeypatch.setitem(sys.modules, "__main__",
+                            self._fake_main(__file__=__file__))
+        _check_spawnable()  # must not raise
+
+    def test_module_main_is_accepted_even_without_file(self, monkeypatch):
+        # `python -m pkg` sets __spec__; children re-import by module name,
+        # so a missing/virtual __file__ is fine.
+        import sys
+
+        from repro.runtime.process import _check_spawnable
+
+        mod = self._fake_main(__file__="<frozen>")
+        mod.__spec__ = object()
+        monkeypatch.setitem(sys.modules, "__main__", mod)
+        _check_spawnable()  # must not raise
+
+    def test_interactive_main_is_accepted(self, monkeypatch):
+        import sys
+
+        from repro.runtime.process import _check_spawnable
+
+        monkeypatch.setitem(sys.modules, "__main__", self._fake_main())
+        _check_spawnable()  # must not raise
+
+
 def test_empty_graph_returns_zero():
     assert ProcessExecutor(2).run(TaskGraph()) == 0.0
 

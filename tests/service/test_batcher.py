@@ -68,6 +68,69 @@ class TestDispatchRules:
             MicroBatcher(max_delay=-1)
 
 
+class TestSheddingAtFormation:
+    """Expired items are dropped while the batch is cut, not after."""
+
+    @staticmethod
+    def _expired_before(cutoff):
+        return lambda item, now: item < cutoff
+
+    def test_shed_requires_on_shed(self):
+        with pytest.raises(ValueError):
+            MicroBatcher(shed=lambda item, now: False)
+
+    def test_expired_items_never_reach_a_batch(self, clock):
+        shed = []
+        b = MicroBatcher(max_batch=8, max_delay=0.0, clock=clock,
+                         shed=self._expired_before(10),
+                         on_shed=lambda key, item: shed.append((key, item)))
+        for item in (1, 20, 2, 30):
+            b.add("k", item)
+        assert b.take(timeout=0) == ("k", [20, 30])
+        assert shed == [("k", 1), ("k", 2)]
+        assert len(b) == 0
+
+    def test_dead_items_do_not_occupy_panel_slots(self, clock):
+        # With max_batch=2 and a dead item at the head, both live items must
+        # still ride the same sweep - the dead one must not push a straggler
+        # into the next batch.
+        b = MicroBatcher(max_batch=2, max_delay=0.0, clock=clock,
+                         shed=self._expired_before(10),
+                         on_shed=lambda key, item: None)
+        for item in (1, 20, 30):
+            b.add("k", item)
+        assert b.take(timeout=0) == ("k", [20, 30])
+        assert b.take(timeout=0) is None
+
+    def test_all_dead_bucket_is_discarded_and_scan_continues(self, clock):
+        shed = []
+        b = MicroBatcher(max_batch=8, max_delay=0.0, clock=clock,
+                         shed=self._expired_before(10),
+                         on_shed=lambda key, item: shed.append(item))
+        b.add("dead", 1)
+        b.add("dead", 2)
+        b.add("live", 40)
+        assert b.take(timeout=0) == ("live", [40])
+        assert shed == [1, 2]
+        assert b.take(timeout=0) is None
+        assert len(b) == 0
+
+    def test_shed_uses_formation_time_not_add_time(self, clock):
+        # Items healthy at add() but past deadline by formation time are shed:
+        # the predicate sees the clock at batch-cut, which is the whole point.
+        shed = []
+        b = MicroBatcher(max_batch=8, max_delay=5.0, clock=clock,
+                         shed=lambda item, now: item < now,
+                         on_shed=lambda key, item: shed.append(item))
+        b.add("k", 3.0)   # deadline t=3
+        b.add("k", 100.0)  # deadline t=100
+        assert b.take(timeout=0) is None  # immature, nothing shed yet
+        assert shed == []
+        clock.t = 5.0  # bucket matures past its deadline for item 3.0
+        assert b.take(timeout=0) == ("k", [100.0])
+        assert shed == [3.0]
+
+
 class TestBlockingTake:
     def test_take_wakes_on_full_batch(self):
         b = MicroBatcher(max_batch=2, max_delay=30.0)

@@ -1,0 +1,331 @@
+"""ServeFleet: routing determinism/balance/stability, SLO admission, crash
+re-routing, and the fleet-vs-single bit-identity guarantee.
+
+The fleet's contract has four legs, each pinned here:
+
+* the consistent-hash router is deterministic and balanced, and a resize
+  moves only the removed node's keys;
+* admission lanes have private budgets (a saturated batch lane cannot starve
+  interactive traffic) and shed unmeetable deadlines with the typed
+  :class:`DeadlineUnmeetableError` *at submit time*;
+* a crashed worker's queued requests re-route to the survivors without
+  losing a single admitted request, and late results from the corpse are
+  discarded;
+* a fleet solve is bit-identical to a single-service solve against the same
+  store — routing and replication never change bits.
+"""
+
+import threading
+import time
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.service import (
+    BadRequestError,
+    DeadlineExceededError,
+    DeadlineUnmeetableError,
+    FactorizationStore,
+    LaneConfig,
+    QueueFullError,
+    ServeFleet,
+    ServiceClosedError,
+    SolveService,
+    spec_fingerprint,
+)
+from repro.service.fleet import ConsistentHashRouter
+
+
+# -- router -------------------------------------------------------------------
+
+
+def test_router_deterministic_and_balanced():
+    """1k fingerprint-like keys over 4 nodes: same answer on every call and
+    every ring instance, with max/min keys per node <= 2 (the acceptance
+    criterion for routing balance)."""
+    nodes = [f"w{i}" for i in range(4)]
+    r1 = ConsistentHashRouter(nodes)
+    r2 = ConsistentHashRouter(nodes)
+    keys = [spec_fingerprint.__module__ + f":key-{i:04d}" for i in range(1000)]
+    owners = [r1.route(k) for k in keys]
+    assert owners == [r2.route(k) for k in keys]
+    assert owners == [r1.route(k) for k in keys]
+    counts = Counter(owners)
+    assert set(counts) == set(nodes)
+    assert max(counts.values()) / min(counts.values()) <= 2.0, counts
+
+
+def test_router_resize_moves_only_removed_nodes_keys():
+    """Removing one node re-homes exactly that node's keys (~K/N); adding a
+    node steals ~K/(N+1) and never reshuffles unrelated keys."""
+    nodes = [f"w{i}" for i in range(4)]
+    r = ConsistentHashRouter(nodes)
+    keys = [f"key-{i}" for i in range(1000)]
+    before = {k: r.route(k) for k in keys}
+    owned_w2 = [k for k in keys if before[k] == "w2"]
+
+    r.remove("w2")
+    after = {k: r.route(k) for k in keys}
+    moved = [k for k in keys if before[k] != after[k]]
+    assert sorted(moved) == sorted(owned_w2)  # only w2's keys moved
+    assert all(after[k] != "w2" for k in keys)
+
+    r.add("w2")
+    assert {k: r.route(k) for k in keys} == before  # add is the exact inverse
+
+    r5 = ConsistentHashRouter(nodes + ["w4"])
+    stolen = [k for k in keys if r5.route(k) != before[k]]
+    assert all(r5.route(k) == "w4" for k in stolen)  # new node only steals
+    assert len(stolen) < len(keys) / 2  # ~K/5 in expectation
+
+
+def test_router_preference_distinct_and_primary_first():
+    r = ConsistentHashRouter([f"w{i}" for i in range(4)])
+    pref = r.preference("some-key", 3)
+    assert len(pref) == len(set(pref)) == 3
+    assert pref[0] == r.route("some-key")
+
+
+def test_router_rejects_bad_ops():
+    r = ConsistentHashRouter(["a"])
+    with pytest.raises(ValueError):
+        r.add("a")
+    with pytest.raises(ValueError):
+        r.remove("b")
+    with pytest.raises(ValueError):
+        ConsistentHashRouter(vnodes=0)
+    empty = ConsistentHashRouter()
+    with pytest.raises(ValueError):
+        empty.route("k")
+
+
+# -- admission lanes ----------------------------------------------------------
+
+
+def _gated_provider(solver):
+    """A provider that blocks until released (requests stay in flight)."""
+    gate = threading.Event()
+
+    def provider(key, spec):
+        assert gate.wait(10.0), "test gate never released"
+        return solver
+
+    return provider, gate
+
+
+def test_batch_lane_cannot_starve_interactive(spec, solver, rhs):
+    """Saturating the batch lane to its budget raises QueueFullError *for
+    batch only* — the interactive lane still admits and completes."""
+    provider, gate = _gated_provider(solver)
+    fleet = ServeFleet(
+        2,
+        lanes=(LaneConfig("interactive", max_inflight=4),
+               LaneConfig("batch", max_inflight=2)),
+        solver_provider=provider,
+        max_delay=0.0,
+        replicate_hot_after=None,
+    )
+    try:
+        batch = [fleet.submit(spec, rhs, lane="batch") for _ in range(2)]
+        with pytest.raises(QueueFullError):
+            fleet.submit(spec, rhs, lane="batch")
+        interactive = fleet.submit(spec, rhs, lane="interactive")
+        gate.set()
+        for t in batch + [interactive]:
+            assert t.result(timeout=30.0) is not None
+        stats = fleet.stats()
+        assert stats["lanes"]["batch"]["rejected"] == 1
+        assert stats["lanes"]["interactive"]["rejected"] == 0
+        assert stats["lanes"]["interactive"]["completed"] == 1
+    finally:
+        gate.set()
+        fleet.close()
+
+
+def test_unknown_lane_is_bad_request(spec, solver, rhs):
+    fleet = ServeFleet(1, solver_provider=lambda k, s: solver,
+                       replicate_hot_after=None)
+    try:
+        with pytest.raises(BadRequestError):
+            fleet.submit(spec, rhs, lane="bulk")
+    finally:
+        fleet.close()
+
+
+def test_deadline_shedding_is_typed_and_synchronous(spec, solver, rhs):
+    """Once the lane has an observed service time, a request whose deadline
+    is closer than the estimate is rejected at submit() with
+    DeadlineUnmeetableError — a DeadlineExceededError subclass with its own
+    wire code, mapped to 429 (retryable) rather than 504 (expired)."""
+    fleet = ServeFleet(1, solver_provider=lambda k, s: solver, max_delay=0.0,
+                       replicate_hot_after=None)
+    try:
+        for _ in range(3):  # establish the lane's EWMA service time
+            fleet.solve(spec, rhs, lane="interactive")
+        assert fleet.stats()["lanes"]["interactive"]["est_service_seconds"] > 0
+        with pytest.raises(DeadlineUnmeetableError) as ei:
+            fleet.submit(spec, rhs, lane="interactive", timeout=1e-9)
+        assert isinstance(ei.value, DeadlineExceededError)
+        assert ei.value.code == "deadline_unmeetable"
+        assert ei.value.http_status == 429
+        stats = fleet.stats()["lanes"]["interactive"]
+        assert stats["shed"] == 1
+        assert stats["inflight"] == 0  # shed request released its slot
+    finally:
+        fleet.close()
+
+
+def test_closed_fleet_rejects(spec, solver, rhs):
+    fleet = ServeFleet(1, solver_provider=lambda k, s: solver,
+                       replicate_hot_after=None)
+    fleet.close()
+    with pytest.raises(ServiceClosedError):
+        fleet.submit(spec, rhs)
+
+
+# -- crash re-routing ---------------------------------------------------------
+
+
+def test_crashed_worker_requests_reroute_without_loss(spec, solver, rhs):
+    """Kill the worker that owns the fingerprint while its requests are in
+    flight: every admitted ticket still resolves, bit-identical to a healthy
+    solve, and new requests for the key route to a survivor."""
+    key = spec_fingerprint(spec)
+    fleet = ServeFleet(2, solver_provider=lambda k, s: solver, max_delay=0.0,
+                       replicate_hot_after=None)
+    try:
+        victim = fleet.worker_for(key)
+        gate = threading.Event()
+
+        def blocking_provider(k, s):
+            assert gate.wait(10.0)
+            return solver
+
+        # Only the victim blocks; the survivor serves normally.
+        fleet._workers[victim].service._provider = blocking_provider
+
+        tickets = [fleet.submit(spec, rhs) for _ in range(4)]
+        deadline = time.monotonic() + 5.0
+        while fleet._workers[victim].service.queue_depth() < 4:
+            assert time.monotonic() < deadline, "requests never reached victim"
+            time.sleep(0.005)
+
+        fleet.fail_worker(victim)
+        reference = solver.solve(rhs)
+        results = [t.result(timeout=30.0) for t in tickets]
+        gate.set()  # release the corpse *after* the survivors answered
+        for x in results:
+            np.testing.assert_array_equal(x, reference)
+
+        stats = fleet.stats()
+        assert stats["healthy_workers"] == 1
+        assert stats["failed_workers"] == 1
+        assert stats["requeues"] >= 4
+        lanes = stats["lanes"]["interactive"]
+        assert lanes["completed"] == 4 and lanes["failed"] == 0
+
+        assert fleet.worker_for(key) != victim
+        np.testing.assert_array_equal(fleet.solve(spec, rhs), reference)
+        assert fleet.fail_worker(victim) is None  # idempotent
+    finally:
+        gate.set()
+        fleet.close()
+
+
+def test_stale_resolution_from_corpse_is_discarded(spec, solver, rhs):
+    """Release the dead worker's gate while the re-homed copies are still
+    blocked: the corpse resolves first, but its answers must be discarded
+    and the tickets must wait for the authoritative re-dispatch."""
+    key = spec_fingerprint(spec)
+    fleet = ServeFleet(2, solver_provider=lambda k, s: solver, max_delay=0.0,
+                       replicate_hot_after=None)
+    try:
+        victim = fleet.worker_for(key)
+        survivor = 1 - victim
+        victim_gate = threading.Event()
+        survivor_gate = threading.Event()
+
+        def make_provider(gate):
+            def provider(k, s):
+                assert gate.wait(10.0)
+                return solver
+            return provider
+
+        fleet._workers[victim].service._provider = make_provider(victim_gate)
+        fleet._workers[survivor].service._provider = make_provider(survivor_gate)
+
+        ticket = fleet.submit(spec, rhs)
+        deadline = time.monotonic() + 5.0
+        while fleet._workers[victim].service.queue_depth() < 1:
+            assert time.monotonic() < deadline
+            time.sleep(0.005)
+        fleet.fail_worker(victim)
+        victim_gate.set()  # corpse finishes first...
+        time.sleep(0.05)
+        assert not ticket.done()  # ...but its resolution must not count
+        survivor_gate.set()
+        np.testing.assert_array_equal(ticket.result(timeout=30.0), solver.solve(rhs))
+    finally:
+        victim_gate.set()
+        survivor_gate.set()
+        fleet.close()
+
+
+# -- bit-identity and shared store -------------------------------------------
+
+
+def test_fleet_solve_bit_identical_to_single_service(spec, rhs, tmp_path):
+    """Fleet and single service over the same on-disk store answer with the
+    same bits — whichever side pays the cold build."""
+    fleet = ServeFleet(3, store_root=tmp_path, max_delay=0.0,
+                       replicate_hot_after=None)
+    try:
+        x_fleet = fleet.solve(spec, rhs)  # cold: fleet builds + persists
+        single = SolveService(FactorizationStore(tmp_path, mmap=True),
+                              max_delay=0.0)
+        try:
+            x_single = single.solve(spec, rhs)
+        finally:
+            single.close()
+        np.testing.assert_array_equal(x_fleet, x_single)
+        np.testing.assert_array_equal(fleet.solve(spec, rhs), x_fleet)
+    finally:
+        fleet.close()
+    assert spec_fingerprint(spec) in fleet.keys()
+
+
+def test_hot_key_replication_keeps_bits(spec, rhs, tmp_path):
+    """Once a fingerprint goes hot it is served by several workers; every
+    replica answers bit-identically to the primary."""
+    fleet = ServeFleet(2, store_root=tmp_path, max_delay=0.0,
+                       replicate_hot_after=3, replicas=2)
+    try:
+        reference = fleet.solve(spec, rhs)
+        for _ in range(2):
+            fleet.solve(spec, rhs)  # crosses the hot threshold
+        deadline = time.monotonic() + 10.0
+        while fleet.stats()["replication"]["hot_keys"] < 1:
+            assert time.monotonic() < deadline, "replication never happened"
+            time.sleep(0.01)
+        for _ in range(8):  # these spread over the replicas
+            np.testing.assert_array_equal(fleet.solve(spec, rhs), reference)
+        assert fleet.stats()["replication"]["replicated_loads"] >= 2
+    finally:
+        fleet.close()
+
+
+def test_fleet_stats_fit_report_schema(spec, solver, rhs):
+    """fleet.stats() must drop into build_run_report(fleet=...) unchanged."""
+    from repro.obs import build_run_report, validate_report
+
+    fleet = ServeFleet(2, solver_provider=lambda k, s: solver,
+                       replicate_hot_after=None)
+    try:
+        fleet.solve(spec, rhs, lane="interactive")
+        fleet.solve(spec, rhs, lane="batch")
+        report = build_run_report(meta={"mode": "test"}, fleet=fleet.stats())
+        assert validate_report(report) == []
+        assert report["fleet"]["lanes"]["interactive"]["completed"] == 1
+    finally:
+        fleet.close()

@@ -1,0 +1,69 @@
+"""Bench output routing: smoke runs must never clobber tracked BENCH JSONs.
+
+The tracked ``BENCH_lu.json`` / ``BENCH_serve.json`` at the repo root hold
+full-mode numbers; CI's smoke runs (``REPRO_BENCH_SMOKE=1``) write to the
+untracked ``benchmarks/out/`` scratch directory instead.  These tests pin the
+routing by re-importing each bench module under both settings and checking
+where ``OUT_PATH`` points — the same import-time computation the benches use
+when run standalone or through pytest.
+"""
+
+import importlib.util
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCHES = ["bench_perf_regression.py", "bench_serve.py"]
+TRACKED = {"bench_perf_regression.py": "BENCH_lu.json",
+           "bench_serve.py": "BENCH_serve.json"}
+
+
+def _load_out_path(bench: str, smoke: str) -> Path:
+    """Import a fresh copy of the bench module with REPRO_BENCH_SMOKE=smoke
+    and return its OUT_PATH (module-level, computed at import time)."""
+    old = os.environ.get("REPRO_BENCH_SMOKE")
+    os.environ["REPRO_BENCH_SMOKE"] = smoke
+    try:
+        name = f"_bench_paths_{bench.removesuffix('.py')}_{smoke}"
+        spec = importlib.util.spec_from_file_location(
+            name, REPO_ROOT / "benchmarks" / bench)
+        mod = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(mod)
+        return Path(mod.OUT_PATH)
+    finally:
+        sys.modules.pop(name, None)
+        if old is None:
+            os.environ.pop("REPRO_BENCH_SMOKE", None)
+        else:
+            os.environ["REPRO_BENCH_SMOKE"] = old
+
+
+@pytest.mark.parametrize("bench", BENCHES)
+def test_smoke_writes_to_untracked_scratch(bench):
+    out = _load_out_path(bench, "1")
+    assert out == REPO_ROOT / "benchmarks" / "out" / TRACKED[bench]
+    assert out != REPO_ROOT / TRACKED[bench]
+
+
+@pytest.mark.parametrize("bench", BENCHES)
+def test_full_mode_writes_to_tracked_root(bench):
+    out = _load_out_path(bench, "0")
+    assert out == REPO_ROOT / TRACKED[bench]
+
+
+@pytest.mark.parametrize("bench", BENCHES)
+def test_smoke_out_path_is_gitignored(bench):
+    """benchmarks/out/BENCH_*.json must be ignored, so even a `git add -A`
+    after a smoke run cannot stage scratch results over tracked numbers."""
+    rel = f"benchmarks/out/{TRACKED[bench]}"
+    proc = subprocess.run(
+        ["git", "check-ignore", "-q", rel], cwd=REPO_ROOT,
+        stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+    )
+    if proc.returncode == 128:  # not a git checkout (e.g. sdist) - skip
+        pytest.skip("not a git repository")
+    assert proc.returncode == 0, f"{rel} is not gitignored"
