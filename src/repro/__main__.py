@@ -97,6 +97,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="task priorities: static CHAMELEON-style panel priorities or "
         "critical-path bottom levels (tile-h threaded path)",
     )
+    parser.add_argument(
+        "--nested",
+        action="store_true",
+        help="expand H-structured tile kernels into fine-grain subtask DAGs "
+        "(nested task parallelism; tile-h only)",
+    )
+    parser.add_argument(
+        "--nested-min-leaf",
+        type=int,
+        default=128,
+        metavar="N",
+        help="granularity cutoff for --nested: blocks with min dimension "
+        "<= N stay opaque tasks (default 128)",
+    )
     parser.add_argument("--seed", type=int, default=0, help="RNG seed for x0")
     parser.add_argument(
         "--racecheck",
@@ -185,6 +199,14 @@ def main(argv: list[str] | None = None) -> int:
             print("error: --nworkers must be at least 1", file=sys.stderr)
             return 2
 
+    if args.nested and args.format != "tile-h":
+        print("error: --nested expands Tile-H kernels; use --format tile-h",
+              file=sys.stderr)
+        return 2
+    if args.nested_min_leaf < 1:
+        print("error: --nested-min-leaf must be at least 1", file=sys.stderr)
+        return 2
+
     points = cylinder_cloud(args.n)
     kernel = make_kernel("laplace" if args.precision == "d" else "helmholtz", points)
     nb = args.nb if args.nb is not None else max(64, args.n // 16)
@@ -200,6 +222,7 @@ def main(argv: list[str] | None = None) -> int:
         nb=nb, eps=args.eps, leaf_size=args.leaf_size, racecheck=args.racecheck,
         exec_mode=args.exec_mode, nworkers=args.nworkers,
         scheduler=args.scheduler, priority_mode=args.priority_mode,
+        nested=args.nested, nested_min_leaf=args.nested_min_leaf,
     )
     if args.method != "lu" and args.format != "tile-h":
         print("error: --method cholesky is only supported with --format tile-h",
@@ -283,6 +306,17 @@ def main(argv: list[str] | None = None) -> int:
                 print(f"trace     : {len(threaded_trace.events)} {args.exec_mode} "
                       "events validated as a linear extension of the DAG")
 
+        nested_info = getattr(info, "nested", None)
+        if nested_info:
+            print(
+                f"nested    : {nested_info['expanded_tasks']} tile kernels "
+                f"expanded into {nested_info['subtasks']} subtasks "
+                f"(min_leaf {nested_info['min_leaf']}), critical path "
+                f"{nested_info['critical_path_before']:.4g} -> "
+                f"{nested_info['critical_path_after']:.4g} "
+                f"{nested_info['cost_attr']}"
+            )
+
         x = solver.solve(b)
         print(f"solve     : forward error {forward_error(x, x0):.2e} (eps={args.eps:g})")
         if args.racecheck and info.racecheck is not None:
@@ -303,6 +337,7 @@ def main(argv: list[str] | None = None) -> int:
                 probe=probe,
                 trace=run_trace,
                 graph=info.graph,
+                nested=getattr(info, "nested", None),
                 meta={
                     "n": args.n,
                     "precision": args.precision,

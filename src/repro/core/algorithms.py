@@ -28,6 +28,15 @@ from ..hmatrix.arithmetic import (
 )
 from ..runtime import AccessMode, StfEngine, TaskGraph, TaskSpec
 from .descriptor import TileHDesc
+from .nested import (
+    gemm_expander,
+    gemm_transb_expander,
+    getrf_expander,
+    potrf_expander,
+    trsm_left_lower_expander,
+    trsm_right_lower_transpose_expander,
+    trsm_right_upper_expander,
+)
 
 __all__ = [
     "lu_priorities",
@@ -117,7 +126,9 @@ def _as_panel(b: np.ndarray, n: int) -> tuple[np.ndarray, bool]:
     return x, squeeze
 
 
-def apply_bottom_level_priorities(graph: TaskGraph, cost_attr: str = "flops") -> None:
+def apply_bottom_level_priorities(
+    graph: TaskGraph, cost_attr: str = "flops", *, prev: dict | None = None
+) -> dict:
     """Overwrite every task's priority with its critical-path rank.
 
     The priority becomes the dense rank of the task's *bottom level*
@@ -128,14 +139,21 @@ def apply_bottom_level_priorities(graph: TaskGraph, cost_attr: str = "flops") ->
     exist before execution; the modelled flops are available at submission
     time for every factorisation kernel.
 
+    Returns the bottom-level map; pass it back as ``prev`` after more tasks
+    are submitted (e.g. a nested expansion spliced a subgraph in) to
+    recompute only the affected region — the priorities of *every* task are
+    still re-ranked from the merged map, which is what fixes stale
+    priorities on tasks submitted before the splice.
+
     This is the dynamic alternative to the static CHAMELEON heuristic of
     :func:`lu_priorities`; select it with
     ``TileHConfig(priority_mode="bottom-level")``.
     """
-    levels = graph.bottom_levels(cost_attr)
+    levels = graph.bottom_levels(cost_attr, prev=prev)
     rank = {v: r for r, v in enumerate(sorted(set(levels.values())))}
     for t in graph.tasks:
         t.priority = rank[levels[t.id]]
+    return levels
 
 
 def lu_priorities(nt: int, k: int, kind: str, i: int = 0, j: int = 0) -> int:
@@ -185,13 +203,24 @@ def tiled_getrf_tasks(
     ``racecheck=True`` (ignored when ``engine`` is supplied — configure the
     engine instead) verifies every task's actual memory effects against its
     declared access modes via :class:`~repro.runtime.RaceChecker`.
+
+    On an engine with a nested policy every tile kernel is submitted with
+    its :mod:`~repro.core.nested` expander, so kernels on H-structured
+    tiles above the granularity cutoff become sub-block subtask DAGs.
+    Nested expansion forces ``accumulate=False``-class arithmetic (each
+    subtask rounds its own update, like the threaded/process paths), so the
+    accumulator is never engaged alongside it.
     """
     eng = engine or StfEngine(mode="eager", racecheck=racecheck)
     eps_ = desc.eps if eps is None else eps
     nt = desc.nt
     grid = desc.super
     is_c = np.issubdtype(grid.dtype, np.complexfloating)
-    acc = UpdateAccumulator(eps_) if accumulate and eng.mode == "eager" else None
+    acc = (
+        UpdateAccumulator(eps_)
+        if accumulate and eng.mode == "eager" and eng.nested is None
+        else None
+    )
     if acc is not None and eng.racecheck is not None:
         eng.racecheck.watch_accumulator(acc)
 
@@ -214,6 +243,7 @@ def tiled_getrf_tasks(
             flops=flops_getrf(mk, is_complex=is_c),
             label=f"getrf({k})",
             spec=_spec("_op_getrf", eps_),
+            expander=getrf_expander(handles[k, k], eps_, f"getrf({k})"),
         )
         for j in range(k + 1, nt):
             eng.insert_task(
@@ -224,6 +254,9 @@ def tiled_getrf_tasks(
                 flops=flops_trsm(mk, grid.tile_rows(j), is_complex=is_c),
                 label=f"trsm_u({k},{j})",
                 spec=_spec("_op_trsm_left_lower", eps_),
+                expander=trsm_left_lower_expander(
+                    handles[k, k], handles[k, j], eps_, f"trsm_u({k},{j})"
+                ),
             )
         for i in range(k + 1, nt):
             eng.insert_task(
@@ -234,6 +267,9 @@ def tiled_getrf_tasks(
                 flops=flops_trsm(mk, grid.tile_rows(i), is_complex=is_c),
                 label=f"trsm_l({i},{k})",
                 spec=_spec("_op_trsm_right_upper", eps_),
+                expander=trsm_right_upper_expander(
+                    handles[k, k], handles[i, k], eps_, f"trsm_l({i},{k})"
+                ),
             )
         for i in range(k + 1, nt):
             for j in range(k + 1, nt):
@@ -247,6 +283,10 @@ def tiled_getrf_tasks(
                     ),
                     label=f"gemm({i},{j},{k})",
                     spec=_spec("_op_gemm", eps_),
+                    expander=gemm_expander(
+                        handles[i, j], handles[i, k], handles[k, j],
+                        eps_, f"gemm({i},{j},{k})",
+                    ),
                 )
     if acc is not None:
         # Every tile's last pending update is flushed by its own panel step,
@@ -277,7 +317,11 @@ def tiled_potrf_tasks(
     nt = desc.nt
     grid = desc.super
     is_c = np.issubdtype(grid.dtype, np.complexfloating)
-    acc = UpdateAccumulator(eps_) if accumulate and eng.mode == "eager" else None
+    acc = (
+        UpdateAccumulator(eps_)
+        if accumulate and eng.mode == "eager" and eng.nested is None
+        else None
+    )
     if acc is not None and eng.racecheck is not None:
         eng.racecheck.watch_accumulator(acc)
     handles = {
@@ -299,6 +343,7 @@ def tiled_potrf_tasks(
             flops=flops_potrf(mk, is_complex=is_c),
             label=f"potrf({k})",
             spec=_spec("_op_potrf", eps_),
+            expander=potrf_expander(handles[k, k], eps_, f"potrf({k})"),
         )
         for i in range(k + 1, nt):
             eng.insert_task(
@@ -309,6 +354,9 @@ def tiled_potrf_tasks(
                 flops=flops_trsm(mk, grid.tile_rows(i), is_complex=is_c),
                 label=f"trsm({i},{k})",
                 spec=_spec("_op_trsm_right_lower_t", eps_),
+                expander=trsm_right_lower_transpose_expander(
+                    handles[k, k], handles[i, k], eps_, f"trsm({i},{k})"
+                ),
             )
         for i in range(k + 1, nt):
             for j in range(k + 1, i + 1):
@@ -322,6 +370,11 @@ def tiled_potrf_tasks(
                     ),
                     label=f"syrk({i},{j},{k})" if i == j else f"gemm({i},{j},{k})",
                     spec=_spec("_op_gemm_transb", eps_),
+                    expander=gemm_transb_expander(
+                        handles[i, j], handles[i, k], handles[j, k],
+                        eps_,
+                        f"syrk({i},{j},{k})" if i == j else f"gemm({i},{j},{k})",
+                    ),
                 )
     if acc is not None:
         acc.flush()

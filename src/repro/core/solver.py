@@ -22,6 +22,7 @@ import numpy as np
 from ..runtime import (
     SCHEDULER_NAMES,
     ExecutionTrace,
+    NestedPolicy,
     ProcessExecutor,
     RaceChecker,
     RuntimeOverheadModel,
@@ -138,6 +139,23 @@ class TileHConfig:
         :func:`~repro.core.algorithms.lu_priorities`; "bottom-level"
         recomputes every task priority from the DAG's critical path
         (:func:`~repro.core.algorithms.apply_bottom_level_priorities`).
+    nested:
+        Expand tile kernels on H-structured tiles into fine-grain subtask
+        DAGs over their block trees (nested task parallelism, after
+        1906.00874/1911.07531): the schedulers see *through* the tiles, so
+        a large tile's panel no longer serialises behind one opaque task.
+        Results are bit-identical to the opaque ``accumulate=False`` path
+        (the expansion regroups, never reorders, the eager recursion); the
+        accumulator is therefore never engaged alongside nesting.  With
+        ``exec_mode="process"`` subtask accesses are declared at tile
+        granularity (the shared-memory data plane ships whole tiles) and
+        the fused build+factorize runs as two stages — assembly first,
+        then the nested factorisation graph, which needs assembled block
+        trees to expand over.
+    nested_min_leaf:
+        Granularity cutoff of the expansion: recursion stops (submitting
+        one opaque subtask) once the written operand's smaller dimension
+        is at most this, bounding the expanded graph's size.
     """
 
     nb: int = 256
@@ -151,6 +169,8 @@ class TileHConfig:
     nworkers: int = 1
     scheduler: str = "lws"
     priority_mode: str = "static"
+    nested: bool = False
+    nested_min_leaf: int = 128
 
     def __post_init__(self) -> None:
         if self.nb < 1:
@@ -181,6 +201,19 @@ class TileHConfig:
                 "around each eagerly executed kernel; use validate_trace on "
                 f"the {self.exec_mode} trace instead"
             )
+        if self.nested_min_leaf < 1:
+            raise ValueError(
+                f"nested_min_leaf must be >= 1, got {self.nested_min_leaf}"
+            )
+
+
+def _nested_policy(cfg: TileHConfig) -> NestedPolicy | None:
+    """The engine-side nested policy for ``cfg`` (``None`` when disabled)."""
+    if not cfg.nested:
+        return None
+    return NestedPolicy(
+        min_leaf=cfg.nested_min_leaf, coarse=cfg.exec_mode == "process"
+    )
 
 
 @dataclass
@@ -195,6 +228,11 @@ class FactorizationInfo:
     timeline (validate it with :func:`~repro.runtime.validate_trace`) and
     ``wall_seconds`` the measured end-to-end wall time of the threaded
     graph execution; both are ``None`` on the eager path.
+
+    After a nested-expansion run (``TileHConfig(nested=True)``), ``nested``
+    holds the :meth:`~repro.runtime.NestedStats.report` dict — expansion
+    counts and the critical-path length before (contracted graph) and
+    after expansion under the flop cost model; ``None`` otherwise.
     """
 
     graph: TaskGraph
@@ -203,6 +241,7 @@ class FactorizationInfo:
     racecheck: RaceChecker | None = field(default=None, repr=False)
     trace: ExecutionTrace | None = field(default=None, repr=False)
     wall_seconds: float | None = None
+    nested: dict | None = None
 
     @property
     def n_tasks(self) -> int:
@@ -341,23 +380,58 @@ class TileHMatrix:
 
         With ``exec_mode="eager"`` this is exactly ``build()`` followed by
         ``factorize()`` (bit-identical to the two-step path).
+
+        With ``nested=True`` the deferred path runs as *two* stages —
+        assembly graph first, then the nested factorisation graph on a
+        fresh executor — because the expansion pass walks each tile's
+        block tree, which only exists once the tile is assembled.  The
+        returned info covers the factorisation stage (its ``graph``/
+        ``trace`` are the expanded factorisation; ``wall_seconds`` sums
+        both stages); the build/facto overlap of the fused opaque path is
+        traded for the fine-grain parallelism of the expanded graph.
         """
         cfg = config or TileHConfig()
         if cfg.exec_mode not in ("threaded", "process"):
             mat = cls.build(kernel, points, cfg)
             return mat, mat.factorize(method=method)
+        if method not in ("lu", "cholesky"):
+            raise ValueError(f"method must be 'lu' or 'cholesky', got {method!r}")
+        tasks_fn = tiled_getrf_tasks if method == "lu" else tiled_potrf_tasks
         clustering = context = None
         if cfg.exec_mode == "process":
             clustering, context = cls._assembly_context(kernel, points, cfg)
+        if cfg.nested:
+            # Stage A: assembly graph (tiles must exist before expansion).
+            engine_a = StfEngine(mode="deferred")
+            desc = cls._build_desc(kernel, points, cfg, engine_a, clustering)
+            mat = cls(desc, cfg)
+            wall_a = mat._executor(context).run(engine_a.wait_all())
+            if cfg.exec_mode == "process":
+                desc.relink_clusters()
+            # Stage B: nested factorisation graph on a fresh executor.
+            engine_f = StfEngine(mode="deferred", nested=_nested_policy(cfg))
+            graph = tasks_fn(desc, engine_f, accumulate=cfg.accumulate)
+            if cfg.priority_mode == "bottom-level":
+                apply_bottom_level_priorities(graph, "flops")
+            executor = mat._executor(context)
+            wall_f = executor.run(graph)
+            if cfg.exec_mode == "process":
+                desc.relink_clusters()
+            mat._factorized = True
+            mat._method = method
+            info = FactorizationInfo(
+                graph=graph,
+                nb=desc.nb,
+                nt=desc.nt,
+                trace=executor.trace,
+                wall_seconds=wall_a + wall_f,
+                nested=engine_f.nested_stats.report(graph),
+            )
+            return mat, info
         engine = StfEngine(mode="deferred")
         desc = cls._build_desc(kernel, points, cfg, engine, clustering)
         mat = cls(desc, cfg)
-        if method == "lu":
-            graph = tiled_getrf_tasks(desc, engine, accumulate=cfg.accumulate)
-        elif method == "cholesky":
-            graph = tiled_potrf_tasks(desc, engine, accumulate=cfg.accumulate)
-        else:
-            raise ValueError(f"method must be 'lu' or 'cholesky', got {method!r}")
+        graph = tasks_fn(desc, engine, accumulate=cfg.accumulate)
         if cfg.priority_mode == "bottom-level":
             apply_bottom_level_priorities(graph, "flops")
         executor = mat._executor(context)
@@ -424,20 +498,25 @@ class TileHMatrix:
         """
         if self._factorized:
             raise RuntimeError("factorize() called twice on the same matrix")
-        accumulate = self.config.accumulate
-        threaded = self.config.exec_mode in ("threaded", "process")
+        cfg = self.config
+        accumulate = cfg.accumulate
+        threaded = cfg.exec_mode in ("threaded", "process")
         if engine is None:
             if threaded:
-                engine = StfEngine(mode="deferred")
-            elif self.config.racecheck:
-                engine = StfEngine(mode="eager", racecheck=True)
+                engine = StfEngine(mode="deferred", nested=_nested_policy(cfg))
+            elif cfg.racecheck or cfg.nested:
+                engine = StfEngine(
+                    mode="eager",
+                    racecheck=cfg.racecheck,
+                    nested=_nested_policy(cfg),
+                )
         if method == "lu":
             graph = tiled_getrf_tasks(self.desc, engine, accumulate=accumulate)
         elif method == "cholesky":
             graph = tiled_potrf_tasks(self.desc, engine, accumulate=accumulate)
         else:
             raise ValueError(f"method must be 'lu' or 'cholesky', got {method!r}")
-        if self.config.priority_mode == "bottom-level":
+        if cfg.priority_mode == "bottom-level":
             apply_bottom_level_priorities(graph, "flops")
         trace = None
         wall = None
@@ -445,7 +524,7 @@ class TileHMatrix:
             executor = self._executor()
             wall = executor.run(graph)
             trace = executor.trace
-            if self.config.exec_mode == "process":
+            if cfg.exec_mode == "process":
                 self.desc.relink_clusters()
         self._factorized = True
         self._method = method
@@ -456,6 +535,11 @@ class TileHMatrix:
             racecheck=engine.racecheck if engine is not None else None,
             trace=trace,
             wall_seconds=wall,
+            nested=(
+                engine.nested_stats.report(graph)
+                if engine is not None and engine.nested_stats is not None
+                else None
+            ),
         )
 
     def solve(self, b: np.ndarray) -> np.ndarray:

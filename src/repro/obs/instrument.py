@@ -214,6 +214,11 @@ class Instrumentation:
         if nbytes:
             self.registry.inc("process.ipc_bytes", float(nbytes))
 
+    def process_dispatch_batch(self, size: int) -> None:
+        """One pipe write carried ``size`` task entries to a worker."""
+        self.registry.inc("process.dispatch_batches")
+        self.registry.observe("process.batch_size", size)
+
     def process_result_bytes(self, nbytes: int) -> None:
         """Result skeletons reshipped from a worker."""
         self.registry.inc("process.ipc_bytes", float(nbytes))

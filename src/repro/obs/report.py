@@ -196,9 +196,35 @@ REPORT_SCHEMA = {
             "properties": {
                 "workers": {"type": "integer", "minimum": 0},
                 "dispatches": {"type": "integer", "minimum": 0},
+                "dispatch_batches": {"type": "integer", "minimum": 0},
+                "batch_size": _HIST,
                 "ipc_bytes": {"type": "number", "minimum": 0},
                 "shm_bytes": {"type": "number", "minimum": 0},
                 "segments": {"type": "integer", "minimum": 0},
+            },
+        },
+        "nested": {
+            "type": "object",
+            "required": [
+                "min_leaf",
+                "coarse",
+                "expanded_tasks",
+                "subtasks",
+                "subtasks_per_expansion",
+                "critical_path_before",
+                "critical_path_after",
+            ],
+            "properties": {
+                "min_leaf": {"type": "integer", "minimum": 1},
+                "coarse": {"type": "boolean"},
+                "expanded_tasks": {"type": "integer", "minimum": 0},
+                "subtasks": {"type": "integer", "minimum": 0},
+                "subtasks_per_expansion": {"type": "number", "minimum": 0},
+                "graph_tasks": {"type": "integer", "minimum": 0},
+                "contracted_tasks": {"type": "integer", "minimum": 0},
+                "cost_attr": {"type": "string"},
+                "critical_path_before": {"type": "number", "minimum": 0},
+                "critical_path_after": {"type": "number", "minimum": 0},
             },
         },
         "fleet": {
@@ -284,7 +310,8 @@ def _service_section(reg) -> dict:
 
 
 def build_run_report(
-    *, probe=None, trace=None, graph=None, meta=None, service=None, fleet=None
+    *, probe=None, trace=None, graph=None, meta=None, service=None, fleet=None,
+    nested=None,
 ) -> dict:
     """Fold probe aggregates + trace + graph into one schema-valid report.
 
@@ -302,6 +329,11 @@ def build_run_report(
     ``fleet`` attaches a serve-fleet section
     (``repro.service.ServeFleet.stats``): per-lane admission/shedding
     counters and latency percentiles, routing balance, and replication.
+    ``nested`` attaches a nested-expansion section (the
+    ``FactorizationInfo.nested`` dict built by
+    ``repro.runtime.NestedStats.report``): how many tile kernels expanded
+    into subtask DAGs and the deterministic critical-path lengths of the
+    contracted (opaque-equivalent) vs. expanded graph.
     """
     kinds: dict[str, dict] = {}
 
@@ -446,10 +478,14 @@ def build_run_report(
         report["process"] = {
             "workers": int(reg.gauge("process.workers")),
             "dispatches": int(reg.counter("process.dispatches")),
+            "dispatch_batches": int(reg.counter("process.dispatch_batches")),
+            "batch_size": reg.histogram("process.batch_size"),
             "ipc_bytes": reg.counter("process.ipc_bytes"),
             "shm_bytes": reg.counter("process.shm_bytes"),
             "segments": int(reg.gauge("process.segments")),
         }
+    if nested is not None:
+        report["nested"] = dict(nested)
     if service is not None:
         report["service"] = service
     elif probe is not None and probe.registry.counter("service.requests.admitted"):
@@ -660,10 +696,32 @@ def render_report(report: dict) -> str:
         )
     proc = report.get("process")
     if proc:
+        batches = ""
+        if proc.get("dispatch_batches"):
+            mean = proc["dispatches"] / proc["dispatch_batches"]
+            batches = (
+                f" in {proc['dispatch_batches']} batches "
+                f"(mean {mean:.1f}/write)"
+            )
         lines.append(
             f"process   : {proc['workers']} worker processes | "
-            f"{proc['dispatches']} dispatches, {_mb(proc['ipc_bytes'])} over pipes | "
+            f"{proc['dispatches']} dispatches{batches}, "
+            f"{_mb(proc['ipc_bytes'])} over pipes | "
             f"{_mb(proc['shm_bytes'])} into {proc['segments']} shm segment(s)"
+        )
+    nested = report.get("nested")
+    if nested:
+        cp_b = nested["critical_path_before"]
+        cp_a = nested["critical_path_after"]
+        ratio = f" ({cp_b / cp_a:.2f}x shorter)" if cp_a else ""
+        lines.append(
+            f"nested    : {nested['expanded_tasks']} tile kernels expanded into "
+            f"{nested['subtasks']} subtasks "
+            f"(mean {nested['subtasks_per_expansion']:.1f}, "
+            f"min_leaf {nested['min_leaf']}"
+            + (", coarse accesses" if nested.get("coarse") else "")
+            + f") | critical path {cp_b:.3g} -> {cp_a:.3g} "
+            f"{nested.get('cost_attr', 'flops')}{ratio}"
         )
     svc = report.get("service")
     if svc:

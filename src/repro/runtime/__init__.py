@@ -16,6 +16,7 @@ on genuinely multicore hosts.
 
 from .task import AccessMode, DataHandle, Task
 from .dag import TaskGraph
+from .expand import ExpansionRecord, NestedPolicy, NestedStats
 from .stf import StfEngine
 from .schedulers import (
     Scheduler,
@@ -57,6 +58,9 @@ __all__ = [
     "Task",
     "TaskGraph",
     "StfEngine",
+    "NestedPolicy",
+    "NestedStats",
+    "ExpansionRecord",
     "Scheduler",
     "EagerScheduler",
     "DequeModelScheduler",

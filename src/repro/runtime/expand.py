@@ -1,0 +1,175 @@
+"""Nested task expansion: policy, accounting, and graph contraction.
+
+The Tile-H factorisation submits one opaque task per tile kernel, so a large
+tile's H-arithmetic serialises an entire panel while other workers idle —
+the cause of the paper's HMAT-vs-Tile-H crossover (Figs. 6-7).  Following
+the nested-task-parallel H-LU literature (arXiv:1906.00874) and the
+semi-automatic graph-construction pass of arXiv:1911.07531, an *expandable*
+task may instead be replaced, at submission time, by a subgraph of
+finer-grain subtasks over the tile's internal block tree.
+
+This module holds the runtime-side pieces:
+
+* :class:`NestedPolicy` — the knobs an :class:`~repro.runtime.stf.StfEngine`
+  is configured with (``min_leaf`` granularity cutoff; ``coarse`` access
+  mode for process executors, whose shared-memory data plane ships whole
+  tiles);
+* :class:`NestedStats` — records every expansion performed by the engine
+  (which submission ranges of the graph stand for which opaque kernel) and
+  derives the observability report: expanded-task count, subtasks per
+  expansion, and the critical-path length before/after expansion;
+* :meth:`NestedStats.contract` — rebuilds the *opaque-equivalent* graph by
+  collapsing each expansion's subtasks into one node (cost = sum of member
+  costs, edges = union of external edges).  Critical path and simulated
+  makespan of the contracted graph are the deterministic "before" proxies
+  against which the expanded graph's "after" numbers are compared, under
+  one consistent flop model.
+
+The expansion *content* (how an H-GETRF/TRSM/GEMM walks its block tree) is
+kernel knowledge and lives in :mod:`repro.core.nested`; the runtime only
+knows that an expander is a callable that submits subtasks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .dag import TaskGraph
+
+__all__ = ["NestedPolicy", "NestedStats", "ExpansionRecord"]
+
+
+@dataclass(frozen=True)
+class NestedPolicy:
+    """Configuration of nested task expansion.
+
+    Attributes
+    ----------
+    min_leaf:
+        Granularity cutoff: the expansion recurses only while the written
+        operand's smaller dimension exceeds ``min_leaf``; below it one
+        opaque subtask (running the ordinary recursive kernel) is submitted
+        instead, bounding the expanded graph's size.
+    coarse:
+        Declare subtask accesses at *tile* granularity instead of sub-block
+        granularity.  Process executors require this: their per-handle
+        shared-memory shipping protocol assumes disjoint handles, which
+        hierarchical sub-block handles violate.  Coarse accesses serialise
+        the subtasks of one tile (still bit-identical results); the
+        fine-grain graph is what the simulator and the threaded executor
+        exploit.
+    """
+
+    min_leaf: int = 128
+    coarse: bool = False
+
+    def __post_init__(self) -> None:
+        if self.min_leaf < 1:
+            raise ValueError(f"min_leaf must be >= 1, got {self.min_leaf}")
+
+
+@dataclass(frozen=True)
+class ExpansionRecord:
+    """One opaque task replaced by the subtask range ``[start, stop)``."""
+
+    kind: str
+    label: str
+    start: int
+    stop: int
+
+    @property
+    def n_subtasks(self) -> int:
+        return self.stop - self.start
+
+
+@dataclass
+class NestedStats:
+    """Accounting of every expansion an engine performed."""
+
+    policy: NestedPolicy
+    records: list = field(default_factory=list)
+
+    def record(self, kind: str, label: str, start: int, stop: int) -> ExpansionRecord:
+        if stop <= start:
+            raise ValueError(
+                f"expansion of {kind!r} ({label!r}) submitted no subtasks"
+            )
+        rec = ExpansionRecord(kind=kind, label=label, start=start, stop=stop)
+        self.records.append(rec)
+        return rec
+
+    @property
+    def expanded_tasks(self) -> int:
+        return len(self.records)
+
+    @property
+    def subtasks(self) -> int:
+        return sum(r.n_subtasks for r in self.records)
+
+    def contract(self, graph: TaskGraph) -> TaskGraph:
+        """The opaque-equivalent graph: each expansion collapsed to one node.
+
+        Every recorded subtask range becomes a single task carrying the
+        *sum* of its members' costs (flops and seconds) and the union of
+        their external dependencies; unexpanded tasks are copied as-is.
+        Because each expansion is a contiguous submission range, the
+        contracted graph is exactly the graph the opaque submission would
+        have produced, under the same flop model as the expanded graph —
+        the fair "before" baseline for critical-path/makespan comparisons.
+        """
+        member: dict[int, int] = {}
+        for gi, rec in enumerate(self.records):
+            for tid in range(rec.start, rec.stop):
+                if tid in member:
+                    raise ValueError(
+                        f"task #{tid} belongs to two expansion records"
+                    )
+                member[tid] = gi
+        out = TaskGraph()
+        mapping: dict[int, object] = {}
+        group_task: dict[int, object] = {}
+        for t in graph.tasks:
+            gi = member.get(t.id)
+            if gi is None:
+                nt = out.new_task(
+                    t.kind,
+                    priority=t.priority,
+                    seconds=t.seconds,
+                    flops=t.flops,
+                    label=t.label,
+                )
+                mapping[t.id] = nt
+            else:
+                g = group_task.get(gi)
+                if g is None:
+                    rec = self.records[gi]
+                    g = out.new_task(rec.kind, priority=t.priority, label=rec.label)
+                    group_task[gi] = g
+                g.seconds += t.seconds
+                g.flops += t.flops
+                mapping[t.id] = g
+        for t in graph.tasks:
+            after = mapping[t.id]
+            for d in t.deps:
+                before = mapping[d]
+                if before is not after:
+                    out.add_dependency(before, after)
+        return out
+
+    def report(self, graph: TaskGraph, cost_attr: str = "flops") -> dict:
+        """The observability ``nested`` section for a finished graph."""
+        n_exp = self.expanded_tasks
+        n_sub = self.subtasks
+        contracted = self.contract(graph)
+        return {
+            "min_leaf": self.policy.min_leaf,
+            "coarse": self.policy.coarse,
+            "expanded_tasks": n_exp,
+            "subtasks": n_sub,
+            "subtasks_per_expansion": (n_sub / n_exp) if n_exp else 0.0,
+            "graph_tasks": len(graph.tasks),
+            "contracted_tasks": len(contracted.tasks),
+            "cost_attr": cost_attr,
+            "critical_path_before": contracted.critical_path(cost_attr),
+            "critical_path_after": graph.critical_path(cost_attr),
+        }

@@ -32,6 +32,7 @@ KIND_STYLES: dict[str, KindStyle] = {
     "trsv": KindStyle("V", "darkorchid"),
     "gemv": KindStyle("v", "slateblue"),
     "compress": KindStyle("C", "darkcyan"),
+    "pack": KindStyle("K", "dimgray"),
 }
 
 _UNKNOWN = KindStyle("?", "gray")

@@ -156,6 +156,21 @@ def _hmatrix_nodes(payload):
             yield obj
 
 
+def _related(a: DataHandle, b: DataHandle) -> bool:
+    """True when ``a`` and ``b`` are ancestor/descendant in a handle hierarchy."""
+    p = a.parent
+    while p is not None:
+        if p is b:
+            return True
+        p = p.parent
+    p = b.parent
+    while p is not None:
+        if p is a:
+            return True
+        p = p.parent
+    return False
+
+
 class RaceChecker:
     """Verifies declared access modes against actual memory effects.
 
@@ -219,13 +234,16 @@ class RaceChecker:
 
         Two views of one buffer registered as separate handles defeat the
         engine's ``id(payload)`` registry: the STF inference would treat
-        them as independent data and drop real dependencies.
+        them as independent data and drop real dependencies.  Hierarchical
+        sub-block handles (``StfEngine.subhandle``) overlap their ancestors
+        *by construction* and the STF inference knows it, so related handles
+        are exempt; only overlap between unrelated handles is an error.
         """
         for arr in iter_buffers(handle.payload):
             base = arr.base if arr.base is not None else arr
             bucket = self._buffers.setdefault(id(base), [])
             for other_arr, other_handle in bucket:
-                if other_handle is handle:
+                if other_handle is handle or _related(handle, other_handle):
                     continue
                 if np.shares_memory(arr, other_arr):
                     self._report(

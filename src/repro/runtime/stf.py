@@ -22,6 +22,7 @@ from typing import Any, Callable
 
 from ..obs.instrument import current as _current_probe
 from .dag import TaskGraph
+from .expand import NestedPolicy, NestedStats
 from .racecheck import RaceChecker
 from .task import AccessMode, DataHandle, Task
 
@@ -71,9 +72,26 @@ class StfEngine:
     modes against the actual memory effects, and newly registered handles
     are screened for memory aliasing.  Disabled (the default) it costs one
     ``None`` test per task.
+
+    ``nested`` enables nested task expansion: a
+    :class:`~repro.runtime.expand.NestedPolicy` makes ``insert_task`` honour
+    the ``expander`` argument — instead of submitting the opaque task, the
+    expander walks the operand's block tree and submits a subgraph of
+    finer-grain subtasks (recorded in :attr:`nested_stats`).  Subtasks may
+    declare accesses on *sub-block* handles created with :meth:`subhandle`;
+    dependency inference then treats an access to a handle as conflicting
+    with accesses to every handle in its family (ancestors and descendants),
+    so opaque whole-tile tasks and expanded sub-block tasks interleave
+    correctly in one graph.
     """
 
-    def __init__(self, mode: str = "eager", *, racecheck: bool | RaceChecker = False) -> None:
+    def __init__(
+        self,
+        mode: str = "eager",
+        *,
+        racecheck: bool | RaceChecker = False,
+        nested: NestedPolicy | None = None,
+    ) -> None:
         if mode not in ("eager", "deferred"):
             raise ValueError(f"mode must be 'eager' or 'deferred', got {mode!r}")
         self.mode = mode
@@ -83,6 +101,8 @@ class StfEngine:
             self.racecheck: RaceChecker | None = RaceChecker()
         else:
             self.racecheck = racecheck or None
+        self.nested = nested
+        self.nested_stats = NestedStats(nested) if nested is not None else None
 
     # -- handle management -------------------------------------------------
     def handle(self, payload: Any, name: str = "") -> DataHandle:
@@ -91,6 +111,25 @@ class StfEngine:
         h = self._handles.get(key)
         if h is None:
             h = DataHandle(name=name, payload=payload)
+            self._handles[key] = h
+            if self.racecheck is not None:
+                self.racecheck.register_handle(h)
+        return h
+
+    def subhandle(self, parent: DataHandle, payload: Any, name: str = "") -> DataHandle:
+        """Get-or-create a handle for a sub-block of ``parent``'s payload.
+
+        The new handle is linked into ``parent``'s hierarchy so dependency
+        inference knows the two overlap in memory (the racecheck aliasing
+        screen exempts related handles for the same reason).  Re-registering
+        the same payload returns the existing handle without re-linking.
+        """
+        key = id(payload)
+        h = self._handles.get(key)
+        if h is None:
+            h = DataHandle(name=name, payload=payload)
+            h.parent = parent
+            parent.children.append(h)
             self._handles[key] = h
             if self.racecheck is not None:
                 self.racecheck.register_handle(h)
@@ -112,14 +151,32 @@ class StfEngine:
         flops: float = 0.0,
         label: str = "",
         spec=None,
-    ) -> Task:
+        expander: Callable[["StfEngine"], Any] | None = None,
+    ) -> Task | None:
         """Submit one task; returns the created graph node.
 
         In eager mode ``func`` runs now and its measured time becomes the
         task cost unless an explicit ``seconds`` is given (pre-traced tasks
         pass ``func=None`` with explicit costs).  ``spec`` optionally attaches
         a declarative, picklable kernel description for process executors.
+
+        ``expander`` marks the task as *expandable*: when the engine was
+        built with a nested policy, the expander is called instead of the
+        opaque submission and replaces this task with a subgraph of
+        finer-grain subtasks (each submitted through ``insert_task`` without
+        an expander).  The subtasks inherit ``priority``; the expansion is
+        recorded in :attr:`nested_stats` and ``None`` is returned (there is
+        no single graph node to hand back).  Without a nested policy the
+        expander is ignored and the task submits opaquely.
         """
+        if expander is not None and self.nested is not None:
+            start = len(self.graph.tasks)
+            expander(self)
+            stop = len(self.graph.tasks)
+            for sub in self.graph.tasks[start:stop]:
+                sub.priority = priority
+            self.nested_stats.record(kind, label, start, stop)
+            return None
         task = self.graph.new_task(
             kind,
             accesses=tuple(accesses),
@@ -167,16 +224,51 @@ class StfEngine:
                 task.seconds = seconds
         return task
 
+    @staticmethod
+    def _family(handle: DataHandle) -> list[DataHandle]:
+        """``handle`` plus every ancestor and descendant (overlapping data)."""
+        members = [handle]
+        p = handle.parent
+        while p is not None:
+            members.append(p)
+            p = p.parent
+        stack = list(handle.children)
+        while stack:
+            c = stack.pop()
+            members.append(c)
+            stack.extend(c.children)
+        return members
+
     def _infer_dependencies(self, task: Task) -> None:
-        for handle, mode in task.accesses:
-            if mode.reads and handle.last_writer is not None:
-                self.graph.add_dependency(handle.last_writer, task)
-            if mode.writes:
-                if handle.last_writer is not None:
+        # Fast path: no accessed handle is hierarchical (the common case for
+        # opaque tile graphs) — conflicts are per-handle.
+        if all(h.parent is None and not h.children for h, _ in task.accesses):
+            for handle, mode in task.accesses:
+                if mode.reads and handle.last_writer is not None:
                     self.graph.add_dependency(handle.last_writer, task)
-                for reader in handle.readers:
-                    if reader.id != task.id:
-                        self.graph.add_dependency(reader, task)
+                if mode.writes:
+                    if handle.last_writer is not None:
+                        self.graph.add_dependency(handle.last_writer, task)
+                    for reader in handle.readers:
+                        if reader.id != task.id:
+                            self.graph.add_dependency(reader, task)
+        else:
+            # An access to a handle overlaps every handle in its family, so
+            # it conflicts with the outstanding writers/readers of each.
+            # The post-state pass below stays local to the accessed handle:
+            # a relative's stale last_writer/readers can only produce
+            # redundant edges later (covered transitively through the edges
+            # added here), never missing ones.
+            for handle, mode in task.accesses:
+                for member in self._family(handle):
+                    if mode.reads and member.last_writer is not None:
+                        self.graph.add_dependency(member.last_writer, task)
+                    if mode.writes:
+                        if member.last_writer is not None:
+                            self.graph.add_dependency(member.last_writer, task)
+                        for reader in member.readers:
+                            if reader.id != task.id:
+                                self.graph.add_dependency(reader, task)
         # Second pass so a task reading and writing different handles sees a
         # consistent post-state.
         for handle, mode in task.accesses:

@@ -41,9 +41,18 @@ class DataHandle:
 
     Dependency state (last writer / readers since last write) lives on the
     handle, which makes STF inference O(accesses) per task.
+
+    A handle may be *hierarchical*: ``parent``/``children`` link it to
+    handles covering enclosing/enclosed data (a tile and its H-block-tree
+    sub-nodes, registered through
+    :meth:`~repro.runtime.stf.StfEngine.subhandle`).  The STF inference
+    treats an access to any handle as conflicting with accesses to every
+    handle in its family (ancestors and descendants), which is what lets
+    nested-task expansions declare sub-block accesses while opaque tasks
+    keep declaring whole-tile accesses.
     """
 
-    __slots__ = ("id", "name", "payload", "last_writer", "readers")
+    __slots__ = ("id", "name", "payload", "last_writer", "readers", "parent", "children")
 
     def __init__(self, name: str = "", payload: Any = None) -> None:
         self.id = next(_handle_counter)
@@ -51,9 +60,11 @@ class DataHandle:
         self.payload = payload
         self.last_writer: "Task | None" = None
         self.readers: list["Task"] = []
+        self.parent: "DataHandle | None" = None
+        self.children: list["DataHandle"] = []
 
     def reset(self) -> None:
-        """Forget dependency state (new STF section)."""
+        """Forget dependency state (new STF section); hierarchy is kept."""
         self.last_writer = None
         self.readers = []
 
