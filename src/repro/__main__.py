@@ -136,15 +136,41 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def report_main(argv: list[str]) -> int:
-    """The ``repro report`` subcommand: validate + render a run report."""
+    """The ``repro report`` subcommand: validate + render a run report,
+    or compare two reports side by side (``--diff A.json B.json``)."""
     parser = argparse.ArgumentParser(
         prog="python -m repro report",
         description="Validate and pretty-print a run report written by --profile",
     )
-    parser.add_argument("path", help="run-report JSON file")
+    parser.add_argument("path", nargs="?", default=None, help="run-report JSON file")
+    parser.add_argument("--diff", nargs=2, metavar=("A", "B"), default=None,
+                        help="compare two run reports side by side and flag "
+                        "regressions beyond --threshold")
+    parser.add_argument("--threshold", type=float, default=0.10,
+                        help="relative regression threshold for --diff "
+                        "(default 0.10 = 10%%)")
     args = parser.parse_args(argv)
-    from .obs import load_report, render_report, validate_report
+    from .obs import diff_reports, load_report, render_report, validate_report
 
+    if args.diff is not None:
+        reports = []
+        for path in args.diff:
+            try:
+                reports.append(load_report(path))
+            except (OSError, ValueError) as exc:
+                print(f"error: cannot read report {path}: {exc}", file=sys.stderr)
+                return 2
+        text, regressions = diff_reports(
+            reports[0], reports[1], threshold=args.threshold
+        )
+        try:
+            print(text)
+        except BrokenPipeError:
+            sys.stderr.close()
+            return 0
+        return 1 if regressions else 0
+    if args.path is None:
+        parser.error("a report path (or --diff A B) is required")
     try:
         report = load_report(args.path)
     except (OSError, ValueError) as exc:
@@ -163,11 +189,94 @@ def report_main(argv: list[str]) -> int:
     return 0
 
 
+def trace_main(argv: list[str]) -> int:
+    """The ``repro trace`` subcommand: export captured request traces.
+
+    Sources (pick one): ``--url`` pulls /tracez from a live server;
+    ``--report`` reads the ``tracing`` section of a run report.  By default
+    every available trace is merged into one chrome trace; ``--request ID``
+    exports a single request's trace.
+    """
+    parser = argparse.ArgumentParser(
+        prog="python -m repro trace",
+        description="Export request traces (chrome trace JSON for Perfetto)",
+    )
+    src = parser.add_mutually_exclusive_group(required=True)
+    src.add_argument("--url", default=None,
+                     help="pull recent traces from a live server's /tracez")
+    src.add_argument("--report", default=None, metavar="PATH",
+                     help="read traces from a run report's tracing section")
+    parser.add_argument("--request", default=None, metavar="ID",
+                        help="export only the trace with this trace id")
+    parser.add_argument("--limit", type=int, default=20,
+                        help="max traces to pull from --url (default 20)")
+    parser.add_argument("--out", default="requests.trace.json", metavar="PATH",
+                        help="output chrome-trace path (default requests.trace.json)")
+    args = parser.parse_args(argv)
+    from .obs import export_request_chrome_trace
+
+    if args.url is not None:
+        from .service.errors import ServiceError
+        from .service.http import SolveClient
+
+        client = SolveClient(args.url)
+        try:
+            payload = client.tracez(trace_id=args.request, limit=args.limit)
+        except (ServiceError, OSError) as exc:
+            print(f"error: cannot fetch traces from {args.url}: {exc}",
+                  file=sys.stderr)
+            return 2
+        if not payload.get("enabled", False):
+            print("error: tracing is disabled on the server "
+                  "(serve with --trace-requests N)", file=sys.stderr)
+            return 1
+        if args.request is not None:
+            if not payload.get("found"):
+                print(f"error: trace {args.request} not found (evicted or "
+                      "never captured)", file=sys.stderr)
+                return 1
+            traces = [payload["trace"]]
+        else:
+            traces = payload.get("traces", [])
+        source = args.url
+    else:
+        import json as _json
+
+        try:
+            with open(args.report) as fh:
+                report = _json.load(fh)
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot read report {args.report}: {exc}",
+                  file=sys.stderr)
+            return 2
+        tracing = report.get("tracing")
+        if not tracing:
+            print(f"error: {args.report} has no tracing section "
+                  "(profile a run with tracing enabled)", file=sys.stderr)
+            return 1
+        traces = tracing.get("recent", [])
+        if args.request is not None:
+            traces = [t for t in traces if t.get("trace_id") == args.request]
+            if not traces:
+                print(f"error: trace {args.request} not in {args.report}",
+                      file=sys.stderr)
+                return 1
+        source = args.report
+    if not traces:
+        print("error: no traces captured yet", file=sys.stderr)
+        return 1
+    export_request_chrome_trace(traces, args.out, metadata={"source": source})
+    print(f"trace     : {len(traces)} request trace(s) written to {args.out}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
     if argv and argv[0] == "report":
         return report_main(argv[1:])
+    if argv and argv[0] == "trace":
+        return trace_main(argv[1:])
     if argv and argv[0] == "serve":
         from .service.cli import serve_main
 

@@ -20,10 +20,24 @@ event at every hook site).
 
 from .metrics import Histogram, MetricsRegistry, SchedulerStats
 from .instrument import Instrumentation, current
+from .tracing import (
+    RequestTracer,
+    TraceContext,
+    current_trace,
+    export_request_chrome_trace,
+)
+from .exposition import (
+    SlidingWindow,
+    metrics_text,
+    parse_prometheus,
+    prometheus_text,
+    tracez_payload,
+)
 from .report import (
     REPORT_SCHEMA,
     SCHEMA_ID,
     build_run_report,
+    diff_reports,
     load_report,
     nontiming_view,
     render_report,
@@ -37,9 +51,19 @@ __all__ = [
     "SchedulerStats",
     "Instrumentation",
     "current",
+    "RequestTracer",
+    "TraceContext",
+    "current_trace",
+    "export_request_chrome_trace",
+    "SlidingWindow",
+    "metrics_text",
+    "parse_prometheus",
+    "prometheus_text",
+    "tracez_payload",
     "REPORT_SCHEMA",
     "SCHEMA_ID",
     "build_run_report",
+    "diff_reports",
     "validate_report",
     "render_report",
     "write_report",

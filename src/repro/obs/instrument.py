@@ -23,6 +23,7 @@ import time
 from collections import defaultdict
 
 from .metrics import MetricsRegistry, SchedulerStats
+from .tracing import RequestTracer
 
 __all__ = ["Instrumentation", "current"]
 
@@ -49,14 +50,19 @@ class Instrumentation:
 
     ``clock`` defaults to ``time.perf_counter``; series timestamps are
     relative to construction time (virtual-time callers pass explicit ``t``).
+
+    ``trace_capacity`` sizes the :class:`~repro.obs.tracing.RequestTracer`
+    ring buffer of completed request traces (serve path); 0 disables
+    request tracing while keeping the metric hooks live.
     """
 
-    def __init__(self, clock=time.perf_counter) -> None:
+    def __init__(self, clock=time.perf_counter, *, trace_capacity: int = 64) -> None:
         self.registry = MetricsRegistry()
         self.sched = SchedulerStats()
         self.kinds: dict[str, dict] = defaultdict(_kind_zero)
         self.workers: dict[int, dict] = defaultdict(_worker_zero)
         self.series: dict[str, list[tuple[float, float]]] = {}
+        self.tracer = RequestTracer(trace_capacity)
         self._clock = clock
         self._t0 = clock()
         self._lock = threading.Lock()
@@ -80,6 +86,12 @@ class Instrumentation:
     def now(self) -> float:
         """Seconds since the probe was created (real-time series timestamps)."""
         return self._clock() - self._t0
+
+    @property
+    def origin(self) -> float:
+        """Absolute clock value at probe creation — the epoch of every
+        series timestamp (aligns counter tracks with request-trace spans)."""
+        return self._t0
 
     # -- runtime hooks -----------------------------------------------------------
     def task_submitted(self, task, operand_bytes: int = 0, operand_max_rank: int = 0) -> None:
@@ -180,12 +192,30 @@ class Instrumentation:
         self.registry.inc("service.batches")
         self.registry.observe("service.batch_size", size)
 
-    def service_queue_depth(self, depth: int, t: float | None = None) -> None:
+    def service_queue_depth(
+        self, depth: int, t: float | None = None, worker: str | None = None
+    ) -> None:
         """Admission-queue depth after an enqueue/dequeue (gauge + peak +
-        Chrome counter-track series)."""
-        self.registry.set_gauge("service.queue_depth", depth)
-        self.registry.max_gauge("service.queue_depth_peak", depth)
-        self.sample("service_queue_depth", depth, t)
+        Chrome counter-track series).
+
+        Fleet shards pass their ``worker`` name so per-shard depth stays
+        visible: the labelled gauge/series are recorded per worker while the
+        aggregate ``service.queue_depth_peak`` (which the report's service
+        section reads) still tracks the max over all shards."""
+        if worker is None:
+            self.registry.set_gauge("service.queue_depth", depth)
+            self.registry.max_gauge("service.queue_depth_peak", depth)
+            self.sample("service_queue_depth", depth, t)
+        else:
+            self.registry.set_gauge(f'service.queue_depth{{worker="{worker}"}}', depth)
+            self.registry.max_gauge(f'service.queue_depth_peak{{worker="{worker}"}}', depth)
+            self.registry.max_gauge("service.queue_depth_peak", depth)
+            self.sample(f"service_queue_depth[{worker}]", depth, t)
+
+    def fleet_lane_slo(self, lane: str, attainment: float, burn_rate: float) -> None:
+        """Per-lane SLO health after one terminal request outcome."""
+        self.registry.set_gauge(f'fleet.slo_attainment{{lane="{lane}"}}', attainment)
+        self.registry.set_gauge(f'fleet.slo_burn_rate{{lane="{lane}"}}', burn_rate)
 
     def store_lookup(self, hit: bool) -> None:
         """One FactorizationStore key lookup."""

@@ -22,9 +22,16 @@ class Histogram:
     clamped to [-9, 9]; zero and negatives land in the ``"<=0"`` bucket), so a
     per-kind *timing* histogram separates microsecond scheduling noise from
     millisecond kernels without configuration.
+
+    Decade buckets alone lose resolution where service latencies cluster
+    (every sub-millisecond p50 lands in one ``1e-4`` bucket), so each value
+    is *also* recorded in a finer 1-2-5-per-decade bucket (``"2e-4"`` covers
+    ``[2e-4, 5e-4)``); :meth:`quantile` interpolates within those fine
+    buckets.  ``snapshot()`` keeps every pre-existing key with unchanged
+    semantics and adds ``fine`` and ``p50``/``p95``/``p99``.
     """
 
-    __slots__ = ("count", "total", "min", "max", "buckets")
+    __slots__ = ("count", "total", "min", "max", "buckets", "fine")
 
     def __init__(self) -> None:
         self.count = 0
@@ -32,6 +39,7 @@ class Histogram:
         self.min = math.inf
         self.max = -math.inf
         self.buckets: dict[str, int] = {}
+        self.fine: dict[str, int] = {}
 
     def observe(self, value: float) -> None:
         value = float(value)
@@ -42,18 +50,61 @@ class Histogram:
         if value > self.max:
             self.max = value
         if value <= 0.0:
-            key = "<=0"
+            key = fine_key = "<=0"
         else:
-            key = f"1e{max(-9, min(9, math.floor(math.log10(value))))}"
+            d = max(-9, min(9, math.floor(math.log10(value))))
+            key = f"1e{d}"
+            m = value / 10.0**d
+            sub = 5 if m >= 5.0 else (2 if m >= 2.0 else 1)
+            fine_key = f"{sub}e{d}"
         self.buckets[key] = self.buckets.get(key, 0) + 1
+        self.fine[fine_key] = self.fine.get(fine_key, 0) + 1
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    @staticmethod
+    def _bounds(fine_key: str) -> tuple[float, float]:
+        """[lower, upper) value range of one fine bucket."""
+        if fine_key == "<=0":
+            return (0.0, 0.0)
+        mant, exp = fine_key.split("e", 1)
+        lo = int(mant) * 10.0 ** int(exp)
+        nxt = {1: 2.0, 2: 2.5, 5: 2.0}[int(mant)]
+        return (lo, lo * nxt)
+
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile (0..1) by linear interpolation inside
+        the fine 1-2-5 buckets, clamped to the observed min/max."""
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        items = sorted(self.fine.items(), key=lambda kv: self._bounds(kv[0])[0])
+        seen = 0
+        for fine_key, n in items:
+            if seen + n >= target:
+                lo, hi = self._bounds(fine_key)
+                frac = (target - seen) / n if n else 0.0
+                est = lo + (hi - lo) * frac
+                return max(self.min, min(self.max, est))
+            seen += n
+        return self.max
+
     def snapshot(self) -> dict:
         if self.count == 0:
-            return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0, "buckets": {}}
+            return {
+                "count": 0,
+                "sum": 0.0,
+                "min": 0.0,
+                "max": 0.0,
+                "mean": 0.0,
+                "buckets": {},
+                "fine": {},
+                "p50": 0.0,
+                "p95": 0.0,
+                "p99": 0.0,
+            }
         return {
             "count": self.count,
             "sum": self.total,
@@ -61,6 +112,10 @@ class Histogram:
             "max": self.max,
             "mean": self.mean,
             "buckets": dict(sorted(self.buckets.items())),
+            "fine": dict(sorted(self.fine.items())),
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
         }
 
 

@@ -28,6 +28,7 @@ __all__ = [
     "write_report",
     "load_report",
     "nontiming_view",
+    "diff_reports",
 ]
 
 SCHEMA_ID = "repro-run-report/v1"
@@ -253,6 +254,17 @@ REPORT_SCHEMA = {
                             "est_service_seconds": {"type": "number", "minimum": 0},
                             "p50_ms": {"type": "number", "minimum": 0},
                             "p95_ms": {"type": "number", "minimum": 0},
+                            "p99_ms": {"type": "number", "minimum": 0},
+                            "slo": {
+                                "type": "object",
+                                "properties": {
+                                    "target_seconds": {"type": "number", "minimum": 0},
+                                    "good": {"type": "integer", "minimum": 0},
+                                    "violations": {"type": "integer", "minimum": 0},
+                                    "attainment": {"type": "number", "minimum": 0},
+                                    "burn_rate": {"type": "number", "minimum": 0},
+                                },
+                            },
                         },
                     },
                 },
@@ -274,6 +286,70 @@ REPORT_SCHEMA = {
                         "hot_keys": {"type": "integer", "minimum": 0},
                         "replicated_loads": {"type": "integer", "minimum": 0},
                         "hot_after": {"type": "integer", "minimum": 0},
+                    },
+                },
+            },
+        },
+        "tracing": {
+            "type": "object",
+            "required": ["capacity", "started", "completed", "recent"],
+            "properties": {
+                "capacity": {"type": "integer", "minimum": 0},
+                "started": {"type": "integer", "minimum": 0},
+                "completed": {"type": "integer", "minimum": 0},
+                "evicted": {"type": "integer", "minimum": 0},
+                "dropped_spans": {"type": "integer", "minimum": 0},
+                "phases": {
+                    "type": "object",
+                    "additionalProperties": {
+                        "type": "object",
+                        "required": ["count", "seconds"],
+                        "properties": {
+                            "count": {"type": "integer", "minimum": 0},
+                            "seconds": {"type": "number", "minimum": 0},
+                        },
+                    },
+                },
+                "slowest_per_lane": {
+                    "type": "object",
+                    "additionalProperties": {
+                        "type": "object",
+                        "required": ["trace_id", "duration_seconds"],
+                        "properties": {
+                            "trace_id": {"type": "string"},
+                            "key": {"type": "string"},
+                            "duration_seconds": {"type": "number", "minimum": 0},
+                        },
+                    },
+                },
+                "recent": {
+                    "type": "array",
+                    "items": {
+                        "type": "object",
+                        "required": ["trace_id", "start", "duration_seconds", "spans"],
+                        "properties": {
+                            "trace_id": {"type": "string"},
+                            "key": {"type": "string"},
+                            "lane": {"type": ["string", "null"]},
+                            "start": {"type": "number"},
+                            "duration_seconds": {"type": "number", "minimum": 0},
+                            "outcome": {"type": "string"},
+                            "dropped_spans": {"type": "integer", "minimum": 0},
+                            "spans": {
+                                "type": "array",
+                                "items": {
+                                    "type": "object",
+                                    "required": ["name", "t0", "t1"],
+                                    "properties": {
+                                        "name": {"type": "string"},
+                                        "t0": {"type": "number"},
+                                        "t1": {"type": "number"},
+                                        "worker": {"type": "string"},
+                                        "meta": {"type": "object"},
+                                    },
+                                },
+                            },
+                        },
                     },
                 },
             },
@@ -311,7 +387,7 @@ def _service_section(reg) -> dict:
 
 def build_run_report(
     *, probe=None, trace=None, graph=None, meta=None, service=None, fleet=None,
-    nested=None,
+    nested=None, tracing=None,
 ) -> dict:
     """Fold probe aggregates + trace + graph into one schema-valid report.
 
@@ -334,6 +410,9 @@ def build_run_report(
     ``repro.runtime.NestedStats.report``): how many tile kernels expanded
     into subtask DAGs and the deterministic critical-path lengths of the
     contracted (opaque-equivalent) vs. expanded graph.
+    ``tracing`` attaches a request-tracing section (see
+    ``repro.obs.RequestTracer.report``); when omitted, the probe's tracer is
+    folded in automatically if it completed any trace.
     """
     kinds: dict[str, dict] = {}
 
@@ -492,6 +571,12 @@ def build_run_report(
         report["service"] = _service_section(probe.registry)
     if fleet is not None:
         report["fleet"] = fleet
+    if tracing is not None:
+        report["tracing"] = tracing
+    else:
+        tracer = getattr(probe, "tracer", None)
+        if tracer is not None and tracer.completed:
+            report["tracing"] = tracer.report()
     return report
 
 
@@ -778,6 +863,13 @@ def render_report(report: dict) -> str:
             pct = ""
             if "p50_ms" in lane:
                 pct = f" | p50 {lane['p50_ms']:.2f} ms, p95 {lane.get('p95_ms', 0.0):.2f} ms"
+            slo = lane.get("slo") or {}
+            if slo.get("target_seconds") is not None:
+                pct += (
+                    f" | SLO {slo['target_seconds'] * 1e3:.0f} ms: "
+                    f"{slo.get('attainment', 0.0):.1%} attained, "
+                    f"burn {slo.get('burn_rate', 0.0):.2f}"
+                )
             lines.append(
                 f"lane {name:<9}: {lane['admitted']} admitted | {lane['completed']} completed "
                 f"| {lane['shed']} shed | {lane['rejected']} rejected{pct}"
@@ -789,4 +881,177 @@ def render_report(report: dict) -> str:
                 f"{rep['replicated_loads']} warm loads "
                 f"(hot after {rep.get('hot_after', 0)} requests)"
             )
+    tracing = report.get("tracing")
+    if tracing:
+        lines.append("")
+        lines.append(
+            f"tracing   : {tracing['completed']} traces captured "
+            f"(ring {tracing['capacity']}, {tracing.get('evicted', 0)} evicted, "
+            f"{tracing.get('dropped_spans', 0)} spans dropped)"
+        )
+        phases = tracing.get("phases") or {}
+        if phases:
+            top = sorted(phases.items(), key=lambda kv: -kv[1]["seconds"])[:6]
+            lines.append(
+                "phases    : "
+                + " | ".join(
+                    f"{name} {agg['seconds'] * 1e3:.1f} ms x{agg['count']}"
+                    for name, agg in top
+                )
+            )
+        for lane, worst in sorted((tracing.get("slowest_per_lane") or {}).items()):
+            lines.append(
+                f"slowest   : {lane:<11} {worst['duration_seconds'] * 1e3:.2f} ms "
+                f"(trace {worst['trace_id']})"
+            )
     return "\n".join(lines)
+
+
+# -- diffing -----------------------------------------------------------------
+
+
+def _pct_delta(a: float, b: float) -> float | None:
+    """Relative change b vs a (None when the baseline is ~zero)."""
+    if abs(a) < 1e-12:
+        return None
+    return (b - a) / a
+
+
+def _delta_cell(a: float, b: float, *, threshold: float, higher_is_worse: bool = True):
+    d = _pct_delta(a, b)
+    if d is None:
+        return "n/a", False
+    regressed = d > threshold if higher_is_worse else d < -threshold
+    return f"{d:+.1%}" + (" !" if regressed else ""), regressed
+
+
+def diff_reports(a: dict, b: dict, *, threshold: float = 0.10) -> tuple[str, list[str]]:
+    """Side-by-side comparison of two run reports (``repro report --diff``).
+
+    Returns ``(text, regressions)``: fixed-width totals/kind/worker tables
+    with a relative-delta column, and a list of human-readable regression
+    descriptions — any timing that grew by more than ``threshold`` (default
+    10%) from ``a`` (baseline) to ``b``.  Count/flop drift is shown but not
+    flagged; only time-like quantities regress.
+    """
+    from ..analysis.reporting import format_table  # lazy: keeps imports acyclic
+
+    regressions: list[str] = []
+    lines: list[str] = [f"report diff (threshold {threshold:.0%}): A=baseline, B=candidate"]
+    for tag, rep in (("A", a), ("B", b)):
+        meta = rep.get("meta") or {}
+        if meta:
+            lines.append(
+                f"  {tag}: " + " ".join(f"{k}={v}" for k, v in sorted(meta.items()))
+            )
+    ta, tb = a["totals"], b["totals"]
+    total_rows = []
+    for label, key in (
+        ("makespan s", "makespan"),
+        ("busy s", "busy_seconds"),
+        ("idle s", "idle_seconds"),
+    ):
+        va, vb = ta.get(key, 0.0), tb.get(key, 0.0)
+        cell, bad = _delta_cell(va, vb, threshold=threshold)
+        if bad:
+            regressions.append(f"totals.{key}: {va:.4f} -> {vb:.4f} ({cell.rstrip(' !')})")
+        total_rows.append([label, f"{va:.4f}", f"{vb:.4f}", cell])
+    for label, key in (("utilization", "utilization"), ("Gflop", "total_flops")):
+        va, vb = ta.get(key, 0.0), tb.get(key, 0.0)
+        scale = 1e-9 if key == "total_flops" else 1.0
+        cell, _ = _delta_cell(va, vb, threshold=threshold, higher_is_worse=False)
+        total_rows.append([label, f"{va * scale:.3f}", f"{vb * scale:.3f}", cell.rstrip(" !")])
+    lines.append("")
+    lines.append(format_table(["total", "A", "B", "delta"], total_rows, title="totals"))
+
+    kind_rows = []
+    all_kinds = sorted(
+        set(a["kinds"]) | set(b["kinds"]),
+        key=lambda k: -max(
+            a["kinds"].get(k, {}).get("seconds", 0.0),
+            b["kinds"].get(k, {}).get("seconds", 0.0),
+        ),
+    )
+    for kind in all_kinds:
+        ka = a["kinds"].get(kind, {})
+        kb = b["kinds"].get(kind, {})
+        sa, sb = ka.get("seconds", 0.0), kb.get("seconds", 0.0)
+        cell, bad = _delta_cell(sa, sb, threshold=threshold)
+        if bad:
+            regressions.append(f"kinds.{kind}.seconds: {sa:.4f} -> {sb:.4f} ({cell.rstrip(' !')})")
+        kind_rows.append(
+            [
+                kind,
+                ka.get("count", 0),
+                kb.get("count", 0),
+                f"{sa:.4f}",
+                f"{sb:.4f}",
+                cell,
+            ]
+        )
+    lines.append("")
+    lines.append(
+        format_table(
+            ["kind", "count A", "count B", "sec A", "sec B", "delta"],
+            kind_rows,
+            title="per-kind",
+        )
+    )
+
+    wa = {w["worker"]: w for w in a.get("workers", [])}
+    wb = {w["worker"]: w for w in b.get("workers", [])}
+    worker_rows = []
+    for wid in sorted(set(wa) | set(wb)):
+        ba = wa.get(wid, {}).get("busy_seconds", 0.0)
+        bb = wb.get(wid, {}).get("busy_seconds", 0.0)
+        cell, bad = _delta_cell(ba, bb, threshold=threshold)
+        if bad:
+            regressions.append(
+                f"workers[{wid}].busy_seconds: {ba:.4f} -> {bb:.4f} ({cell.rstrip(' !')})"
+            )
+        worker_rows.append(
+            [
+                wid,
+                f"{ba:.4f}",
+                f"{bb:.4f}",
+                f"{wa.get(wid, {}).get('utilization', 0.0):.0%}",
+                f"{wb.get(wid, {}).get('utilization', 0.0):.0%}",
+                cell,
+            ]
+        )
+    if worker_rows:
+        lines.append("")
+        lines.append(
+            format_table(
+                ["worker", "busy A", "busy B", "util A", "util B", "delta"],
+                worker_rows,
+                title="per-worker",
+            )
+        )
+
+    sa, sb = a.get("service"), b.get("service")
+    if sa and sb:
+        la, lb = sa.get("latency_seconds", {}), sb.get("latency_seconds", {})
+        if la.get("count") and lb.get("count"):
+            rows = []
+            for label, key in (("p50", "p50"), ("p95", "p95"), ("mean", "mean"), ("max", "max")):
+                va, vb = la.get(key, 0.0), lb.get(key, 0.0)
+                cell, bad = _delta_cell(va, vb, threshold=threshold)
+                if bad:
+                    regressions.append(
+                        f"service.latency_seconds.{key}: "
+                        f"{va * 1e3:.2f} ms -> {vb * 1e3:.2f} ms ({cell.rstrip(' !')})"
+                    )
+                rows.append([label, f"{va * 1e3:.3f}", f"{vb * 1e3:.3f}", cell])
+            lines.append("")
+            lines.append(
+                format_table(["latency ms", "A", "B", "delta"], rows, title="service latency")
+            )
+
+    lines.append("")
+    if regressions:
+        lines.append(f"regressions (> {threshold:.0%}):")
+        lines.extend(f"  ! {r}" for r in regressions)
+    else:
+        lines.append(f"no regressions beyond {threshold:.0%}")
+    return "\n".join(lines), regressions

@@ -42,6 +42,7 @@ from multiprocessing import connection, get_context
 import numpy as np
 
 from ..obs.instrument import current as _current_probe
+from ..obs.tracing import current_trace
 from .dag import TaskGraph
 from .schedulers import Scheduler, make_scheduler
 from .shmem import SEGMENT_PREFIX, SharedTileArena, orphaned_segments, unlink_segment
@@ -179,7 +180,10 @@ def _worker_loop(widx: int, task_conn, res_conn, arena_tag: str, ctx_blob) -> No
             # One pipe read carries a batch of task entries; each entry runs
             # and replies individually (per-entry "done"), so the parent's
             # bookkeeping is unchanged — only the dispatch syscalls amortize.
-            _, entries = msg
+            # The trace id rides the dispatch and is echoed on every "done"
+            # so the parent can attach worker-side kernel spans to the
+            # request trace that owns this run (None when tracing is off).
+            _, trace_id, entries = msg
             for tid, spec, hids, writes, updates in entries:
                 for hid, blob in updates:
                     local[hid] = arena.loads(blob)
@@ -226,7 +230,8 @@ def _worker_loop(widx: int, task_conn, res_conn, arena_tag: str, ctx_blob) -> No
                     break
                 res_conn.send(
                     ("done", widx, tid, t0, t1, reships,
-                     arena.take_new_segments(), arena.take_copied_bytes())
+                     arena.take_new_segments(), arena.take_copied_bytes(),
+                     trace_id)
                 )
     finally:
         arena.close()
@@ -344,6 +349,11 @@ class ProcessExecutor:
                     "submit tasks with insert_task(..., spec=TaskSpec(...))"
                 )
         probe = self.instrument if self.instrument is not None else _current_probe()
+        # Captured once at entry: worker-side kernel spans for this run attach
+        # to the request trace active when the executor was invoked (the lead
+        # request of a cold build), keyed by the echoed trace id.
+        tctx = current_trace()
+        tctx_id = tctx.trace_id if tctx is not None else None
         sched = self.scheduler
         sched.setup(self.nworkers)
         sched.attach_stats(probe.sched if probe is not None else None)
@@ -490,7 +500,7 @@ class ProcessExecutor:
                     if not entries:
                         continue
                     try:
-                        task_conns[w].send(("batch", entries))
+                        task_conns[w].send(("batch", tctx_id, entries))
                     except (OSError, BrokenPipeError):
                         # The worker died before this dispatch; surface its
                         # traceback (if it managed to send one) instead of a
@@ -528,7 +538,7 @@ class ProcessExecutor:
                             progressed = True
                             if msg[0] == "done":
                                 (_, _, _tid, t0_abs, t1_abs, reships,
-                                 new_segs, copied) = msg
+                                 new_segs, copied, echo_tid) = msg
                                 task = running[w].popleft()
                                 if not running[w]:
                                     idle.add(w)
@@ -559,6 +569,15 @@ class ProcessExecutor:
                                         indegree[s] -= 1
                                         if indegree[s] == 0:
                                             sched.push(graph.tasks[s], w)
+                                if (
+                                    tctx is not None
+                                    and echo_tid == tctx_id
+                                    and task.spec is not None
+                                ):
+                                    tctx.add_span(
+                                        f"kernel:{task.kind}", t0_abs, t1_abs,
+                                        worker=f"proc{w}",
+                                    )
                                 if probe is not None:
                                     probe.task_span(task.kind, w, t0, t1)
                                     probe.sample(

@@ -21,6 +21,7 @@ import time
 from dataclasses import dataclass, field
 
 from ..obs.instrument import current as _current_probe
+from ..obs.tracing import current_trace
 from .dag import TaskGraph
 from .schedulers import Scheduler, make_scheduler
 from .trace import ExecutionTrace, TraceEvent
@@ -67,6 +68,10 @@ class ThreadedExecutor:
             return 0.0
         graph.validate()
         probe = self.instrument if self.instrument is not None else _current_probe()
+        # Captured once at entry: the submitting thread's request trace (if
+        # any) receives the kernel spans — worker threads have no ambient
+        # trace of their own, so propagation is explicit.
+        tctx = current_trace()
         sched = self.scheduler
         sched.setup(self.nworkers)
         sched.attach_stats(probe.sched if probe is not None else None)
@@ -118,6 +123,12 @@ class ThreadedExecutor:
                     if task.func is not None:
                         # Pre-traced tasks (func=None) keep their explicit cost.
                         task.seconds = t1 - t0
+                        if tctx is not None:
+                            tctx.add_span(
+                                f"kernel:{task.kind}",
+                                t_start + t0, t_start + t1,
+                                worker=f"tw{widx}",
+                            )
                     with lock:
                         self.trace.add(TraceEvent(task.id, task.kind, widx, t0, t1))
                         state["completed"] += 1

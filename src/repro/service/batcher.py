@@ -57,10 +57,15 @@ class MicroBatcher:
         expired request still consumes a batch slot and a live straggler is
         pushed into the next sweep.  ``on_shed`` runs under the batcher lock
         and must not call back into the batcher.
+    on_batch:
+        Formation observer: ``on_batch(key, items, waited)`` fires when a
+        batch is cut, with ``waited`` the seconds the bucket's *oldest* item
+        spent coalescing — the batch-wait phase of the request traces.  Runs
+        under the batcher lock; must not call back into the batcher.
     """
 
     def __init__(self, *, max_batch: int = 8, max_delay: float = 0.002,
-                 clock=time.monotonic, shed=None, on_shed=None) -> None:
+                 clock=time.monotonic, shed=None, on_shed=None, on_batch=None) -> None:
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
         if max_delay < 0:
@@ -71,6 +76,7 @@ class MicroBatcher:
         self.max_delay = max_delay
         self._shed = shed
         self._on_shed = on_shed
+        self._on_batch = on_batch
         self._clock = clock
         self._lock = threading.Lock()
         self._ready = threading.Condition(self._lock)
@@ -135,6 +141,8 @@ class MicroBatcher:
             if not items:
                 continue  # everything in the bucket had expired
             self._count -= len(items)
+            if self._on_batch is not None:
+                self._on_batch(key, items, max(0.0, now - bucket.oldest))
             return key, items
         return None
 

@@ -54,6 +54,11 @@ def serve_main(argv: list[str]) -> int:
                         help="fleet: in-flight budget of the interactive lane")
     parser.add_argument("--batch-inflight", type=int, default=256,
                         help="fleet: in-flight budget of the batch lane")
+    parser.add_argument("--interactive-slo", type=float, default=None, metavar="S",
+                        help="fleet: latency SLO (seconds) of the interactive "
+                        "lane; tracked as attainment + burn-rate gauges")
+    parser.add_argument("--batch-slo", type=float, default=None, metavar="S",
+                        help="fleet: latency SLO (seconds) of the batch lane")
     parser.add_argument("--max-queue", type=int, default=64,
                         help="admission capacity before requests are rejected (429)")
     parser.add_argument("--max-batch", type=int, default=8,
@@ -73,6 +78,9 @@ def serve_main(argv: list[str]) -> int:
                         "(store writes become uncompressed)")
     parser.add_argument("--profile", metavar="PATH", default=None,
                         help="write a run report (JSON, with the service section) on shutdown")
+    parser.add_argument("--trace-requests", type=int, default=64, metavar="N",
+                        help="keep the last N request traces for /tracez and "
+                        "`repro trace` (0 disables tracing)")
     args = parser.parse_args(argv)
 
     from ..obs import Instrumentation
@@ -82,7 +90,14 @@ def serve_main(argv: list[str]) -> int:
     from .store import FactorizationStore
 
     budget = None if args.budget_mb is None else int(args.budget_mb * (1 << 20))
-    probe = Instrumentation() if args.profile is not None else None
+    # The probe powers both the shutdown report (--profile) and the live
+    # /metrics + /tracez endpoints; only --trace-requests 0 with no profile
+    # runs fully uninstrumented.
+    want_probe = args.profile is not None or args.trace_requests > 0
+    probe = (
+        Instrumentation(trace_capacity=max(0, args.trace_requests))
+        if want_probe else None
+    )
     if probe is not None:
         probe.__enter__()
     try:
@@ -92,8 +107,10 @@ def serve_main(argv: list[str]) -> int:
                 store_root=args.store,
                 budget_bytes=budget,
                 lanes=(
-                    LaneConfig("interactive", max_inflight=args.interactive_inflight),
-                    LaneConfig("batch", max_inflight=args.batch_inflight),
+                    LaneConfig("interactive", max_inflight=args.interactive_inflight,
+                               slo_seconds=args.interactive_slo),
+                    LaneConfig("batch", max_inflight=args.batch_inflight,
+                               slo_seconds=args.batch_slo),
                 ),
                 replicate_hot_after=args.hot_after,
                 replicas=args.replicas,

@@ -61,10 +61,13 @@ import hashlib
 import threading
 import time
 from collections import deque
+from contextlib import nullcontext as _null_ctx
 from dataclasses import dataclass
 
 import numpy as np
 
+from ..obs import current as obs_current
+from ..obs.exposition import SlidingWindow
 from .errors import (
     BadRequestError,
     DeadlineExceededError,
@@ -171,19 +174,25 @@ class LaneConfig:
     when a request names no deadline.  ``shed_margin`` scales the estimated
     service time in the shed test: a request is shed when
     ``now + shed_margin * estimate > deadline`` (raise it to shed earlier,
-    e.g. 1.2 to keep 20% headroom).
+    e.g. 1.2 to keep 20% headroom).  ``slo_seconds`` is the lane's latency
+    objective: completions are scored against it (attainment + EWMA
+    burn-rate gauge — sheds and rejections burn budget too, so admission
+    control is visible in the same signal), ``None`` disables SLO tracking.
     """
 
     name: str
     max_inflight: int = 64
     default_timeout: float | None = None
     shed_margin: float = 1.0
+    slo_seconds: float | None = None
 
     def __post_init__(self) -> None:
         if self.max_inflight < 1:
             raise ValueError(f"max_inflight must be >= 1, got {self.max_inflight}")
         if self.shed_margin <= 0:
             raise ValueError(f"shed_margin must be > 0, got {self.shed_margin}")
+        if self.slo_seconds is not None and self.slo_seconds <= 0:
+            raise ValueError(f"slo_seconds must be > 0, got {self.slo_seconds}")
 
 
 DEFAULT_LANES = (
@@ -201,9 +210,10 @@ class _LaneState:
     __slots__ = (
         "config", "inflight", "inflight_peak", "admitted", "completed",
         "failed", "expired", "shed", "rejected", "estimate", "reservoir",
+        "window", "slo_good", "slo_violations", "burn_rate",
     )
 
-    def __init__(self, config: LaneConfig) -> None:
+    def __init__(self, config: LaneConfig, clock=time.monotonic) -> None:
         self.config = config
         self.inflight = 0
         self.inflight_peak = 0
@@ -215,13 +225,50 @@ class _LaneState:
         self.rejected = 0
         self.estimate: float | None = None  # EWMA of observed service time
         self.reservoir: deque = deque(maxlen=_RESERVOIR)
+        self.window = SlidingWindow(clock=clock)
+        # SLO scoreboard: every terminal outcome is either within the
+        # objective ("good") or burns error budget; the burn rate is an EWMA
+        # of the violation indicator, so 0.0 = healthy, 1.0 = every recent
+        # outcome violating.
+        self.slo_good = 0
+        self.slo_violations = 0
+        self.burn_rate = 0.0
 
-    def observe(self, latency: float) -> None:
+    def _score_slo(self, violated: bool) -> None:
+        if self.config.slo_seconds is None:
+            return
+        if violated:
+            self.slo_violations += 1
+        else:
+            self.slo_good += 1
+        self.burn_rate += _EWMA_ALPHA * ((1.0 if violated else 0.0) - self.burn_rate)
+
+    def observe(self, latency: float, now: float | None = None) -> None:
         self.reservoir.append(latency)
+        self.window.observe(latency, now)
         if self.estimate is None:
             self.estimate = latency
         else:
             self.estimate += _EWMA_ALPHA * (latency - self.estimate)
+        self._score_slo(
+            self.config.slo_seconds is not None and latency > self.config.slo_seconds
+        )
+
+    def note_denied(self) -> None:
+        """A shed/rejection burns SLO budget — denied callers got no answer."""
+        self._score_slo(True)
+
+    def slo_stats(self) -> dict | None:
+        if self.config.slo_seconds is None:
+            return None
+        scored = self.slo_good + self.slo_violations
+        return {
+            "target_seconds": self.config.slo_seconds,
+            "good": self.slo_good,
+            "violations": self.slo_violations,
+            "attainment": self.slo_good / scored if scored else 1.0,
+            "burn_rate": self.burn_rate,
+        }
 
     def stats(self) -> dict:
         out = {
@@ -240,6 +287,10 @@ class _LaneState:
         if sample:
             out["p50_ms"] = sample[int(0.50 * (len(sample) - 1))] * 1e3
             out["p95_ms"] = sample[int(0.95 * (len(sample) - 1))] * 1e3
+            out["p99_ms"] = sample[int(0.99 * (len(sample) - 1))] * 1e3
+        slo = self.slo_stats()
+        if slo is not None:
+            out["slo"] = slo
         return out
 
 
@@ -254,7 +305,7 @@ class FleetTicket(SolveTicket):
 
 
 class _FleetRequest:
-    __slots__ = ("spec", "rhs", "deadline", "lane", "ticket", "attempts")
+    __slots__ = ("spec", "rhs", "deadline", "lane", "ticket", "attempts", "trace")
 
     def __init__(self, spec, rhs, deadline, lane, ticket) -> None:
         self.spec = spec
@@ -263,6 +314,7 @@ class _FleetRequest:
         self.lane = lane
         self.ticket = ticket
         self.attempts = 0
+        self.trace = None  # TraceContext opened at admission (or None)
 
 
 class _FleetWorker:
@@ -347,7 +399,7 @@ class ServeFleet:
         self._clock = clock
         self._lock = threading.Lock()
         self._closed = False
-        self._lanes = {cfg.name: _LaneState(cfg) for cfg in lane_list}
+        self._lanes = {cfg.name: _LaneState(cfg, clock) for cfg in lane_list}
         if len(self._lanes) != len(lane_list):
             raise ValueError("duplicate lane names")
         self.store_root = store_root
@@ -372,6 +424,7 @@ class ServeFleet:
                 exec_mode=exec_mode,
                 exec_workers=exec_workers,
                 clock=clock,
+                name=f"w{i}",
             )
             w = _FleetWorker(i, f"w{i}", store, service)
             self._workers.append(w)
@@ -442,6 +495,7 @@ class ServeFleet:
                 raise ServiceClosedError("fleet is shutting down; request rejected")
             if state.inflight >= state.config.max_inflight:
                 state.rejected += 1
+                state.note_denied()
                 raise QueueFullError(
                     f"lane {lane!r} at capacity "
                     f"({state.inflight}/{state.config.max_inflight}); retry later"
@@ -452,6 +506,7 @@ class ServeFleet:
                 and now + state.config.shed_margin * state.estimate > deadline
             ):
                 state.shed += 1
+                state.note_denied()
                 raise DeadlineUnmeetableError(
                     f"deadline in {deadline - now:.3f}s but lane {lane!r} "
                     f"currently serves in ~{state.estimate:.3f}s; shed at admission"
@@ -464,6 +519,9 @@ class ServeFleet:
             self._key_counts[key] = count
         ticket = FleetTicket(key, now, lane)
         request = _FleetRequest(spec, rhs, deadline, lane, ticket)
+        probe = obs_current()
+        if probe is not None:
+            request.trace = probe.tracer.start(key, lane=lane)
         try:
             self._dispatch(request)
         except ServiceError as exc:
@@ -471,6 +529,9 @@ class ServeFleet:
                 state.inflight -= 1
                 state.admitted -= 1
                 state.rejected += 1
+                state.note_denied()
+            if request.trace is not None:
+                request.trace.finish(getattr(exc, "code", type(exc).__name__))
             raise exc
         if (
             self.replicate_hot_after is not None
@@ -507,7 +568,17 @@ class ServeFleet:
             return self._by_name[self._router.route(key)]
 
     def _dispatch(self, request: _FleetRequest) -> None:
+        ctx = request.trace
+        t_r0 = time.perf_counter()
         w = self._choose_worker(request.ticket.key)
+        if ctx is not None:
+            # First placement is a "route"; any re-placement after a crash
+            # or mid-dispatch drain is a "rehome".
+            ctx.add_span(
+                "rehome" if request.attempts else "route",
+                t_r0, time.perf_counter(),
+                shard=w.name, attempt=request.attempts,
+            )
         now = self._clock()
         remaining = None
         if request.deadline is not None:
@@ -515,7 +586,10 @@ class ServeFleet:
         with self._lock:
             w.pending[request] = None
         try:
-            inner = w.service.submit(request.spec, request.rhs, timeout=remaining)
+            # Activate the trace so the shard's pipeline adopts it (the
+            # queue-wait/batch-wait/solve spans land on this request).
+            with ctx.activate() if ctx is not None else _null_ctx():
+                inner = w.service.submit(request.spec, request.rhs, timeout=remaining)
         except ServiceClosedError:
             # The worker drained underneath us: treat as a crash, re-home
             # its keys, and retry this request on the survivors.
@@ -551,17 +625,27 @@ class ServeFleet:
     def _finalize(self, request: _FleetRequest, *, result=None, error=None) -> None:
         now = self._clock()
         state = self._lanes[request.lane]
+        slo = None
         with self._lock:
             if request.ticket.done():
                 return
             state.inflight -= 1
             if error is None:
                 state.completed += 1
-                state.observe(now - request.ticket.submitted_at)
+                state.observe(now - request.ticket.submitted_at, now)
             else:
                 state.failed += 1
                 if isinstance(error, DeadlineExceededError):
                     state.expired += 1
+                state._score_slo(True)
+            slo = state.slo_stats()
+        probe = obs_current()
+        if probe is not None and slo is not None:
+            probe.fleet_lane_slo(request.lane, slo["attainment"], slo["burn_rate"])
+        if request.trace is not None:
+            request.trace.finish(
+                "ok" if error is None else getattr(error, "code", type(error).__name__)
+            )
         request.ticket._resolve(result=result, error=error, t=now)
 
     # -- failure handling ------------------------------------------------------
@@ -692,6 +776,25 @@ class ServeFleet:
             "replication": replication,
             "requeues": requeues,
         }
+
+    def lane_windows(self) -> dict:
+        """Rolling-window latency summary per lane (the ``GET /metrics``
+        per-lane histograms), with live inflight and SLO health attached."""
+        now = self._clock()
+        out: dict[str, dict] = {}
+        with self._lock:
+            states = list(self._lanes.items())
+        for name, st in states:
+            snap = st.window.snapshot(now)
+            with self._lock:
+                snap["inflight"] = st.inflight
+                snap["shed"] = st.shed
+                snap["rejected"] = st.rejected
+                slo = st.slo_stats()
+            if slo is not None:
+                snap["slo"] = slo
+            out[name] = snap
+        return out
 
     def worker_stats(self) -> list[dict]:
         """Each worker's full :meth:`SolveService.stats` (debugging/ops)."""

@@ -12,6 +12,11 @@ Routes::
     GET  /v1/healthz   -> {"status": "ok"|"draining"}
     GET  /v1/stats     -> the service stats dict (report `service` section)
     GET  /v1/keys      -> {"keys": [fingerprints...]}
+    GET  /metrics      -> Prometheus text exposition (counters, gauges,
+                          histogram summaries, rolling per-lane latency
+                          quantiles, SLO attainment/burn gauges)
+    GET  /tracez       -> recent request traces (JSON); ``?trace_id=`` looks
+                          one up, ``?limit=N`` bounds the listing
     POST /v1/shutdown  -> {"status": "draining"}   (drain starts in background)
 
 Typed service errors travel as ``{"error": {"code", "message"}}`` with the
@@ -26,11 +31,14 @@ from __future__ import annotations
 import json
 import threading
 import urllib.error
+import urllib.parse
 import urllib.request
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 import numpy as np
 
+from ..obs import current as obs_current
+from ..obs.exposition import metrics_text, tracez_payload
 from .errors import (
     BadRequestError,
     DeadlineExceededError,
@@ -108,6 +116,14 @@ class _Handler(BaseHTTPRequestHandler):
     def _reply_error(self, exc: ServiceError) -> None:
         self._reply(exc.http_status, {"error": {"code": exc.code, "message": str(exc)}})
 
+    def _reply_text(self, status: int, text: str, content_type: str) -> None:
+        body = text.encode()
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
     def _read_json(self) -> dict:
         length = int(self.headers.get("Content-Length") or 0)
         if length <= 0:
@@ -124,12 +140,34 @@ class _Handler(BaseHTTPRequestHandler):
 
     # -- routes ---------------------------------------------------------------
     def do_GET(self) -> None:
-        if self.path == "/v1/healthz":
+        parsed = urllib.parse.urlsplit(self.path)
+        if parsed.path == "/v1/healthz":
             self._reply(200, {"status": "draining" if self.service.closed else "ok"})
-        elif self.path == "/v1/stats":
+        elif parsed.path == "/v1/stats":
             self._reply(200, self.service.stats())
-        elif self.path == "/v1/keys":
+        elif parsed.path == "/v1/keys":
             self._reply(200, {"keys": self.service.keys()})
+        elif parsed.path == "/metrics":
+            self._reply_text(
+                200,
+                metrics_text(service=self.service),
+                "text/plain; version=0.0.4; charset=utf-8",
+            )
+        elif parsed.path == "/tracez":
+            query = urllib.parse.parse_qs(parsed.query)
+            trace_id = query.get("trace_id", [None])[0]
+            try:
+                limit = int(query.get("limit", ["20"])[0])
+            except ValueError:
+                self._reply(400, {"error": {"code": "bad_request",
+                                            "message": "limit must be an integer"}})
+                return
+            # Always 200: a missing trace_id is reported in-band via
+            # ``"found": false`` so clients get the tracer state either way.
+            self._reply(200, tracez_payload(
+                obs_current(), service=self.service,
+                trace_id=trace_id, limit=limit,
+            ))
         else:
             self._reply(404, {"error": {"code": "not_found", "message": self.path}})
 
@@ -248,6 +286,19 @@ class SolveClient:
 
     def keys(self) -> list[str]:
         return self._request("GET", "/v1/keys")["keys"]
+
+    def metrics(self) -> str:
+        """The raw Prometheus text exposition from ``GET /metrics``."""
+        req = urllib.request.Request(self.base_url + "/metrics", method="GET")
+        with urllib.request.urlopen(req, timeout=self.timeout) as resp:
+            return resp.read().decode()
+
+    def tracez(self, *, trace_id: str | None = None, limit: int = 20) -> dict:
+        """Recent traces (or one trace by id) from ``GET /tracez``."""
+        query = {"limit": str(limit)}
+        if trace_id is not None:
+            query["trace_id"] = trace_id
+        return self._request("GET", "/tracez?" + urllib.parse.urlencode(query))
 
     def shutdown(self) -> dict:
         return self._request("POST", "/v1/shutdown")

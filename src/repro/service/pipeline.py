@@ -41,11 +41,14 @@ import os
 import threading
 import time
 from collections import deque
+from contextlib import nullcontext as _null_ctx
 
 import numpy as np
 
 from ..obs import current as obs_current
+from ..obs.exposition import SlidingWindow
 from ..obs.metrics import Histogram
+from ..obs.tracing import current_trace
 from .batcher import MicroBatcher
 from .errors import (
     DeadlineExceededError,
@@ -121,13 +124,22 @@ class SolveTicket:
 
 
 class _Request:
-    __slots__ = ("spec", "rhs", "deadline", "ticket")
+    __slots__ = ("spec", "rhs", "deadline", "ticket", "trace", "owns_trace",
+                 "t_submit", "batch_waited")
 
     def __init__(self, spec, rhs, deadline, ticket) -> None:
         self.spec = spec
         self.rhs = rhs
         self.deadline = deadline
         self.ticket = ticket
+        # Tracing state: ``trace`` is the request's TraceContext (or None);
+        # ``owns_trace`` marks traces this service started itself (the fleet
+        # finishes the ones it owns).  Span timestamps live in the
+        # perf_counter domain, never the service clock.
+        self.trace = None
+        self.owns_trace = False
+        self.t_submit = 0.0
+        self.batch_waited = 0.0
 
 
 class SolveService:
@@ -161,6 +173,10 @@ class SolveService:
         or ``"process"``) and its worker count (defaults to the machine's
         core count, capped at 4, for the non-eager modes).  Warm solves are
         unaffected: panel sweeps always run on the eager executor.
+    name:
+        Label for this pipeline in traces and per-worker telemetry (fleet
+        shards pass their worker name; ``None`` keeps the single-service
+        unlabelled metric paths).
     """
 
     def __init__(
@@ -176,6 +192,7 @@ class SolveService:
         exec_mode: str = "eager",
         exec_workers: int | None = None,
         clock=time.monotonic,
+        name: str | None = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -199,6 +216,7 @@ class SolveService:
         self.store = store if store is not None else FactorizationStore()
         self.max_queue = max_queue
         self.max_retries = max_retries
+        self.name = name
         self._provider = solver_provider or self._default_provider
         self._clock = clock
         # Expired requests are shed while a batch forms, not when the worker
@@ -208,6 +226,7 @@ class SolveService:
             max_batch=max_batch, max_delay=max_delay, clock=clock,
             shed=lambda r, now: r.deadline is not None and now > r.deadline,
             on_shed=self._shed_expired,
+            on_batch=self._on_batch_formed,
         )
 
         self._lock = threading.Lock()
@@ -223,6 +242,7 @@ class SolveService:
         self._latency = Histogram()
         self._batch_hist = Histogram()
         self._reservoir: deque = deque(maxlen=_RESERVOIR)
+        self._window = SlidingWindow(clock=clock)
 
         self._threads = [
             threading.Thread(target=self._worker_loop, name=f"solve-worker-{i}", daemon=True)
@@ -267,9 +287,18 @@ class SolveService:
                 self._depth_peak = depth
         if probe is not None:
             probe.service_admitted()
-            probe.service_queue_depth(depth)
+            probe.service_queue_depth(depth, worker=self.name)
         ticket = SolveTicket(key, now)
-        self._batcher.add(key, _Request(spec, rhs, deadline, ticket))
+        r = _Request(spec, rhs, deadline, ticket)
+        # Adopt the caller's ambient trace (the fleet activates its context
+        # around dispatch) or open one of our own for direct submissions.
+        ctx = current_trace()
+        if ctx is None and probe is not None:
+            ctx = probe.tracer.start(key)
+            r.owns_trace = ctx is not None
+        r.trace = ctx
+        r.t_submit = time.perf_counter()
+        self._batcher.add(key, r)
         return ticket
 
     def solve(self, spec, rhs, *, timeout: float | None = None) -> np.ndarray:
@@ -306,6 +335,12 @@ class SolveService:
                     if batch is None:
                         return
                     self._run_batch(*batch)
+
+    def _on_batch_formed(self, key: str, items: list, waited: float) -> None:
+        """Formation observer (under the batcher lock): remember how long
+        the batch coalesced so the worker can emit batch-wait spans."""
+        for r in items:
+            r.batch_waited = waited
 
     def _shed_expired(self, key: str, r: "_Request") -> None:
         """Batch-formation shed (from the batcher): typed error, no slot used."""
@@ -344,27 +379,55 @@ class SolveService:
         if probe is not None:
             probe.service_batch(len(live))
 
+        # Queue-wait / batch-wait spans: the time from submit to this worker
+        # picking the batch up, and the slice of it the batcher deliberately
+        # held the bucket open for coalescing.
+        label = self.name or "svc"
+        t_take = time.perf_counter()
+        for r in live:
+            ctx = r.trace
+            if ctx is not None:
+                ctx.add_span("queue-wait", r.t_submit, t_take, worker=label)
+                if r.batch_waited > 0.0:
+                    ctx.add_span(
+                        "batch-wait", t_take - r.batch_waited, t_take,
+                        worker=label, batch=len(live),
+                    )
+
         # One multi-RHS panel sweep for the whole batch.  Batch composition
         # cannot change any request's bits: the panel solve is column-stable.
         panel = np.stack([r.rhs for r in live], axis=1)
         error: BaseException | None = None
         x = None
-        for attempt in range(self.max_retries + 1):
-            try:
-                solver = self._provider(key, live[0].spec)
-                x = solver.solve(panel)
-                error = None
-                break
-            except TransientSolveError as exc:
-                error = exc
-                if attempt < self.max_retries:
-                    with self._lock:
-                        self._retries += 1
-                    if probe is not None:
-                        probe.service_retry()
-            except Exception as exc:  # non-retryable: fail the batch at once
-                error = exc
-                break
+        # The lead request's trace rides ambiently through the provider
+        # (store lookup / cold build / factorize) and the panel solve, so a
+        # cold build's executor spans attach to the request that triggered it.
+        lead = live[0].trace
+        ambient = lead.activate() if lead is not None else _null_ctx()
+        with ambient:
+            for attempt in range(self.max_retries + 1):
+                try:
+                    solver = self._provider(key, live[0].spec)
+                    t_s0 = time.perf_counter()
+                    x = solver.solve(panel)
+                    t_s1 = time.perf_counter()
+                    for r in live:
+                        if r.trace is not None:
+                            r.trace.add_span(
+                                "solve", t_s0, t_s1, worker=label, batch=len(live)
+                            )
+                    error = None
+                    break
+                except TransientSolveError as exc:
+                    error = exc
+                    if attempt < self.max_retries:
+                        with self._lock:
+                            self._retries += 1
+                        if probe is not None:
+                            probe.service_retry()
+                except Exception as exc:  # non-retryable: fail the batch at once
+                    error = exc
+                    break
 
         if error is not None:
             for r in live:
@@ -384,16 +447,21 @@ class SolveService:
                 latency = now - r.ticket.submitted_at
                 self._latency.observe(latency)
                 self._reservoir.append(latency)
+                self._window.observe(latency, now)
             else:
                 self._failed += 1
                 if expired:
                     self._expired += 1
         if probe is not None:
-            probe.service_queue_depth(depth)
+            probe.service_queue_depth(depth, worker=self.name)
             if error is None:
                 probe.service_completed(now - r.ticket.submitted_at)
             else:
                 probe.service_failed(getattr(error, "code", type(error).__name__))
+        if r.trace is not None and r.owns_trace:
+            # Fleet-owned traces are finished by the fleet's finalizer (it
+            # appends routing outcome first); ours end here.
+            r.trace.finish("ok" if error is None else getattr(error, "code", type(error).__name__))
         r.ticket._resolve(result=result, error=error, t=now)
 
     # -- shutdown -------------------------------------------------------------
@@ -423,6 +491,14 @@ class SolveService:
         with self._lock:
             return self._inflight
 
+    def lane_windows(self) -> dict:
+        """Rolling-window latency summary for ``GET /metrics`` (a single
+        ``default`` lane — the fleet overrides this with per-lane windows)."""
+        snap = self._window.snapshot(self._clock())
+        with self._lock:
+            snap["inflight"] = self._inflight
+        return {"default": snap}
+
     def stats(self) -> dict:
         """The ``service`` section of a ``repro-run-report/v1`` (schema-valid),
         with exact p50/p95 latencies added from the reservoir."""
@@ -440,8 +516,10 @@ class SolveService:
             batch = self._batch_hist.snapshot()
             depth_peak = self._depth_peak
         if sample:
+            # Exact reservoir percentiles override the bucket estimates.
             latency["p50"] = sample[int(0.50 * (len(sample) - 1))]
             latency["p95"] = sample[int(0.95 * (len(sample) - 1))]
+            latency["p99"] = sample[int(0.99 * (len(sample) - 1))]
         return {
             "requests": counts,
             "latency_seconds": latency,

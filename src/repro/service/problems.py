@@ -14,12 +14,14 @@ from __future__ import annotations
 
 import hashlib
 import json
+import time
 from dataclasses import dataclass, replace
 
 import numpy as np
 
 from ..core import TileHConfig, TileHMatrix
 from ..geometry import cylinder_cloud, make_kernel, plate_cloud, sphere_cloud
+from ..obs.tracing import current_trace
 
 __all__ = ["ProblemSpec", "spec_fingerprint", "build_solver", "rhs_dtype", "check_rhs"]
 
@@ -135,12 +137,19 @@ def build_solver(
         exec_mode=exec_mode,
         nworkers=nworkers,
     )
+    ctx = current_trace()
+    t0 = time.perf_counter()
     if exec_mode == "eager":
         solver = TileHMatrix.build(kernel, points, config)
         solver.factorize(method=spec.method)
     else:
         solver, _ = TileHMatrix.build_factorize(kernel, points, config, method=spec.method)
         solver.config = replace(config, exec_mode="eager", nworkers=1)
+    if ctx is not None:
+        ctx.add_span(
+            "factorize", t0, time.perf_counter(),
+            exec_mode=exec_mode, nworkers=nworkers, method=spec.method,
+        )
     return solver
 
 

@@ -25,8 +25,11 @@ import threading
 from collections import OrderedDict
 from pathlib import Path
 
+import time
+
 from ..core import TileHMatrix
 from ..obs import current as obs_current
+from ..obs.tracing import current_trace
 
 __all__ = ["FactorizationStore"]
 
@@ -136,12 +139,16 @@ class FactorizationStore:
         Memory hits are O(1); disk hits load the archive and re-insert it
         into the memory tier (possibly evicting colder entries).
         """
+        ctx = current_trace()
+        t0 = time.perf_counter()
         with self._lock:
             entry = self._cache.get(key)
             if entry is not None:
                 self._cache.move_to_end(key)
                 self.hits += 1
                 self._observe_lookup(True)
+                if ctx is not None:
+                    ctx.add_span("store-hit", t0, time.perf_counter(), tier="memory")
                 return entry.solver
         if self.root is not None:
             path = self.path_for(key)
@@ -151,10 +158,14 @@ class FactorizationStore:
                     self.hits += 1
                 self._observe_lookup(True)
                 self._insert(key, solver)
+                if ctx is not None:
+                    ctx.add_span("store-load", t0, time.perf_counter(), tier="disk")
                 return solver
         with self._lock:
             self.misses += 1
         self._observe_lookup(False)
+        if ctx is not None:
+            ctx.add_span("store-miss", t0, time.perf_counter())
         return None
 
     def get_or_build(self, key: str, builder) -> TileHMatrix:
@@ -175,7 +186,11 @@ class FactorizationStore:
                 if entry is not None:
                     self._cache.move_to_end(key)
                     return entry.solver
+            ctx = current_trace()
+            t0 = time.perf_counter()
             solver = builder()
+            if ctx is not None:
+                ctx.add_span("build", t0, time.perf_counter())
             if not solver.factorized:
                 raise ValueError("builder must return a *factorized* solver")
             self.put(key, solver)

@@ -10,7 +10,32 @@ from repro.obs import Histogram, Instrumentation, MetricsRegistry, SchedulerStat
 class TestHistogram:
     def test_empty_snapshot(self):
         snap = Histogram().snapshot()
-        assert snap == {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0, "buckets": {}}
+        assert snap == {
+            "count": 0, "sum": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0,
+            "buckets": {}, "fine": {}, "p50": 0.0, "p95": 0.0, "p99": 0.0,
+        }
+
+    def test_fine_buckets_subdivide_decades(self):
+        h = Histogram()
+        for v in (1.1e-4, 2.5e-4, 4.9e-4, 6e-4, 1.5e-3):
+            h.observe(v)
+        # Decade view is unchanged (backward compat)...
+        assert h.buckets == {"1e-4": 4, "1e-3": 1}
+        # ...while the fine view splits each decade at the 1/2/5 mantissas.
+        assert h.fine == {"1e-4": 1, "2e-4": 2, "5e-4": 1, "1e-3": 1}
+
+    def test_quantiles_resolve_sub_ms(self):
+        h = Histogram()
+        for _ in range(90):
+            h.observe(3e-4)
+        for _ in range(10):
+            h.observe(8e-3)
+        snap = h.snapshot()
+        # Under decade-only buckets both values would land in one of two huge
+        # bins; the fine buckets must place p50 in the sub-ms range.
+        assert 2e-4 <= snap["p50"] < 1e-3
+        assert snap["p99"] >= 5e-3
+        assert snap["min"] <= snap["p50"] <= snap["p95"] <= snap["p99"] <= snap["max"]
 
     def test_observe_stats(self):
         h = Histogram()
@@ -148,3 +173,35 @@ class TestInstrumentation:
         probe.block_compressed(100, 50, 4, 8)
         assert probe.registry.counter("h.compressed_bytes") == (100 + 50) * 4 * 8
         assert probe.registry.counter("h.dense_bytes") == 100 * 50 * 8
+
+
+class TestWorkerLabelledQueueDepth:
+    def test_unlabelled_path_unchanged(self):
+        probe = Instrumentation()
+        probe.service_queue_depth(3)
+        probe.service_queue_depth(1)
+        reg = probe.registry
+        assert reg.gauge("service.queue_depth") == 1
+        assert reg.gauge("service.queue_depth_peak") == 3
+        assert "service_queue_depth" in probe.series
+
+    def test_worker_label_gets_own_series_and_aggregate_peak(self):
+        probe = Instrumentation()
+        probe.service_queue_depth(5, worker="w0")
+        probe.service_queue_depth(2, worker="w1")
+        reg = probe.registry
+        assert reg.gauge('service.queue_depth{worker="w0"}') == 5
+        assert reg.gauge('service.queue_depth{worker="w1"}') == 2
+        assert reg.gauge('service.queue_depth_peak{worker="w0"}') == 5
+        # The aggregate peak (what the report's service section reads) still
+        # tracks the fleet-wide maximum.
+        assert reg.gauge("service.queue_depth_peak") == 5
+        assert "service_queue_depth[w0]" in probe.series
+        assert "service_queue_depth[w1]" in probe.series
+
+    def test_fleet_slo_gauges(self):
+        probe = Instrumentation()
+        probe.fleet_lane_slo("interactive", 0.95, 0.05)
+        reg = probe.registry
+        assert reg.gauge('fleet.slo_attainment{lane="interactive"}') == 0.95
+        assert reg.gauge('fleet.slo_burn_rate{lane="interactive"}') == 0.05

@@ -222,3 +222,102 @@ class TestOverhead:
         # The profiled path does real work per task (span + counters) but
         # must stay within a small constant factor of the spin time.
         assert self._best_run(instrumented=True) <= 1.25
+
+
+class TestTracingSection:
+    @pytest.fixture(scope="class")
+    def traced_report(self):
+        from repro.service.pipeline import SolveService
+        from repro.service.store import FactorizationStore
+
+        with Instrumentation(trace_capacity=8) as probe:
+            svc = SolveService(FactorizationStore(), workers=1, max_batch=2)
+            spec = {"kernel": "laplace", "n": 120, "nb": 60, "eps": 1e-6,
+                    "leaf_size": 32}
+            svc.submit(spec, np.ones(120)).result(timeout=60)
+            svc.close()
+        return build_run_report(probe=probe, meta={"mode": "serve"},
+                                service=svc.stats())
+
+    def test_tracing_folded_in_and_schema_valid(self, traced_report):
+        assert validate_report(traced_report) == []
+        tracing = traced_report["tracing"]
+        assert tracing["completed"] == 1
+        (trace,) = tracing["recent"]
+        names = [s["name"] for s in trace["spans"]]
+        assert "queue-wait" in names and "solve" in names
+        assert "solve" in tracing["phases"]
+
+    def test_render_includes_tracing(self, traced_report):
+        text = render_report(traced_report)
+        assert "tracing" in text and "solve" in text
+
+    def test_no_traces_no_section(self):
+        with Instrumentation(trace_capacity=8) as probe:
+            pass
+        report = build_run_report(probe=probe, meta={})
+        assert "tracing" not in report
+        assert validate_report(report) == []
+
+
+class TestDiffReports:
+    def _minimal(self, makespan, getrf, busy=None):
+        busy = makespan if busy is None else busy
+        return {
+            "meta": {"n": 400},
+            "totals": {"makespan": makespan, "busy_seconds": busy,
+                       "idle_seconds": makespan - busy * 0.5,
+                       "utilization": busy / makespan, "total_flops": 1e9},
+            "kinds": {
+                "getrf": {"count": 4, "seconds": getrf},
+                "gemm": {"count": 12, "seconds": makespan - getrf},
+            },
+            "workers": [{"worker": 0, "busy_seconds": busy,
+                         "idle_seconds": 0.0, "utilization": 1.0}],
+        }
+
+    def test_no_regression_within_threshold(self):
+        from repro.obs import diff_reports
+
+        a = self._minimal(1.00, 0.40)
+        b = self._minimal(1.05, 0.42)
+        text, regressions = diff_reports(a, b, threshold=0.10)
+        assert regressions == []
+        assert "no regressions beyond 10%" in text
+
+    def test_regressions_flagged_beyond_threshold(self):
+        from repro.obs import diff_reports
+
+        a = self._minimal(1.00, 0.40)
+        b = self._minimal(1.50, 0.70)
+        text, regressions = diff_reports(a, b, threshold=0.10)
+        assert any(r.startswith("totals.makespan") for r in regressions)
+        assert any("kinds.getrf.seconds" in r for r in regressions)
+        assert "!" in text and "regressions (> 10%):" in text
+
+    def test_improvements_not_flagged(self):
+        from repro.obs import diff_reports
+
+        a = self._minimal(1.50, 0.70)
+        b = self._minimal(1.00, 0.40)
+        _, regressions = diff_reports(a, b, threshold=0.10)
+        assert regressions == []
+
+    def test_kind_only_in_one_report(self):
+        from repro.obs import diff_reports
+
+        a = self._minimal(1.0, 0.4)
+        b = self._minimal(1.0, 0.4)
+        b["kinds"]["trsm"] = {"count": 2, "seconds": 0.1}
+        text, regressions = diff_reports(a, b)
+        assert "trsm" in text  # union of kinds is shown
+        assert regressions == []  # zero baseline -> n/a, never flagged
+
+    def test_cli_diff_exit_codes(self, tmp_path):
+        from repro.__main__ import main
+
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        a.write_text(json.dumps(self._minimal(1.00, 0.40)))
+        b.write_text(json.dumps(self._minimal(1.50, 0.70)))
+        assert main(["report", "--diff", str(a), str(b)]) == 1
+        assert main(["report", "--diff", str(a), str(a)]) == 0

@@ -133,3 +133,64 @@ class TestEndpoint:
         while not svc.closed and time.monotonic() < deadline:
             time.sleep(0.02)
         assert svc.closed
+
+
+class TestObservabilityEndpoints:
+    @pytest.fixture()
+    def observed(self, solver):
+        from repro.obs import Instrumentation
+
+        with Instrumentation(trace_capacity=8) as probe:
+            svc = SolveService(
+                FactorizationStore(), workers=1, max_batch=4, max_delay=0.002,
+                solver_provider=lambda k, s: solver,
+            )
+            server = make_server(svc)
+            threading.Thread(target=server.serve_forever, daemon=True).start()
+            host, port = server.server_address[:2]
+            client = SolveClient(f"http://{host}:{port}")
+            yield probe, svc, client
+            server.shutdown()
+            server.server_close()
+            svc.close()
+
+    def test_metrics_exposition_parses(self, observed, spec, rhs):
+        from repro.obs import parse_prometheus
+
+        _, _, client = observed
+        client.solve(spec.canonical() | {"nb": spec.nb}, rhs)
+        text = client.metrics()
+        parsed = parse_prometheus(text)  # raises on any malformed line
+        assert parsed["repro_traces_completed"][0][1] >= 1.0
+        assert parsed["repro_service_requests_completed"][0][1] >= 1.0
+        lanes = {
+            labels["lane"] for labels, _ in parsed["repro_lane_latency_seconds"]
+        }
+        assert lanes == {"default"}
+
+    def test_tracez_lists_and_looks_up(self, observed, spec, rhs):
+        _, _, client = observed
+        client.solve(spec.canonical() | {"nb": spec.nb}, rhs)
+        payload = client.tracez()
+        assert payload["enabled"] and payload["completed"] >= 1
+        trace = payload["traces"][-1]
+        assert any(s["name"] == "solve" for s in trace["spans"])
+        one = client.tracez(trace_id=trace["trace_id"])
+        assert one["found"] and one["trace"]["trace_id"] == trace["trace_id"]
+        missing = client.tracez(trace_id="not-a-trace")
+        assert missing["found"] is False
+
+    def test_tracez_disabled_without_probe(self, served, spec, rhs):
+        _, _, client = served
+        client.solve(spec.canonical() | {"nb": spec.nb}, rhs)
+        payload = client.tracez()
+        assert payload == {"enabled": False, "traces": []}
+
+    def test_tracez_bad_limit_is_400(self, observed):
+        import urllib.error
+        import urllib.request
+
+        _, _, client = observed
+        with pytest.raises(urllib.error.HTTPError) as exc:
+            urllib.request.urlopen(client.base_url + "/tracez?limit=banana")
+        assert exc.value.code == 400
