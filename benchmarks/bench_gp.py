@@ -1,0 +1,208 @@
+"""GP regression benchmark: train makespan, served-predict throughput, accuracy.
+
+Drives the GP subsystem end to end and writes ``BENCH_gp.json`` at the
+repository root:
+
+* ``gp_train`` rows — covariance factorisation (tiled H-Cholesky) makespan
+  per executor (eager vs threaded), the cold-train cost a store amortises.
+* ``gp_predict_batch`` rows — ``n_test`` posterior predictions pushed through
+  a real :class:`~repro.service.SolveService` (one solve request per test
+  point, RHS = its cross-covariance column) at micro-batch widths {1, 4, 8}.
+  The acceptance claim under test: batched predictions coalesce into panel
+  sweeps, so width >= 8 throughput must be >= 2x the one-at-a-time baseline.
+* ``gp_accuracy`` rows — H-compressed posterior vs the dense NumPy reference
+  across ACA tolerances: mean relative error must track ``eps`` (<= 10x).
+
+Smoke mode (``REPRO_BENCH_SMOKE=1``, used by CI) shrinks the problem so the
+bench runs in seconds and writes to the untracked ``benchmarks/out/``
+scratch path.  Run standalone (``python benchmarks/bench_gp.py``) or through
+pytest.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import TileHConfig
+from repro.geometry import assemble_dense
+from repro.gp import GPModel, synthetic_gp_data
+from repro.service import FactorizationStore, ProblemSpec, SolveService, build_solver
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "0") == "1"
+# Smoke runs (CI) write to the untracked benchmarks/out/ scratch path: the
+# tracked BENCH_gp.json holds full-mode numbers and a smoke run must never
+# clobber them (CI asserts the tracked file stays byte-identical).
+OUT_PATH = (
+    REPO_ROOT / "benchmarks" / "out" / "BENCH_gp.json"
+    if SMOKE
+    else REPO_ROOT / "BENCH_gp.json"
+)
+REPS = int(os.environ.get("REPRO_BENCH_REPS", "1" if SMOKE else "3"))
+
+_N, _NB = (400, 100) if SMOKE else (1200, 200)
+_N_TEST = 32 if SMOKE else 64
+_BATCHES = [1, 4, 8]
+_EPS = 1e-6
+_ACCURACY_EPS = [1e-2, 1e-4, 1e-6]
+_HYPERS = dict(length=0.3, signal=1.0, noise=0.05)
+
+SPEC = ProblemSpec(
+    kernel="sqexp", n=_N, kind="gp", nb=_NB, eps=_EPS, leaf_size=48, **_HYPERS
+)
+
+
+def _config(**kw) -> TileHConfig:
+    return TileHConfig(nb=_NB, eps=_EPS, leaf_size=48, **kw)
+
+
+def _train_rows(x, y) -> list[dict]:
+    rows = []
+    for exec_mode in ("eager", "threaded"):
+        kw = {} if exec_mode == "eager" else dict(exec_mode="threaded", nworkers=2)
+        best = np.inf
+        info = None
+        for _ in range(REPS):
+            model = GPModel("sqexp", **_HYPERS, config=_config(**kw))
+            t0 = time.perf_counter()
+            model.fit(x, y)
+            best = min(best, time.perf_counter() - t0)
+            info = model.info_
+        rows.append({
+            "case": "gp_train",
+            "n": _N,
+            "nb": _NB,
+            "eps": _EPS,
+            "exec_mode": exec_mode,
+            "seconds": best,
+            "tasks": len(info.graph),
+            "flops": info.graph.total_work("flops"),
+        })
+    return rows
+
+
+def _predict_rows(x, y, x_test) -> list[dict]:
+    solver = build_solver(SPEC)  # factorise once; rounds measure serving only
+    kern = GPModel("sqexp", **_HYPERS).kernel_function(x)
+    ks = kern(x, x_test)
+    kdiag = kern.diag(x_test)
+
+    rows = []
+    for batch in _BATCHES:
+        best = None
+        for _ in range(REPS):
+            svc = SolveService(
+                FactorizationStore(),
+                workers=1,
+                max_queue=_N_TEST + 1,
+                max_batch=batch,
+                max_delay=0.05 if batch > 1 else 0.0,
+                solver_provider=lambda k, s: solver,
+            )
+            t0 = time.perf_counter()
+            tickets = [svc.submit(SPEC, ks[:, j]) for j in range(_N_TEST)]
+            v = np.column_stack([t.result(timeout=600) for t in tickets])
+            seconds = time.perf_counter() - t0
+            stats = svc.stats()
+            svc.close()
+            if best is None or seconds < best[0]:
+                best = (seconds, stats, v)
+        seconds, stats, v = best
+        mean = v.T @ y
+        var = np.clip(kdiag - np.einsum("ij,ij->j", ks, v), 0.0, None)
+        lat = stats["latency_seconds"]
+        rows.append({
+            "case": "gp_predict_batch",
+            "n": _N,
+            "nb": _NB,
+            "n_test": _N_TEST,
+            "batch": batch,
+            "seconds": seconds,
+            "throughput_rps": _N_TEST / seconds,
+            "p50_ms": lat.get("p50", lat["mean"]) * 1e3,
+            "p95_ms": lat.get("p95", lat["max"]) * 1e3,
+            "mean_batch_width": stats["batch_size"]["mean"],
+            "sweeps": stats["batch_size"]["count"],
+            "mean_norm": float(np.linalg.norm(mean)),
+            "var_max": float(var.max()),
+        })
+    return rows
+
+
+def _accuracy_rows(x, y, x_test) -> list[dict]:
+    kern = GPModel("sqexp", **_HYPERS).kernel_function(x)
+    k = assemble_dense(kern, x)
+    ks = kern(x, x_test)
+    ref_mean = ks.T @ np.linalg.solve(k, y)
+    ref_var = kern.diag(x_test) - np.einsum("ij,ij->j", ks, np.linalg.solve(k, ks))
+
+    rows = []
+    for eps in _ACCURACY_EPS:
+        cfg = TileHConfig(nb=_NB, eps=eps, leaf_size=48)
+        model = GPModel("sqexp", **_HYPERS, config=cfg).fit(x, y)
+        mean, var = model.predict(x_test)
+        rows.append({
+            "case": "gp_accuracy",
+            "n": _N,
+            "nb": _NB,
+            "n_test": x_test.shape[0],
+            "eps": eps,
+            "mean_rel_err": float(
+                np.linalg.norm(mean - ref_mean) / np.linalg.norm(ref_mean)
+            ),
+            "var_max_err": float(np.max(np.abs(var - ref_var))),
+            "compression": model.solver_.compression_ratio(),
+        })
+    return rows
+
+
+def run() -> list[dict]:
+    x, y, x_test, _ = synthetic_gp_data(
+        _N, _N_TEST, geometry="cylinder", noise=_HYPERS["noise"], seed=0
+    )
+    rows = _train_rows(x, y)
+    rows.extend(_predict_rows(x, y, x_test))
+    rows.extend(_accuracy_rows(x, y, x_test))
+    OUT_PATH.parent.mkdir(parents=True, exist_ok=True)
+    OUT_PATH.write_text(json.dumps(rows, indent=2) + "\n")
+    return rows
+
+
+def test_bench_gp():
+    rows = run()
+    assert OUT_PATH.exists()
+    by_batch = {r["batch"]: r for r in rows if r["case"] == "gp_predict_batch"}
+    # Acceptance criterion: batched posterior predictions at width >= 8 at
+    # least double the one-at-a-time throughput.
+    ratio = by_batch[8]["throughput_rps"] / by_batch[1]["throughput_rps"]
+    assert ratio >= 2.0, f"batch-8 predict throughput only {ratio:.2f}x baseline"
+    assert by_batch[8]["mean_batch_width"] > 2.0, by_batch[8]
+    # Acceptance criterion: H-vs-dense posterior mean tracks the ACA
+    # tolerance at every eps.
+    for r in rows:
+        if r["case"] == "gp_accuracy":
+            assert r["mean_rel_err"] <= 10 * r["eps"], r
+    train = [r for r in rows if r["case"] == "gp_train"]
+    assert {r["exec_mode"] for r in train} == {"eager", "threaded"}
+    assert all(r["seconds"] > 0 and r["tasks"] > 0 for r in train)
+
+
+if __name__ == "__main__":
+    for r in run():
+        if r["case"] == "gp_train":
+            print(f"train {r['exec_mode']:>8}  {r['seconds'] * 1e3:9.1f} ms  "
+                  f"({r['tasks']} tasks)")
+        elif r["case"] == "gp_predict_batch":
+            print(f"predict batch={r['batch']:>2}  {r['throughput_rps']:8.1f} pred/s  "
+                  f"p95 {r['p95_ms']:7.2f} ms  (width {r['mean_batch_width']:.1f}, "
+                  f"{r['sweeps']} sweeps)")
+        else:
+            print(f"accuracy eps={r['eps']:g}  mean rel err {r['mean_rel_err']:.2e}  "
+                  f"compression {r['compression']:.2f}x")
+    print(f"\nwrote {OUT_PATH}")

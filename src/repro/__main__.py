@@ -14,6 +14,9 @@ and (simulated) parallel performance::
     python -m repro report run.json
     python -m repro serve --port 8750 --store /tmp/factors
     python -m repro request --url http://127.0.0.1:8750 --n 2000 --check
+    python -m repro gp train --kernel sqexp --n 1200 --store /tmp/factors
+    python -m repro gp predict --kernel sqexp --n 1200 --store /tmp/factors \
+        --n-test 64 --batch 8
 """
 
 from __future__ import annotations
@@ -285,6 +288,10 @@ def main(argv: list[str] | None = None) -> int:
         from .service.cli import request_main
 
         return request_main(argv[1:])
+    if argv and argv[0] == "gp":
+        from .gp.cli import gp_main
+
+        return gp_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.n < 2:
         print("error: --n must be at least 2", file=sys.stderr)

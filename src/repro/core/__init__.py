@@ -22,6 +22,8 @@ from .algorithms import (
     tiled_solve,
     tiled_solve_tasks,
     tiled_chol_solve,
+    tiled_chol_solve_tasks,
+    submit_chol_solve_tasks,
     lu_priorities,
     apply_bottom_level_priorities,
 )
@@ -40,6 +42,8 @@ __all__ = [
     "tiled_solve",
     "tiled_solve_tasks",
     "tiled_chol_solve",
+    "tiled_chol_solve_tasks",
+    "submit_chol_solve_tasks",
     "lu_priorities",
     "apply_bottom_level_priorities",
     "assemble_priority",

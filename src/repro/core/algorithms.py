@@ -46,6 +46,8 @@ __all__ = [
     "tiled_solve",
     "tiled_solve_tasks",
     "tiled_chol_solve",
+    "tiled_chol_solve_tasks",
+    "submit_chol_solve_tasks",
 ]
 
 R, RW = AccessMode.R, AccessMode.RW
@@ -91,6 +93,22 @@ def _op_gemm_transb(payloads, eps):
 
 def _op_solve_gemv(payloads):
     payloads[2][...] -= panel_matvec(payloads[0].mat, payloads[1])
+
+
+def _op_solve_gemv_t(payloads):
+    payloads[2][...] -= panel_rmatvec(payloads[0].mat, payloads[1])
+
+
+def _op_chol_trsv_lower(payloads):
+    payloads[1][...] = solve_lower_panel(
+        payloads[0].mat, payloads[1], unit_diagonal=False, column_stable=True
+    )
+
+
+def _op_chol_trsv_lower_t(payloads):
+    payloads[1][...] = solve_lower_transpose_panel(
+        payloads[0].mat, payloads[1], unit_diagonal=False, column_stable=True
+    )
 
 
 def _op_trsv_lower(payloads):
@@ -413,6 +431,140 @@ def tiled_chol_solve(desc: TileHDesc, b: np.ndarray) -> np.ndarray:
     out = np.empty_like(work)
     out[desc.perm] = work
     return out[:, 0] if squeeze else out
+
+
+def submit_chol_solve_tasks(
+    eng: StfEngine,
+    desc: TileHDesc,
+    segments: list,
+    seg_handles: list,
+    *,
+    tile_handles: dict | None = None,
+) -> None:
+    """Submit the forward/backward Cholesky substitution tasks over ``segments``.
+
+    ``segments[k]`` must hold tile ``k``'s rows of the (permuted) RHS panel
+    and is updated in place to the solution; ``seg_handles[k]`` is its STF
+    handle.  Shared by :func:`tiled_chol_solve_tasks` and the GP prediction
+    graph (which fuses cross-covariance assembly tasks in front of these).
+
+    The task submission order matches the sequential loops of
+    :func:`tiled_chol_solve` exactly, and successive updates of one segment
+    are RW on the same handle, so STF serialises them in submission order —
+    eager, threaded and process executions are all bit-identical to the
+    sequential solve.
+    """
+    nt = desc.nt
+    grid = desc.super
+    if tile_handles is None:
+        tile_handles = {
+            (i, j): eng.handle(grid.get_blktile(i, j), f"A[{i},{j}]")
+            for i in range(nt)
+            for j in range(i + 1)
+        }
+    is_c = np.issubdtype(grid.dtype, np.complexfloating)
+    nrhs = segments[0].shape[1]
+
+    def gemv(k, j):
+        segments[k][...] -= panel_matvec(grid.get_blktile(k, j).mat, segments[j])
+
+    def gemv_t(k, j):
+        segments[k][...] -= panel_rmatvec(grid.get_blktile(j, k).mat, segments[j])
+
+    def trsv_lower(k):
+        segments[k][...] = solve_lower_panel(
+            grid.get_blktile(k, k).mat, segments[k],
+            unit_diagonal=False, column_stable=True,
+        )
+
+    def trsv_lower_t(k):
+        segments[k][...] = solve_lower_transpose_panel(
+            grid.get_blktile(k, k).mat, segments[k],
+            unit_diagonal=False, column_stable=True,
+        )
+
+    # Forward substitution: L y = b (non-unit diagonal).
+    for k in range(nt):
+        for j in range(k):
+            eng.insert_task(
+                "gemm",
+                (lambda k=k, j=j: gemv(k, j)),
+                [(tile_handles[k, j], R), (seg_handles[j], R), (seg_handles[k], RW)],
+                priority=lu_priorities(nt, min(j, nt - 1), "gemm", k, j),
+                flops=flops_gemm(grid.tile_rows(k), nrhs, grid.tile_rows(j), is_complex=is_c),
+                label=f"fwd_gemv({k},{j})",
+                spec=_spec("_op_solve_gemv"),
+            )
+        eng.insert_task(
+            "trsm",
+            (lambda k=k: trsv_lower(k)),
+            [(tile_handles[k, k], R), (seg_handles[k], RW)],
+            priority=lu_priorities(nt, k, "trsm"),
+            flops=flops_trsm(grid.tile_rows(k), nrhs, is_complex=is_c),
+            label=f"fwd_trsv({k})",
+            spec=_spec("_op_chol_trsv_lower"),
+        )
+    # Backward substitution: L^T x = y, reading the lower tiles transposed.
+    for k in reversed(range(nt)):
+        for j in range(k + 1, nt):
+            eng.insert_task(
+                "gemm",
+                (lambda k=k, j=j: gemv_t(k, j)),
+                [(tile_handles[j, k], R), (seg_handles[j], R), (seg_handles[k], RW)],
+                priority=lu_priorities(nt, min(nt - 1 - j, nt - 1), "gemm", k, j),
+                flops=flops_gemm(grid.tile_rows(k), nrhs, grid.tile_rows(j), is_complex=is_c),
+                label=f"bwd_gemv_t({k},{j})",
+                spec=_spec("_op_solve_gemv_t"),
+            )
+        eng.insert_task(
+            "trsm",
+            (lambda k=k: trsv_lower_t(k)),
+            [(tile_handles[k, k], R), (seg_handles[k], RW)],
+            priority=lu_priorities(nt, nt - 1 - k, "trsm"),
+            flops=flops_trsm(grid.tile_rows(k), nrhs, is_complex=is_c),
+            label=f"bwd_trsv({k})",
+            spec=_spec("_op_chol_trsv_lower_t"),
+        )
+
+
+def tiled_chol_solve_tasks(
+    desc: TileHDesc,
+    b: np.ndarray,
+    engine: StfEngine | None = None,
+    *,
+    racecheck: bool = False,
+    executor=None,
+) -> tuple[np.ndarray, TaskGraph]:
+    """Task-parallel forward/backward substitution after the tiled Cholesky.
+
+    The Cholesky twin of :func:`tiled_solve_tasks`: one GEMV-style update
+    task per lower tile (the backward sweep reads tile ``(j, k)``
+    transposed) and one non-unit TRSV task per diagonal tile.  Returns
+    ``(x, graph)`` with ``x`` in original ordering, bit-identical to
+    :func:`tiled_chol_solve` on every executor; a *deferred* ``engine``
+    requires an ``executor`` to run the submitted kernels.
+    """
+    x, squeeze = _as_panel(b, desc.n)
+    eng = engine or StfEngine(mode="eager", racecheck=racecheck)
+    nt = desc.nt
+    grid = desc.super
+    work = np.array(x[desc.perm], dtype=np.promote_types(grid.dtype, x.dtype), copy=True)
+    segments = [work[desc.tile_slice(k)] for k in range(nt)]
+    seg_handles = [eng.handle(segments[k], f"x[{k}]") for k in range(nt)]
+
+    submit_chol_solve_tasks(eng, desc, segments, seg_handles)
+    graph = eng.wait_all()
+    if eng.mode == "deferred":
+        if executor is None:
+            raise ValueError(
+                "a deferred engine leaves the solve kernels unexecuted; "
+                "pass executor= (e.g. a ThreadedExecutor) to run them"
+            )
+        executor.run(graph)
+
+    out = np.empty_like(work)
+    out[desc.perm] = work
+    return (out[:, 0] if squeeze else out), graph
 
 
 def tiled_solve_tasks(

@@ -16,12 +16,19 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..obs.instrument import current as _current_probe
+
 __all__ = ["KrylovResult", "gmres", "pcg"]
 
 
 @dataclass
 class KrylovResult:
-    """Outcome of a Krylov solve."""
+    """Outcome of a Krylov solve.
+
+    ``residuals`` is the full per-iteration relative-residual history (entry
+    0 is the initial residual), so preconditioner quality can be plotted,
+    not just read off the final entry.
+    """
 
     x: np.ndarray
     converged: bool
@@ -31,6 +38,20 @@ class KrylovResult:
     def __iter__(self):  # allow ``x, res = gmres(...)`` style unpacking
         yield self.x
         yield self.residuals
+
+
+def _record(method: str, result: KrylovResult) -> KrylovResult:
+    """Report a finished solve to the ambient Instrumentation probe (if any):
+    ``krylov.iters`` / ``krylov.converged`` counters land in run reports."""
+    probe = _current_probe()
+    if probe is not None:
+        probe.krylov_solve(
+            method,
+            result.iterations,
+            result.converged,
+            float(result.residuals[-1]) if result.residuals else 0.0,
+        )
+    return result
 
 
 def gmres(
@@ -63,7 +84,7 @@ def gmres(
     x = np.zeros(n, dtype=dtype) if x0 is None else np.array(x0, dtype=dtype, copy=True)
     norm_b = float(np.linalg.norm(b))
     if norm_b == 0.0:
-        return KrylovResult(np.zeros(n, dtype=dtype), True, 0, [0.0])
+        return _record("gmres", KrylovResult(np.zeros(n, dtype=dtype), True, 0, [0.0]))
 
     residuals: list[float] = []
     total_iters = 0
@@ -72,7 +93,7 @@ def gmres(
         beta = float(np.linalg.norm(r))
         residuals.append(beta / norm_b)
         if beta / norm_b <= rtol:
-            return KrylovResult(x, True, total_iters, residuals)
+            return _record("gmres", KrylovResult(x, True, total_iters, residuals))
 
         m = min(restart, max_iter - total_iters)
         v = np.zeros((m + 1, n), dtype=dtype)
@@ -124,8 +145,8 @@ def gmres(
             true_res = float(np.linalg.norm(b - matvec(x))) / norm_b
             residuals[-1] = true_res
             if true_res <= 10 * rtol:
-                return KrylovResult(x, True, total_iters, residuals)
-    return KrylovResult(x, False, total_iters, residuals)
+                return _record("gmres", KrylovResult(x, True, total_iters, residuals))
+    return _record("gmres", KrylovResult(x, False, total_iters, residuals))
 
 
 def pcg(
@@ -151,7 +172,7 @@ def pcg(
     x = np.zeros(n) if x0 is None else np.array(x0, dtype=np.float64, copy=True)
     norm_b = float(np.linalg.norm(b))
     if norm_b == 0.0:
-        return KrylovResult(np.zeros(n), True, 0, [0.0])
+        return _record("pcg", KrylovResult(np.zeros(n), True, 0, [0.0]))
 
     r = b - matvec(x)
     z = m_apply(r)
@@ -160,7 +181,7 @@ def pcg(
     residuals = [float(np.linalg.norm(r)) / norm_b]
     for it in range(1, max_iter + 1):
         if residuals[-1] <= rtol:
-            return KrylovResult(x, True, it - 1, residuals)
+            return _record("pcg", KrylovResult(x, True, it - 1, residuals))
         ap = matvec(p)
         denom = float(p @ ap)
         if denom <= 0.0:
@@ -176,4 +197,4 @@ def pcg(
         beta = rz_new / rz
         rz = rz_new
         p = z + beta * p
-    return KrylovResult(x, residuals[-1] <= rtol, max_iter, residuals)
+    return _record("pcg", KrylovResult(x, residuals[-1] <= rtol, max_iter, residuals))

@@ -545,20 +545,23 @@ class TileHMatrix:
     def solve(self, b: np.ndarray) -> np.ndarray:
         """Solve ``A x = b`` (vector or panel) in original ordering.
 
-        With ``racecheck`` enabled in the config, the LU solve runs through
-        the task-parallel substitution path so the detector also covers the
-        solve-phase TRSV/GEMV tasks.  With ``exec_mode="threaded"`` the LU
-        substitution likewise runs as tasks, executed by the configured
-        threaded scheduler — the end of the end-to-end task-parallel solve.
+        With ``racecheck`` enabled in the config, the solve runs through the
+        task-parallel substitution path so the detector also covers the
+        solve-phase TRSV/GEMV tasks.  With ``exec_mode="threaded"``/
+        ``"process"`` the substitution likewise runs as tasks (the LU and
+        Cholesky paths alike), executed by the configured scheduler — the
+        end of the end-to-end task-parallel solve.  Every path is
+        bit-identical to the sequential substitution.
         """
         if not self._factorized:
             raise RuntimeError("call factorize() before solve()")
-        if self._method == "cholesky":
-            return tiled_chol_solve(self.desc, b)
-        if self.config.exec_mode in ("threaded", "process"):
-            from .algorithms import tiled_solve_tasks
+        from .algorithms import tiled_chol_solve_tasks, tiled_solve_tasks
 
-            x, _ = tiled_solve_tasks(
+        tasks_fn = (
+            tiled_chol_solve_tasks if self._method == "cholesky" else tiled_solve_tasks
+        )
+        if self.config.exec_mode in ("threaded", "process"):
+            x, _ = tasks_fn(
                 self.desc,
                 b,
                 StfEngine(mode="deferred"),
@@ -566,10 +569,10 @@ class TileHMatrix:
             )
             return x
         if self.config.racecheck:
-            from .algorithms import tiled_solve_tasks
-
-            x, _ = tiled_solve_tasks(self.desc, b, racecheck=True)
+            x, _ = tasks_fn(self.desc, b, racecheck=True)
             return x
+        if self._method == "cholesky":
+            return tiled_chol_solve(self.desc, b)
         return tiled_solve(self.desc, b)
 
     def gesv(self, b: np.ndarray) -> np.ndarray:

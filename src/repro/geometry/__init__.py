@@ -9,11 +9,14 @@ rule of thumb for the wave number.
 
 from .cylinder import cylinder_cloud, sphere_cloud, plate_cloud, mesh_step
 from .kernels import (
+    GP_KERNELS,
     KernelFunction,
     laplace_kernel,
     helmholtz_kernel,
     gravity_kernel,
     exponential_kernel,
+    squared_exponential_kernel,
+    matern_kernel,
     make_kernel,
     rule_of_thumb_wavenumber,
 )
@@ -29,6 +32,9 @@ __all__ = [
     "helmholtz_kernel",
     "gravity_kernel",
     "exponential_kernel",
+    "squared_exponential_kernel",
+    "matern_kernel",
+    "GP_KERNELS",
     "make_kernel",
     "rule_of_thumb_wavenumber",
     "DenseOperator",

@@ -30,6 +30,9 @@ __all__ = [
     "helmholtz_kernel",
     "gravity_kernel",
     "exponential_kernel",
+    "squared_exponential_kernel",
+    "matern_kernel",
+    "GP_KERNELS",
     "make_kernel",
     "rule_of_thumb_wavenumber",
 ]
@@ -40,12 +43,20 @@ def _pairwise_distances(x: np.ndarray, y: np.ndarray) -> np.ndarray:
 
     Uses the expanded form with a clip at zero to stay allocation-lean and
     avoid catastrophic cancellation turning into NaNs under sqrt.
+
+    Squared distances within relative rounding noise of zero are snapped to
+    exactly 0.0: the expanded form leaves the self-distance of a point at a
+    tiny positive value (einsum vs matmul rounding), and the GP covariance
+    kernels key their nugget on ``d == 0``, so the diagonal of ``k(x, x)``
+    must report exact zeros for ``diag()`` to match it bit for bit.
     """
     x = np.ascontiguousarray(x, dtype=np.float64)
     y = np.ascontiguousarray(y, dtype=np.float64)
     x2 = np.einsum("ij,ij->i", x, x)
     y2 = np.einsum("ij,ij->i", y, y)
-    d2 = x2[:, None] + y2[None, :] - 2.0 * (x @ y.T)
+    sums = x2[:, None] + y2[None, :]
+    d2 = sums - 2.0 * (x @ y.T)
+    d2[d2 <= 1e-12 * sums] = 0.0
     np.clip(d2, 0.0, None, out=d2)
     return np.sqrt(d2, out=d2)
 
@@ -131,6 +142,52 @@ class _ExponentialDecay:
 
     def __call__(self, d: np.ndarray) -> np.ndarray:
         return np.exp(-d / self.length)
+
+
+@dataclass(frozen=True)
+class _SquaredExponential:
+    """GP squared-exponential covariance ``s2 exp(-d^2/2l^2)`` + nugget at 0.
+
+    The nugget (observation-noise variance + jitter) is added only where
+    ``d == 0`` — exactly the diagonal once ``_pairwise_distances`` snaps
+    self-distances to zero — so ``K = K_f + s_n^2 I`` and the prior variance
+    is exactly ``s2 + nugget``.
+    """
+
+    length: float
+    signal2: float
+    nugget: float
+
+    def __call__(self, d: np.ndarray) -> np.ndarray:
+        u = d / self.length
+        out = self.signal2 * np.exp(-0.5 * u * u)
+        if self.nugget:
+            out = np.where(d == 0.0, out + self.nugget, out)
+        return out
+
+
+@dataclass(frozen=True)
+class _Matern:
+    """Matérn covariance for half-integer smoothness nu in {0.5, 1.5, 2.5}."""
+
+    length: float
+    signal2: float
+    nugget: float
+    nu: float
+
+    def __call__(self, d: np.ndarray) -> np.ndarray:
+        u = d / self.length
+        if self.nu == 0.5:
+            out = self.signal2 * np.exp(-u)
+        elif self.nu == 1.5:
+            s = math.sqrt(3.0) * u
+            out = self.signal2 * (1.0 + s) * np.exp(-s)
+        else:  # nu == 2.5
+            s = math.sqrt(5.0) * u
+            out = self.signal2 * (1.0 + s + s * s / 3.0) * np.exp(-s)
+        if self.nugget:
+            out = np.where(d == 0.0, out + self.nugget, out)
+        return out
 
 
 def rule_of_thumb_wavenumber(points: np.ndarray, points_per_wavelength: float = 10.0) -> float:
@@ -233,20 +290,94 @@ def exponential_kernel(points: np.ndarray, *, length: float = 1.0) -> KernelFunc
     )
 
 
+def _check_gp_params(length: float, signal: float, nugget: float) -> None:
+    if length <= 0:
+        raise ValueError(f"length must be positive, got {length}")
+    if signal <= 0:
+        raise ValueError(f"signal must be positive, got {signal}")
+    if nugget < 0:
+        raise ValueError(f"nugget must be non-negative, got {nugget}")
+
+
+def squared_exponential_kernel(
+    points: np.ndarray, *, length: float = 0.25, signal: float = 1.0,
+    nugget: float = 1e-6,
+) -> KernelFunction:
+    """GP squared-exponential covariance ``s^2 exp(-d^2/2l^2) + nugget [d=0]``.
+
+    The standard Gaussian-process regression covariance: ``signal`` is the
+    prior standard deviation, ``nugget`` the observation-noise variance (plus
+    jitter) added on the diagonal only.  Smooth and SPD, so the H-compressed
+    covariance factorises with the tiled Cholesky; ``diag`` returns exactly
+    ``signal^2 + nugget``.
+    """
+    _check_gp_params(length, signal, nugget)
+    return KernelFunction(
+        name="sqexp",
+        dtype=np.dtype(np.float64),
+        radial=_SquaredExponential(float(length), float(signal) ** 2, float(nugget)),
+        d_min=0.0,
+        params={"length": float(length), "signal": float(signal), "nugget": float(nugget)},
+    )
+
+
+def matern_kernel(
+    points: np.ndarray, *, nu: float = 1.5, length: float = 0.25,
+    signal: float = 1.0, nugget: float = 1e-6,
+) -> KernelFunction:
+    """Matérn GP covariance for half-integer ``nu`` in {0.5, 1.5, 2.5}.
+
+    ``nu = 0.5`` is the exponential (Ornstein–Uhlenbeck) covariance,
+    ``1.5``/``2.5`` the once/twice mean-square-differentiable members used
+    throughout the GP literature.  Nugget semantics match
+    :func:`squared_exponential_kernel`.
+    """
+    _check_gp_params(length, signal, nugget)
+    if nu not in (0.5, 1.5, 2.5):
+        raise ValueError(f"nu must be one of 0.5, 1.5, 2.5, got {nu}")
+    return KernelFunction(
+        name=f"matern{int(nu * 2)}2",
+        dtype=np.dtype(np.float64),
+        radial=_Matern(float(length), float(signal) ** 2, float(nugget), float(nu)),
+        d_min=0.0,
+        params={"nu": float(nu), "length": float(length),
+                "signal": float(signal), "nugget": float(nugget)},
+    )
+
+
+def _matern_factory(nu: float):
+    def factory(points: np.ndarray, **params) -> KernelFunction:
+        params.setdefault("nu", nu)
+        if params["nu"] != nu:
+            raise ValueError(f"nu is fixed to {nu} for this kernel name")
+        return matern_kernel(points, **params)
+
+    return factory
+
+
 _FACTORIES = {
     "laplace": laplace_kernel,
     "helmholtz": helmholtz_kernel,
     "gravity": gravity_kernel,
     "exponential": exponential_kernel,
+    "sqexp": squared_exponential_kernel,
+    "matern12": _matern_factory(0.5),
+    "matern32": _matern_factory(1.5),
+    "matern52": _matern_factory(2.5),
 }
+
+#: Kernel names usable as Gaussian-process covariances (SPD with an exact
+#: ``signal^2 + nugget`` prior variance on the diagonal).
+GP_KERNELS = ("sqexp", "matern12", "matern32", "matern52")
 
 
 def make_kernel(name: str, points: np.ndarray, **params) -> KernelFunction:
-    """Create a kernel by name ("laplace", "helmholtz", "gravity", "exponential").
+    """Create a kernel by name ("laplace", "helmholtz", ..., "sqexp", "matern32").
 
     The paper's two arithmetic cases map to ``make_kernel("laplace", pts)``
     (real double, "d") and ``make_kernel("helmholtz", pts)`` (complex double,
-    "z").
+    "z"); the GP covariances (:data:`GP_KERNELS`) take ``length``/``signal``/
+    ``nugget`` hyperparameters.
     """
     try:
         factory = _FACTORIES[name]

@@ -161,6 +161,21 @@ class Instrumentation:
         if early:
             self.registry.inc("h.accumulator.early_flushes", nblocks)
 
+    # -- Krylov hooks ----------------------------------------------------------
+    def krylov_solve(
+        self, method: str, iterations: int, converged: bool, final_residual: float
+    ) -> None:
+        """One Krylov solve (pcg/gmres) finished — the preconditioner-quality
+        signal: few iterations + converged means the loose H-factorisation is
+        doing its job."""
+        reg = self.registry
+        reg.inc("krylov.solves")
+        reg.inc(f"krylov.solves.{method}")
+        reg.inc("krylov.iters", iterations)
+        reg.inc("krylov.converged" if converged else "krylov.unconverged")
+        reg.observe("krylov.iterations", iterations)
+        reg.observe("krylov.final_residual", final_residual)
+
     # -- solve-service hooks --------------------------------------------------
     def service_admitted(self) -> None:
         """One request accepted into the solve service's admission queue."""

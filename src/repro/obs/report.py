@@ -290,6 +290,36 @@ REPORT_SCHEMA = {
                 },
             },
         },
+        "gp": {
+            "type": "object",
+            "required": ["kernel", "n_train", "n_test", "train_seconds", "predict_seconds"],
+            "properties": {
+                "kernel": {"type": "string"},
+                "geometry": {"type": "string"},
+                "n_train": {"type": "integer", "minimum": 0},
+                "n_test": {"type": "integer", "minimum": 0},
+                "length": {"type": "number", "minimum": 0},
+                "signal": {"type": "number", "minimum": 0},
+                "noise": {"type": "number", "minimum": 0},
+                "eps": {"type": "number", "minimum": 0},
+                "exec_mode": {"type": "string"},
+                "train_seconds": {"type": "number", "minimum": 0},
+                "predict_seconds": {"type": "number", "minimum": 0},
+                "predict_throughput_rps": {"type": "number", "minimum": 0},
+                "batch_width_mean": {"type": "number", "minimum": 0},
+                "mean_rmse": {"type": "number", "minimum": 0},
+                "var_min": {"type": "number"},
+                "var_max": {"type": "number"},
+                "krylov": {
+                    "type": "object",
+                    "properties": {
+                        "iterations": {"type": "integer", "minimum": 0},
+                        "converged": {"type": "boolean"},
+                        "final_residual": {"type": "number", "minimum": 0},
+                    },
+                },
+            },
+        },
         "tracing": {
             "type": "object",
             "required": ["capacity", "started", "completed", "recent"],
@@ -387,7 +417,7 @@ def _service_section(reg) -> dict:
 
 def build_run_report(
     *, probe=None, trace=None, graph=None, meta=None, service=None, fleet=None,
-    nested=None, tracing=None,
+    nested=None, tracing=None, gp=None,
 ) -> dict:
     """Fold probe aggregates + trace + graph into one schema-valid report.
 
@@ -413,6 +443,9 @@ def build_run_report(
     ``tracing`` attaches a request-tracing section (see
     ``repro.obs.RequestTracer.report``); when omitted, the probe's tracer is
     folded in automatically if it completed any trace.
+    ``gp`` attaches a Gaussian-process regression section (the ``repro gp``
+    CLI and ``bench_gp`` build it): train/predict timings, batching width,
+    posterior-mean RMSE and the Krylov refinement stats.
     """
     kinds: dict[str, dict] = {}
 
@@ -571,6 +604,8 @@ def build_run_report(
         report["service"] = _service_section(probe.registry)
     if fleet is not None:
         report["fleet"] = fleet
+    if gp is not None:
+        report["gp"] = dict(gp)
     if tracing is not None:
         report["tracing"] = tracing
     else:
@@ -881,6 +916,43 @@ def render_report(report: dict) -> str:
                 f"{rep['replicated_loads']} warm loads "
                 f"(hot after {rep.get('hot_after', 0)} requests)"
             )
+    gp = report.get("gp")
+    if gp:
+        lines.append("")
+        line = (
+            f"gp        : {gp['kernel']} n={gp['n_train']} -> {gp['n_test']} test points | "
+            f"train {gp['train_seconds']:.3f} s | predict {gp['predict_seconds'] * 1e3:.1f} ms"
+        )
+        if gp.get("predict_throughput_rps"):
+            line += f" ({gp['predict_throughput_rps']:.1f} pred/s)"
+        if gp.get("batch_width_mean"):
+            line += f" | batch width {gp['batch_width_mean']:.2f}"
+        lines.append(line)
+        if gp.get("mean_rmse") is not None:
+            lines.append(
+                f"posterior : mean RMSE {gp['mean_rmse']:.3g} vs latent truth"
+                + (
+                    f" | variance in [{gp['var_min']:.3g}, {gp['var_max']:.3g}]"
+                    if gp.get("var_max") is not None
+                    else ""
+                )
+            )
+        krylov = gp.get("krylov")
+        if krylov:
+            lines.append(
+                f"krylov    : pcg {krylov.get('iterations', 0)} iterations, "
+                f"{'converged' if krylov.get('converged') else 'NOT converged'}, "
+                f"final residual {krylov.get('final_residual', 0.0):.2e}"
+            )
+    # Ambient krylov counters (recorded by pcg/gmres under any probe).
+    ctrs = (report.get("counters") or {}).get("counters") or {}
+    if ctrs.get("krylov.solves") and not (gp or {}).get("krylov"):
+        lines.append(
+            f"krylov    : {int(ctrs['krylov.solves'])} solve(s), "
+            f"{int(ctrs.get('krylov.iters', 0))} total iterations, "
+            f"{int(ctrs.get('krylov.converged', 0))} converged / "
+            f"{int(ctrs.get('krylov.unconverged', 0))} not"
+        )
     tracing = report.get("tracing")
     if tracing:
         lines.append("")

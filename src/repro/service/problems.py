@@ -20,7 +20,7 @@ from dataclasses import dataclass, replace
 import numpy as np
 
 from ..core import TileHConfig, TileHMatrix
-from ..geometry import cylinder_cloud, make_kernel, plate_cloud, sphere_cloud
+from ..geometry import GP_KERNELS, cylinder_cloud, make_kernel, plate_cloud, sphere_cloud
 from ..obs.tracing import current_trace
 
 __all__ = ["ProblemSpec", "spec_fingerprint", "build_solver", "rhs_dtype", "check_rhs"]
@@ -37,6 +37,13 @@ _KERNELS = ("laplace", "helmholtz", "gravity", "exponential")
 
 _METHODS = ("lu", "cholesky")
 
+_KINDS = ("solve", "gp")
+
+#: Hyperparameter defaults applied to ``kind="gp"`` specs (kept in one place
+#: so the canonical form — and therefore the fingerprint — never depends on
+#: whether the client spelled the defaults out).
+_GP_DEFAULTS = {"length": 0.25, "signal": 1.0, "noise": 0.1}
+
 
 @dataclass(frozen=True)
 class ProblemSpec:
@@ -46,6 +53,18 @@ class ProblemSpec:
     ``nb``/``eps``/``leaf_size``/``method`` the Tile-H solver that factors
     it.  Everything is validated eagerly so malformed requests fail at the
     admission boundary, not inside a worker.
+
+    ``kind="gp"`` names a Gaussian-process regression problem instead of a
+    BEM solve: ``kernel`` must be a GP covariance
+    (:data:`~repro.geometry.GP_KERNELS`), ``length``/``signal``/``noise``
+    are its hyperparameters (defaulted from ``_GP_DEFAULTS`` when omitted,
+    so spelling the defaults out does not change the fingerprint), and the
+    factorisation method is always the Cholesky — covariances are SPD, so a
+    requested ``method="lu"`` (the dataclass default) is coerced.  A GP
+    *training* run is exactly the cold factorisation of this spec into the
+    store; each *prediction* is one solve request whose right-hand side is
+    the test point's cross-covariance column, which is why GP serving needs
+    no new service surface at all.
     """
 
     kernel: str
@@ -55,10 +74,35 @@ class ProblemSpec:
     eps: float = 1e-6
     leaf_size: int = 64
     method: str = "lu"
+    kind: str = "solve"
+    length: float | None = None
+    signal: float | None = None
+    noise: float | None = None
 
     def __post_init__(self) -> None:
-        if self.kernel not in _KERNELS:
-            raise BadRequestError(f"unknown kernel {self.kernel!r}; choose from {_KERNELS}")
+        if self.kind not in _KINDS:
+            raise BadRequestError(f"unknown kind {self.kind!r}; choose from {_KINDS}")
+        if self.kind == "gp":
+            if self.kernel not in GP_KERNELS:
+                raise BadRequestError(
+                    f"kind='gp' needs a GP covariance kernel, got {self.kernel!r}; "
+                    f"choose from {GP_KERNELS}"
+                )
+            object.__setattr__(self, "method", "cholesky")
+            for name, default in _GP_DEFAULTS.items():
+                value = getattr(self, name)
+                if value is None:
+                    object.__setattr__(self, name, default)
+                elif not isinstance(value, (int, float)) or not value > 0:
+                    raise BadRequestError(f"{name} must be a positive number, got {value!r}")
+                else:
+                    object.__setattr__(self, name, float(value))
+        else:
+            if self.kernel not in _KERNELS:
+                raise BadRequestError(f"unknown kernel {self.kernel!r}; choose from {_KERNELS}")
+            for name in _GP_DEFAULTS:
+                if getattr(self, name) is not None:
+                    raise BadRequestError(f"{name} only applies to kind='gp' specs")
         if self.geometry not in _GEOMETRIES:
             raise BadRequestError(
                 f"unknown geometry {self.geometry!r}; choose from {tuple(_GEOMETRIES)}"
@@ -79,8 +123,13 @@ class ProblemSpec:
         return self.nb if self.nb is not None else max(64, self.n // 16)
 
     def canonical(self) -> dict:
-        """The canonical JSON-able form that is hashed into the fingerprint."""
-        return {
+        """The canonical JSON-able form that is hashed into the fingerprint.
+
+        ``kind="solve"`` specs keep the historical seven-key form exactly
+        (fingerprints of existing stores stay valid); GP specs add ``kind``
+        plus the resolved hyperparameters.
+        """
+        base = {
             "geometry": self.geometry,
             "kernel": self.kernel,
             "n": self.n,
@@ -89,12 +138,21 @@ class ProblemSpec:
             "leaf_size": self.leaf_size,
             "method": self.method,
         }
+        if self.kind == "gp":
+            base["kind"] = self.kind
+            base["length"] = self.length
+            base["signal"] = self.signal
+            base["noise"] = self.noise
+        return base
 
     @classmethod
     def from_dict(cls, data: dict) -> "ProblemSpec":
         if not isinstance(data, dict):
             raise BadRequestError(f"problem spec must be an object, got {type(data).__name__}")
-        allowed = {"kernel", "n", "geometry", "nb", "eps", "leaf_size", "method"}
+        allowed = {
+            "kernel", "n", "geometry", "nb", "eps", "leaf_size", "method",
+            "kind", "length", "signal", "noise",
+        }
         extra = set(data) - allowed
         if extra:
             raise BadRequestError(f"unknown problem-spec fields {sorted(extra)}")
@@ -129,7 +187,13 @@ def build_solver(
     panel solves and saved archives carry no build-time detail.
     """
     points = _GEOMETRIES[spec.geometry](spec.n)
-    kernel = make_kernel(spec.kernel, points)
+    if spec.kind == "gp":
+        kernel = make_kernel(
+            spec.kernel, points,
+            length=spec.length, signal=spec.signal, nugget=spec.noise**2,
+        )
+    else:
+        kernel = make_kernel(spec.kernel, points)
     config = TileHConfig(
         nb=spec.effective_nb,
         eps=spec.eps,

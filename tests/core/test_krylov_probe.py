@@ -1,0 +1,99 @@
+"""Krylov solves report to the ambient Instrumentation probe.
+
+Every `pcg`/`gmres` return path runs through `_record`, so an active probe
+sees `krylov.solves`, per-method counters, the iteration tally, and the
+converged/unconverged split — and the run report renders them.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.krylov import gmres, pcg
+from repro.obs import Instrumentation, build_run_report, render_report
+
+N = 60
+
+
+@pytest.fixture(scope="module")
+def spd_system():
+    rng = np.random.default_rng(11)
+    q, _ = np.linalg.qr(rng.standard_normal((N, N)))
+    a = q @ np.diag(np.linspace(1.0, 50.0, N)) @ q.T
+    a = (a + a.T) / 2
+    b = rng.standard_normal(N)
+    return a, b
+
+
+class TestCounters:
+    def test_pcg_records_solve_and_iterations(self, spd_system):
+        a, b = spd_system
+        with Instrumentation() as probe:
+            result = pcg(lambda v: a @ v, b, rtol=1e-10, max_iter=200)
+        assert result.converged
+        counters = probe.registry.as_dict()["counters"]
+        assert counters["krylov.solves"] == 1
+        assert counters["krylov.solves.pcg"] == 1
+        assert counters["krylov.iters"] == result.iterations
+        assert counters["krylov.converged"] == 1
+        assert "krylov.unconverged" not in counters
+
+    def test_gmres_records_under_its_own_method(self, spd_system):
+        a, b = spd_system
+        with Instrumentation() as probe:
+            result = gmres(lambda v: a @ v, b, rtol=1e-10)
+        assert result.converged
+        counters = probe.registry.as_dict()["counters"]
+        assert counters["krylov.solves.gmres"] == 1
+        assert "krylov.solves.pcg" not in counters
+
+    def test_unconverged_counted_separately(self, spd_system):
+        a, b = spd_system
+        with Instrumentation() as probe:
+            result = pcg(lambda v: a @ v, b, rtol=1e-14, max_iter=2)
+        assert not result.converged
+        counters = probe.registry.as_dict()["counters"]
+        assert counters["krylov.unconverged"] == 1
+        assert "krylov.converged" not in counters
+
+    def test_histograms_capture_iterations_and_residual(self, spd_system):
+        a, b = spd_system
+        with Instrumentation() as probe:
+            r1 = pcg(lambda v: a @ v, b, rtol=1e-10, max_iter=200)
+            r2 = gmres(lambda v: a @ v, b, rtol=1e-10)
+        hist = probe.registry.as_dict()["histograms"]["krylov.iterations"]
+        assert hist["count"] == 2
+        assert hist["max"] == max(r1.iterations, r2.iterations)
+        assert probe.registry.as_dict()["histograms"]["krylov.final_residual"]["max"] <= 1e-10
+
+    def test_solves_accumulate(self, spd_system):
+        a, b = spd_system
+        with Instrumentation() as probe:
+            for _ in range(3):
+                pcg(lambda v: a @ v, b, rtol=1e-8, max_iter=200)
+        assert probe.registry.as_dict()["counters"]["krylov.solves"] == 3
+
+
+class TestWithoutProbe:
+    def test_solvers_run_unprobed(self, spd_system):
+        a, b = spd_system
+        result = pcg(lambda v: a @ v, b, rtol=1e-10, max_iter=200)
+        assert result.converged
+        x, residuals = result  # (x, residuals) unpack protocol intact
+        assert x.shape == b.shape and residuals == result.residuals
+
+    def test_residual_history_is_monotone_at_the_end(self, spd_system):
+        a, b = spd_system
+        result = pcg(lambda v: a @ v, b, rtol=1e-10, max_iter=200)
+        assert result.residuals[-1] <= 1e-10
+        assert result.residuals[0] > result.residuals[-1]
+
+
+class TestReportRendering:
+    def test_rendered_report_shows_krylov_counters(self, spd_system):
+        a, b = spd_system
+        with Instrumentation() as probe:
+            pcg(lambda v: a @ v, b, rtol=1e-10, max_iter=200)
+        report = build_run_report(probe=probe, meta={"mode": "test"})
+        text = render_report(report)
+        assert "krylov" in text
+        assert "1 solve" in text or "solves" in text

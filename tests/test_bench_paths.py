@@ -17,9 +17,10 @@ from pathlib import Path
 import pytest
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
-BENCHES = ["bench_perf_regression.py", "bench_serve.py"]
+BENCHES = ["bench_perf_regression.py", "bench_serve.py", "bench_gp.py"]
 TRACKED = {"bench_perf_regression.py": "BENCH_lu.json",
-           "bench_serve.py": "BENCH_serve.json"}
+           "bench_serve.py": "BENCH_serve.json",
+           "bench_gp.py": "BENCH_gp.json"}
 
 
 def _load_out_path(bench: str, smoke: str) -> Path:
